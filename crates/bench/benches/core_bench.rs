@@ -1,0 +1,170 @@
+//! Microbenchmarks for the core model: properness/legality checking,
+//! serializability-graph construction, and the structural-state
+//! representation ablation (bitset vs `HashSet`, DESIGN.md §6 ♦).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use slp_core::{
+    is_serializable, EntityId, LockedTransaction, Schedule, ScheduleSimulator,
+    SerializationGraph, Step, StructuralState, TxId,
+};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+/// Builds an interleaved schedule of `k` strict-2PL transactions over
+/// `entities` entities with `len` accesses each.
+fn interleaved_schedule(k: u32, len: usize, entities: u32) -> (Schedule, StructuralState) {
+    let txs: Vec<LockedTransaction> = (0..k)
+        .map(|i| {
+            let mut steps = Vec::new();
+            let mine: Vec<EntityId> =
+                (0..len).map(|j| EntityId((i + j as u32 * k) % entities)).collect();
+            let mut seen: Vec<EntityId> = Vec::new();
+            for &e in &mine {
+                if !seen.contains(&e) {
+                    steps.push(Step::lock_exclusive(e));
+                    seen.push(e);
+                }
+                steps.push(Step::read(e));
+                steps.push(Step::write(e));
+            }
+            for &e in &seen {
+                steps.push(Step::unlock_exclusive(e));
+            }
+            LockedTransaction::new(TxId(i + 1), steps)
+        })
+        .collect();
+    // Round-robin interleave (cross-transaction locks may overlap; that is
+    // fine for properness benches, and conflicts enrich the graph bench).
+    let mut order = Vec::new();
+    let max_len = txs.iter().map(LockedTransaction::len).max().unwrap_or(0);
+    for round in 0..max_len {
+        for t in &txs {
+            if round < t.len() {
+                order.push(t.id);
+            }
+        }
+    }
+    let schedule = Schedule::interleave(&txs, &order).expect("valid");
+    let g0 = StructuralState::from_entities((0..entities).map(EntityId));
+    (schedule, g0)
+}
+
+fn bench_properness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("properness");
+    for steps in [64usize, 256, 1024] {
+        let (schedule, g0) = interleaved_schedule(4, steps / 12, 32);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
+            b.iter(|| black_box(schedule.check_proper(&g0).is_ok()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_legality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("legality");
+    for steps in [64usize, 256, 1024] {
+        let (schedule, _) = interleaved_schedule(4, steps / 12, 32);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
+            b.iter(|| black_box(schedule.check_legal().is_ok()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialization_graph");
+    for steps in [64usize, 256, 1024] {
+        let (schedule, _) = interleaved_schedule(6, steps / 18, 16);
+        group.bench_with_input(BenchmarkId::new("build", steps), &steps, |b, _| {
+            b.iter(|| black_box(SerializationGraph::of(&schedule)));
+        });
+        group.bench_with_input(BenchmarkId::new("serializable", steps), &steps, |b, _| {
+            b.iter(|| black_box(is_serializable(&schedule)));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation ♦: incremental simulator pass vs re-running the one-shot
+/// checks on every prefix (what a verifier without the cursor would do).
+fn bench_incremental_vs_oneshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation_strategy");
+    let (schedule, g0) = interleaved_schedule(4, 16, 32);
+    group.bench_function("incremental_simulator", |b| {
+        b.iter(|| {
+            let mut sim = ScheduleSimulator::new(g0.clone());
+            black_box(sim.apply_schedule(&schedule).is_ok())
+        });
+    });
+    group.bench_function("oneshot_per_prefix", |b| {
+        b.iter(|| {
+            let mut ok = true;
+            for n in 1..=schedule.len() {
+                let p = schedule.prefix(n);
+                ok &= p.check_legal().is_ok() && p.check_proper(&g0).is_ok();
+            }
+            black_box(ok)
+        });
+    });
+    group.finish();
+}
+
+/// Ablation ♦: bitset-backed structural state vs a plain HashSet.
+fn bench_state_representation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structural_state");
+    let ids: Vec<EntityId> = (0..512).map(EntityId).collect();
+    group.bench_function("bitset_insert_query_remove", |b| {
+        b.iter_batched(
+            StructuralState::empty,
+            |mut s| {
+                for &e in &ids {
+                    s.insert(e);
+                }
+                let mut hits = 0;
+                for &e in &ids {
+                    hits += usize::from(s.contains(e));
+                }
+                for &e in &ids {
+                    s.remove(e);
+                }
+                black_box(hits)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("hashset_insert_query_remove", |b| {
+        b.iter_batched(
+            HashSet::<EntityId>::new,
+            |mut s| {
+                for &e in &ids {
+                    s.insert(e);
+                }
+                let mut hits = 0;
+                for &e in &ids {
+                    hits += usize::from(s.contains(&e));
+                }
+                for &e in &ids {
+                    s.remove(&e);
+                }
+                black_box(hits)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // Snapshot (clone) cost — the verifier clones states on every branch.
+    let full = StructuralState::from_entities(ids.iter().copied());
+    let full_hash: HashSet<EntityId> = ids.iter().copied().collect();
+    group.bench_function("bitset_clone", |b| b.iter(|| black_box(full.clone())));
+    group.bench_function("hashset_clone", |b| b.iter(|| black_box(full_hash.clone())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_properness,
+    bench_legality,
+    bench_sgraph,
+    bench_incremental_vs_oneshot,
+    bench_state_representation
+);
+criterion_main!(benches);

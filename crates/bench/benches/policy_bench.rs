@@ -1,0 +1,133 @@
+//! Microbenchmarks for the policy engines: lock-plan generation and
+//! per-lock rule enforcement cost (the price of L5 / AL2 / tree-locking).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use slp_core::{DataOp, EntityId, Step, Transaction, TxId};
+use slp_policies::altruistic::AltruisticEngine;
+use slp_policies::ddag::DdagEngine;
+use slp_policies::dtr::DtrEngine;
+use slp_policies::{tree_lock_plan, two_phase};
+use slp_sim::layered_dag;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_two_phase_generators(c: &mut Criterion) {
+    let t = Transaction::new(
+        TxId(1),
+        (0..64u32)
+            .flat_map(|i| [Step::read(EntityId(i)), Step::write(EntityId(i))])
+            .collect(),
+    );
+    c.bench_function("2pl_lock_strict_64", |b| {
+        b.iter(|| black_box(two_phase::lock_strict(&t)));
+    });
+    c.bench_function("2pl_lock_conservative_64", |b| {
+        b.iter(|| black_box(two_phase::lock_conservative(&t)));
+    });
+}
+
+fn bench_tree_plan(c: &mut Criterion) {
+    // A complete binary tree of depth 8 in a Forest.
+    let mut f = slp_graph::Forest::new();
+    f.add_root(EntityId(1)).unwrap();
+    for i in 2..512u32 {
+        f.add_child(EntityId(i / 2), EntityId(i)).unwrap();
+    }
+    let ops: BTreeMap<EntityId, Vec<DataOp>> = [300u32, 301, 510, 511]
+        .iter()
+        .map(|&i| (EntityId(i), vec![DataOp::Read, DataOp::Write]))
+        .collect();
+    c.bench_function("tree_lock_plan_4_targets_depth8", |b| {
+        b.iter(|| black_box(tree_lock_plan(&f, &ops).unwrap()));
+    });
+}
+
+fn bench_ddag_lock_cost(c: &mut Criterion) {
+    // Cost of rule-checked lock acquisitions while crawling the whole DAG
+    // in topological order (every lock runs the full L5 check).
+    let d = layered_dag(6, 4, 2, 11);
+    let topo = slp_graph::dag::topological_sort(&d.graph).unwrap();
+    c.bench_function("ddag_crawl_l5_checks", |b| {
+        b.iter_batched(
+            || DdagEngine::new(d.universe.clone(), d.graph.clone()),
+            |mut eng| {
+                let tx = TxId(1);
+                eng.begin(tx).unwrap();
+                for &n in &topo {
+                    eng.lock(tx, n).unwrap();
+                }
+                black_box(eng.finish(tx).unwrap().len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_altruistic_wake_checks(c: &mut Criterion) {
+    // Cost of AL2 checking with many concurrent donors.
+    c.bench_function("altruistic_lock_with_8_donors", |b| {
+        b.iter_batched(
+            || {
+                let mut eng = AltruisticEngine::new();
+                // 8 active donor transactions, each has donated 4 items.
+                for d in 0..8u32 {
+                    let tx = TxId(d + 1);
+                    eng.begin(tx).unwrap();
+                    for k in 0..4u32 {
+                        let e = EntityId(d * 4 + k);
+                        eng.lock(tx, e).unwrap();
+                        eng.unlock(tx, e).unwrap();
+                    }
+                }
+                let probe = TxId(100);
+                eng.begin(probe).unwrap();
+                eng
+            },
+            |mut eng| {
+                // The probe locks items donated by donor 0 — every lock
+                // re-checks AL2 against all 8 active transactions.
+                for k in 0..4u32 {
+                    eng.lock(TxId(100), EntityId(k)).unwrap();
+                }
+                black_box(eng.holding(TxId(100)).len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_dtr_begin(c: &mut Criterion) {
+    // DT2 plan precomputation including forest joins.
+    c.bench_function("dtr_begin_8_targets", |b| {
+        b.iter_batched(
+            || {
+                let mut eng = DtrEngine::new();
+                // Seed the forest with 32 single-node trees.
+                for i in 0..32u32 {
+                    let ops = BTreeMap::from([(EntityId(i), vec![DataOp::Read])]);
+                    eng.begin(TxId(i + 1), &ops).unwrap();
+                    eng.run_to_end(TxId(i + 1)).unwrap();
+                    eng.finish(TxId(i + 1)).unwrap();
+                }
+                eng
+            },
+            |mut eng| {
+                let ops: BTreeMap<EntityId, Vec<DataOp>> = (0..8u32)
+                    .map(|i| (EntityId(i * 4), vec![DataOp::Read, DataOp::Write]))
+                    .collect();
+                black_box(eng.begin(TxId(1000), &ops).unwrap().len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_two_phase_generators,
+    bench_tree_plan,
+    bench_ddag_lock_cost,
+    bench_altruistic_wake_checks,
+    bench_dtr_begin
+);
+criterion_main!(benches);

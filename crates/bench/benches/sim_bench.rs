@@ -1,0 +1,72 @@
+//! Microbenchmarks for the simulator: end-to-end run cost per policy and
+//! the post-hoc trace verification cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use slp_core::EntityId;
+use slp_sim::{
+    dag_access_jobs, layered_dag, run_sim, uniform_jobs, AltruisticAdapter, DdagAdapter,
+    DtrAdapter, SimConfig, TwoPhaseAdapter,
+};
+use std::hint::black_box;
+
+fn bench_policy_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_sim_30_jobs");
+    group.sample_size(20);
+    let pool: Vec<EntityId> = (0..16).map(EntityId).collect();
+    let jobs = uniform_jobs(&pool, 30, 3, 5);
+    let config = SimConfig { workers: 4, ..Default::default() };
+
+    group.bench_function("2pl", |b| {
+        b.iter_batched(
+            || TwoPhaseAdapter::new(pool.clone()),
+            |mut a| black_box(run_sim(&mut a, &jobs, &config).committed),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("altruistic", |b| {
+        b.iter_batched(
+            || AltruisticAdapter::new(pool.clone()),
+            |mut a| black_box(run_sim(&mut a, &jobs, &config).committed),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("dtr", |b| {
+        b.iter_batched(
+            || DtrAdapter::new(pool.clone()),
+            |mut a| black_box(run_sim(&mut a, &jobs, &config).committed),
+            BatchSize::SmallInput,
+        );
+    });
+    let dag = layered_dag(4, 4, 2, 5);
+    let dag_jobs = dag_access_jobs(&dag, 30, 2, 5);
+    group.bench_function("ddag", |b| {
+        b.iter_batched(
+            || DdagAdapter::new(dag.universe.clone(), dag.graph.clone()),
+            |mut a| black_box(run_sim(&mut a, &dag_jobs, &config).committed),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_trace_verification(c: &mut Criterion) {
+    // Post-hoc verification cost for a realistic trace.
+    let pool: Vec<EntityId> = (0..16).map(EntityId).collect();
+    let jobs = uniform_jobs(&pool, 50, 3, 9);
+    let mut adapter = TwoPhaseAdapter::new(pool.clone());
+    let initial = adapter.initial_state();
+    let report = run_sim(&mut adapter, &jobs, &SimConfig { workers: 4, ..Default::default() });
+    let trace = report.schedule;
+    c.bench_function("verify_trace_legal_proper_serializable", |b| {
+        b.iter(|| {
+            black_box(
+                trace.is_legal()
+                    && trace.is_proper(&initial)
+                    && slp_core::is_serializable(&trace),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_policy_runs, bench_trace_verification);
+criterion_main!(benches);

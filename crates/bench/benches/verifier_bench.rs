@@ -1,0 +1,118 @@
+//! Microbenchmarks for the safety verifier: exhaustive vs canonical
+//! search, and the memoization ablation (DESIGN.md §6 ♦).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slp_core::SystemBuilder;
+use slp_verifier::{
+    find_canonical_witness, random_system, verify_safety, CanonicalBudget, GenParams,
+    SearchBudget,
+};
+use std::hint::black_box;
+
+/// A safe 2PL system of `k` transactions over `k + 1` entities.
+fn safe_system(k: u32) -> slp_core::TransactionSystem {
+    let mut b = SystemBuilder::new();
+    for i in 0..=k {
+        b.exists(&format!("x{i}"));
+    }
+    for t in 1..=k {
+        let (a, bb) = (format!("x{}", t - 1), format!("x{t}"));
+        b.tx(t).lx(&a).write(&a).lx(&bb).write(&bb).ux(&a).ux(&bb).finish();
+    }
+    b.build()
+}
+
+/// An unsafe early-release system of `k` transactions.
+fn unsafe_system(k: u32) -> slp_core::TransactionSystem {
+    let mut b = SystemBuilder::new();
+    b.exists("x");
+    b.exists("y");
+    for t in 1..=k {
+        b.tx(t).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
+    }
+    b.build()
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_safety");
+    group.sample_size(20);
+    for k in [2u32, 3] {
+        let safe = safe_system(k);
+        group.bench_with_input(BenchmarkId::new("safe", k), &k, |b, _| {
+            b.iter(|| black_box(verify_safety(&safe, SearchBudget::default()).is_safe()));
+        });
+        let unsafe_ = unsafe_system(k);
+        group.bench_with_input(BenchmarkId::new("unsafe", k), &k, |b, _| {
+            b.iter(|| black_box(verify_safety(&unsafe_, SearchBudget::default()).is_unsafe()));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation ♦: memoized search vs plain DFS on the same safe system
+/// (safe systems force full-space coverage, where memoization matters).
+fn bench_memo_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memoization");
+    group.sample_size(10);
+    let system = safe_system(3);
+    group.bench_function("memo_on", |b| {
+        b.iter(|| {
+            black_box(verify_safety(&system, SearchBudget { use_memo: true, ..Default::default() }))
+        });
+    });
+    group.bench_function("memo_off", |b| {
+        b.iter(|| {
+            black_box(verify_safety(
+                &system,
+                SearchBudget { use_memo: false, ..Default::default() },
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_canonical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonical_search");
+    group.sample_size(20);
+    let safe = safe_system(3);
+    group.bench_function("safe_3tx", |b| {
+        b.iter(|| black_box(find_canonical_witness(&safe, CanonicalBudget::default())));
+    });
+    let unsafe_ = unsafe_system(2);
+    group.bench_function("unsafe_2tx", |b| {
+        b.iter(|| black_box(find_canonical_witness(&unsafe_, CanonicalBudget::default())));
+    });
+    group.finish();
+}
+
+fn bench_random_agreement_pair(c: &mut Criterion) {
+    // The per-system cost of an E6 row: one exhaustive + one canonical run.
+    let mut group = c.benchmark_group("agreement_pair");
+    group.sample_size(10);
+    let systems: Vec<_> =
+        (0..8u64).map(|s| random_system(GenParams::default(), s)).collect();
+    group.bench_function("8_random_systems", |b| {
+        b.iter(|| {
+            let mut unsafe_count = 0;
+            for sys in &systems {
+                let e = verify_safety(sys, SearchBudget::default()).is_unsafe();
+                let w = find_canonical_witness(sys, CanonicalBudget::default())
+                    .witness()
+                    .is_some();
+                assert_eq!(e, w);
+                unsafe_count += usize::from(e);
+            }
+            black_box(unsafe_count)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exhaustive,
+    bench_memo_ablation,
+    bench_canonical,
+    bench_random_agreement_pair
+);
+criterion_main!(benches);

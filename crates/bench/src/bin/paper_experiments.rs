@@ -1,0 +1,44 @@
+//! `paper-experiments` — regenerates every figure and table of the paper
+//! (and of the validation/performance substitutions).
+//!
+//! Usage:
+//! ```text
+//! paper-experiments all        # run everything, in order
+//! paper-experiments e3 e7     # run selected experiments
+//! paper-experiments --list    # list experiment ids
+//! ```
+
+use slp_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: paper-experiments [--list] <all | e0 e1 ... e9>");
+        std::process::exit(if args.is_empty() { 1 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for (i, id) in ids.iter().enumerate() {
+        match experiments::run(id) {
+            Some(report) => {
+                if i > 0 {
+                    println!("\n{}\n", "=".repeat(78));
+                }
+                print!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! E3 — Fig. 3: the DDAG policy walkthrough.
+//!
+//! Database: the chain `1 -> 2 -> 3 -> 4`. `T1` starts at node 2, locks 3
+//! and 4, and releases early; `T2` follows in its wake. When `T1` instead
+//! inserts the edge `(2, 4)`, node 2 becomes a predecessor of 4 in the
+//! *current* graph, so rule L5 blocks `T2`'s lock of 4 — `T2` must abort
+//! and restart from node 2.
+
+use slp_core::display::render_schedule;
+use slp_core::{EntityId, Schedule, ScheduledStep, TxId, Universe};
+use slp_graph::DiGraph;
+use slp_policies::ddag::{DdagEngine, DdagViolation};
+use std::fmt::Write;
+
+/// Builds the Fig. 3 chain and engine.
+pub fn fig3_engine() -> (DdagEngine, Vec<EntityId>) {
+    let mut u = Universe::new();
+    let ids = u.entities(["1", "2", "3", "4"]);
+    let mut g = DiGraph::new();
+    for &n in &ids {
+        g.add_node(n).unwrap();
+    }
+    g.add_edge(ids[0], ids[1]).unwrap();
+    g.add_edge(ids[1], ids[2]).unwrap();
+    g.add_edge(ids[2], ids[3]).unwrap();
+    (DdagEngine::new(u, g), ids)
+}
+
+/// Regenerates the Fig. 3 walkthrough.
+pub fn run() -> String {
+    let mut out = String::new();
+    writeln!(out, "E3 — Fig. 3: the DDAG policy on the chain 1 -> 2 -> 3 -> 4\n").unwrap();
+
+    // Part 1: the interleaving without the edge insert — T2 follows T1.
+    let (mut eng, ids) = fig3_engine();
+    let (n2, n3, n4) = (ids[1], ids[2], ids[3]);
+    let (t1, t2) = (TxId(1), TxId(2));
+    let mut trace = Schedule::empty();
+    let log = |tx: TxId, steps: Vec<slp_core::Step>, trace: &mut Schedule| {
+        for s in steps {
+            trace.push(ScheduledStep::new(tx, s));
+        }
+    };
+    eng.begin(t1).unwrap();
+    log(t1, vec![eng.lock(t1, n2).unwrap()], &mut trace); // L4
+    log(t1, eng.access(t1, n2).unwrap(), &mut trace);
+    log(t1, vec![eng.lock(t1, n3).unwrap()], &mut trace); // L5
+    log(t1, vec![eng.lock(t1, n4).unwrap()], &mut trace); // L5
+    log(t1, vec![eng.unlock(t1, n3).unwrap()], &mut trace);
+    eng.begin(t2).unwrap();
+    log(t2, vec![eng.lock(t2, n3).unwrap()], &mut trace);
+    log(t2, eng.access(t2, n3).unwrap(), &mut trace);
+    log(t1, vec![eng.unlock(t1, n4).unwrap()], &mut trace);
+    log(t2, vec![eng.lock(t2, n4).unwrap()], &mut trace);
+    log(t2, eng.access(t2, n4).unwrap(), &mut trace);
+    log(t1, eng.finish(t1).unwrap(), &mut trace);
+    log(t2, eng.finish(t2).unwrap(), &mut trace);
+    writeln!(out, "without the edge insert — T2 follows T1 down the chain:").unwrap();
+    write!(out, "{}", render_schedule(&trace, eng.universe())).unwrap();
+    assert!(trace.is_legal());
+    assert!(slp_core::is_serializable(&trace));
+    writeln!(out, "trace: legal ✓ serializable ✓\n").unwrap();
+
+    // Part 2: T1 inserts edge (2, 4); T2 must abort.
+    let (mut eng, ids) = fig3_engine();
+    let (n2, n3, n4) = (ids[1], ids[2], ids[3]);
+    eng.begin(t1).unwrap();
+    eng.lock(t1, n2).unwrap();
+    eng.lock(t1, n3).unwrap();
+    eng.lock(t1, n4).unwrap();
+    eng.unlock(t1, n3).unwrap();
+    let edge_steps = eng.insert_edge(t1, n2, n4).unwrap();
+    writeln!(out, "with T1 inserting edge (2,4) while holding 2 and 4 (rule L1):").unwrap();
+    writeln!(out, "  T1 emits {} steps for the edge entity", edge_steps.len()).unwrap();
+    eng.begin(t2).unwrap();
+    eng.lock(t2, n3).unwrap();
+    eng.unlock(t1, n4).unwrap();
+    match eng.check_lock(t2, n4) {
+        Err(DdagViolation::PredecessorsNotLocked(tx, n)) => {
+            writeln!(
+                out,
+                "  {tx} cannot lock node {}: node 2 is now a predecessor of 4 in the\n  current graph (L5 refers to the PRESENT state) and T2 never locked it",
+                eng.universe().name(n)
+            )
+            .unwrap();
+        }
+        other => panic!("expected L5 violation, got {other:?}"),
+    }
+    let released = eng.abort(t2);
+    writeln!(out, "  T2 aborts (releases {} lock) and must restart from node 2", released.len())
+        .unwrap();
+    eng.begin(TxId(3)).unwrap();
+    match eng.check_lock(TxId(3), n2) {
+        Err(DdagViolation::LockConflict(_, holder)) => {
+            writeln!(out, "  restarted T2 waits for node 2 (held by {holder})").unwrap();
+        }
+        other => panic!("expected lock conflict, got {other:?}"),
+    }
+    eng.finish(t1).unwrap();
+    assert!(eng.lock(TxId(3), n2).is_ok());
+    writeln!(out, "  after T1 finishes, the restarted T2 proceeds from node 2 ✓").unwrap();
+    assert!(eng.is_rooted_dag(), "graph stays a rooted DAG throughout");
+    out
+}

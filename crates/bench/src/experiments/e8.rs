@@ -1,0 +1,119 @@
+//! E8 — Lemmas 1 and 2 as executable invariants.
+//!
+//! On randomized legal & proper schedules:
+//!
+//! * **Lemma 1**: transposing two adjacent steps of different transactions
+//!   that do not conflict preserves legality, properness, and `D(S)`;
+//! * **Lemma 2**: `move(S, S', T')` of a transaction that is a sink of
+//!   `D(S')` preserves legality, properness, and `D(S)`.
+
+use slp_core::transform::{move_to_back, transpose};
+use slp_core::{Schedule, SerializationGraph, TransactionSystem};
+use slp_verifier::{complete_schedule_randomized, random_system, GenParams, SearchBudget};
+use std::fmt::Write;
+
+/// Statistics from one invariant sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LemmaStats {
+    /// Schedules examined.
+    pub schedules: usize,
+    /// Lemma 1 transpositions checked.
+    pub transpositions: usize,
+    /// Lemma 2 moves checked.
+    pub moves: usize,
+    /// Invariant violations (must be zero).
+    pub violations: usize,
+}
+
+fn random_legal_proper_schedule(seed: u64) -> Option<(TransactionSystem, Schedule)> {
+    // Alternate between a value-only corpus (every interleaving of every
+    // system completes, giving dense transposition coverage) and the
+    // default dynamic corpus (inserts/deletes exercise the properness leg
+    // of the lemmas; systems whose transactions are structurally
+    // incompatible simply yield no full schedule and are skipped).
+    let params = if seed.is_multiple_of(2) {
+        GenParams {
+            transactions: 3,
+            sessions_per_tx: 2,
+            structural_prob: 0.0,
+            presence_prob: 1.0,
+            ..GenParams::default()
+        }
+    } else {
+        GenParams { transactions: 3, sessions_per_tx: 2, ..GenParams::default() }
+    };
+    let system = random_system(params, seed);
+    let schedule =
+        complete_schedule_randomized(&system, &Schedule::empty(), SearchBudget::default(), seed)?;
+    Some((system, schedule))
+}
+
+/// Sweeps the two lemmas across seeds.
+pub fn lemma_sweep(seeds: std::ops::Range<u64>) -> LemmaStats {
+    let mut stats = LemmaStats::default();
+    for seed in seeds {
+        let Some((system, schedule)) = random_legal_proper_schedule(seed) else { continue };
+        let g0 = system.initial_state();
+        debug_assert!(schedule.is_legal() && schedule.is_proper(g0));
+        stats.schedules += 1;
+        let d_before = SerializationGraph::of(&schedule);
+
+        // Lemma 1: every admissible adjacent transposition.
+        for pos in 0..schedule.len().saturating_sub(1) {
+            let Ok(swapped) = transpose(&schedule, pos) else { continue };
+            stats.transpositions += 1;
+            let ok = swapped.is_legal()
+                && swapped.is_proper(g0)
+                && SerializationGraph::of(&swapped) == d_before;
+            if !ok {
+                stats.violations += 1;
+            }
+        }
+
+        // Lemma 2: for each prefix length and each sink of D(prefix).
+        for prefix_len in 1..=schedule.len() {
+            let prefix = schedule.prefix(prefix_len);
+            let d_prefix = SerializationGraph::of(&prefix);
+            for sink in d_prefix.sinks() {
+                stats.moves += 1;
+                let moved = move_to_back(&schedule, prefix_len, sink);
+                let ok = moved.is_legal()
+                    && moved.is_proper(g0)
+                    && SerializationGraph::of(&moved) == d_before;
+                if !ok {
+                    stats.violations += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Regenerates the Lemma 1/2 invariance table.
+pub fn run() -> String {
+    let mut out = String::new();
+    writeln!(out, "E8 — Lemmas 1–2: schedule transformations preserve legality,\n     properness, and D(S)\n").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>10} {:>16} {:>10} {:>12}",
+        "seeds", "schedules", "transpositions", "moves", "violations"
+    )
+    .unwrap();
+    let stats = lemma_sweep(0..60);
+    writeln!(
+        out,
+        "{:<10} {:>10} {:>16} {:>10} {:>12}",
+        "0..60", stats.schedules, stats.transpositions, stats.moves, stats.violations
+    )
+    .unwrap();
+    assert!(stats.schedules >= 30, "enough schedules must be generated");
+    assert!(stats.transpositions > 100, "enough transpositions must be exercised");
+    assert!(stats.moves > 100, "enough moves must be exercised");
+    assert_eq!(stats.violations, 0, "Lemmas 1–2 must hold on every instance");
+    writeln!(
+        out,
+        "\nzero violations across every admissible transposition (Lemma 1) and\nevery sink move (Lemma 2) — the proof machinery of Theorem 1 is sound\non randomized inputs."
+    )
+    .unwrap();
+    out
+}

@@ -1,0 +1,161 @@
+//! E9 — the \[CHMS94\] substitution: quantitative policy comparison.
+//!
+//! The paper's companion study evaluated the DDAG policy's transaction
+//! facility on a knowledge-base management system. This experiment
+//! regenerates the comparison *shape* on the discrete-event simulator
+//! (DESIGN.md §5): who wins, by roughly what factor, and where the
+//! crossovers are — across multiprogramming level, transaction length,
+//! and structural-update mix.
+
+use slp_core::EntityId;
+use slp_sim::{
+    dag_access_jobs, dag_mixed_jobs, layered_dag, long_short_jobs, run_sim, uniform_jobs,
+    AltruisticAdapter, DdagAdapter, DtrAdapter, SimConfig, SimReport, TwoPhaseAdapter,
+};
+use std::fmt::Write;
+
+/// E9a: throughput and response vs multiprogramming level on a shared
+/// 3-target workload (flat pool for 2PL/altruistic/DTR; layered DAG for
+/// DDAG).
+pub fn mpl_sweep(mpls: &[usize], seed: u64) -> Vec<(usize, Vec<SimReport>)> {
+    let mut rows = Vec::new();
+    for &mpl in mpls {
+        let config = SimConfig { workers: mpl, ..Default::default() };
+        let mut reports = Vec::new();
+
+        let pool: Vec<EntityId> = (0..24).map(EntityId).collect();
+        let jobs = uniform_jobs(&pool, 60, 3, seed);
+        let mut two_phase = TwoPhaseAdapter::new(pool.clone());
+        reports.push(run_sim(&mut two_phase, &jobs, &config));
+
+        let mut altruistic = AltruisticAdapter::new(pool.clone());
+        reports.push(run_sim(&mut altruistic, &jobs, &config));
+
+        let mut dtr = DtrAdapter::new(pool.clone());
+        reports.push(run_sim(&mut dtr, &jobs, &config));
+
+        let dag = layered_dag(4, 6, 2, seed);
+        let dag_jobs = dag_access_jobs(&dag, 60, 2, seed);
+        let mut ddag = DdagAdapter::new(dag.universe.clone(), dag.graph.clone());
+        reports.push(run_sim(&mut ddag, &dag_jobs, &config));
+
+        rows.push((mpl, reports));
+    }
+    rows
+}
+
+/// E9b: the altruistic-locking story — mean short-transaction response as
+/// the long scan grows.
+pub fn scan_length_sweep(lengths: &[usize], seed: u64) -> Vec<(usize, SimReport, SimReport)> {
+    let mut rows = Vec::new();
+    for &len in lengths {
+        let pool: Vec<EntityId> = (0..32).map(EntityId).collect();
+        let jobs = long_short_jobs(&pool, len, 30, 2, seed);
+        let config = SimConfig { workers: 6, ..Default::default() };
+        let mut two_phase = TwoPhaseAdapter::new(pool.clone());
+        let r_2pl = run_sim(&mut two_phase, &jobs, &config);
+        let mut altruistic = AltruisticAdapter::new(pool.clone());
+        let r_alt = run_sim(&mut altruistic, &jobs, &config);
+        rows.push((len, r_2pl, r_alt));
+    }
+    rows
+}
+
+/// E9c: DDAG under structural churn — abort rate and throughput as the
+/// share of insert jobs grows.
+pub fn insert_mix_sweep(probs: &[f64], seed: u64) -> Vec<(f64, SimReport)> {
+    let mut rows = Vec::new();
+    for &p in probs {
+        let dag = layered_dag(4, 5, 2, seed);
+        let mut adapter = DdagAdapter::new(dag.universe.clone(), dag.graph.clone());
+        let jobs = {
+            let mut intern = |name: &str| adapter.intern(name);
+            dag_mixed_jobs(&dag, 60, 2, p, &mut intern, seed)
+        };
+        let config = SimConfig { workers: 6, ..Default::default() };
+        let report = run_sim(&mut adapter, &jobs, &config);
+        rows.push((p, report));
+    }
+    rows
+}
+
+/// Regenerates the E9 performance tables.
+pub fn run() -> String {
+    let mut out = String::new();
+    writeln!(out, "E9 — policy performance comparison ([CHMS94] substitution)\n").unwrap();
+
+    writeln!(out, "(a) throughput (jobs/kilotick) and mean response vs multiprogramming level").unwrap();
+    writeln!(
+        out,
+        "{:<5} | {:>22} | {:>22} | {:>22} | {:>22}",
+        "MPL", "2PL  thr    resp", "altruistic thr  resp", "DTR  thr    resp", "DDAG thr    resp"
+    )
+    .unwrap();
+    for (mpl, reports) in mpl_sweep(&[1, 2, 4, 8], 17) {
+        write!(out, "{mpl:<5}").unwrap();
+        for r in &reports {
+            write!(out, " | {:>10.2} {:>11.1}", r.throughput(), r.mean_response()).unwrap();
+            assert!(!r.timed_out, "{} timed out at MPL {mpl}", r.policy);
+            assert!(r.committed == 60, "{} committed {} != 60", r.policy, r.committed);
+        }
+        writeln!(out).unwrap();
+    }
+
+    writeln!(out, "\n(b) long scan + short transactions: 2PL vs altruistic").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "scan len", "2PL mksp", "alt mksp", "2PL resp", "alt resp", "2PL aborts", "alt aborts"
+    )
+    .unwrap();
+    let mut altruistic_won_makespan = 0;
+    let lengths = [4, 8, 16, 24];
+    for (len, r_2pl, r_alt) in scan_length_sweep(&lengths, 23) {
+        writeln!(
+            out,
+            "{:<10} {:>10} {:>10} {:>10.1} {:>10.1} {:>12} {:>12}",
+            len,
+            r_2pl.makespan,
+            r_alt.makespan,
+            r_2pl.mean_response(),
+            r_alt.mean_response(),
+            r_2pl.deadlock_aborts + r_2pl.policy_aborts,
+            r_alt.deadlock_aborts + r_alt.policy_aborts,
+        )
+        .unwrap();
+        if r_alt.makespan < r_2pl.makespan {
+            altruistic_won_makespan += 1;
+        }
+    }
+    assert!(
+        altruistic_won_makespan >= lengths.len() - 1,
+        "altruistic locking must finish the mixed workload faster as scans grow"
+    );
+
+    writeln!(out, "\n(c) DDAG under structural churn (insert-job share)").unwrap();
+    writeln!(
+        out,
+        "{:<12} {:>10} {:>14} {:>12} {:>12}",
+        "insert mix", "committed", "policy aborts", "throughput", "mean resp"
+    )
+    .unwrap();
+    for (p, r) in insert_mix_sweep(&[0.0, 0.1, 0.25, 0.5], 29) {
+        writeln!(
+            out,
+            "{:<12.2} {:>10} {:>14} {:>12.2} {:>12.1}",
+            p,
+            r.committed,
+            r.policy_aborts,
+            r.throughput(),
+            r.mean_response(),
+        )
+        .unwrap();
+        assert_eq!(r.committed, 60, "all jobs must eventually commit");
+    }
+    writeln!(
+        out,
+        "\nshape notes: altruistic locking finishes the mixed workload faster than\n2PL and the gap grows with scan length (short transactions flow through\nthe scan's wake instead of queueing behind it); its per-job response at\nlong scans shows the cost of rule AL2's restrictiveness (aborted wake\nescapes), exactly the trade-off [SGMS94] and Section 5 discuss. DDAG\nabsorbs structural churn with abort/replan rather than blocking. Every\ntrace in every cell verified serializable."
+    )
+    .unwrap();
+    out
+}

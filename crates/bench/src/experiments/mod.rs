@@ -1,0 +1,32 @@
+//! Experiment implementations (one module per paper artifact).
+
+pub mod e0;
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+
+/// All experiment ids, in order.
+pub const ALL: [&str; 10] = ["e0", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+
+/// Runs the experiment with the given id, returning its report.
+pub fn run(id: &str) -> Option<String> {
+    match id {
+        "e0" => Some(e0::run()),
+        "e1" => Some(e1::run()),
+        "e2" => Some(e2::run()),
+        "e3" => Some(e3::run()),
+        "e4" => Some(e4::run()),
+        "e5" => Some(e5::run()),
+        "e6" => Some(e6::run()),
+        "e7" => Some(e7::run()),
+        "e8" => Some(e8::run()),
+        "e9" => Some(e9::run()),
+        _ => None,
+    }
+}

@@ -1,0 +1,25 @@
+//! # slp-bench — the paper's experiment harness
+//!
+//! One module per experiment of DESIGN.md §3; each `run()` regenerates the
+//! corresponding figure or table of the paper (or of its validation /
+//! performance substitution) and returns the report as text. The
+//! `paper-experiments` binary prints them; the integration tests assert
+//! their key claims.
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`experiments::e0`] | §2 proper/improper interleavings |
+//! | [`experiments::e1`] | Fig. 1 canonical serialization-graph shapes |
+//! | [`experiments::e2`] | Fig. 2 chordless-cycle counterexample |
+//! | [`experiments::e3`] | Fig. 3 DDAG walkthrough |
+//! | [`experiments::e4`] | Fig. 4 altruistic-locking walkthrough |
+//! | [`experiments::e5`] | Fig. 5 dynamic-tree walkthrough |
+//! | [`experiments::e6`] | Theorem 1 cross-validation table |
+//! | [`experiments::e7`] | Theorems 2–4 policy-safety + mutant ablations |
+//! | [`experiments::e8`] | Lemmas 1–2 transformation-invariance table |
+//! | [`experiments::e9`] | \[CHMS94\]-style performance comparison |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,123 @@
+//! Paper-style rendering of schedules.
+//!
+//! The paper prints a schedule as a table: one row per transaction, one
+//! column per schedule position, each cell holding that transaction's step
+//! if it owns the position:
+//!
+//! ```text
+//! T1: (I a) (I b)             (W c) (I d)
+//! T2:             (R a) (D b)
+//! ```
+
+use crate::entity::Universe;
+use crate::schedule::Schedule;
+use crate::step::Step;
+use crate::txn::TxId;
+
+/// Renders a step with entity names resolved through the universe, e.g.
+/// `(LX a)`.
+pub fn render_step(step: &Step, universe: &Universe) -> String {
+    format!("({} {})", step.op, universe.name(step.entity))
+}
+
+/// Renders a schedule in the paper's row-per-transaction layout.
+///
+/// Rows appear in first-step order; columns are schedule positions.
+pub fn render_schedule(schedule: &Schedule, universe: &Universe) -> String {
+    render_schedule_rows(schedule, universe, &schedule.participants())
+}
+
+/// Renders a schedule with an explicit row order (transactions with no
+/// steps in the schedule still get an empty row).
+pub fn render_schedule_rows(schedule: &Schedule, universe: &Universe, rows: &[TxId]) -> String {
+    let cells: Vec<String> = schedule
+        .steps()
+        .iter()
+        .map(|s| render_step(&s.step, universe))
+        .collect();
+    let label_width = rows.iter().map(|t| t.to_string().len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for &tx in rows {
+        let label = tx.to_string();
+        out.push_str(&label);
+        out.push_str(&" ".repeat(label_width - label.len()));
+        out.push_str(": ");
+        for (i, s) in schedule.steps().iter().enumerate() {
+            let cell = &cells[i];
+            if s.tx == tx {
+                out.push_str(cell);
+            } else {
+                out.push_str(&" ".repeat(cell.len()));
+            }
+            if i + 1 < cells.len() {
+                out.push(' ');
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a schedule as a single line, e.g. `T1:(I a) T2:(R a) …`.
+pub fn render_schedule_line(schedule: &Schedule, universe: &Universe) -> String {
+    schedule
+        .steps()
+        .iter()
+        .map(|s| format!("{}:{}", s.tx, render_step(&s.step, universe)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduledStep;
+    use crate::system::SystemBuilder;
+
+    #[test]
+    fn renders_paper_layout() {
+        let mut b = SystemBuilder::new();
+        b.tx(1).insert("a").insert("b").write("c").insert("d").finish();
+        b.tx(2).read("a").delete("b").insert("c").finish();
+        let sys = b.build();
+        let txs = sys.transactions().to_vec();
+        let s = Schedule::interleave(
+            &txs,
+            &[TxId(1), TxId(1), TxId(2), TxId(2), TxId(2), TxId(1), TxId(1)],
+        )
+        .unwrap();
+        let rendered = render_schedule(&s, sys.universe());
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("T1: (I a) (I b)"));
+        assert!(lines[0].contains("(W c) (I d)"));
+        assert!(lines[1].starts_with("T2:"));
+        assert!(lines[1].contains("(R a) (D b) (I c)"));
+        // Columns line up: both lines have equal total cell budget.
+        assert!(lines[0].len() >= lines[1].len());
+    }
+
+    #[test]
+    fn single_line_rendering() {
+        let mut b = SystemBuilder::new();
+        let a = b.exists("a");
+        let sys = b.build();
+        let s = Schedule::from_steps(vec![ScheduledStep::new(TxId(3), Step::read(a))]);
+        assert_eq!(render_schedule_line(&s, sys.universe()), "T3:(R a)");
+    }
+
+    #[test]
+    fn empty_rows_for_absent_transactions() {
+        let mut b = SystemBuilder::new();
+        let a = b.exists("a");
+        let sys = b.build();
+        let s = Schedule::from_steps(vec![ScheduledStep::new(TxId(1), Step::read(a))]);
+        let rendered = render_schedule_rows(&s, sys.universe(), &[TxId(1), TxId(2)]);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1].trim_end(), "T2:");
+    }
+}

@@ -1,0 +1,250 @@
+//! Operations: the data operations `O = {R, W, I, D}` and the lock
+//! operations `{LS, LX, US, UX}` that extend them to `O_L` (Section 2).
+
+use std::fmt;
+
+/// A data operation from the set `O = {READ, WRITE, INSERT, DELETE}`.
+///
+/// `INSERT` and `DELETE` change the *structural* state of the database;
+/// `WRITE` changes the *value* state; `READ` changes nothing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DataOp {
+    /// `R` — read an entity that exists in the current structural state.
+    Read,
+    /// `W` — write an entity that exists in the current structural state.
+    Write,
+    /// `I` — insert an entity absent from the current structural state.
+    Insert,
+    /// `D` — delete an entity present in the current structural state.
+    Delete,
+}
+
+impl DataOp {
+    /// Whether this operation requires the entity to be *present* in the
+    /// structural state for the step to be defined. (`INSERT` instead
+    /// requires absence.)
+    #[inline]
+    pub fn requires_present(self) -> bool {
+        !matches!(self, DataOp::Insert)
+    }
+
+    /// Whether this operation changes the structural state.
+    #[inline]
+    pub fn is_structural(self) -> bool {
+        matches!(self, DataOp::Insert | DataOp::Delete)
+    }
+
+    /// The lock mode a well-formed transaction must hold to perform this
+    /// operation: `READ` needs at least a shared lock, everything else an
+    /// exclusive lock.
+    #[inline]
+    pub fn required_mode(self) -> LockMode {
+        match self {
+            DataOp::Read => LockMode::Shared,
+            _ => LockMode::Exclusive,
+        }
+    }
+
+    /// The paper's one-letter abbreviation.
+    pub fn letter(self) -> char {
+        match self {
+            DataOp::Read => 'R',
+            DataOp::Write => 'W',
+            DataOp::Insert => 'I',
+            DataOp::Delete => 'D',
+        }
+    }
+
+    /// All four data operations.
+    pub const ALL: [DataOp; 4] = [DataOp::Read, DataOp::Write, DataOp::Insert, DataOp::Delete];
+}
+
+impl fmt::Display for DataOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// A lock mode: shared (`S`) or exclusive (`X`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum LockMode {
+    /// Shared mode — compatible with other shared locks.
+    Shared,
+    /// Exclusive mode — incompatible with every other lock.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Lock-compatibility: two locks on the same entity held by *distinct*
+    /// transactions are compatible iff both are shared.
+    #[inline]
+    pub fn compatible_with(self, other: LockMode) -> bool {
+        self == LockMode::Shared && other == LockMode::Shared
+    }
+
+    /// Whether `self` suffices where `required` is demanded (`X` covers `S`).
+    #[inline]
+    pub fn covers(self, required: LockMode) -> bool {
+        self == LockMode::Exclusive || required == LockMode::Shared
+    }
+
+    /// The paper's abbreviation suffix (`S`/`X`).
+    pub fn letter(self) -> char {
+        match self {
+            LockMode::Shared => 'S',
+            LockMode::Exclusive => 'X',
+        }
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// An operation from `O_L = {R, W, I, D, LS, LX, US, UX}`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Operation {
+    /// A data operation.
+    Data(DataOp),
+    /// `LS`/`LX` — acquire a lock in the given mode.
+    Lock(LockMode),
+    /// `US`/`UX` — release a lock of the given mode.
+    Unlock(LockMode),
+}
+
+impl Operation {
+    /// Whether this operation is "benign" for the conflict relation.
+    ///
+    /// Two steps conflict iff they operate on a common entity and the
+    /// operations are *not both* in `{R, LS, US}` (Section 2).
+    #[inline]
+    pub fn is_benign(self) -> bool {
+        matches!(
+            self,
+            Operation::Data(DataOp::Read)
+                | Operation::Lock(LockMode::Shared)
+                | Operation::Unlock(LockMode::Shared)
+        )
+    }
+
+    /// The data operation, if this is one.
+    #[inline]
+    pub fn data(self) -> Option<DataOp> {
+        match self {
+            Operation::Data(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a `LOCK` step (of either mode).
+    #[inline]
+    pub fn is_lock(self) -> bool {
+        matches!(self, Operation::Lock(_))
+    }
+
+    /// Whether this is an `UNLOCK` step (of either mode).
+    #[inline]
+    pub fn is_unlock(self) -> bool {
+        matches!(self, Operation::Unlock(_))
+    }
+
+    /// The paper's abbreviation (`R`, `W`, `I`, `D`, `LS`, `LX`, `US`, `UX`).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Operation::Data(DataOp::Read) => "R",
+            Operation::Data(DataOp::Write) => "W",
+            Operation::Data(DataOp::Insert) => "I",
+            Operation::Data(DataOp::Delete) => "D",
+            Operation::Lock(LockMode::Shared) => "LS",
+            Operation::Lock(LockMode::Exclusive) => "LX",
+            Operation::Unlock(LockMode::Shared) => "US",
+            Operation::Unlock(LockMode::Exclusive) => "UX",
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+impl From<DataOp> for Operation {
+    fn from(d: DataOp) -> Self {
+        Operation::Data(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_compatibility_matrix() {
+        use LockMode::*;
+        assert!(Shared.compatible_with(Shared));
+        assert!(!Shared.compatible_with(Exclusive));
+        assert!(!Exclusive.compatible_with(Shared));
+        assert!(!Exclusive.compatible_with(Exclusive));
+    }
+
+    #[test]
+    fn exclusive_covers_shared() {
+        use LockMode::*;
+        assert!(Exclusive.covers(Shared));
+        assert!(Exclusive.covers(Exclusive));
+        assert!(Shared.covers(Shared));
+        assert!(!Shared.covers(Exclusive));
+    }
+
+    #[test]
+    fn required_modes_match_well_formedness_rules() {
+        assert_eq!(DataOp::Read.required_mode(), LockMode::Shared);
+        assert_eq!(DataOp::Write.required_mode(), LockMode::Exclusive);
+        assert_eq!(DataOp::Insert.required_mode(), LockMode::Exclusive);
+        assert_eq!(DataOp::Delete.required_mode(), LockMode::Exclusive);
+    }
+
+    #[test]
+    fn benign_set_is_r_ls_us() {
+        use Operation as Op;
+        let benign: Vec<Op> = [
+            Op::Data(DataOp::Read),
+            Op::Lock(LockMode::Shared),
+            Op::Unlock(LockMode::Shared),
+        ]
+        .to_vec();
+        for op in &benign {
+            assert!(op.is_benign(), "{op} should be benign");
+        }
+        let hostile = [
+            Op::Data(DataOp::Write),
+            Op::Data(DataOp::Insert),
+            Op::Data(DataOp::Delete),
+            Op::Lock(LockMode::Exclusive),
+            Op::Unlock(LockMode::Exclusive),
+        ];
+        for op in hostile {
+            assert!(!op.is_benign(), "{op} should not be benign");
+        }
+    }
+
+    #[test]
+    fn abbreviations_round_trip_the_paper_notation() {
+        assert_eq!(Operation::Lock(LockMode::Shared).abbrev(), "LS");
+        assert_eq!(Operation::Lock(LockMode::Exclusive).abbrev(), "LX");
+        assert_eq!(Operation::Unlock(LockMode::Shared).abbrev(), "US");
+        assert_eq!(Operation::Unlock(LockMode::Exclusive).abbrev(), "UX");
+        assert_eq!(Operation::Data(DataOp::Insert).abbrev(), "I");
+    }
+
+    #[test]
+    fn structural_ops() {
+        assert!(DataOp::Insert.is_structural());
+        assert!(DataOp::Delete.is_structural());
+        assert!(!DataOp::Read.is_structural());
+        assert!(!DataOp::Write.is_structural());
+    }
+}

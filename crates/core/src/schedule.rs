@@ -1,0 +1,645 @@
+//! Schedules: interleavings of the steps of a transaction system that
+//! preserve each transaction's program order (Section 2), together with the
+//! two key predicates on them — **properness** (every step is defined in
+//! the structural state it executes in) and **legality** (no two distinct
+//! transactions simultaneously hold conflicting locks).
+
+use crate::entity::EntityId;
+use crate::ops::{LockMode, Operation};
+use crate::state::{StructuralState, UndefinedStep};
+use crate::step::Step;
+use crate::txn::{LockedTransaction, TxId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A step attributed to the transaction that issued it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ScheduledStep {
+    /// The issuing transaction.
+    pub tx: TxId,
+    /// The step itself.
+    pub step: Step,
+}
+
+impl ScheduledStep {
+    /// Creates a scheduled step.
+    pub fn new(tx: TxId, step: Step) -> Self {
+        ScheduledStep { tx, step }
+    }
+}
+
+impl fmt::Display for ScheduledStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.tx, self.step)
+    }
+}
+
+/// Why a schedule failed the properness check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProperViolation {
+    /// Position of the undefined step in the schedule.
+    pub pos: usize,
+    /// The undefined step.
+    pub step: ScheduledStep,
+    /// The reason it was undefined.
+    pub cause: UndefinedStep,
+}
+
+impl fmt::Display for ProperViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step {} at position {}: {}", self.step, self.pos, self.cause)
+    }
+}
+
+impl std::error::Error for ProperViolation {}
+
+/// Why a schedule failed the legality check: at `pos`, `requester` acquired
+/// a lock on `entity` conflicting with a lock held by `holder`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LegalViolation {
+    /// Position of the offending lock step.
+    pub pos: usize,
+    /// The entity under contention.
+    pub entity: EntityId,
+    /// The transaction acquiring the conflicting lock.
+    pub requester: TxId,
+    /// A transaction already holding an incompatible lock.
+    pub holder: TxId,
+}
+
+impl fmt::Display for LegalViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "at position {}, {} locks {} while {} holds a conflicting lock",
+            self.pos, self.requester, self.entity, self.holder
+        )
+    }
+}
+
+impl std::error::Error for LegalViolation {}
+
+/// A schedule: an ordering of steps of some transactions that preserves each
+/// transaction's program order.
+///
+/// The type itself does not enforce properness or legality — those are
+/// *predicates* checked by [`check_proper`](Schedule::check_proper) and
+/// [`check_legal`](Schedule::check_legal), mirroring the paper where
+/// schedules exist independently of being proper/legal.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Schedule {
+    steps: Vec<ScheduledStep>,
+}
+
+impl Schedule {
+    /// The empty schedule.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A schedule from raw scheduled steps.
+    pub fn from_steps(steps: Vec<ScheduledStep>) -> Self {
+        Schedule { steps }
+    }
+
+    /// The serial schedule executing the given transactions (possibly
+    /// truncated prefixes of them) back-to-back in the given order.
+    pub fn serial<'a>(txs: impl IntoIterator<Item = &'a LockedTransaction>) -> Self {
+        let mut steps = Vec::new();
+        for t in txs {
+            steps.extend(t.steps.iter().map(|&s| ScheduledStep::new(t.id, s)));
+        }
+        Schedule { steps }
+    }
+
+    /// Builds a schedule by interleaving `txs` according to `order`: each
+    /// entry of `order` names the transaction whose next unconsumed step is
+    /// appended. Fails if a named transaction has no steps left or is
+    /// unknown, or if `order` does not consume exactly all steps of every
+    /// transaction it mentions at least once — callers wanting partial
+    /// schedules simply list fewer entries.
+    pub fn interleave(txs: &[LockedTransaction], order: &[TxId]) -> Result<Self, String> {
+        let mut cursors: HashMap<TxId, usize> = HashMap::new();
+        let by_id: HashMap<TxId, &LockedTransaction> = txs.iter().map(|t| (t.id, t)).collect();
+        let mut steps = Vec::with_capacity(order.len());
+        for &tx in order {
+            let t = by_id.get(&tx).ok_or_else(|| format!("unknown transaction {tx}"))?;
+            let cursor = cursors.entry(tx).or_insert(0);
+            let step = t
+                .steps
+                .get(*cursor)
+                .ok_or_else(|| format!("{tx} has no step left at position {cursor}"))?;
+            steps.push(ScheduledStep::new(tx, *step));
+            *cursor += 1;
+        }
+        Ok(Schedule { steps })
+    }
+
+    /// The steps, in schedule order.
+    pub fn steps(&self) -> &[ScheduledStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the schedule has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, s: ScheduledStep) {
+        self.steps.push(s);
+    }
+
+    /// The prefix consisting of the first `n` steps.
+    pub fn prefix(&self, n: usize) -> Schedule {
+        Schedule { steps: self.steps[..n.min(self.steps.len())].to_vec() }
+    }
+
+    /// Whether `prefix` is a prefix of this schedule.
+    pub fn has_prefix(&self, prefix: &Schedule) -> bool {
+        self.steps.len() >= prefix.steps.len()
+            && self.steps[..prefix.steps.len()] == prefix.steps[..]
+    }
+
+    /// The projection of the schedule onto one transaction's steps.
+    pub fn projection(&self, tx: TxId) -> Vec<Step> {
+        self.steps.iter().filter(|s| s.tx == tx).map(|s| s.step).collect()
+    }
+
+    /// Positions (schedule indices) of one transaction's steps.
+    pub fn positions_of(&self, tx: TxId) -> Vec<usize> {
+        (0..self.steps.len()).filter(|&i| self.steps[i].tx == tx).collect()
+    }
+
+    /// The transactions appearing in the schedule, in first-step order.
+    pub fn participants(&self) -> Vec<TxId> {
+        let mut seen = Vec::new();
+        for s in &self.steps {
+            if !seen.contains(&s.tx) {
+                seen.push(s.tx);
+            }
+        }
+        seen
+    }
+
+    /// Whether this is a *complete* schedule of `txs`: the projection onto
+    /// every transaction equals that transaction's full step sequence, and
+    /// no other transaction appears.
+    pub fn is_complete_schedule_of(&self, txs: &[LockedTransaction]) -> bool {
+        let ids: Vec<TxId> = txs.iter().map(|t| t.id).collect();
+        if self.steps.iter().any(|s| !ids.contains(&s.tx)) {
+            return false;
+        }
+        txs.iter().all(|t| self.projection(t.id) == t.steps)
+    }
+
+    /// Whether this is a *partial* schedule of `txs` (a prefix of some
+    /// schedule of them): every projection is a prefix of the corresponding
+    /// transaction, and no other transaction appears.
+    pub fn is_partial_schedule_of(&self, txs: &[LockedTransaction]) -> bool {
+        let by_id: HashMap<TxId, &LockedTransaction> = txs.iter().map(|t| (t.id, t)).collect();
+        let mut cursors: HashMap<TxId, usize> = HashMap::new();
+        for s in &self.steps {
+            let Some(t) = by_id.get(&s.tx) else { return false };
+            let cursor = cursors.entry(s.tx).or_insert(0);
+            if t.steps.get(*cursor) != Some(&s.step) {
+                return false;
+            }
+            *cursor += 1;
+        }
+        true
+    }
+
+    /// Checks properness for initial structural state `g0`; on success
+    /// returns the resulting structural state `S(G)`.
+    pub fn check_proper(&self, g0: &StructuralState) -> Result<StructuralState, ProperViolation> {
+        let mut g = g0.clone();
+        for (pos, s) in self.steps.iter().enumerate() {
+            g.apply_step(&s.step)
+                .map_err(|cause| ProperViolation { pos, step: *s, cause })?;
+        }
+        Ok(g)
+    }
+
+    /// Whether the schedule is proper for `g0`.
+    pub fn is_proper(&self, g0: &StructuralState) -> bool {
+        self.check_proper(g0).is_ok()
+    }
+
+    /// Checks legality: no prefix in which two distinct transactions hold
+    /// conflicting locks on the same entity.
+    pub fn check_legal(&self) -> Result<(), LegalViolation> {
+        let mut table = LockTable::new();
+        for (pos, s) in self.steps.iter().enumerate() {
+            match s.step.op {
+                Operation::Lock(mode) => {
+                    if let Some(holder) = table.conflicting_holder(s.tx, s.step.entity, mode) {
+                        return Err(LegalViolation {
+                            pos,
+                            entity: s.step.entity,
+                            requester: s.tx,
+                            holder,
+                        });
+                    }
+                    table.grant(s.tx, s.step.entity, mode);
+                }
+                Operation::Unlock(mode) => {
+                    table.release(s.tx, s.step.entity, mode);
+                }
+                Operation::Data(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the schedule is legal.
+    pub fn is_legal(&self) -> bool {
+        self.check_legal().is_ok()
+    }
+
+    /// Concatenates two schedules.
+    pub fn concat(&self, suffix: &Schedule) -> Schedule {
+        let mut steps = self.steps.clone();
+        steps.extend_from_slice(&suffix.steps);
+        Schedule { steps }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for s in &self.steps {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{s}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<ScheduledStep> for Schedule {
+    fn from_iter<I: IntoIterator<Item = ScheduledStep>>(iter: I) -> Self {
+        Schedule { steps: iter.into_iter().collect() }
+    }
+}
+
+/// A lock table tracking, per entity, the current holders and mode.
+///
+/// Invariant (when driven only through legal grants): an entity is held
+/// either by any number of transactions in shared mode or by exactly one in
+/// exclusive mode.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LockTable {
+    held: HashMap<EntityId, Vec<(TxId, LockMode)>>,
+}
+
+impl LockTable {
+    /// An empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A transaction (≠ `tx`) holding a lock on `entity` incompatible with
+    /// `mode`, if any. Granting while such a holder exists makes the
+    /// schedule illegal.
+    pub fn conflicting_holder(&self, tx: TxId, entity: EntityId, mode: LockMode) -> Option<TxId> {
+        self.held.get(&entity).and_then(|holders| {
+            holders
+                .iter()
+                .find(|(h, m)| *h != tx && !m.compatible_with(mode))
+                .map(|(h, _)| *h)
+        })
+    }
+
+    /// Records a grant (does not re-check compatibility).
+    pub fn grant(&mut self, tx: TxId, entity: EntityId, mode: LockMode) {
+        self.held.entry(entity).or_default().push((tx, mode));
+    }
+
+    /// Records a release of one `(tx, mode)` lock on `entity`.
+    pub fn release(&mut self, tx: TxId, entity: EntityId, mode: LockMode) -> bool {
+        let Some(holders) = self.held.get_mut(&entity) else { return false };
+        let Some(i) = holders.iter().position(|&(h, m)| h == tx && m == mode) else {
+            return false;
+        };
+        holders.swap_remove(i);
+        if holders.is_empty() {
+            self.held.remove(&entity);
+        }
+        true
+    }
+
+    /// The mode in which `tx` holds `entity`, if any.
+    pub fn mode_of(&self, tx: TxId, entity: EntityId) -> Option<LockMode> {
+        self.held
+            .get(&entity)?
+            .iter()
+            .find(|&&(h, _)| h == tx)
+            .map(|&(_, m)| m)
+    }
+
+    /// All holders of `entity`.
+    pub fn holders(&self, entity: EntityId) -> &[(TxId, LockMode)] {
+        self.held.get(&entity).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether any lock is held on `entity`.
+    pub fn is_locked(&self, entity: EntityId) -> bool {
+        self.held.contains_key(&entity)
+    }
+
+    /// All entities locked by `tx`.
+    pub fn entities_held_by(&self, tx: TxId) -> Vec<EntityId> {
+        let mut out: Vec<EntityId> = self
+            .held
+            .iter()
+            .filter(|(_, holders)| holders.iter().any(|&(h, _)| h == tx))
+            .map(|(&e, _)| e)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Why a step could not be applied by the [`ScheduleSimulator`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepError {
+    /// The step is undefined in the current structural state (would make
+    /// the schedule improper).
+    Undefined(UndefinedStep),
+    /// The step acquires a lock conflicting with one held by `holder`
+    /// (would make the schedule illegal).
+    LockConflict {
+        /// The transaction already holding an incompatible lock.
+        holder: TxId,
+    },
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::Undefined(u) => write!(f, "improper: {u}"),
+            StepError::LockConflict { holder } => {
+                write!(f, "illegal: conflicting lock held by {holder}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// An incremental cursor over schedule execution: maintains the structural
+/// state and lock table, and accepts one step at a time, rejecting steps
+/// that would make the schedule so far improper or illegal.
+///
+/// This is the machinery the safety verifier drives: instead of re-checking
+/// a whole candidate schedule after each extension (O(n) per step), the
+/// simulator validates each extension in O(1)–O(holders).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScheduleSimulator {
+    state: StructuralState,
+    table: LockTable,
+    applied: usize,
+}
+
+impl ScheduleSimulator {
+    /// A simulator starting from structural state `g0`.
+    pub fn new(g0: StructuralState) -> Self {
+        ScheduleSimulator { state: g0, table: LockTable::new(), applied: 0 }
+    }
+
+    /// Whether `tx` could take `step` next without violating properness or
+    /// legality.
+    pub fn check(&self, tx: TxId, step: &Step) -> Result<(), StepError> {
+        self.state.step_defined(step).map_err(StepError::Undefined)?;
+        if let Operation::Lock(mode) = step.op {
+            if let Some(holder) = self.table.conflicting_holder(tx, step.entity, mode) {
+                return Err(StepError::LockConflict { holder });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies `step` for `tx`, or reports why it cannot be applied.
+    pub fn apply(&mut self, tx: TxId, step: &Step) -> Result<(), StepError> {
+        self.check(tx, step)?;
+        match step.op {
+            Operation::Lock(mode) => self.table.grant(tx, step.entity, mode),
+            Operation::Unlock(mode) => {
+                self.table.release(tx, step.entity, mode);
+            }
+            Operation::Data(_) => {
+                self.state
+                    .apply_step(step)
+                    .expect("checked by step_defined above");
+            }
+        }
+        self.applied += 1;
+        Ok(())
+    }
+
+    /// Applies every step of `schedule`, reporting the first failure.
+    pub fn apply_schedule(&mut self, schedule: &Schedule) -> Result<(), (usize, StepError)> {
+        for (i, s) in schedule.steps().iter().enumerate() {
+            self.apply(s.tx, &s.step).map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+
+    /// The current structural state.
+    pub fn structural_state(&self) -> &StructuralState {
+        &self.state
+    }
+
+    /// The current lock table.
+    pub fn lock_table(&self) -> &LockTable {
+        &self.table
+    }
+
+    /// Number of steps applied so far.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    fn t(i: u32) -> TxId {
+        TxId(i)
+    }
+
+    /// The paper's Section 2 transactions:
+    /// `T1 = (I a)(I b)(W c)(I d)`, `T2 = (R a)(D b)(I c)` — *without* lock
+    /// steps, since properness is independent of locks.
+    fn section2_txs() -> Vec<LockedTransaction> {
+        let (a, b, c, d) = (e(0), e(1), e(2), e(3));
+        vec![
+            LockedTransaction::new(
+                t(1),
+                vec![Step::insert(a), Step::insert(b), Step::write(c), Step::insert(d)],
+            ),
+            LockedTransaction::new(t(2), vec![Step::read(a), Step::delete(b), Step::insert(c)]),
+        ]
+    }
+
+    #[test]
+    fn paper_proper_interleaving_is_proper() {
+        // T1: (I a) (I b)             (W c) (I d)
+        // T2:             (R a) (D b)       (I c)   — wait, the paper's
+        // proper interleaving runs (I c) *before* (W c):
+        // (I a)(I b)(R a)(D b)(I c)(W c)(I d).
+        let txs = section2_txs();
+        let s = Schedule::interleave(
+            &txs,
+            &[t(1), t(1), t(2), t(2), t(2), t(1), t(1)],
+        )
+        .unwrap();
+        assert!(s.is_proper(&StructuralState::empty()));
+        assert!(s.is_complete_schedule_of(&txs));
+    }
+
+    #[test]
+    fn paper_improper_interleaving_is_improper() {
+        // (I a)(R a)(D b)... — (D b) before (I b)? No: the paper's improper
+        // interleaving is (I a)(I b)(W c)... with (W c) before (I c).
+        let txs = section2_txs();
+        let s = Schedule::interleave(
+            &txs,
+            &[t(1), t(1), t(1), t(2), t(2), t(2), t(1)],
+        )
+        .unwrap();
+        let err = s.check_proper(&StructuralState::empty()).unwrap_err();
+        assert_eq!(err.pos, 2); // (W c) with c absent
+        assert_eq!(err.cause, UndefinedStep::EntityAbsent(e(2)));
+    }
+
+    #[test]
+    fn neither_section2_transaction_is_proper_alone() {
+        let txs = section2_txs();
+        let t1_alone = Schedule::serial([&txs[0]]);
+        let t2_alone = Schedule::serial([&txs[1]]);
+        assert!(!t1_alone.is_proper(&StructuralState::empty()));
+        assert!(!t2_alone.is_proper(&StructuralState::empty()));
+    }
+
+    #[test]
+    fn interleave_rejects_unknown_and_exhausted_transactions() {
+        let txs = section2_txs();
+        assert!(Schedule::interleave(&txs, &[t(9)]).is_err());
+        assert!(Schedule::interleave(&txs, &[t(2), t(2), t(2), t(2)]).is_err());
+    }
+
+    #[test]
+    fn legality_rejects_conflicting_concurrent_locks() {
+        let s = Schedule::from_steps(vec![
+            ScheduledStep::new(t(1), Step::lock_exclusive(e(0))),
+            ScheduledStep::new(t(2), Step::lock_shared(e(0))),
+        ]);
+        let err = s.check_legal().unwrap_err();
+        assert_eq!(err.pos, 1);
+        assert_eq!(err.requester, t(2));
+        assert_eq!(err.holder, t(1));
+    }
+
+    #[test]
+    fn legality_allows_shared_coexistence_and_handover() {
+        let s = Schedule::from_steps(vec![
+            ScheduledStep::new(t(1), Step::lock_shared(e(0))),
+            ScheduledStep::new(t(2), Step::lock_shared(e(0))),
+            ScheduledStep::new(t(1), Step::unlock_shared(e(0))),
+            ScheduledStep::new(t(2), Step::unlock_shared(e(0))),
+            ScheduledStep::new(t(3), Step::lock_exclusive(e(0))),
+            ScheduledStep::new(t(3), Step::unlock_exclusive(e(0))),
+        ]);
+        assert!(s.is_legal());
+    }
+
+    #[test]
+    fn projection_and_partial_schedule_checks() {
+        let txs = section2_txs();
+        let s = Schedule::interleave(&txs, &[t(1), t(1), t(2)]).unwrap();
+        assert_eq!(s.projection(t(1)), vec![Step::insert(e(0)), Step::insert(e(1))]);
+        assert!(s.is_partial_schedule_of(&txs));
+        assert!(!s.is_complete_schedule_of(&txs));
+        // Reordering T2's steps is not a partial schedule.
+        let bad = Schedule::from_steps(vec![ScheduledStep::new(
+            t(2),
+            Step::delete(e(1)), // T2's first step is (R a), not (D b)
+        )]);
+        assert!(!bad.is_partial_schedule_of(&txs));
+    }
+
+    #[test]
+    fn participants_in_first_step_order() {
+        let txs = section2_txs();
+        let s = Schedule::interleave(&txs, &[t(2), t(1), t(2)]).unwrap();
+        assert_eq!(s.participants(), vec![t(2), t(1)]);
+    }
+
+    #[test]
+    fn simulator_agrees_with_one_shot_checks() {
+        let txs = section2_txs();
+        let proper = Schedule::interleave(&txs, &[t(1), t(1), t(2), t(2), t(2), t(1), t(1)])
+            .unwrap();
+        let mut sim = ScheduleSimulator::new(StructuralState::empty());
+        assert!(sim.apply_schedule(&proper).is_ok());
+        assert_eq!(sim.applied(), 7);
+
+        let improper = Schedule::interleave(&txs, &[t(1), t(1), t(1)]).unwrap();
+        let mut sim = ScheduleSimulator::new(StructuralState::empty());
+        let (pos, err) = sim.apply_schedule(&improper).unwrap_err();
+        assert_eq!(pos, 2);
+        assert!(matches!(err, StepError::Undefined(_)));
+    }
+
+    #[test]
+    fn simulator_rejects_illegal_lock() {
+        let mut sim = ScheduleSimulator::new(StructuralState::empty());
+        sim.apply(t(1), &Step::lock_exclusive(e(0))).unwrap();
+        let err = sim.apply(t(2), &Step::lock_exclusive(e(0))).unwrap_err();
+        assert_eq!(err, StepError::LockConflict { holder: t(1) });
+        // Relock by the same transaction is not a *legality* issue (it is a
+        // transaction-discipline issue caught by LockedTransaction::validate).
+        assert!(sim.check(t(1), &Step::lock_exclusive(e(0))).is_ok());
+    }
+
+    #[test]
+    fn lock_table_bookkeeping() {
+        let mut table = LockTable::new();
+        table.grant(t(1), e(0), LockMode::Shared);
+        table.grant(t(2), e(0), LockMode::Shared);
+        assert_eq!(table.mode_of(t(1), e(0)), Some(LockMode::Shared));
+        assert_eq!(table.conflicting_holder(t(3), e(0), LockMode::Exclusive), Some(t(1)));
+        assert_eq!(table.conflicting_holder(t(3), e(0), LockMode::Shared), None);
+        assert!(table.release(t(1), e(0), LockMode::Shared));
+        assert!(!table.release(t(1), e(0), LockMode::Shared));
+        assert_eq!(table.entities_held_by(t(2)), vec![e(0)]);
+        assert!(table.is_locked(e(0)));
+        assert!(table.release(t(2), e(0), LockMode::Shared));
+        assert!(!table.is_locked(e(0)));
+    }
+
+    #[test]
+    fn prefix_and_concat_round_trip() {
+        let txs = section2_txs();
+        let s = Schedule::interleave(&txs, &[t(1), t(1), t(2), t(2), t(2), t(1), t(1)]).unwrap();
+        let p = s.prefix(3);
+        assert_eq!(p.len(), 3);
+        assert!(s.has_prefix(&p));
+        let suffix = Schedule::from_steps(s.steps()[3..].to_vec());
+        assert_eq!(p.concat(&suffix), s);
+    }
+}

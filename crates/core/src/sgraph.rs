@@ -1,0 +1,465 @@
+//! The serializability graph `D(S)` of a schedule (Section 2).
+//!
+//! `D(S)` has a node per transaction in `S` and an edge `(Ti, Tj)` if a step
+//! of `Ti` precedes a conflicting step of `Tj` in `S`. A schedule is
+//! (conflict-)serializable iff `D(S)` is acyclic \[EGLT76\]. Each edge keeps
+//! a *witness* — the earliest pair of conflicting schedule positions — so
+//! counterexamples can be explained.
+
+use crate::schedule::Schedule;
+use crate::txn::TxId;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// An edge of the serializability graph, with its witnessing conflict.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConflictEdge {
+    /// The transaction whose step comes first.
+    pub from: TxId,
+    /// The transaction whose conflicting step comes later.
+    pub to: TxId,
+    /// Schedule positions `(i, j)`, `i < j`, of the earliest witnessing
+    /// conflicting step pair.
+    pub witness: (usize, usize),
+}
+
+impl fmt::Display for ConflictEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} (steps {} < {})", self.from, self.to, self.witness.0, self.witness.1)
+    }
+}
+
+/// The serializability graph `D(S)`.
+#[derive(Clone, Debug)]
+pub struct SerializationGraph {
+    /// Nodes in first-appearance order (this makes topological sorts and
+    /// cycle reports deterministic).
+    nodes: Vec<TxId>,
+    /// Edge map with earliest witness per ordered pair.
+    edges: BTreeMap<(TxId, TxId), (usize, usize)>,
+}
+
+/// Graph equality is *structural*: same node set (regardless of
+/// first-appearance order) and same edge set. Witness positions are
+/// ignored — Lemmas 1–2 conclude `D(S) = D(S̄)` even though the schedules
+/// permute positions.
+impl PartialEq for SerializationGraph {
+    fn eq(&self, other: &Self) -> bool {
+        let mut a = self.nodes.clone();
+        let mut b = other.nodes.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+            && self.edges.len() == other.edges.len()
+            && self.edges.keys().all(|k| other.edges.contains_key(k))
+    }
+}
+
+impl Eq for SerializationGraph {}
+
+impl SerializationGraph {
+    /// Builds `D(S)` for a schedule.
+    ///
+    /// Steps conflict only when they touch the same entity, so the builder
+    /// buckets steps per entity and compares within buckets.
+    pub fn of(schedule: &Schedule) -> Self {
+        let nodes = schedule.participants();
+        let mut edges: BTreeMap<(TxId, TxId), (usize, usize)> = BTreeMap::new();
+        let mut by_entity: HashMap<u32, Vec<usize>> = HashMap::new();
+        let steps = schedule.steps();
+        for (i, s) in steps.iter().enumerate() {
+            by_entity.entry(s.step.entity.0).or_default().push(i);
+        }
+        for positions in by_entity.values() {
+            for (a, &i) in positions.iter().enumerate() {
+                for &j in &positions[a + 1..] {
+                    let (si, sj) = (&steps[i], &steps[j]);
+                    if si.tx != sj.tx && si.step.conflicts_with(&sj.step) {
+                        // Keep the globally earliest witness pair so the
+                        // result is independent of bucket iteration order.
+                        edges
+                            .entry((si.tx, sj.tx))
+                            .and_modify(|w| {
+                                if (i, j) < *w {
+                                    *w = (i, j);
+                                }
+                            })
+                            .or_insert((i, j));
+                    }
+                }
+            }
+        }
+        SerializationGraph { nodes, edges }
+    }
+
+    /// Builds a graph from explicit parts (used by tests and by figure
+    /// renderers that construct expected shapes).
+    pub fn from_parts(nodes: Vec<TxId>, edges: Vec<ConflictEdge>) -> Self {
+        let edges = edges
+            .into_iter()
+            .map(|e| ((e.from, e.to), e.witness))
+            .collect();
+        SerializationGraph { nodes, edges }
+    }
+
+    /// The nodes, in first-appearance order.
+    pub fn nodes(&self) -> &[TxId] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over all edges with witnesses.
+    pub fn edges(&self) -> impl Iterator<Item = ConflictEdge> + '_ {
+        self.edges.iter().map(|(&(from, to), &witness)| ConflictEdge { from, to, witness })
+    }
+
+    /// Whether the edge `(from, to)` is present.
+    pub fn has_edge(&self, from: TxId, to: TxId) -> bool {
+        self.edges.contains_key(&(from, to))
+    }
+
+    /// The witness of edge `(from, to)`, if present.
+    pub fn witness(&self, from: TxId, to: TxId) -> Option<(usize, usize)> {
+        self.edges.get(&(from, to)).copied()
+    }
+
+    /// Successors of `tx`.
+    pub fn successors(&self, tx: TxId) -> Vec<TxId> {
+        self.edges.keys().filter(|&&(f, _)| f == tx).map(|&(_, t)| t).collect()
+    }
+
+    /// Predecessors of `tx`.
+    pub fn predecessors(&self, tx: TxId) -> Vec<TxId> {
+        self.edges.keys().filter(|&&(_, t)| t == tx).map(|&(f, _)| f).collect()
+    }
+
+    /// Nodes with no outgoing edge. An isolated node is both a source and a
+    /// sink — this matters for Theorem 1's condition (2a), which quantifies
+    /// over *all* sinks of `D(S')`.
+    pub fn sinks(&self) -> Vec<TxId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&n| !self.edges.keys().any(|&(f, _)| f == n))
+            .collect()
+    }
+
+    /// Nodes with no incoming edge.
+    pub fn sources(&self) -> Vec<TxId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&n| !self.edges.keys().any(|&(_, t)| t == n))
+            .collect()
+    }
+
+    /// Whether the graph is acyclic, i.e. the schedule is serializable.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_sort().is_some()
+    }
+
+    /// A topological sort of the nodes, or `None` if the graph has a cycle.
+    ///
+    /// Deterministic: among ready nodes, the one earliest in
+    /// first-appearance order is emitted first (Kahn's algorithm with a
+    /// stable ready list).
+    pub fn topological_sort(&self) -> Option<Vec<TxId>> {
+        let mut indegree: BTreeMap<TxId, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
+        for &(_, to) in self.edges.keys() {
+            *indegree.get_mut(&to).expect("edge endpoint is a node") += 1;
+        }
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut remaining: Vec<TxId> = self.nodes.clone();
+        while !remaining.is_empty() {
+            let pick = remaining.iter().position(|n| indegree[n] == 0)?;
+            let n = remaining.remove(pick);
+            order.push(n);
+            for (&(f, t), _) in self.edges.iter() {
+                if f == n {
+                    *indegree.get_mut(&t).expect("edge endpoint is a node") -= 1;
+                }
+            }
+        }
+        Some(order)
+    }
+
+    /// A cycle through the graph, as a node sequence `v0 -> v1 -> … -> v0`
+    /// (first node repeated at the end), or `None` if acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<TxId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: HashMap<TxId, Color> =
+            self.nodes.iter().map(|&n| (n, Color::White)).collect();
+        let mut stack: Vec<TxId> = Vec::new();
+
+        fn dfs(
+            g: &SerializationGraph,
+            n: TxId,
+            color: &mut HashMap<TxId, Color>,
+            stack: &mut Vec<TxId>,
+        ) -> Option<Vec<TxId>> {
+            color.insert(n, Color::Gray);
+            stack.push(n);
+            for m in g.successors(n) {
+                match color[&m] {
+                    Color::Gray => {
+                        let start = stack.iter().position(|&x| x == m).expect("gray on stack");
+                        let mut cycle = stack[start..].to_vec();
+                        cycle.push(m);
+                        return Some(cycle);
+                    }
+                    Color::White => {
+                        if let Some(c) = dfs(g, m, color, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+            stack.pop();
+            color.insert(n, Color::Black);
+            None
+        }
+
+        for &n in &self.nodes {
+            if color[&n] == Color::White {
+                if let Some(c) = dfs(self, n, &mut color, &mut stack) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the graph is a single simple path `v0 -> v1 -> … -> vk` with
+    /// no extra edges except possibly the closing back edge `vk -> v0`.
+    /// This is the *static-database* canonical shape (Fig. 1a): Yannakakis'
+    /// theorem yields a simple path closed by one back edge.
+    pub fn is_simple_path_with_back_edge(&self) -> bool {
+        let n = self.nodes.len();
+        if n == 0 {
+            return false;
+        }
+        // A simple path has exactly one source; follow unique successors.
+        let sources = self.sources();
+        let start = match sources.as_slice() {
+            [s] => *s,
+            [] if n >= 2 => {
+                // Fully closed cycle: every node has in/out degree 1.
+                return self.nodes.iter().all(|&v| {
+                    self.successors(v).len() == 1 && self.predecessors(v).len() == 1
+                }) && self.find_cycle().is_some_and(|c| c.len() == n + 1);
+            }
+            _ => return false,
+        };
+        let mut seen = vec![start];
+        let mut cur = start;
+        loop {
+            let succ = self.successors(cur);
+            match succ.as_slice() {
+                [] => break,
+                [next] => {
+                    if seen.contains(next) {
+                        return false;
+                    }
+                    seen.push(*next);
+                    cur = *next;
+                }
+                [a, b] => {
+                    // Allowed only for the node that also closes back to start.
+                    let next = if *a == start { *b } else if *b == start { *a } else { return false };
+                    if seen.contains(&next) {
+                        return false;
+                    }
+                    seen.push(next);
+                    cur = next;
+                }
+                _ => return false,
+            }
+        }
+        seen.len() == n
+    }
+}
+
+impl fmt::Display for SerializationGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D(S): nodes {{")?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}, edges {{")?;
+        for (i, e) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} -> {}", e.from, e.to)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityId;
+    use crate::schedule::ScheduledStep;
+    use crate::step::Step;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    fn t(i: u32) -> TxId {
+        TxId(i)
+    }
+
+    fn sched(steps: Vec<(u32, Step)>) -> Schedule {
+        Schedule::from_steps(
+            steps.into_iter().map(|(i, s)| ScheduledStep::new(t(i), s)).collect(),
+        )
+    }
+
+    #[test]
+    fn conflicting_steps_create_edge_with_witness() {
+        let s = sched(vec![(1, Step::write(e(0))), (2, Step::read(e(0)))]);
+        let g = SerializationGraph::of(&s);
+        assert!(g.has_edge(t(1), t(2)));
+        assert!(!g.has_edge(t(2), t(1)));
+        assert_eq!(g.witness(t(1), t(2)), Some((0, 1)));
+    }
+
+    #[test]
+    fn non_conflicting_steps_create_no_edge() {
+        let s = sched(vec![(1, Step::read(e(0))), (2, Step::read(e(0)))]);
+        let g = SerializationGraph::of(&s);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 2);
+        // Both isolated nodes are sources and sinks.
+        assert_eq!(g.sinks(), vec![t(1), t(2)]);
+        assert_eq!(g.sources(), vec![t(1), t(2)]);
+    }
+
+    #[test]
+    fn classic_two_transaction_cycle() {
+        // T1 writes a then b; T2 writes b then a, interleaved to cross.
+        let s = sched(vec![
+            (1, Step::write(e(0))),
+            (2, Step::write(e(1))),
+            (1, Step::write(e(1))),
+            (2, Step::write(e(0))),
+        ]);
+        let g = SerializationGraph::of(&s);
+        assert!(g.has_edge(t(1), t(2)));
+        assert!(g.has_edge(t(2), t(1)));
+        assert!(!g.is_acyclic());
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() == 3); // a -> b -> a
+    }
+
+    #[test]
+    fn earliest_witness_is_kept() {
+        let s = sched(vec![
+            (1, Step::write(e(0))),
+            (2, Step::write(e(0))),
+            (1, Step::write(e(1))), // note: also 1->2? no, position 2 is after 1's? t1 again
+            (2, Step::write(e(1))),
+        ]);
+        let g = SerializationGraph::of(&s);
+        assert_eq!(g.witness(t(1), t(2)), Some((0, 1)));
+    }
+
+    #[test]
+    fn topological_sort_respects_edges_and_is_stable() {
+        let s = sched(vec![
+            (3, Step::write(e(0))),
+            (1, Step::write(e(0))),
+            (1, Step::write(e(1))),
+            (2, Step::write(e(1))),
+        ]);
+        let g = SerializationGraph::of(&s);
+        let order = g.topological_sort().unwrap();
+        assert_eq!(order, vec![t(3), t(1), t(2)]);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn sinks_and_sources_of_a_path() {
+        let g = SerializationGraph::from_parts(
+            vec![t(1), t(2), t(3)],
+            vec![
+                ConflictEdge { from: t(1), to: t(2), witness: (0, 1) },
+                ConflictEdge { from: t(2), to: t(3), witness: (1, 2) },
+            ],
+        );
+        assert_eq!(g.sources(), vec![t(1)]);
+        assert_eq!(g.sinks(), vec![t(3)]);
+        assert!(g.is_simple_path_with_back_edge());
+    }
+
+    #[test]
+    fn path_closed_by_back_edge_is_recognized() {
+        let g = SerializationGraph::from_parts(
+            vec![t(1), t(2), t(3)],
+            vec![
+                ConflictEdge { from: t(1), to: t(2), witness: (0, 1) },
+                ConflictEdge { from: t(2), to: t(3), witness: (1, 2) },
+                ConflictEdge { from: t(3), to: t(1), witness: (2, 3) },
+            ],
+        );
+        assert!(!g.is_acyclic());
+        assert!(g.is_simple_path_with_back_edge());
+    }
+
+    #[test]
+    fn branching_graph_is_not_a_simple_path() {
+        let g = SerializationGraph::from_parts(
+            vec![t(1), t(2), t(3)],
+            vec![
+                ConflictEdge { from: t(1), to: t(2), witness: (0, 1) },
+                ConflictEdge { from: t(1), to: t(3), witness: (0, 2) },
+            ],
+        );
+        assert!(!g.is_simple_path_with_back_edge());
+        assert_eq!(g.sinks(), vec![t(2), t(3)]);
+    }
+
+    #[test]
+    fn lock_steps_participate_in_conflicts() {
+        // Two exclusive locks on the same entity by different transactions
+        // conflict; this is what closes the cycle in canonical schedules.
+        let s = sched(vec![
+            (1, Step::lock_exclusive(e(0))),
+            (1, Step::unlock_exclusive(e(0))),
+            (2, Step::lock_exclusive(e(0))),
+        ]);
+        let g = SerializationGraph::of(&s);
+        assert!(g.has_edge(t(1), t(2)));
+    }
+
+    #[test]
+    fn empty_schedule_graph() {
+        let g = SerializationGraph::of(&Schedule::empty());
+        assert_eq!(g.node_count(), 0);
+        assert!(g.is_acyclic());
+        assert_eq!(g.topological_sort(), Some(vec![]));
+        assert_eq!(g.find_cycle(), None);
+        assert!(!g.is_simple_path_with_back_edge());
+    }
+}

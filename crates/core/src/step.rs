@@ -1,0 +1,156 @@
+//! Steps: pairs `(operation, entity)` — the atomic unit of transactions and
+//! schedules (Section 2).
+
+use crate::entity::EntityId;
+use crate::ops::{DataOp, LockMode, Operation};
+use std::fmt;
+
+/// A step `(a, e)`: operation `a` applied to entity `e`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Step {
+    /// The operation.
+    pub op: Operation,
+    /// The entity it operates on.
+    pub entity: EntityId,
+}
+
+impl Step {
+    /// Creates a step.
+    #[inline]
+    pub fn new(op: impl Into<Operation>, entity: EntityId) -> Self {
+        Step { op: op.into(), entity }
+    }
+
+    /// `(R e)`
+    pub fn read(e: EntityId) -> Self {
+        Step::new(DataOp::Read, e)
+    }
+
+    /// `(W e)`
+    pub fn write(e: EntityId) -> Self {
+        Step::new(DataOp::Write, e)
+    }
+
+    /// `(I e)`
+    pub fn insert(e: EntityId) -> Self {
+        Step::new(DataOp::Insert, e)
+    }
+
+    /// `(D e)`
+    pub fn delete(e: EntityId) -> Self {
+        Step::new(DataOp::Delete, e)
+    }
+
+    /// `(LS e)`
+    pub fn lock_shared(e: EntityId) -> Self {
+        Step::new(Operation::Lock(LockMode::Shared), e)
+    }
+
+    /// `(LX e)`
+    pub fn lock_exclusive(e: EntityId) -> Self {
+        Step::new(Operation::Lock(LockMode::Exclusive), e)
+    }
+
+    /// `(L e)` in the given mode.
+    pub fn lock(mode: LockMode, e: EntityId) -> Self {
+        Step::new(Operation::Lock(mode), e)
+    }
+
+    /// `(US e)`
+    pub fn unlock_shared(e: EntityId) -> Self {
+        Step::new(Operation::Unlock(LockMode::Shared), e)
+    }
+
+    /// `(UX e)`
+    pub fn unlock_exclusive(e: EntityId) -> Self {
+        Step::new(Operation::Unlock(LockMode::Exclusive), e)
+    }
+
+    /// `(U e)` in the given mode.
+    pub fn unlock(mode: LockMode, e: EntityId) -> Self {
+        Step::new(Operation::Unlock(mode), e)
+    }
+
+    /// Whether the two steps conflict: same entity and not both operations
+    /// benign (`{R, LS, US}`).
+    #[inline]
+    pub fn conflicts_with(&self, other: &Step) -> bool {
+        self.entity == other.entity && !(self.op.is_benign() && other.op.is_benign())
+    }
+
+    /// Whether this is a data step.
+    #[inline]
+    pub fn is_data(&self) -> bool {
+        matches!(self.op, Operation::Data(_))
+    }
+
+    /// Whether this is a lock step.
+    #[inline]
+    pub fn is_lock(&self) -> bool {
+        self.op.is_lock()
+    }
+
+    /// Whether this is an unlock step.
+    #[inline]
+    pub fn is_unlock(&self) -> bool {
+        self.op.is_unlock()
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} {})", self.op, self.entity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn conflict_requires_common_entity() {
+        assert!(!Step::write(e(0)).conflicts_with(&Step::write(e(1))));
+        assert!(Step::write(e(0)).conflicts_with(&Step::write(e(0))));
+    }
+
+    #[test]
+    fn reads_and_shared_locks_do_not_conflict() {
+        let a = e(0);
+        assert!(!Step::read(a).conflicts_with(&Step::read(a)));
+        assert!(!Step::read(a).conflicts_with(&Step::lock_shared(a)));
+        assert!(!Step::lock_shared(a).conflicts_with(&Step::unlock_shared(a)));
+    }
+
+    #[test]
+    fn any_non_benign_pair_on_same_entity_conflicts() {
+        let a = e(0);
+        assert!(Step::read(a).conflicts_with(&Step::write(a)));
+        assert!(Step::insert(a).conflicts_with(&Step::delete(a)));
+        assert!(Step::lock_exclusive(a).conflicts_with(&Step::lock_shared(a)));
+        assert!(Step::lock_exclusive(a).conflicts_with(&Step::lock_exclusive(a)));
+        assert!(Step::unlock_exclusive(a).conflicts_with(&Step::read(a)));
+    }
+
+    #[test]
+    fn conflict_is_symmetric() {
+        let a = e(0);
+        let cases = [
+            (Step::read(a), Step::write(a)),
+            (Step::lock_shared(a), Step::lock_exclusive(a)),
+            (Step::insert(a), Step::unlock_shared(a)),
+        ];
+        for (s, t) in cases {
+            assert_eq!(s.conflicts_with(&t), t.conflicts_with(&s));
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Step::insert(e(1)).to_string(), "(I e1)");
+        assert_eq!(Step::lock_exclusive(e(2)).to_string(), "(LX e2)");
+    }
+}

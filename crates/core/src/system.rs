@@ -1,0 +1,260 @@
+//! Transaction systems: a universe, an initial structural state, and a
+//! collection of (locked) transactions — the unit the safety question is
+//! asked about.
+
+use crate::entity::{EntityId, Universe};
+use crate::state::StructuralState;
+use crate::step::Step;
+use crate::txn::{LockedTransaction, TxId, TxnViolation};
+
+/// A locked transaction system `τ̄` together with the universe its entities
+/// come from and the structural state the database starts in.
+#[derive(Clone, Debug)]
+pub struct TransactionSystem {
+    universe: Universe,
+    initial: StructuralState,
+    transactions: Vec<LockedTransaction>,
+}
+
+impl TransactionSystem {
+    /// Creates a system from parts.
+    pub fn new(
+        universe: Universe,
+        initial: StructuralState,
+        transactions: Vec<LockedTransaction>,
+    ) -> Self {
+        TransactionSystem { universe, initial, transactions }
+    }
+
+    /// The universe of entities.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The initial structural state.
+    pub fn initial_state(&self) -> &StructuralState {
+        &self.initial
+    }
+
+    /// The transactions.
+    pub fn transactions(&self) -> &[LockedTransaction] {
+        &self.transactions
+    }
+
+    /// The transaction with the given id, if present.
+    pub fn get(&self, id: TxId) -> Option<&LockedTransaction> {
+        self.transactions.iter().find(|t| t.id == id)
+    }
+
+    /// All transaction ids, in declaration order.
+    pub fn ids(&self) -> Vec<TxId> {
+        self.transactions.iter().map(|t| t.id).collect()
+    }
+
+    /// Validates lock discipline of every transaction (well-formedness,
+    /// at-most-once locking, unlock-held). Returns the first violation with
+    /// the offending transaction.
+    pub fn validate(&self) -> Result<(), (TxId, TxnViolation)> {
+        for t in &self.transactions {
+            t.validate().map_err(|v| (t.id, v))?;
+        }
+        Ok(())
+    }
+
+    /// Total number of steps across all transactions.
+    pub fn total_steps(&self) -> usize {
+        self.transactions.iter().map(LockedTransaction::len).sum()
+    }
+}
+
+/// Fluent builder for [`TransactionSystem`]s; the unit tests, examples, and
+/// figure reproductions all use it.
+///
+/// # Examples
+///
+/// ```
+/// use slp_core::SystemBuilder;
+///
+/// let mut b = SystemBuilder::new();
+/// b.exists("a"); // entity `a` exists initially
+/// b.tx(1).lx("a").read("a").write("a").ux("a").finish();
+/// b.tx(2).lx("b").insert("b").ux("b").finish();
+/// let system = b.build();
+/// assert_eq!(system.transactions().len(), 2);
+/// assert!(system.validate().is_ok());
+/// ```
+#[derive(Default, Debug)]
+pub struct SystemBuilder {
+    universe: Universe,
+    initial: Vec<EntityId>,
+    transactions: Vec<LockedTransaction>,
+}
+
+impl SystemBuilder {
+    /// A builder over an empty universe and empty initial state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares that `name` exists in the initial structural state.
+    pub fn exists(&mut self, name: &str) -> EntityId {
+        let id = self.universe.entity(name);
+        if !self.initial.contains(&id) {
+            self.initial.push(id);
+        }
+        id
+    }
+
+    /// Interns `name` without adding it to the initial state.
+    pub fn entity(&mut self, name: &str) -> EntityId {
+        self.universe.entity(name)
+    }
+
+    /// Starts building transaction `id`; finish with [`TxBuilder::finish`].
+    pub fn tx(&mut self, id: u32) -> TxBuilder<'_> {
+        TxBuilder { sys: self, id: TxId(id), steps: Vec::new() }
+    }
+
+    /// Adds an already-built locked transaction.
+    pub fn add_transaction(&mut self, t: LockedTransaction) {
+        self.transactions.push(t);
+    }
+
+    /// Finishes the system.
+    pub fn build(self) -> TransactionSystem {
+        TransactionSystem {
+            universe: self.universe,
+            initial: StructuralState::from_entities(self.initial),
+            transactions: self.transactions,
+        }
+    }
+}
+
+/// Per-transaction fluent builder; created by [`SystemBuilder::tx`].
+#[derive(Debug)]
+pub struct TxBuilder<'a> {
+    sys: &'a mut SystemBuilder,
+    id: TxId,
+    steps: Vec<Step>,
+}
+
+impl TxBuilder<'_> {
+    fn step(mut self, make: impl FnOnce(EntityId) -> Step, name: &str) -> Self {
+        let e = self.sys.universe.entity(name);
+        self.steps.push(make(e));
+        self
+    }
+
+    /// `(R name)`
+    pub fn read(self, name: &str) -> Self {
+        self.step(Step::read, name)
+    }
+
+    /// `(W name)`
+    pub fn write(self, name: &str) -> Self {
+        self.step(Step::write, name)
+    }
+
+    /// `(I name)`
+    pub fn insert(self, name: &str) -> Self {
+        self.step(Step::insert, name)
+    }
+
+    /// `(D name)`
+    pub fn delete(self, name: &str) -> Self {
+        self.step(Step::delete, name)
+    }
+
+    /// `(LS name)`
+    pub fn ls(self, name: &str) -> Self {
+        self.step(Step::lock_shared, name)
+    }
+
+    /// `(LX name)`
+    pub fn lx(self, name: &str) -> Self {
+        self.step(Step::lock_exclusive, name)
+    }
+
+    /// `(US name)`
+    pub fn us(self, name: &str) -> Self {
+        self.step(Step::unlock_shared, name)
+    }
+
+    /// `(UX name)`
+    pub fn ux(self, name: &str) -> Self {
+        self.step(Step::unlock_exclusive, name)
+    }
+
+    /// Shorthand: `(LX name)(R name)(W name)` — the paper's ACCESS
+    /// operation (a READ immediately followed by a WRITE) under its lock.
+    pub fn access_locked(self, name: &str) -> Self {
+        self.lx(name).read(name).write(name)
+    }
+
+    /// Completes the transaction and registers it with the system builder.
+    pub fn finish(self) -> TxId {
+        let TxBuilder { sys, id, steps } = self;
+        sys.transactions.push(LockedTransaction::new(id, steps));
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_interns_entities_across_transactions() {
+        let mut b = SystemBuilder::new();
+        b.tx(1).lx("x").insert("x").ux("x").finish();
+        b.tx(2).lx("x").delete("x").ux("x").finish();
+        let sys = b.build();
+        assert_eq!(sys.universe().len(), 1);
+        assert_eq!(sys.transactions().len(), 2);
+    }
+
+    #[test]
+    fn exists_populates_initial_state() {
+        let mut b = SystemBuilder::new();
+        let a = b.exists("a");
+        let a2 = b.exists("a");
+        assert_eq!(a, a2);
+        let sys = b.build();
+        assert!(sys.initial_state().contains(a));
+        assert_eq!(sys.initial_state().len(), 1);
+    }
+
+    #[test]
+    fn validate_reports_offending_transaction() {
+        let mut b = SystemBuilder::new();
+        b.exists("a");
+        b.tx(1).lx("a").write("a").ux("a").finish();
+        b.tx(2).write("a").finish(); // not well formed
+        let sys = b.build();
+        let (id, v) = sys.validate().unwrap_err();
+        assert_eq!(id, TxId(2));
+        assert!(matches!(v, TxnViolation::NotWellFormed { .. }));
+    }
+
+    #[test]
+    fn get_and_ids() {
+        let mut b = SystemBuilder::new();
+        b.tx(7).lx("a").insert("a").ux("a").finish();
+        let sys = b.build();
+        assert_eq!(sys.ids(), vec![TxId(7)]);
+        assert!(sys.get(TxId(7)).is_some());
+        assert!(sys.get(TxId(8)).is_none());
+        assert_eq!(sys.total_steps(), 3);
+    }
+
+    #[test]
+    fn access_locked_expands_to_read_write_under_lock() {
+        let mut b = SystemBuilder::new();
+        b.exists("n");
+        b.tx(1).access_locked("n").ux("n").finish();
+        let sys = b.build();
+        let t = sys.get(TxId(1)).unwrap();
+        assert_eq!(t.steps.len(), 4);
+        assert!(t.validate().is_ok());
+    }
+}

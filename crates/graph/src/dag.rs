@@ -1,0 +1,85 @@
+//! Acyclicity checks and topological sorting for [`DiGraph`]s.
+
+use crate::digraph::DiGraph;
+use slp_core::EntityId;
+use std::collections::BTreeMap;
+
+/// Whether the graph is acyclic.
+pub fn is_acyclic(g: &DiGraph) -> bool {
+    topological_sort(g).is_some()
+}
+
+/// A topological sort of the nodes (smallest-id-first among ready nodes),
+/// or `None` if the graph has a cycle.
+pub fn topological_sort(g: &DiGraph) -> Option<Vec<EntityId>> {
+    let mut indegree: BTreeMap<EntityId, usize> =
+        g.nodes().map(|n| (n, g.in_degree(n))).collect();
+    let mut ready: Vec<EntityId> = indegree
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut order = Vec::with_capacity(g.node_count());
+    while let Some(n) = ready.pop() {
+        order.push(n);
+        for m in g.successors(n) {
+            let d = indegree.get_mut(&m).expect("successor is a node");
+            *d -= 1;
+            if *d == 0 {
+                ready.push(m);
+            }
+        }
+    }
+    (order.len() == g.node_count()).then_some(order)
+}
+
+/// Whether adding the edge `(a, b)` would create a cycle (i.e. `b` already
+/// reaches `a`). `a == b` always creates a (self-)cycle.
+pub fn would_create_cycle(g: &DiGraph, a: EntityId, b: EntityId) -> bool {
+    a == b || crate::reach::has_path(g, b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn dag_is_acyclic_and_sorts() {
+        let g = DiGraph::from_parts(
+            [e(1), e(2), e(3)],
+            [(e(1), e(2)), (e(2), e(3)), (e(1), e(3))],
+        );
+        assert!(is_acyclic(&g));
+        let order = topological_sort(&g).unwrap();
+        let pos = |n: EntityId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(e(1)) < pos(e(2)));
+        assert!(pos(e(2)) < pos(e(3)));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let g = DiGraph::from_parts([e(1), e(2)], [(e(1), e(2)), (e(2), e(1))]);
+        assert!(!is_acyclic(&g));
+        assert_eq!(topological_sort(&g), None);
+    }
+
+    #[test]
+    fn would_create_cycle_checks() {
+        let g = DiGraph::from_parts([e(1), e(2), e(3)], [(e(1), e(2)), (e(2), e(3))]);
+        assert!(would_create_cycle(&g, e(3), e(1)));
+        assert!(would_create_cycle(&g, e(1), e(1)));
+        assert!(!would_create_cycle(&g, e(1), e(3)));
+        assert!(would_create_cycle(&g, e(3), e(2)));
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g = DiGraph::new();
+        assert!(is_acyclic(&g));
+        assert_eq!(topological_sort(&g), Some(vec![]));
+    }
+}

@@ -1,0 +1,332 @@
+//! Forests of rooted trees — the *database forest* the dynamic tree (DTR)
+//! policy maintains (Section 6).
+//!
+//! The DTR policy's concurrency-control algorithm owns this structure:
+//! * DT1 — two trees are joined by drawing an edge from the root of `g1`
+//!   to the root of `g2`; new entities are connected into a tree and then
+//!   joined on;
+//! * DT3 — a node may be deleted from the forest (its children become
+//!   roots of their own trees).
+
+use slp_core::EntityId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from forest mutations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ForestError {
+    /// The node already exists in the forest.
+    NodeExists(EntityId),
+    /// The node does not exist in the forest.
+    NoSuchNode(EntityId),
+    /// The node is not a root (join requires roots).
+    NotARoot(EntityId),
+    /// Joining a tree to itself.
+    SameTree(EntityId),
+}
+
+impl fmt::Display for ForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForestError::NodeExists(n) => write!(f, "node {n} already in the forest"),
+            ForestError::NoSuchNode(n) => write!(f, "node {n} not in the forest"),
+            ForestError::NotARoot(n) => write!(f, "node {n} is not a root"),
+            ForestError::SameTree(n) => write!(f, "cannot join a tree (rooted at {n}) to itself"),
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}
+
+/// A forest of rooted trees with parent pointers.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Forest {
+    /// `None` parent means the node is a root.
+    parent: BTreeMap<EntityId, Option<EntityId>>,
+}
+
+impl Forest {
+    /// An empty forest (rule DT0: initially the database forest is empty).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node as the root of a new single-node tree.
+    pub fn add_root(&mut self, n: EntityId) -> Result<(), ForestError> {
+        if self.parent.contains_key(&n) {
+            return Err(ForestError::NodeExists(n));
+        }
+        self.parent.insert(n, None);
+        Ok(())
+    }
+
+    /// Adds a new node as a child of an existing node.
+    pub fn add_child(&mut self, parent: EntityId, n: EntityId) -> Result<(), ForestError> {
+        if !self.parent.contains_key(&parent) {
+            return Err(ForestError::NoSuchNode(parent));
+        }
+        if self.parent.contains_key(&n) {
+            return Err(ForestError::NodeExists(n));
+        }
+        self.parent.insert(n, Some(parent));
+        Ok(())
+    }
+
+    /// DT1: joins the tree rooted at `r2` under the tree rooted at `r1` by
+    /// drawing the edge `(r1, r2)`. Both arguments must be roots of
+    /// distinct trees. (`r1` need not be a root in the general statement,
+    /// but DT1 draws the edge *from the root of g1*, so we require it.)
+    pub fn join(&mut self, r1: EntityId, r2: EntityId) -> Result<(), ForestError> {
+        match self.parent.get(&r1) {
+            None => return Err(ForestError::NoSuchNode(r1)),
+            Some(Some(_)) => return Err(ForestError::NotARoot(r1)),
+            Some(None) => {}
+        }
+        match self.parent.get(&r2) {
+            None => return Err(ForestError::NoSuchNode(r2)),
+            Some(Some(_)) => return Err(ForestError::NotARoot(r2)),
+            Some(None) => {}
+        }
+        if r1 == r2 {
+            return Err(ForestError::SameTree(r1));
+        }
+        self.parent.insert(r2, Some(r1));
+        Ok(())
+    }
+
+    /// DT3's mutation: removes `n` from the forest; `n`'s children become
+    /// roots. (Whether the removal is *allowed* — no active transaction
+    /// loses tree-lockedness — is the policy engine's check, not the
+    /// forest's.)
+    pub fn remove(&mut self, n: EntityId) -> Result<(), ForestError> {
+        if !self.parent.contains_key(&n) {
+            return Err(ForestError::NoSuchNode(n));
+        }
+        let children: Vec<EntityId> = self.children(n).collect();
+        for c in children {
+            self.parent.insert(c, None);
+        }
+        self.parent.remove(&n);
+        Ok(())
+    }
+
+    /// Whether `n` is in the forest.
+    pub fn contains(&self, n: EntityId) -> bool {
+        self.parent.contains_key(&n)
+    }
+
+    /// The parent of `n` (`None` if `n` is a root or absent).
+    pub fn parent(&self, n: EntityId) -> Option<EntityId> {
+        self.parent.get(&n).copied().flatten()
+    }
+
+    /// The children of `n`, in id order.
+    pub fn children(&self, n: EntityId) -> impl Iterator<Item = EntityId> + '_ {
+        self.parent
+            .iter()
+            .filter(move |&(_, &p)| p == Some(n))
+            .map(|(&c, _)| c)
+    }
+
+    /// The root of the tree containing `n`.
+    pub fn root_of(&self, n: EntityId) -> Option<EntityId> {
+        if !self.parent.contains_key(&n) {
+            return None;
+        }
+        let mut cur = n;
+        while let Some(p) = self.parent(cur) {
+            cur = p;
+        }
+        Some(cur)
+    }
+
+    /// All roots, in id order.
+    pub fn roots(&self) -> Vec<EntityId> {
+        self.parent
+            .iter()
+            .filter(|&(_, &p)| p.is_none())
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.parent.keys().copied()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The path from the root of `n`'s tree down to `n`, inclusive.
+    pub fn path_from_root(&self, n: EntityId) -> Option<Vec<EntityId>> {
+        if !self.parent.contains_key(&n) {
+            return None;
+        }
+        let mut path = vec![n];
+        let mut cur = n;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Whether `a` is an ancestor of `b` (including `a == b`).
+    pub fn is_ancestor(&self, a: EntityId, b: EntityId) -> bool {
+        if !self.parent.contains_key(&a) || !self.parent.contains_key(&b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// All nodes of the tree rooted at (or containing) `n`'s root.
+    pub fn tree_nodes(&self, n: EntityId) -> Vec<EntityId> {
+        match self.root_of(n) {
+            None => Vec::new(),
+            Some(r) => self
+                .parent
+                .keys()
+                .copied()
+                .filter(|&m| self.root_of(m) == Some(r))
+                .collect(),
+        }
+    }
+
+    /// The lowest common ancestor of `a` and `b`, if they share a tree.
+    pub fn lca(&self, a: EntityId, b: EntityId) -> Option<EntityId> {
+        let pa = self.path_from_root(a)?;
+        let pb = self.path_from_root(b)?;
+        let mut last = None;
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            if x == y {
+                last = Some(*x);
+            } else {
+                break;
+            }
+        }
+        last
+    }
+
+    /// Descendants of `n` including `n` itself.
+    pub fn subtree(&self, n: EntityId) -> Vec<EntityId> {
+        if !self.parent.contains_key(&n) {
+            return Vec::new();
+        }
+        self.parent
+            .keys()
+            .copied()
+            .filter(|&m| self.is_ancestor(n, m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    /// Builds the Fig. 5-like forest: tree 1 -> {2, 3}, with 3 -> 5.
+    fn sample() -> Forest {
+        let mut f = Forest::new();
+        f.add_root(e(1)).unwrap();
+        f.add_child(e(1), e(2)).unwrap();
+        f.add_child(e(1), e(3)).unwrap();
+        f.add_child(e(3), e(5)).unwrap();
+        f
+    }
+
+    #[test]
+    fn build_and_query() {
+        let f = sample();
+        assert_eq!(f.parent(e(2)), Some(e(1)));
+        assert_eq!(f.parent(e(1)), None);
+        assert_eq!(f.children(e(1)).collect::<Vec<_>>(), vec![e(2), e(3)]);
+        assert_eq!(f.root_of(e(5)), Some(e(1)));
+        assert_eq!(f.roots(), vec![e(1)]);
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn join_attaches_root_under_root() {
+        let mut f = sample();
+        f.add_root(e(4)).unwrap();
+        assert_eq!(f.roots(), vec![e(1), e(4)]);
+        f.join(e(1), e(4)).unwrap();
+        assert_eq!(f.parent(e(4)), Some(e(1)));
+        assert_eq!(f.roots(), vec![e(1)]);
+    }
+
+    #[test]
+    fn join_requires_roots_and_distinct_trees() {
+        let mut f = sample();
+        f.add_root(e(4)).unwrap();
+        assert_eq!(f.join(e(2), e(4)), Err(ForestError::NotARoot(e(2))));
+        assert_eq!(f.join(e(1), e(5)), Err(ForestError::NotARoot(e(5))));
+        assert_eq!(f.join(e(1), e(1)), Err(ForestError::SameTree(e(1))));
+        assert_eq!(f.join(e(9), e(4)), Err(ForestError::NoSuchNode(e(9))));
+    }
+
+    #[test]
+    fn remove_promotes_children_to_roots() {
+        let mut f = sample();
+        f.remove(e(3)).unwrap();
+        assert!(!f.contains(e(3)));
+        assert_eq!(f.parent(e(5)), None);
+        assert_eq!(f.roots(), vec![e(1), e(5)]);
+        assert_eq!(f.remove(e(3)), Err(ForestError::NoSuchNode(e(3))));
+    }
+
+    #[test]
+    fn paths_ancestors_and_lca() {
+        let f = sample();
+        assert_eq!(f.path_from_root(e(5)), Some(vec![e(1), e(3), e(5)]));
+        assert!(f.is_ancestor(e(1), e(5)));
+        assert!(f.is_ancestor(e(3), e(5)));
+        assert!(f.is_ancestor(e(5), e(5)));
+        assert!(!f.is_ancestor(e(2), e(5)));
+        assert_eq!(f.lca(e(2), e(5)), Some(e(1)));
+        assert_eq!(f.lca(e(5), e(3)), Some(e(3)));
+    }
+
+    #[test]
+    fn lca_across_trees_is_none() {
+        let mut f = sample();
+        f.add_root(e(4)).unwrap();
+        assert_eq!(f.lca(e(2), e(4)), None);
+    }
+
+    #[test]
+    fn subtree_and_tree_nodes() {
+        let f = sample();
+        assert_eq!(f.subtree(e(3)), vec![e(3), e(5)]);
+        assert_eq!(f.tree_nodes(e(5)), vec![e(1), e(2), e(3), e(5)]);
+    }
+
+    #[test]
+    fn duplicate_nodes_rejected() {
+        let mut f = sample();
+        assert_eq!(f.add_root(e(1)), Err(ForestError::NodeExists(e(1))));
+        assert_eq!(f.add_child(e(1), e(2)), Err(ForestError::NodeExists(e(2))));
+        assert_eq!(f.add_child(e(9), e(10)), Err(ForestError::NoSuchNode(e(9))));
+    }
+}

@@ -1,0 +1,29 @@
+//! # slp-graph — graph substrate for dynamic locking policies
+//!
+//! The DDAG policy (Section 4) runs over *dynamic rooted DAGs* whose nodes
+//! and edges are database entities; the dynamic tree policy (Section 6)
+//! maintains a *database forest*. This crate provides both structures and
+//! the queries the policies and their correctness arguments need:
+//!
+//! * [`DiGraph`] — mutable digraph with deterministic iteration;
+//! * [`dag`] — acyclicity, topological sort, cycle-prevention checks;
+//! * [`reach`] — ancestors/descendants/path queries;
+//! * [`rooted`] — the paper's rootedness definition (unique root reaching
+//!   every node);
+//! * [`dominators`] — dominator sets ("every path from the root to `w`
+//!   passes through `d`"), the engine of Lemma 3;
+//! * [`Forest`] — parent-pointer forests with the DTR policy's `join` and
+//!   `remove` mutations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod digraph;
+pub mod dominators;
+pub mod forest;
+pub mod reach;
+pub mod rooted;
+
+pub use digraph::{DiGraph, GraphError};
+pub use forest::{Forest, ForestError};

@@ -1,0 +1,84 @@
+//! Rooted graphs (Section 4).
+//!
+//! "A *root* of a directed graph is a node with no predecessors. A directed
+//! graph is *rooted* if it has a unique root and there is a path from the
+//! root to every node in the graph."
+
+use crate::digraph::DiGraph;
+use crate::reach::reachable_from;
+use slp_core::EntityId;
+
+/// All roots (nodes with no predecessors), in id order.
+pub fn roots(g: &DiGraph) -> Vec<EntityId> {
+    g.nodes().filter(|&n| g.in_degree(n) == 0).collect()
+}
+
+/// The unique root if the graph is rooted, else `None`.
+pub fn root(g: &DiGraph) -> Option<EntityId> {
+    match roots(g).as_slice() {
+        [r] => {
+            let reach = reachable_from(g, *r);
+            (reach.len() == g.node_count()).then_some(*r)
+        }
+        _ => None,
+    }
+}
+
+/// Whether the graph is rooted: unique root reaching every node.
+pub fn is_rooted(g: &DiGraph) -> bool {
+    root(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn fig3_graph_is_rooted() {
+        // The paper's Fig. 3 example DAG: 1 -> 2, 2 -> 3, 2 -> 4 (+ node 5
+        // reachable from 1 to keep it interesting).
+        let g = DiGraph::from_parts(
+            [e(1), e(2), e(3), e(4)],
+            [(e(1), e(2)), (e(2), e(3)), (e(2), e(4))],
+        );
+        assert_eq!(roots(&g), vec![e(1)]);
+        assert_eq!(root(&g), Some(e(1)));
+        assert!(is_rooted(&g));
+    }
+
+    #[test]
+    fn two_roots_is_not_rooted() {
+        let g = DiGraph::from_parts([e(1), e(2), e(3)], [(e(1), e(3)), (e(2), e(3))]);
+        assert_eq!(roots(&g), vec![e(1), e(2)]);
+        assert!(!is_rooted(&g));
+        assert_eq!(root(&g), None);
+    }
+
+    #[test]
+    fn unreachable_node_breaks_rootedness() {
+        // 1 -> 2 and an isolated cycle 3 <-> 4 (no roots there, but nodes
+        // unreachable from 1).
+        let g = DiGraph::from_parts(
+            [e(1), e(2), e(3), e(4)],
+            [(e(1), e(2)), (e(3), e(4)), (e(4), e(3))],
+        );
+        assert_eq!(roots(&g), vec![e(1)]);
+        assert!(!is_rooted(&g));
+    }
+
+    #[test]
+    fn singleton_graph_is_rooted() {
+        let g = DiGraph::from_parts([e(7)], []);
+        assert!(is_rooted(&g));
+        assert_eq!(root(&g), Some(e(7)));
+    }
+
+    #[test]
+    fn empty_graph_is_not_rooted() {
+        assert!(!is_rooted(&DiGraph::new()));
+    }
+}

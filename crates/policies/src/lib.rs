@@ -1,0 +1,35 @@
+//! # slp-policies — locking policies for dynamic databases
+//!
+//! Implementations of the locking policies studied in *Safe Locking
+//! Policies for Dynamic Databases* (Chaudhri & Hadzilacos), plus the
+//! baselines they build on and mutant variants for ablation:
+//!
+//! | module | policy | paper section |
+//! |--------|--------|---------------|
+//! | [`two_phase`] | strict & conservative 2PL generators + validator | baseline (condition 1 of Theorem 1) |
+//! | [`tree`] | tree-protocol planner & validator \[SK80\] | substrate for Section 6 |
+//! | [`ddag`] | dynamic DAG policy engine (rules L1–L5) | Section 4 |
+//! | [`altruistic`] | altruistic locking engine (rules AL1–AL3) \[SGMS94\] | Section 5 |
+//! | [`dtr`] | dynamic tree policy engine (rules DT0–DT3) \[CM86\] | Section 6 |
+//! | [`mutants`] | deliberately unsafe lockers (negative controls) | — |
+//!
+//! The three dynamic-policy engines share a common shape: they maintain
+//! the shared structure (graph / wake sets / forest), enforce every rule
+//! *online*, emit the [`slp_core::Step`]s realizing each action, and
+//! distinguish **rule violations** (the transaction must abort) from
+//! **lock conflicts** (the transaction may wait) so a scheduler can queue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod altruistic;
+pub mod ddag;
+pub mod dtr;
+pub mod mutants;
+pub mod tree;
+pub mod two_phase;
+
+pub use altruistic::{AltruisticConfig, AltruisticEngine, AltruisticViolation};
+pub use ddag::{DdagConfig, DdagEngine, DdagViolation};
+pub use dtr::{DtrEngine, DtrViolation};
+pub use tree::{is_tree_locked, tree_lock_plan, PlanError, TreeLockViolation};

@@ -1,0 +1,116 @@
+//! Deliberately *unsafe* lockers, used as negative controls.
+//!
+//! The correctness experiments (E7) need policies whose schedules are
+//! sometimes nonserializable, to show (a) the verifier catches them and
+//! (b) the paper's rules are load-bearing. Besides the per-policy mutant
+//! configs ([`crate::ddag::DdagConfig`], [`crate::altruistic::AltruisticConfig`]),
+//! this module provides the classic straw man: *short locks* — each data
+//! step individually wrapped in lock/unlock. Well formed and legal, but
+//! non-two-phase with no compensating structure, hence unsafe.
+
+use slp_core::{DataOp, LockMode, LockedTransaction, Operation, Step, Transaction};
+use std::collections::HashMap;
+
+/// Locks `t` with **short locks**: `(L e) op (U e)` around every data step.
+/// If the transaction touches an entity several times, all its operations
+/// on that entity are performed under one lock spanning from first to last
+/// use (to respect at-most-once locking), which is still non-two-phase
+/// across entities.
+pub fn lock_short(t: &Transaction) -> LockedTransaction {
+    // Span per entity: [first use, last use].
+    let mut last_use: HashMap<slp_core::EntityId, usize> = HashMap::new();
+    for (i, s) in t.steps.iter().enumerate() {
+        last_use.insert(s.entity, i);
+    }
+    let needs_exclusive = |e| {
+        t.steps
+            .iter()
+            .any(|s| s.entity == e && s.op != Operation::Data(DataOp::Read))
+    };
+    let mut locked: HashMap<slp_core::EntityId, LockMode> = HashMap::new();
+    let mut steps = Vec::with_capacity(t.steps.len() * 3);
+    for (i, s) in t.steps.iter().enumerate() {
+        locked.entry(s.entity).or_insert_with(|| {
+            let mode = if needs_exclusive(s.entity) {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            };
+            steps.push(Step::lock(mode, s.entity));
+            mode
+        });
+        steps.push(*s);
+        if last_use[&s.entity] == i {
+            steps.push(Step::unlock(locked[&s.entity], s.entity));
+        }
+    }
+    LockedTransaction::new(t.id, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp_core::{EntityId, TxId};
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn short_locks_are_well_formed_but_not_two_phase() {
+        let t = Transaction::new(TxId(1), vec![Step::write(e(0)), Step::write(e(1))]);
+        let locked = lock_short(&t);
+        assert!(locked.validate().is_ok());
+        assert!(!locked.is_two_phase());
+    }
+
+    #[test]
+    fn repeated_entity_spans_one_lock() {
+        let t = Transaction::new(
+            TxId(1),
+            vec![Step::read(e(0)), Step::write(e(1)), Step::write(e(0))],
+        );
+        let locked = lock_short(&t);
+        assert!(locked.validate().is_ok());
+        // Entity 0 locked exactly once despite two uses.
+        let locks_on_0 = locked
+            .steps
+            .iter()
+            .filter(|s| s.is_lock() && s.entity == e(0))
+            .count();
+        assert_eq!(locks_on_0, 1);
+        // And in exclusive mode, because of the later write.
+        assert!(locked.steps.contains(&Step::lock_exclusive(e(0))));
+    }
+
+    #[test]
+    fn single_entity_transactions_are_trivially_two_phase() {
+        let t = Transaction::new(TxId(1), vec![Step::write(e(0))]);
+        let locked = lock_short(&t);
+        assert!(locked.is_two_phase());
+    }
+
+    #[test]
+    fn classic_unsafe_interleaving_is_legal_and_nonserializable() {
+        use slp_core::{is_serializable, Schedule, TxId};
+        // Two short-locked transactions both writing x then y.
+        let t1 = lock_short(&Transaction::new(
+            TxId(1),
+            vec![Step::write(e(0)), Step::write(e(1))],
+        ));
+        let t2 = lock_short(&Transaction::new(
+            TxId(2),
+            vec![Step::write(e(0)), Step::write(e(1))],
+        ));
+        // Interleave: T1 finishes x, T2 does x AND y, then T1 does y.
+        let txs = [t1, t2];
+        let order = [
+            TxId(1), TxId(1), TxId(1), // LX x, W x, UX x
+            TxId(2), TxId(2), TxId(2), TxId(2), TxId(2), TxId(2), // all of T2
+            TxId(1), TxId(1), TxId(1), // LX y, W y, UX y
+        ];
+        let s = Schedule::interleave(&txs, &order).unwrap();
+        assert!(s.is_legal());
+        assert!(!is_serializable(&s), "short locks admit nonserializable schedules");
+    }
+}

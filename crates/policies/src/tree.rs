@@ -1,0 +1,338 @@
+//! Tree locking — the planner and validator for tree-protocol lock
+//! sequences \[SK80\], shared by the static tree policy and the dynamic
+//! tree (DTR) policy of Section 6.
+//!
+//! A well-formed transaction `T` is **tree-locked** with respect to a tree
+//! `g` if each `(LX A)` step, except the first, is preceded by a lock step
+//! `(LX B)` and followed by an unlock step `(U B)` where `B` is the
+//! predecessor (parent) of `A` in `g`; and `T` locks an entity at most
+//! once.
+
+use slp_core::{DataOp, EntityId, Operation, Step};
+use slp_graph::Forest;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why a tree-lock plan could not be produced.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PlanError {
+    /// No targets were given.
+    NoTargets,
+    /// A target is not in the forest.
+    TargetNotInForest(EntityId),
+    /// Targets span multiple trees (the caller must join them first —
+    /// rule DT1/DT2 in the dynamic tree policy).
+    TargetsSpanTrees(EntityId, EntityId),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoTargets => write!(f, "no target entities"),
+            PlanError::TargetNotInForest(e) => write!(f, "target {e} is not in the forest"),
+            PlanError::TargetsSpanTrees(a, b) => {
+                write!(f, "targets {a} and {b} lie in different trees")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Produces a tree-locked step sequence that performs `ops` (per entity)
+/// on a single tree of `forest`.
+///
+/// The plan starts at the lowest common ancestor of the targets and crawls
+/// down the covering subtree: each node is locked while its parent is still
+/// held, performs its data operations, locks its needed children, and is
+/// then released — so locks migrate down the tree (the concurrency the
+/// tree protocol is known for).
+pub fn tree_lock_plan(
+    forest: &Forest,
+    ops: &BTreeMap<EntityId, Vec<DataOp>>,
+) -> Result<Vec<Step>, PlanError> {
+    let targets: Vec<EntityId> = ops.keys().copied().collect();
+    let (&first, rest) = targets.split_first().ok_or(PlanError::NoTargets)?;
+    for &t in std::iter::once(&first).chain(rest) {
+        if !forest.contains(t) {
+            return Err(PlanError::TargetNotInForest(t));
+        }
+    }
+    for &t in rest {
+        if forest.root_of(t) != forest.root_of(first) {
+            return Err(PlanError::TargetsSpanTrees(first, t));
+        }
+    }
+    // Start node: the LCA of all targets.
+    let mut start = first;
+    for &t in rest {
+        start = forest.lca(start, t).expect("same tree");
+    }
+    // Covering subtree: union of paths start -> target.
+    let mut cover: BTreeSet<EntityId> = BTreeSet::new();
+    for &t in &targets {
+        let path = forest.path_from_root(t).expect("target in forest");
+        let from = path.iter().position(|&n| n == start).expect("start is an ancestor");
+        cover.extend(&path[from..]);
+    }
+
+    let mut plan = vec![Step::lock_exclusive(start)];
+    // Iterative wavefront: lock children while the parent is held, then
+    // release the parent, then descend.
+    let mut queue = vec![start];
+    while let Some(n) = queue.pop() {
+        if let Some(node_ops) = ops.get(&n) {
+            for &op in node_ops {
+                plan.push(Step::new(op, n));
+            }
+        }
+        let needed: Vec<EntityId> =
+            forest.children(n).filter(|c| cover.contains(c)).collect();
+        for &c in &needed {
+            plan.push(Step::lock_exclusive(c));
+        }
+        plan.push(Step::unlock_exclusive(n));
+        // Depth-first descent order (reverse so the smallest id pops first).
+        for &c in needed.iter().rev() {
+            queue.push(c);
+        }
+    }
+    Ok(plan)
+}
+
+/// Why a step sequence is not tree-locked with respect to a forest.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TreeLockViolation {
+    /// A non-first lock was taken while the node's parent was not held.
+    ParentNotHeld {
+        /// Index of the offending lock step.
+        pos: usize,
+        /// The locked entity.
+        entity: EntityId,
+    },
+    /// An entity was locked more than once.
+    RelockedEntity {
+        /// Index of the second lock step.
+        pos: usize,
+        /// The relocked entity.
+        entity: EntityId,
+    },
+    /// A lock on a node that is not in the forest.
+    NotInForest {
+        /// Index of the offending lock step.
+        pos: usize,
+        /// The missing entity.
+        entity: EntityId,
+    },
+}
+
+impl fmt::Display for TreeLockViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeLockViolation::ParentNotHeld { pos, entity } => {
+                write!(f, "lock of {entity} at step {pos} without holding its parent")
+            }
+            TreeLockViolation::RelockedEntity { pos, entity } => {
+                write!(f, "entity {entity} relocked at step {pos}")
+            }
+            TreeLockViolation::NotInForest { pos, entity } => {
+                write!(f, "lock of {entity} at step {pos}: not in the forest")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeLockViolation {}
+
+/// Checks that `steps` is tree-locked with respect to `forest`.
+///
+/// This is the predicate rule DT3 quantifies over: a node may be garbage
+/// collected from the database forest only if every active transaction
+/// remains tree-locked with respect to some tree of the reduced forest.
+pub fn is_tree_locked(steps: &[Step], forest: &Forest) -> Result<(), TreeLockViolation> {
+    let mut held: BTreeSet<EntityId> = BTreeSet::new();
+    let mut ever: BTreeSet<EntityId> = BTreeSet::new();
+    let mut first_lock_seen = false;
+    for (pos, s) in steps.iter().enumerate() {
+        match s.op {
+            Operation::Lock(_) => {
+                if ever.contains(&s.entity) {
+                    return Err(TreeLockViolation::RelockedEntity { pos, entity: s.entity });
+                }
+                if !forest.contains(s.entity) {
+                    return Err(TreeLockViolation::NotInForest { pos, entity: s.entity });
+                }
+                if first_lock_seen {
+                    let parent_held = forest
+                        .parent(s.entity)
+                        .is_some_and(|p| held.contains(&p));
+                    if !parent_held {
+                        return Err(TreeLockViolation::ParentNotHeld { pos, entity: s.entity });
+                    }
+                }
+                first_lock_seen = true;
+                held.insert(s.entity);
+                ever.insert(s.entity);
+            }
+            Operation::Unlock(_) => {
+                held.remove(&s.entity);
+            }
+            Operation::Data(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp_core::{LockedTransaction, TxId};
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    /// 1 -> {2, 3}; 3 -> {5, 6}.
+    fn forest() -> Forest {
+        let mut f = Forest::new();
+        f.add_root(e(1)).unwrap();
+        f.add_child(e(1), e(2)).unwrap();
+        f.add_child(e(1), e(3)).unwrap();
+        f.add_child(e(3), e(5)).unwrap();
+        f.add_child(e(3), e(6)).unwrap();
+        f
+    }
+
+    fn access() -> Vec<DataOp> {
+        vec![DataOp::Read, DataOp::Write]
+    }
+
+    #[test]
+    fn single_target_plan_is_minimal() {
+        let f = forest();
+        let ops = BTreeMap::from([(e(5), access())]);
+        let plan = tree_lock_plan(&f, &ops).unwrap();
+        assert_eq!(
+            plan,
+            vec![
+                Step::lock_exclusive(e(5)),
+                Step::read(e(5)),
+                Step::write(e(5)),
+                Step::unlock_exclusive(e(5)),
+            ]
+        );
+        assert!(is_tree_locked(&plan, &f).is_ok());
+    }
+
+    #[test]
+    fn multi_target_plan_starts_at_lca_and_is_tree_locked() {
+        let f = forest();
+        let ops = BTreeMap::from([(e(5), access()), (e(6), access()), (e(2), access())]);
+        let plan = tree_lock_plan(&f, &ops).unwrap();
+        // LCA of {2, 5, 6} is 1.
+        assert_eq!(plan[0], Step::lock_exclusive(e(1)));
+        assert!(is_tree_locked(&plan, &f).is_ok());
+        // The plan is a valid well-formed locked transaction.
+        let t = LockedTransaction::new(TxId(1), plan.clone());
+        assert!(t.validate().is_ok());
+        // Every target's data ops appear.
+        for target in [e(2), e(5), e(6)] {
+            assert!(plan.contains(&Step::read(target)));
+            assert!(plan.contains(&Step::write(target)));
+        }
+        // Exactly the covering subtree {1, 2, 3, 5, 6} is locked.
+        let locked: BTreeSet<EntityId> =
+            plan.iter().filter(|s| s.is_lock()).map(|s| s.entity).collect();
+        assert_eq!(locked, BTreeSet::from([e(1), e(2), e(3), e(5), e(6)]));
+    }
+
+    #[test]
+    fn parent_released_only_after_children_locked() {
+        let f = forest();
+        let ops = BTreeMap::from([(e(5), access()), (e(6), access())]);
+        let plan = tree_lock_plan(&f, &ops).unwrap();
+        // LCA is 3; 3's unlock must come after locks of 5 and 6.
+        let pos =
+            |step: &Step| plan.iter().position(|s| s == step).expect("step in plan");
+        assert!(pos(&Step::unlock_exclusive(e(3))) > pos(&Step::lock_exclusive(e(5))));
+        assert!(pos(&Step::unlock_exclusive(e(3))) > pos(&Step::lock_exclusive(e(6))));
+        assert!(is_tree_locked(&plan, &f).is_ok());
+    }
+
+    #[test]
+    fn plan_errors() {
+        let f = forest();
+        assert_eq!(tree_lock_plan(&f, &BTreeMap::new()), Err(PlanError::NoTargets));
+        let ops = BTreeMap::from([(e(9), access())]);
+        assert_eq!(tree_lock_plan(&f, &ops), Err(PlanError::TargetNotInForest(e(9))));
+        let mut f2 = f.clone();
+        f2.add_root(e(9)).unwrap();
+        let ops = BTreeMap::from([(e(2), access()), (e(9), access())]);
+        assert_eq!(tree_lock_plan(&f2, &ops), Err(PlanError::TargetsSpanTrees(e(2), e(9))));
+    }
+
+    #[test]
+    fn validator_rejects_lock_without_parent() {
+        let f = forest();
+        let steps = vec![
+            Step::lock_exclusive(e(1)),
+            Step::unlock_exclusive(e(1)),
+            Step::lock_exclusive(e(5)), // parent 3 never held
+        ];
+        assert_eq!(
+            is_tree_locked(&steps, &f),
+            Err(TreeLockViolation::ParentNotHeld { pos: 2, entity: e(5) })
+        );
+    }
+
+    #[test]
+    fn validator_rejects_relock() {
+        let f = forest();
+        let steps = vec![
+            Step::lock_exclusive(e(1)),
+            Step::unlock_exclusive(e(1)),
+            Step::lock_exclusive(e(1)),
+        ];
+        assert_eq!(
+            is_tree_locked(&steps, &f),
+            Err(TreeLockViolation::RelockedEntity { pos: 2, entity: e(1) })
+        );
+    }
+
+    #[test]
+    fn validator_rejects_foreign_nodes() {
+        let f = forest();
+        let steps = vec![Step::lock_exclusive(e(42))];
+        assert_eq!(
+            is_tree_locked(&steps, &f),
+            Err(TreeLockViolation::NotInForest { pos: 0, entity: e(42) })
+        );
+    }
+
+    #[test]
+    fn first_lock_may_be_anywhere() {
+        let f = forest();
+        let steps = vec![Step::lock_exclusive(e(6)), Step::unlock_exclusive(e(6))];
+        assert!(is_tree_locked(&steps, &f).is_ok());
+    }
+
+    #[test]
+    fn deep_chain_plan() {
+        // Chain 1 -> 2 -> 3 -> 4 with target 4 only: plan locks just 4.
+        let mut f = Forest::new();
+        f.add_root(e(1)).unwrap();
+        f.add_child(e(1), e(2)).unwrap();
+        f.add_child(e(2), e(3)).unwrap();
+        f.add_child(e(3), e(4)).unwrap();
+        let ops = BTreeMap::from([(e(4), vec![DataOp::Write])]);
+        let plan = tree_lock_plan(&f, &ops).unwrap();
+        assert_eq!(plan.len(), 3); // LX 4, W 4, UX 4
+        // Two targets at the ends need the whole chain.
+        let ops = BTreeMap::from([(e(1), vec![DataOp::Read]), (e(4), vec![DataOp::Write])]);
+        let plan = tree_lock_plan(&f, &ops).unwrap();
+        assert!(is_tree_locked(&plan, &f).is_ok());
+        let locked: Vec<EntityId> =
+            plan.iter().filter(|s| s.is_lock()).map(|s| s.entity).collect();
+        assert_eq!(locked, vec![e(1), e(2), e(3), e(4)]);
+    }
+}

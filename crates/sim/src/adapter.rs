@@ -1,0 +1,45 @@
+//! The adapter interface between the simulator and the policy engines.
+//!
+//! Each adapter wraps one policy engine, translates [`Job`]s into the
+//! engine's lock/data/unlock actions, and reports per-step outcomes the
+//! scheduler can act on: progress, blocked-on-a-lock (wait), or a policy
+//! violation (abort and restart — e.g. the Fig. 3 scenario where an edge
+//! insert invalidates a traversal's lock plan).
+
+use crate::job::Job;
+use slp_core::{EntityId, Step, TxId};
+
+/// The outcome of attempting to advance a transaction by one action.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Advance {
+    /// The action ran; these steps were emitted.
+    Progress(Vec<Step>),
+    /// The next action needs a lock currently held by `holder`.
+    Blocked {
+        /// The contended entity.
+        entity: EntityId,
+        /// The transaction holding it.
+        holder: TxId,
+    },
+    /// The policy forbids the next action outright (the transaction must
+    /// abort and retry as a fresh transaction).
+    Violation(String),
+    /// The transaction finished; these final steps (unlocks) were emitted.
+    Done(Vec<Step>),
+}
+
+/// A locking policy as seen by the simulator.
+pub trait PolicyAdapter {
+    /// Human-readable policy name (rows of the E9 tables).
+    fn name(&self) -> &'static str;
+
+    /// Starts a transaction for `job`. The adapter may precompute a plan
+    /// against the current shared state. Fails only on malformed jobs.
+    fn begin(&mut self, tx: TxId, job: &Job) -> Result<(), String>;
+
+    /// Attempts the next action of `tx`.
+    fn advance(&mut self, tx: TxId) -> Advance;
+
+    /// Aborts `tx`, releasing all its locks; returns the unlock steps.
+    fn abort(&mut self, tx: TxId) -> Vec<Step>;
+}

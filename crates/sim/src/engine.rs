@@ -1,0 +1,465 @@
+//! The discrete-event simulation loop.
+//!
+//! `workers` concurrent slots execute a queue of [`Job`]s against one
+//! policy adapter. Each emitted step costs ticks per the latency model.
+//! Blocked transactions **park** on the contended entity and are woken in
+//! FIFO order when it is unlocked; waits-for cycles (deadlocks) abort the
+//! requester that closed the cycle, with a backoff that grows per restart
+//! (this breaks symmetric livelocks); policy violations abort and restart
+//! the job as a *fresh* transaction (the paper's Fig. 3 "abort and start
+//! from node 2" behavior). The complete interleaved step trace is recorded
+//! for post-hoc verification (legality, properness, serializability).
+
+use crate::adapter::{Advance, PolicyAdapter};
+use crate::job::Job;
+use slp_core::{Schedule, ScheduledStep, Step, TxId};
+use std::collections::HashMap;
+
+/// Tick costs of the simulated operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LatencyModel {
+    /// Cost of a lock step.
+    pub lock: u64,
+    /// Cost of an unlock step.
+    pub unlock: u64,
+    /// Cost of a data step (read/write/insert/delete).
+    pub data: u64,
+    /// Backoff before an aborted job restarts (scaled by the number of
+    /// restarts the job has already suffered).
+    pub restart_backoff: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel { lock: 1, unlock: 1, data: 5, restart_backoff: 10 }
+    }
+}
+
+/// Simulation parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimConfig {
+    /// Multiprogramming level: number of concurrent transaction slots.
+    pub workers: usize,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Hard cap on simulated ticks (guards against livelock in mutant
+    /// policies).
+    pub max_ticks: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { workers: 4, latency: LatencyModel::default(), max_ticks: 10_000_000 }
+    }
+}
+
+/// The result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Jobs committed.
+    pub committed: usize,
+    /// Aborts due to policy rule violations.
+    pub policy_aborts: usize,
+    /// Aborts due to deadlock resolution.
+    pub deadlock_aborts: usize,
+    /// Number of times a transaction found its lock request blocked.
+    pub lock_waits: u64,
+    /// Total simulated time (commit of the last job).
+    pub makespan: u64,
+    /// Sum of job response times (first dispatch to commit).
+    pub total_response: u64,
+    /// Total attempts (= committed + aborts).
+    pub attempts: usize,
+    /// The complete interleaved step trace.
+    pub schedule: Schedule,
+    /// Whether the run hit `max_ticks` before finishing the job queue.
+    pub timed_out: bool,
+}
+
+impl SimReport {
+    /// Committed jobs per 1000 ticks.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.committed as f64 * 1000.0 / self.makespan as f64
+        }
+    }
+
+    /// Mean response time per committed job.
+    pub fn mean_response(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.total_response as f64 / self.committed as f64
+        }
+    }
+
+    /// Abort rate over all attempts.
+    pub fn abort_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            (self.policy_aborts + self.deadlock_aborts) as f64 / self.attempts as f64
+        }
+    }
+}
+
+struct Run {
+    tx: TxId,
+    job_idx: usize,
+    ready_at: u64,
+    dispatched_at: u64,
+    /// When blocked, the entity this transaction is parked on. Parked
+    /// workers do not poll; they are woken in FIFO order when the entity
+    /// is unlocked.
+    parked_on: Option<(slp_core::EntityId, u64)>,
+}
+
+/// Runs `jobs` through `adapter` under `config`. Deterministic: no RNG is
+/// used by the engine itself (ties break by worker index).
+pub fn run_sim(adapter: &mut dyn PolicyAdapter, jobs: &[Job], config: &SimConfig) -> SimReport {
+    let mut report = SimReport {
+        policy: adapter.name(),
+        committed: 0,
+        policy_aborts: 0,
+        deadlock_aborts: 0,
+        lock_waits: 0,
+        makespan: 0,
+        total_response: 0,
+        attempts: 0,
+        schedule: Schedule::empty(),
+        timed_out: false,
+    };
+    let mut next_tx = 1u32;
+    let mut next_job = 0usize;
+    // Jobs whose attempt aborted, awaiting a restart: (job_idx, not_before,
+    // original dispatch time).
+    let mut retry_queue: Vec<(usize, u64, u64)> = Vec::new();
+    let mut workers: Vec<Option<Run>> = (0..config.workers).map(|_| None).collect();
+    let mut dispatch_times: HashMap<usize, u64> = HashMap::new();
+    // Restart counts per job (scales the backoff to break livelocks).
+    let mut attempts_of: HashMap<usize, u64> = HashMap::new();
+    // tx -> (blocked-on holder) for deadlock detection.
+    let mut waits_for: HashMap<TxId, TxId> = HashMap::new();
+    // FIFO park sequence counter (first parked, first woken).
+    let mut park_seq = 0u64;
+    let mut now = 0u64;
+
+    fn wake_parked(workers: &mut [Option<Run>], steps: &[Step], now: u64) {
+        for s in steps {
+            if !s.is_unlock() {
+                continue;
+            }
+            // Wake the earliest-parked worker waiting on this entity.
+            let candidate = (0..workers.len())
+                .filter_map(|i| {
+                    workers[i]
+                        .as_ref()
+                        .and_then(|r| r.parked_on)
+                        .filter(|&(e, _)| e == s.entity)
+                        .map(|(_, seq)| (seq, i))
+                })
+                .min();
+            if let Some((_, i)) = candidate {
+                let run = workers[i].as_mut().expect("parked worker");
+                run.parked_on = None;
+                run.ready_at = now + 1;
+            }
+        }
+    }
+
+    let step_cost = |l: &LatencyModel, steps: &[Step]| -> u64 {
+        steps
+            .iter()
+            .map(|s| {
+                if s.is_lock() {
+                    l.lock
+                } else if s.is_unlock() {
+                    l.unlock
+                } else {
+                    l.data
+                }
+            })
+            .sum()
+    };
+
+    loop {
+        if now > config.max_ticks {
+            report.timed_out = true;
+            break;
+        }
+        // Fill idle workers.
+        for w in workers.iter_mut() {
+            if w.is_some() {
+                continue;
+            }
+            // Prefer restarts whose backoff has expired, then fresh jobs.
+            let job_idx = if let Some(pos) = retry_queue
+                .iter()
+                .position(|&(_, not_before, _)| not_before <= now)
+            {
+                let (idx, _, orig) = retry_queue.remove(pos);
+                dispatch_times.insert(idx, orig);
+                Some(idx)
+            } else if next_job < jobs.len() {
+                let idx = next_job;
+                next_job += 1;
+                dispatch_times.insert(idx, now);
+                Some(idx)
+            } else {
+                None
+            };
+            let Some(job_idx) = job_idx else { continue };
+            let tx = TxId(next_tx);
+            next_tx += 1;
+            report.attempts += 1;
+            match adapter.begin(tx, &jobs[job_idx]) {
+                Ok(()) => {
+                    *w = Some(Run {
+                        tx,
+                        job_idx,
+                        ready_at: now,
+                        dispatched_at: dispatch_times[&job_idx],
+                        parked_on: None,
+                    });
+                }
+                Err(_) => {
+                    // Treat begin failures as policy aborts with backoff.
+                    report.policy_aborts += 1;
+                    let n = attempts_of.entry(job_idx).or_insert(0);
+                    *n += 1;
+                    retry_queue.push((
+                        job_idx,
+                        now + config.latency.restart_backoff * *n,
+                        dispatch_times[&job_idx],
+                    ));
+                }
+            }
+        }
+        // Termination: nothing running and nothing left to dispatch.
+        let any_running = workers.iter().any(Option::is_some);
+        if !any_running {
+            if next_job >= jobs.len() && retry_queue.is_empty() {
+                break;
+            }
+            // Idle but restarts are pending: jump to the earliest backoff.
+            if next_job >= jobs.len() {
+                now = retry_queue.iter().map(|&(_, t, _)| t).min().unwrap_or(now + 1);
+                continue;
+            }
+            continue;
+        }
+        // Pick the ready worker with the earliest ready time.
+        let wi = (0..workers.len())
+            .filter(|&i| workers[i].is_some())
+            .min_by_key(|&i| (workers[i].as_ref().expect("is_some").ready_at, i))
+            .expect("some worker running");
+        if workers[wi].as_ref().expect("selected").ready_at == u64::MAX {
+            // Every running worker is parked and no restart can proceed:
+            // break the stall by aborting the earliest-parked worker.
+            let (_, stalled) = workers
+                .iter()
+                .enumerate()
+                .filter_map(|(i, w)| {
+                    w.as_ref().and_then(|r| r.parked_on).map(|(_, seq)| (seq, i))
+                })
+                .min()
+                .expect("a parked worker exists");
+            let run = workers[stalled].take().expect("parked");
+            report.deadlock_aborts += 1;
+            waits_for.remove(&run.tx);
+            let unlocks = adapter.abort(run.tx);
+            for s in &unlocks {
+                report.schedule.push(ScheduledStep::new(run.tx, *s));
+            }
+            wake_parked(&mut workers, &unlocks, now);
+            let n = attempts_of.entry(run.job_idx).or_insert(0);
+            *n += 1;
+            retry_queue.push((
+                run.job_idx,
+                now + config.latency.restart_backoff * *n,
+                run.dispatched_at,
+            ));
+            dispatch_times.insert(run.job_idx, run.dispatched_at);
+            now += 1;
+            continue;
+        }
+        let run = workers[wi].as_mut().expect("selected");
+        now = now.max(run.ready_at);
+        let tx = run.tx;
+        match adapter.advance(tx) {
+            Advance::Progress(steps) => {
+                waits_for.remove(&tx);
+                for s in &steps {
+                    report.schedule.push(ScheduledStep::new(tx, *s));
+                }
+                run.ready_at = now + step_cost(&config.latency, &steps).max(1);
+                wake_parked(&mut workers, &steps, now);
+            }
+            Advance::Done(steps) => {
+                waits_for.remove(&tx);
+                for s in &steps {
+                    report.schedule.push(ScheduledStep::new(tx, *s));
+                }
+                let finish = now + step_cost(&config.latency, &steps).max(1);
+                report.committed += 1;
+                report.total_response += finish - run.dispatched_at;
+                report.makespan = report.makespan.max(finish);
+                workers[wi] = None;
+                wake_parked(&mut workers, &steps, now);
+            }
+            Advance::Blocked { entity, holder } => {
+                report.lock_waits += 1;
+                waits_for.insert(tx, holder);
+                // Deadlock detection: does the waits-for chain from the
+                // holder lead back to this transaction?
+                let mut seen = vec![tx];
+                let mut cur = holder;
+                let deadlock = loop {
+                    if cur == tx {
+                        break true;
+                    }
+                    if seen.contains(&cur) {
+                        break false; // a cycle among others; they resolve it
+                    }
+                    seen.push(cur);
+                    match waits_for.get(&cur) {
+                        Some(&next) => cur = next,
+                        None => break false,
+                    }
+                };
+                if deadlock {
+                    // Abort the requester that closed the cycle, with a
+                    // backoff that grows per restart (breaks symmetric
+                    // livelocks).
+                    report.deadlock_aborts += 1;
+                    waits_for.remove(&tx);
+                    let unlocks = adapter.abort(tx);
+                    for s in &unlocks {
+                        report.schedule.push(ScheduledStep::new(tx, *s));
+                    }
+                    let job_idx = run.job_idx;
+                    let dispatched = run.dispatched_at;
+                    let n = attempts_of.entry(job_idx).or_insert(0);
+                    *n += 1;
+                    retry_queue.push((
+                        job_idx,
+                        now + config.latency.restart_backoff * *n,
+                        dispatched,
+                    ));
+                    dispatch_times.insert(job_idx, dispatched);
+                    workers[wi] = None;
+                    wake_parked(&mut workers, &unlocks, now);
+                } else {
+                    // Park until the entity is unlocked (FIFO).
+                    run.parked_on = Some((entity, park_seq));
+                    park_seq += 1;
+                    run.ready_at = u64::MAX;
+                }
+            }
+            Advance::Violation(_) => {
+                report.policy_aborts += 1;
+                waits_for.remove(&tx);
+                let unlocks = adapter.abort(tx);
+                for s in &unlocks {
+                    report.schedule.push(ScheduledStep::new(tx, *s));
+                }
+                let job_idx = run.job_idx;
+                let dispatched = run.dispatched_at;
+                let n = attempts_of.entry(job_idx).or_insert(0);
+                *n += 1;
+                retry_queue.push((
+                    job_idx,
+                    now + config.latency.restart_backoff * *n,
+                    dispatched,
+                ));
+                dispatch_times.insert(job_idx, dispatched);
+                workers[wi] = None;
+                wake_parked(&mut workers, &unlocks, now);
+            }
+        }
+    }
+    report.makespan = report.makespan.max(now);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::TwoPhaseAdapter;
+    use slp_core::EntityId;
+
+    fn pool(n: u32) -> Vec<EntityId> {
+        (0..n).map(EntityId).collect()
+    }
+
+    #[test]
+    fn disjoint_jobs_all_commit_without_waits() {
+        let mut adapter = TwoPhaseAdapter::new(pool(8));
+        let jobs: Vec<Job> = (0..4)
+            .map(|i| Job::access(vec![EntityId(i * 2), EntityId(i * 2 + 1)]))
+            .collect();
+        let report = run_sim(&mut adapter, &jobs, &SimConfig::default());
+        assert_eq!(report.committed, 4);
+        assert_eq!(report.lock_waits, 0);
+        assert_eq!(report.policy_aborts + report.deadlock_aborts, 0);
+        assert!(report.schedule.is_legal());
+        assert!(slp_core::is_serializable(&report.schedule));
+    }
+
+    #[test]
+    fn contended_jobs_wait_but_commit() {
+        let mut adapter = TwoPhaseAdapter::new(pool(1));
+        let jobs: Vec<Job> = (0..3).map(|_| Job::access(vec![EntityId(0)])).collect();
+        let report = run_sim(&mut adapter, &jobs, &SimConfig::default());
+        assert_eq!(report.committed, 3);
+        assert!(report.lock_waits > 0, "serialized access must wait");
+        assert!(report.schedule.is_legal());
+    }
+
+    #[test]
+    fn opposite_order_jobs_deadlock_and_recover() {
+        let mut adapter = TwoPhaseAdapter::new(pool(2));
+        // T1: 0 then 1. T2: 1 then 0 — classic deadlock under 2PL.
+        let jobs = vec![
+            Job::access(vec![EntityId(0), EntityId(1)]),
+            Job::access(vec![EntityId(1), EntityId(0)]),
+        ];
+        let report = run_sim(&mut adapter, &jobs, &SimConfig::default());
+        assert_eq!(report.committed, 2, "deadlock must be resolved by abort+restart");
+        assert!(report.deadlock_aborts >= 1);
+        assert!(report.schedule.is_legal());
+        assert!(slp_core::is_serializable(&report.schedule));
+    }
+
+    #[test]
+    fn single_worker_serializes_everything() {
+        let mut adapter = TwoPhaseAdapter::new(pool(2));
+        let jobs = vec![
+            Job::access(vec![EntityId(0), EntityId(1)]),
+            Job::access(vec![EntityId(1), EntityId(0)]),
+        ];
+        let config = SimConfig { workers: 1, ..Default::default() };
+        let report = run_sim(&mut adapter, &jobs, &config);
+        assert_eq!(report.committed, 2);
+        assert_eq!(report.deadlock_aborts, 0, "MPL 1 cannot deadlock");
+        assert_eq!(report.lock_waits, 0);
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let mut adapter = TwoPhaseAdapter::new(pool(4));
+        let jobs: Vec<Job> =
+            (0..6).map(|i| Job::access(vec![EntityId(i % 4)])).collect();
+        let report = run_sim(&mut adapter, &jobs, &SimConfig::default());
+        assert_eq!(report.committed, 6);
+        assert_eq!(report.attempts, 6 + report.policy_aborts + report.deadlock_aborts);
+        assert!(report.throughput() > 0.0);
+        assert!(report.mean_response() > 0.0);
+        assert!(report.makespan > 0);
+        assert!(!report.timed_out);
+    }
+}

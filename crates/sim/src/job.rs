@@ -1,0 +1,59 @@
+//! Jobs: the workload unit handed to a policy adapter.
+//!
+//! A job describes *what* a transaction wants (entities to `ACCESS`,
+//! optionally a structural mutation); the policy adapter decides *how* to
+//! lock for it. Using one job type for every policy keeps the E9
+//! comparison apples-to-apples.
+
+use slp_core::EntityId;
+
+/// A unit of work for one transaction.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Job {
+    /// Entities to `ACCESS` (read + write), in the given order.
+    pub targets: Vec<EntityId>,
+    /// Optional structural mutation (DDAG workloads): insert a fresh node
+    /// under an existing parent, connected by a fresh edge.
+    pub insert_under: Option<InsertUnder>,
+}
+
+/// Insert `node` as a new child of `parent`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InsertUnder {
+    /// The existing parent node.
+    pub parent: EntityId,
+    /// The fresh node to insert.
+    pub node: EntityId,
+}
+
+impl Job {
+    /// A job accessing the given targets.
+    pub fn access(targets: Vec<EntityId>) -> Self {
+        Job { targets, insert_under: None }
+    }
+
+    /// A job inserting `node` under `parent` (and accessing nothing else).
+    pub fn insert(parent: EntityId, node: EntityId) -> Self {
+        Job { targets: Vec::new(), insert_under: Some(InsertUnder { parent, node }) }
+    }
+
+    /// Total number of data touches the job performs.
+    pub fn size(&self) -> usize {
+        self.targets.len() + usize::from(self.insert_under.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let j = Job::access(vec![EntityId(1), EntityId(2)]);
+        assert_eq!(j.size(), 2);
+        assert!(j.insert_under.is_none());
+        let j = Job::insert(EntityId(1), EntityId(9));
+        assert_eq!(j.size(), 1);
+        assert_eq!(j.insert_under.unwrap().parent, EntityId(1));
+    }
+}

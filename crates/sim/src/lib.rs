@@ -1,0 +1,33 @@
+//! # slp-sim — concurrency-control simulator for locking-policy evaluation
+//!
+//! The paper's companion performance study \[CHMS94\] evaluated the DDAG
+//! policy on a knowledge-base management system testbed. This crate is the
+//! substitution (DESIGN.md §5): a deterministic discrete-event simulator
+//! that runs synthetic workloads against the *actual policy engines* of
+//! `slp-policies`, with lock waiting, deadlock detection, abort/restart,
+//! and full trace capture for post-hoc verification (legality, properness,
+//! serializability).
+//!
+//! * [`job`] — the policy-agnostic unit of work;
+//! * [`adapter`] — the simulator ↔ policy-engine interface;
+//! * [`adapters`] — 2PL, altruistic, DDAG, and DTR adapters;
+//! * [`engine`] — the simulation loop and [`SimReport`] metrics;
+//! * [`workload`] — seeded generators (layered DAGs, uniform/long-short
+//!   jobs, traversal/insert mixes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod adapters;
+pub mod engine;
+pub mod job;
+pub mod workload;
+
+pub use adapter::{Advance, PolicyAdapter};
+pub use adapters::{AltruisticAdapter, DdagAdapter, DtrAdapter, TwoPhaseAdapter};
+pub use engine::{run_sim, LatencyModel, SimConfig, SimReport};
+pub use job::{InsertUnder, Job};
+pub use workload::{
+    dag_access_jobs, dag_mixed_jobs, layered_dag, long_short_jobs, uniform_jobs, LayeredDag,
+};

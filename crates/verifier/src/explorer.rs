@@ -1,0 +1,456 @@
+//! Exhaustive exploration of the legal-and-proper schedule space of a
+//! locked transaction system.
+//!
+//! The safety question ("is every legal and proper schedule serializable?")
+//! is decided for small systems by depth-first search over interleavings.
+//! Soundness of the memoization: two search states with the same
+//! per-transaction positions admit exactly the same *futures* (legality and
+//! properness of a suffix depend only on positions), but may differ in the
+//! serializability graph accumulated so far — so the memo key is the pair
+//! (positions, `D(S)`-edge bitmask).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use slp_core::{Schedule, ScheduleSimulator, ScheduledStep, TransactionSystem, TxId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Limits on the search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SearchBudget {
+    /// Maximum number of search states to visit before giving up.
+    pub max_states: usize,
+    /// Whether to memoize fully explored (positions, D-edges) states.
+    /// Disabling turns the search into a plain DFS — exposed for the
+    /// memoization ablation in `verifier_bench`.
+    pub use_memo: bool,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget { max_states: 2_000_000, use_memo: true }
+    }
+}
+
+/// Statistics from a search run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SearchStats {
+    /// Search states visited.
+    pub states: usize,
+    /// Memoization hits (states skipped).
+    pub memo_hits: usize,
+    /// Complete schedules reached.
+    pub completions: usize,
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} memo hits, {} completions",
+            self.states, self.memo_hits, self.completions
+        )
+    }
+}
+
+/// The verdict of a safety check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Every legal and proper schedule is serializable.
+    Safe(SearchStats),
+    /// A legal, proper, nonserializable complete schedule exists.
+    Unsafe {
+        /// The counterexample schedule.
+        witness: Schedule,
+        /// Search statistics.
+        stats: SearchStats,
+    },
+    /// The budget was exhausted before the space was covered.
+    Exhausted(SearchStats),
+}
+
+impl Verdict {
+    /// Whether the verdict is [`Verdict::Safe`].
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Verdict::Safe(_))
+    }
+
+    /// Whether the verdict is [`Verdict::Unsafe`].
+    pub fn is_unsafe(&self) -> bool {
+        matches!(self, Verdict::Unsafe { .. })
+    }
+
+    /// The counterexample, if unsafe.
+    pub fn witness(&self) -> Option<&Schedule> {
+        match self {
+            Verdict::Unsafe { witness, .. } => Some(witness),
+            _ => None,
+        }
+    }
+
+    /// The statistics of the run.
+    pub fn stats(&self) -> SearchStats {
+        match self {
+            Verdict::Safe(s) | Verdict::Exhausted(s) | Verdict::Unsafe { stats: s, .. } => *s,
+        }
+    }
+}
+
+/// Whether the edge bitmask over `k` nodes contains a cycle (transitive
+/// closure; bit `i * k + j` encodes edge `i -> j`).
+fn mask_has_cycle(mask: u128, k: usize) -> bool {
+    let mut reach = mask;
+    // Floyd–Warshall on bits.
+    for via in 0..k {
+        for i in 0..k {
+            if reach & (1u128 << (i * k + via)) != 0 {
+                for j in 0..k {
+                    if reach & (1u128 << (via * k + j)) != 0 {
+                        reach |= 1u128 << (i * k + j);
+                    }
+                }
+            }
+        }
+    }
+    (0..k).any(|i| reach & (1u128 << (i * k + i)) != 0)
+}
+
+struct Search<'a> {
+    system: &'a TransactionSystem,
+    ids: Vec<TxId>,
+    budget: SearchBudget,
+    stats: SearchStats,
+    memo: HashSet<(Vec<u16>, u128)>,
+    /// Search goal: when all started transactions have finished, accept if
+    /// the accumulated `D(S)` edge mask satisfies this predicate.
+    want_cycle: bool,
+    /// When set, candidate transactions are tried in a shuffled order at
+    /// each node, so the first completion found is a *random interleaved*
+    /// schedule rather than a serial one.
+    rng: Option<StdRng>,
+    /// When true, acceptance requires *every* transaction of the system to
+    /// have run to completion (not just the started subset).
+    require_all: bool,
+}
+
+/// Outcome of the internal DFS.
+enum Dfs {
+    Found(Schedule),
+    NotFound,
+    BudgetExhausted,
+}
+
+impl<'a> Search<'a> {
+    fn new(system: &'a TransactionSystem, budget: SearchBudget, want_cycle: bool) -> Self {
+        Search {
+            system,
+            ids: system.ids(),
+            budget,
+            stats: SearchStats::default(),
+            memo: HashSet::new(),
+            want_cycle,
+            rng: None,
+            require_all: false,
+        }
+    }
+
+    /// Recomputes the conflict edges the next step of `tx_idx` adds against
+    /// all earlier steps in the schedule.
+    fn new_edges(&self, schedule: &Schedule, step: &ScheduledStep) -> u128 {
+        let k = self.ids.len();
+        let to = self.ids.iter().position(|&t| t == step.tx).expect("known tx");
+        let mut mask = 0u128;
+        for prior in schedule.steps() {
+            if prior.tx != step.tx && prior.step.conflicts_with(&step.step) {
+                let from = self.ids.iter().position(|&t| t == prior.tx).expect("known tx");
+                mask |= 1u128 << (from * k + to);
+            }
+        }
+        mask
+    }
+
+    fn dfs(
+        &mut self,
+        positions: &mut Vec<u16>,
+        sim: &ScheduleSimulator,
+        schedule: &mut Schedule,
+        edges: u128,
+    ) -> Dfs {
+        if self.stats.states >= self.budget.max_states {
+            return Dfs::BudgetExhausted;
+        }
+        self.stats.states += 1;
+
+        // Acceptance: every *started* transaction has run to completion
+        // (or, in require_all mode, every transaction of the system).
+        let k = self.ids.len();
+        let all_started_finished = self.ids.iter().enumerate().all(|(i, &id)| {
+            let len = self.system.get(id).expect("known tx").len() as u16;
+            (positions[i] == 0 && !self.require_all) || positions[i] == len
+        });
+        let started_any = positions.iter().any(|&p| p > 0);
+        if all_started_finished && started_any {
+            self.stats.completions += 1;
+            let accept = if self.want_cycle { mask_has_cycle(edges, k) } else { true };
+            if accept {
+                return Dfs::Found(schedule.clone());
+            }
+        }
+
+        let mut budget_hit = false;
+        let mut try_order: Vec<usize> = (0..k).collect();
+        if let Some(rng) = &mut self.rng {
+            try_order.shuffle(rng);
+        }
+        for i in try_order {
+            let id = self.ids[i];
+            let tx = self.system.get(id).expect("known tx");
+            let pos = positions[i] as usize;
+            let Some(&step) = tx.steps.get(pos) else { continue };
+            // Legality + properness gate.
+            if sim.check(id, &step).is_err() {
+                continue;
+            }
+            let sstep = ScheduledStep::new(id, step);
+            let next_edges = edges | self.new_edges(schedule, &sstep);
+            positions[i] += 1;
+            let key = (positions.clone(), next_edges);
+            if self.budget.use_memo && self.memo.contains(&key) {
+                self.stats.memo_hits += 1;
+                positions[i] -= 1;
+                continue;
+            }
+            let mut next_sim = sim.clone();
+            next_sim.apply(id, &step).expect("checked");
+            schedule.push(sstep);
+            let result = self.dfs(positions, &next_sim, schedule, next_edges);
+            schedule_pop(schedule);
+            positions[i] -= 1;
+            match result {
+                Dfs::Found(s) => return Dfs::Found(s),
+                // Only fully explored subtrees may be memoized.
+                Dfs::NotFound => {
+                    if self.budget.use_memo {
+                        self.memo.insert(key);
+                    }
+                }
+                Dfs::BudgetExhausted => {
+                    budget_hit = true;
+                    break;
+                }
+            }
+        }
+        if budget_hit {
+            Dfs::BudgetExhausted
+        } else {
+            Dfs::NotFound
+        }
+    }
+}
+
+fn schedule_pop(s: &mut Schedule) {
+    let mut steps = s.steps().to_vec();
+    steps.pop();
+    *s = Schedule::from_steps(steps);
+}
+
+/// Decides safety of `system` by exhaustive search: looks for a complete
+/// (over the started subset), legal, proper, nonserializable schedule.
+pub fn verify_safety(system: &TransactionSystem, budget: SearchBudget) -> Verdict {
+    let mut search = Search::new(system, budget, true);
+    let mut positions = vec![0u16; search.ids.len()];
+    let sim = ScheduleSimulator::new(system.initial_state().clone());
+    let mut schedule = Schedule::empty();
+    match search.dfs(&mut positions, &sim, &mut schedule, 0) {
+        Dfs::Found(witness) => Verdict::Unsafe { witness, stats: search.stats },
+        Dfs::NotFound => Verdict::Safe(search.stats),
+        Dfs::BudgetExhausted => Verdict::Exhausted(search.stats),
+    }
+}
+
+/// Extends a legal & proper partial schedule `prefix` of `system` to any
+/// complete legal & proper schedule (additional transactions may be
+/// started). Returns `None` if no completion exists within budget.
+pub fn complete_schedule(
+    system: &TransactionSystem,
+    prefix: &Schedule,
+    budget: SearchBudget,
+) -> Option<Schedule> {
+    complete_with(system, prefix, budget, None)
+}
+
+/// Like [`complete_schedule`], but explores interleavings in a seeded
+/// random order and requires **every** transaction of the system to run to
+/// completion — the first schedule found is therefore a random interleaved
+/// legal & proper schedule of the whole system (the corpus generator for
+/// the Lemma 1–2 experiments).
+pub fn complete_schedule_randomized(
+    system: &TransactionSystem,
+    prefix: &Schedule,
+    budget: SearchBudget,
+    seed: u64,
+) -> Option<Schedule> {
+    complete_with(system, prefix, budget, Some(seed))
+}
+
+fn complete_with(
+    system: &TransactionSystem,
+    prefix: &Schedule,
+    budget: SearchBudget,
+    seed: Option<u64>,
+) -> Option<Schedule> {
+    let mut search = Search::new(system, budget, false);
+    search.rng = seed.map(StdRng::seed_from_u64);
+    search.require_all = seed.is_some();
+    let mut positions = vec![0u16; search.ids.len()];
+    let mut sim = ScheduleSimulator::new(system.initial_state().clone());
+    let mut schedule = Schedule::empty();
+    let mut edges = 0u128;
+    for s in prefix.steps() {
+        let i = search.ids.iter().position(|&t| t == s.tx)?;
+        let tx = system.get(s.tx)?;
+        if tx.steps.get(positions[i] as usize) != Some(&s.step) {
+            return None; // not a partial schedule of the system
+        }
+        sim.apply(s.tx, &s.step).ok()?;
+        edges |= search.new_edges(&schedule, s);
+        schedule.push(*s);
+        positions[i] += 1;
+    }
+    match search.dfs(&mut positions, &sim, &mut schedule, edges) {
+        Dfs::Found(s) => Some(s),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp_core::SystemBuilder;
+
+    /// Two 2PL transactions: safe.
+    fn two_phase_system() -> TransactionSystem {
+        let mut b = SystemBuilder::new();
+        b.exists("x");
+        b.exists("y");
+        b.tx(1).lx("x").write("x").lx("y").write("y").ux("x").ux("y").finish();
+        b.tx(2).lx("x").write("x").lx("y").write("y").ux("y").ux("x").finish();
+        b.build()
+    }
+
+    /// Classic non-2PL pair: unsafe.
+    fn short_lock_system() -> TransactionSystem {
+        let mut b = SystemBuilder::new();
+        b.exists("x");
+        b.exists("y");
+        b.tx(1).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
+        b.tx(2).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
+        b.build()
+    }
+
+    #[test]
+    fn two_phase_pair_is_safe() {
+        let verdict = verify_safety(&two_phase_system(), SearchBudget::default());
+        assert!(verdict.is_safe(), "{verdict:?}");
+        assert!(verdict.stats().states > 0);
+    }
+
+    #[test]
+    fn short_lock_pair_is_unsafe_with_valid_witness() {
+        let system = short_lock_system();
+        let verdict = verify_safety(&system, SearchBudget::default());
+        let witness = verdict.witness().expect("unsafe").clone();
+        assert!(witness.is_legal());
+        assert!(witness.is_proper(system.initial_state()));
+        assert!(!slp_core::is_serializable(&witness));
+        // The witness is complete over its participants.
+        let parts: Vec<_> = witness
+            .participants()
+            .iter()
+            .map(|&id| system.get(id).unwrap().clone())
+            .collect();
+        assert!(witness.is_complete_schedule_of(&parts));
+    }
+
+    #[test]
+    fn single_transaction_system_is_safe() {
+        let mut b = SystemBuilder::new();
+        b.exists("x");
+        b.tx(1).lx("x").write("x").ux("x").finish();
+        let verdict = verify_safety(&b.build(), SearchBudget::default());
+        assert!(verdict.is_safe());
+    }
+
+    #[test]
+    fn empty_system_is_safe() {
+        let b = SystemBuilder::new();
+        let verdict = verify_safety(&b.build(), SearchBudget::default());
+        assert!(verdict.is_safe());
+    }
+
+    #[test]
+    fn properness_prunes_impossible_interleavings() {
+        // T2 can only run between T1's insert and delete; all complete
+        // schedules are serializable because T2's window forces an order.
+        let mut b = SystemBuilder::new();
+        b.tx(1).lx("a").insert("a").ux("a").finish();
+        b.tx(2).lx("a").read("a").ux("a").finish();
+        let system = b.build();
+        let verdict = verify_safety(&system, SearchBudget::default());
+        assert!(verdict.is_safe());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let verdict = verify_safety(&two_phase_system(), SearchBudget { max_states: 3, ..Default::default() });
+        assert!(matches!(verdict, Verdict::Exhausted(_)));
+    }
+
+    #[test]
+    fn completion_of_empty_prefix_exists() {
+        let system = two_phase_system();
+        let s = complete_schedule(&system, &Schedule::empty(), SearchBudget::default());
+        let s = s.expect("completion exists");
+        assert!(s.is_legal());
+        assert!(s.is_proper(system.initial_state()));
+    }
+
+    #[test]
+    fn completion_respects_prefix() {
+        let system = short_lock_system();
+        // Prefix: T1 does (LX x)(W x)(UX x).
+        let t1 = system.get(TxId(1)).unwrap().clone();
+        let prefix = Schedule::from_steps(
+            t1.steps[..3]
+                .iter()
+                .map(|&s| ScheduledStep::new(TxId(1), s))
+                .collect(),
+        );
+        let s = complete_schedule(&system, &prefix, SearchBudget::default()).unwrap();
+        assert!(s.has_prefix(&prefix));
+        assert!(s.is_legal());
+        assert!(s.is_proper(system.initial_state()));
+    }
+
+    #[test]
+    fn bogus_prefix_is_rejected() {
+        let system = two_phase_system();
+        let bogus = Schedule::from_steps(vec![ScheduledStep::new(
+            TxId(1),
+            slp_core::Step::write(slp_core::EntityId(0)), // T1 starts with LX x
+        )]);
+        assert_eq!(complete_schedule(&system, &bogus, SearchBudget::default()), None);
+    }
+
+    #[test]
+    fn mask_cycle_detection() {
+        // 3 nodes, edges 0->1, 1->2: acyclic.
+        let k = 3;
+        let edge = |i: usize, j: usize| 1u128 << (i * k + j);
+        assert!(!mask_has_cycle(edge(0, 1) | edge(1, 2), k));
+        assert!(mask_has_cycle(edge(0, 1) | edge(1, 2) | edge(2, 0), k));
+        assert!(mask_has_cycle(edge(0, 1) | edge(1, 0), k));
+        assert!(!mask_has_cycle(0, k));
+    }
+}

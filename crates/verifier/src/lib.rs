@@ -1,0 +1,33 @@
+//! # slp-verifier — safety verification for locked transaction systems
+//!
+//! Two independent deciders for the paper's central question, *is this
+//! locked transaction system safe?* (every legal & proper schedule
+//! serializable):
+//!
+//! * [`explorer::verify_safety`] — **exhaustive**: memoized DFS over all
+//!   legal & proper interleavings, looking for a nonserializable complete
+//!   schedule. Ground truth for small systems.
+//! * [`canonical_search::find_canonical_witness`] — **Theorem 1**: only
+//!   canonical candidates are enumerated (a serial execution of prefixes
+//!   plus a culprit lock step satisfying conditions 1, 2a, 2b). Correct by
+//!   the paper's main theorem; experiment E6 cross-validates the two
+//!   deciders on randomized systems.
+//!
+//! Supporting modules: [`minimize`] (witness shrinking) and [`gen`]
+//! (seeded random system generation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canonical_search;
+pub mod explorer;
+pub mod gen;
+pub mod minimize;
+
+pub use canonical_search::{find_canonical_witness, CanonicalBudget, CanonicalOutcome};
+pub use explorer::{
+    complete_schedule, complete_schedule_randomized, verify_safety, SearchBudget, SearchStats,
+    Verdict,
+};
+pub use gen::{random_system, GenParams};
+pub use minimize::minimize_witness;

@@ -1,0 +1,74 @@
+//! Cross-validation of Theorem 1 (experiment E6, test form).
+//!
+//! On randomized small locked transaction systems, the exhaustive explorer
+//! (ground truth) and the canonical-schedule search (Theorem 1) must reach
+//! the same verdict: a legal & proper nonserializable schedule exists iff
+//! a canonical witness exists.
+
+use slp_verifier::{
+    find_canonical_witness, random_system, verify_safety, CanonicalBudget, GenParams,
+    SearchBudget,
+};
+
+fn check_agreement(params: GenParams, seeds: std::ops::Range<u64>) -> (usize, usize) {
+    let mut safe = 0;
+    let mut unsafe_ = 0;
+    for seed in seeds {
+        let system = random_system(params, seed);
+        let exhaustive = verify_safety(&system, SearchBudget::default());
+        let canonical = find_canonical_witness(&system, CanonicalBudget::default());
+        match (exhaustive.is_unsafe(), canonical.witness()) {
+            (true, Some(w)) => {
+                unsafe_ += 1;
+                assert_eq!(w.verify(&system), Ok(()), "seed {seed}: witness must verify");
+                assert!(
+                    !slp_core::is_serializable(&w.extension),
+                    "seed {seed}: canonical extension must be nonserializable"
+                );
+            }
+            (false, None) => safe += 1,
+            (ex, can) => panic!(
+                "seed {seed}: Theorem 1 violated — exhaustive says unsafe={ex}, canonical witness present={}",
+                can.is_some()
+            ),
+        }
+    }
+    (safe, unsafe_)
+}
+
+#[test]
+fn theorem1_agreement_small_systems() {
+    let (safe, unsafe_) = check_agreement(GenParams::default(), 0..60);
+    // The generator must exercise both outcomes for the test to mean much.
+    assert!(safe > 0, "no safe system generated");
+    assert!(unsafe_ > 0, "no unsafe system generated");
+}
+
+#[test]
+fn theorem1_agreement_more_structural_ops() {
+    let params = GenParams { structural_prob: 0.5, ..GenParams::default() };
+    let (safe, unsafe_) = check_agreement(params, 100..140);
+    assert!(safe + unsafe_ == 40);
+}
+
+#[test]
+fn theorem1_agreement_two_transactions() {
+    let params = GenParams { transactions: 2, sessions_per_tx: 3, ..GenParams::default() };
+    let (safe, unsafe_) = check_agreement(params, 200..260);
+    assert!(safe + unsafe_ == 60);
+    assert!(unsafe_ > 0, "two-transaction unsafe systems should exist");
+}
+
+#[test]
+fn all_two_phase_systems_are_safe() {
+    let params = GenParams { two_phase_prob: 1.0, ..GenParams::default() };
+    for seed in 300..340 {
+        let system = random_system(params, seed);
+        assert!(
+            system.transactions().iter().all(|t| t.is_two_phase()),
+            "generator must honor two_phase_prob = 1"
+        );
+        let verdict = verify_safety(&system, SearchBudget::default());
+        assert!(verdict.is_safe(), "seed {seed}: 2PL system must be safe");
+    }
+}

@@ -1,0 +1,102 @@
+//! The dynamic tree policy (Section 6): the concurrency control builds the
+//! database forest itself.
+//!
+//! Reproduces the Fig. 5 walkthrough — the forest grows as transactions
+//! declare their access sets (rules DT0–DT2) and shrinks again once nodes
+//! are no longer needed (rule DT3) — then runs a simulated workload and
+//! verifies serializability (Theorem 4).
+//!
+//! Run with: `cargo run --example dynamic_forest`
+
+use safe_locking::core::{is_serializable, DataOp, EntityId, TxId};
+use safe_locking::policies::dtr::DtrEngine;
+use safe_locking::sim::{run_sim, uniform_jobs, DtrAdapter, SimConfig};
+use std::collections::BTreeMap;
+
+fn access() -> Vec<DataOp> {
+    vec![DataOp::Read, DataOp::Write]
+}
+
+fn show_forest(eng: &DtrEngine) {
+    let f = eng.forest();
+    print!("forest:");
+    for root in f.roots() {
+        print!(" tree(root {root}): {{");
+        let mut first = true;
+        for n in f.tree_nodes(root) {
+            if !first {
+                print!(", ");
+            }
+            match f.parent(n) {
+                Some(p) => print!("{n}<-{p}"),
+                None => print!("{n}"),
+            }
+            first = false;
+        }
+        print!("}}");
+    }
+    println!();
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The Fig. 5 walkthrough.
+    // ------------------------------------------------------------------
+    println!("== Fig. 5: the database forest under DT0–DT3 ==\n");
+    let mut eng = DtrEngine::new();
+    println!("DT0: the forest starts empty");
+    show_forest(&eng);
+
+    // T1 arrives accessing {1, 2, 3}: they are connected into one tree.
+    let (e1, e2, e3, e4) = (EntityId(1), EntityId(2), EntityId(3), EntityId(4));
+    let ops1 = BTreeMap::from([(e1, access()), (e2, access()), (e3, access())]);
+    let plan1 = eng.begin(TxId(1), &ops1).unwrap();
+    println!("\nDT2: T1 declares A(T1) = {{e1, e2, e3}}; forest becomes (Fig. 5a):");
+    show_forest(&eng);
+    println!("T1's precomputed tree-locked plan: {} steps", plan1.len());
+    eng.step(TxId(1)).unwrap(); // T1 takes its first lock.
+
+    // T2 arrives accessing {3, 4}: node 4 is added and joined (Fig. 5b).
+    let ops2 = BTreeMap::from([(e3, access()), (e4, access())]);
+    eng.begin(TxId(2), &ops2).unwrap();
+    println!("\nDT1+DT2: T2 declares A(T2) = {{e3, e4}}; node e4 joined (Fig. 5b):");
+    show_forest(&eng);
+
+    // While transactions are active, e4 cannot be garbage collected.
+    println!(
+        "\nDT3 check while T2 is active: delete(e4) -> {:?}",
+        eng.check_delete(e4).unwrap_err()
+    );
+
+    // Run both to completion (T1 first — it holds the root).
+    eng.run_to_end(TxId(1)).unwrap();
+    eng.finish(TxId(1)).unwrap();
+    eng.run_to_end(TxId(2)).unwrap();
+    eng.finish(TxId(2)).unwrap();
+
+    // Now e4 may go: every remaining (zero) transaction stays tree-locked.
+    eng.delete(e4).unwrap();
+    println!("\nDT3 after T2 finished: e4 deleted from the forest:");
+    show_forest(&eng);
+
+    // ------------------------------------------------------------------
+    // 2. Simulation under the DTR policy.
+    // ------------------------------------------------------------------
+    println!("\n== Simulated workload under DTR ==\n");
+    let pool: Vec<EntityId> = (0..16).map(EntityId).collect();
+    let jobs = uniform_jobs(&pool, 30, 3, 21);
+    let mut adapter = DtrAdapter::new(pool);
+    let initial = adapter.initial_state();
+    let report = run_sim(&mut adapter, &jobs, &SimConfig { workers: 4, ..Default::default() });
+
+    println!("jobs committed   : {}", report.committed);
+    println!("lock waits       : {}", report.lock_waits);
+    println!("makespan (ticks) : {}", report.makespan);
+    println!("throughput       : {:.2} jobs / kilotick", report.throughput());
+    println!("forest size now  : {} nodes", adapter.engine().forest().len());
+
+    assert!(report.schedule.is_legal());
+    assert!(report.schedule.is_proper(&initial));
+    assert!(is_serializable(&report.schedule));
+    println!("\ntrace verified: legal ✓  proper ✓  serializable ✓ (Theorem 4)");
+}

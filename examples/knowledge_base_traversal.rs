@@ -1,0 +1,92 @@
+//! Knowledge-base traversals under the DDAG policy (Section 4).
+//!
+//! Models the paper's motivating application: a part–subpart object graph
+//! traversed by concurrent transactions while other transactions insert
+//! new parts. Shows the Fig. 3 dynamics — a traversal invalidated by a
+//! concurrent edge insertion must abort and restart — and then runs a
+//! full simulated workload, verifying the resulting trace is serializable.
+//!
+//! Run with: `cargo run --example knowledge_base_traversal`
+
+use safe_locking::core::{is_serializable, TxId, Universe};
+use safe_locking::graph::DiGraph;
+use safe_locking::policies::ddag::{DdagEngine, DdagViolation};
+use safe_locking::sim::{
+    dag_mixed_jobs, layered_dag, run_sim, DdagAdapter, SimConfig,
+};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The Fig. 3 walkthrough, on the chain 1 -> 2 -> 3 -> 4.
+    // ------------------------------------------------------------------
+    println!("== Fig. 3: traversal vs concurrent edge insertion ==\n");
+    let mut u = Universe::new();
+    let ids = u.entities(["1", "2", "3", "4"]);
+    let (n1, n2, n3, n4) = (ids[0], ids[1], ids[2], ids[3]);
+    let mut g = DiGraph::new();
+    for &n in &ids {
+        g.add_node(n).unwrap();
+    }
+    g.add_edge(n1, n2).unwrap();
+    g.add_edge(n2, n3).unwrap();
+    g.add_edge(n3, n4).unwrap();
+    let mut eng = DdagEngine::new(u, g);
+
+    let t1 = TxId(1);
+    let t2 = TxId(2);
+    eng.begin(t1).unwrap();
+    eng.lock(t1, n2).unwrap();
+    println!("T1 locks node 2 (rule L4: first lock may be any node)");
+    eng.lock(t1, n3).unwrap();
+    eng.lock(t1, n4).unwrap();
+    println!("T1 locks nodes 3 and 4 (rule L5: predecessors locked & one held)");
+    eng.unlock(t1, n3).unwrap();
+    println!("T1 releases node 3 early (crawling)");
+    eng.insert_edge(t1, n2, n4).unwrap();
+    println!("T1 inserts edge (2, 4) while holding both endpoints (rule L1)");
+
+    eng.begin(t2).unwrap();
+    eng.lock(t2, n3).unwrap();
+    println!("T2 begins by locking node 3");
+    eng.unlock(t1, n4).unwrap();
+    println!("T1 releases node 4");
+    match eng.check_lock(t2, n4) {
+        Err(DdagViolation::PredecessorsNotLocked(..)) => println!(
+            "T2 cannot lock node 4: node 2 is now a predecessor of 4 in the \
+             current graph and T2 never locked it -> T2 must abort and \
+             restart from node 2 (exactly the paper's scenario)"
+        ),
+        other => println!("unexpected: {other:?}"),
+    }
+    eng.abort(t2);
+    eng.finish(t1).unwrap();
+
+    // ------------------------------------------------------------------
+    // 2. A simulated knowledge-base workload: traversals + inserts.
+    // ------------------------------------------------------------------
+    println!("\n== Simulated part–subpart workload ==\n");
+    let dag = layered_dag(4, 4, 2, 7);
+    let mut adapter = DdagAdapter::new(dag.universe.clone(), dag.graph.clone());
+    let jobs = {
+        // Fresh node names are interned through the adapter's universe.
+        let mut intern = |name: &str| adapter.intern(name);
+        dag_mixed_jobs(&dag, 40, 2, 0.25, &mut intern, 11)
+    };
+    let initial = adapter.initial_state();
+    let report = run_sim(&mut adapter, &jobs, &SimConfig { workers: 4, ..Default::default() });
+
+    println!("policy            : {}", report.policy);
+    println!("jobs committed    : {}", report.committed);
+    println!("policy aborts     : {} (plans invalidated by concurrent inserts)", report.policy_aborts);
+    println!("deadlock aborts   : {}", report.deadlock_aborts);
+    println!("lock waits        : {}", report.lock_waits);
+    println!("makespan (ticks)  : {}", report.makespan);
+    println!("throughput        : {:.2} jobs / kilotick", report.throughput());
+    println!("mean response     : {:.1} ticks", report.mean_response());
+
+    // The whole point: every committed trace is serializable.
+    assert!(report.schedule.is_legal(), "trace must be legal");
+    assert!(report.schedule.is_proper(&initial), "trace must be proper");
+    assert!(is_serializable(&report.schedule), "DDAG guarantees serializability");
+    println!("\ntrace verified: legal ✓  proper ✓  serializable ✓ (Theorem 2)");
+}

@@ -1,0 +1,93 @@
+//! Long-lived transactions under altruistic locking (Section 5).
+//!
+//! The scenario altruistic locking was designed for \[SGMS94\]: one long
+//! scan holds up a stream of short transactions under 2PL, while under
+//! altruistic locking the short transactions run *in the wake* of the scan
+//! on the items it has already donated. Reproduces the Fig. 4 walkthrough,
+//! then compares 2PL vs altruistic response times in simulation.
+//!
+//! Run with: `cargo run --example long_lived_transactions`
+
+use safe_locking::core::{is_serializable, EntityId, TxId};
+use safe_locking::policies::altruistic::{AltruisticEngine, AltruisticViolation};
+use safe_locking::sim::{
+    long_short_jobs, run_sim, AltruisticAdapter, SimConfig, TwoPhaseAdapter,
+};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The Fig. 4 walkthrough.
+    // ------------------------------------------------------------------
+    println!("== Fig. 4: entering and leaving a wake ==\n");
+    let mut eng = AltruisticEngine::new();
+    let (t1, t2) = (TxId(1), TxId(2));
+    let (i1, i2, i3, i4) = (EntityId(1), EntityId(2), EntityId(3), EntityId(4));
+
+    eng.begin(t1).unwrap();
+    eng.begin(t2).unwrap();
+    eng.lock(t1, i1).unwrap();
+    eng.access(t1, i1).unwrap();
+    eng.lock(t1, i2).unwrap();
+    eng.unlock(t1, i1).unwrap();
+    println!("T1 donates item 1 before reaching its locked point");
+    eng.lock(t2, i1).unwrap();
+    println!("T2 locks item 1 -> T2 is now in the wake of T1");
+    assert!(eng.in_wake_of(t2, t1));
+    match eng.check_lock(t2, i4) {
+        Err(AltruisticViolation::OutsideWake { .. }) => println!(
+            "T2 may not lock item 4: while in T1's wake it may only lock \
+             items T1 has donated (rule AL2)"
+        ),
+        other => println!("unexpected: {other:?}"),
+    }
+    eng.lock(t1, i3).unwrap();
+    eng.declare_locked_point(t1).unwrap();
+    println!("T1 reaches its locked point (locks item 3): the wake dissolves");
+    assert!(!eng.in_wake_of(t2, t1));
+    eng.lock(t2, i4).unwrap();
+    println!("T2 locks item 4 freely now");
+    eng.finish(t1).unwrap();
+    eng.finish(t2).unwrap();
+
+    // ------------------------------------------------------------------
+    // 2. Simulation: one long scan + many short transactions.
+    // ------------------------------------------------------------------
+    println!("\n== Simulation: long scan + short transactions ==\n");
+    let pool: Vec<EntityId> = (0..24).map(EntityId).collect();
+    let jobs = long_short_jobs(&pool, 16, 24, 2, 3);
+    let config = SimConfig { workers: 6, ..Default::default() };
+
+    println!(
+        "{:<12} {:>9} {:>10} {:>12} {:>10} {:>8}",
+        "policy", "committed", "waits", "mean resp", "makespan", "aborts"
+    );
+    for policy in ["2PL", "altruistic"] {
+        let (report, initial) = match policy {
+            "2PL" => {
+                let mut a = TwoPhaseAdapter::new(pool.clone());
+                let init = a.initial_state();
+                (run_sim(&mut a, &jobs, &config), init)
+            }
+            _ => {
+                let mut a = AltruisticAdapter::new(pool.clone());
+                let init = a.initial_state();
+                (run_sim(&mut a, &jobs, &config), init)
+            }
+        };
+        println!(
+            "{:<12} {:>9} {:>10} {:>12.1} {:>10} {:>8}",
+            report.policy,
+            report.committed,
+            report.lock_waits,
+            report.mean_response(),
+            report.makespan,
+            report.policy_aborts + report.deadlock_aborts,
+        );
+        assert!(report.schedule.is_legal());
+        assert!(report.schedule.is_proper(&initial));
+        assert!(is_serializable(&report.schedule), "{}: trace must be serializable", report.policy);
+    }
+    println!("\nboth traces verified serializable ✓ (2PL classic; altruistic by Theorem 3)");
+    println!("altruistic lets short transactions follow in the scan's wake instead of");
+    println!("queueing behind it — compare the wait counts and response times above.");
+}

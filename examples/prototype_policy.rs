@@ -1,0 +1,117 @@
+//! Prototyping a new locking policy with the safety verifier.
+//!
+//! Section 7 of the paper suggests the canonical-schedules technique "could
+//! be used to analyze other locking policies". This example does exactly
+//! that, mechanically: propose a locking discipline for chain traversals,
+//! generate the locked transactions it would emit, and let the verifier
+//! hunt for canonical counterexamples. A broken draft is caught with an
+//! explained counterexample; the repaired draft verifies safe across
+//! instances.
+//!
+//! Run with: `cargo run --example prototype_policy`
+
+use safe_locking::core::display::render_schedule;
+use safe_locking::core::{
+    explain_nonserializable, LockedTransaction, Step, SystemBuilder, TransactionSystem, TxId,
+};
+use safe_locking::verifier::{find_canonical_witness, verify_safety, CanonicalBudget, SearchBudget};
+
+/// Draft 1 — "lock, use, release, hop": each node locked only while used.
+/// (This is the discipline rule L5's "presently holding a predecessor"
+/// clause exists to forbid.)
+fn draft1_chain_walk(id: u32, chain: &[safe_locking::core::EntityId]) -> LockedTransaction {
+    let mut steps = Vec::new();
+    for &n in chain {
+        steps.push(Step::lock_exclusive(n));
+        steps.push(Step::read(n));
+        steps.push(Step::write(n));
+        steps.push(Step::unlock_exclusive(n));
+    }
+    LockedTransaction::new(TxId(id), steps)
+}
+
+/// Draft 2 — "crab walk": hold the current node while locking the next,
+/// then release the previous (lock coupling — the repaired discipline).
+fn draft2_chain_walk(id: u32, chain: &[safe_locking::core::EntityId]) -> LockedTransaction {
+    let mut steps = Vec::new();
+    for (i, &n) in chain.iter().enumerate() {
+        steps.push(Step::lock_exclusive(n));
+        if i > 0 {
+            steps.push(Step::unlock_exclusive(chain[i - 1]));
+        }
+        steps.push(Step::read(n));
+        steps.push(Step::write(n));
+    }
+    if let Some(&last) = chain.last() {
+        steps.push(Step::unlock_exclusive(last));
+    }
+    LockedTransaction::new(TxId(id), steps)
+}
+
+fn chain_system(
+    walk: impl Fn(u32, &[safe_locking::core::EntityId]) -> LockedTransaction,
+) -> TransactionSystem {
+    let mut b = SystemBuilder::new();
+    let chain: Vec<_> = ["n1", "n2", "n3"].iter().map(|n| b.exists(n)).collect();
+    let t1 = walk(1, &chain);
+    let t2 = walk(2, &chain);
+    b.add_transaction(t1);
+    b.add_transaction(t2);
+    b.build()
+}
+
+fn main() {
+    println!("== Prototyping a traversal discipline with the verifier ==\n");
+
+    // Draft 1: lock/use/release per node.
+    let system = chain_system(draft1_chain_walk);
+    println!("draft 1 — \"lock, use, release, hop\":");
+    let verdict = verify_safety(&system, SearchBudget::default());
+    match verdict.witness() {
+        Some(w) => {
+            println!("UNSAFE. counterexample schedule:");
+            println!("{}", render_schedule(w, system.universe()));
+            println!("{}\n", explain_nonserializable(w, system.universe()));
+        }
+        None => println!("safe?! (unexpected)\n"),
+    }
+    // Theorem 1 gives the canonical form of the same failure.
+    let outcome = find_canonical_witness(&system, CanonicalBudget::default());
+    if let Some(w) = outcome.witness() {
+        println!("canonical diagnosis (Theorem 1): {w}");
+        println!(
+            "-> the culprit transaction unlocks a node and only later locks {},\n   which another transaction has already locked AND released.\n",
+            system.universe().name(w.a_star)
+        );
+    }
+
+    // Draft 2: crab walk (lock coupling).
+    let system = chain_system(draft2_chain_walk);
+    println!("draft 2 — \"crab walk\" (hold current while locking next):");
+    let verdict = verify_safety(&system, SearchBudget::default());
+    println!(
+        "verifier verdict: {} ({})",
+        if verdict.is_safe() { "SAFE" } else { "UNSAFE" },
+        verdict.stats()
+    );
+    assert!(verdict.is_safe());
+    let outcome = find_canonical_witness(&system, CanonicalBudget::default());
+    assert!(outcome.witness().is_none());
+    println!("canonical search agrees: no canonical witness exists.");
+    println!(
+        "\nnote: the crab walk is exactly what rule L5's \"presently holding a\npredecessor\" clause enforces on DAGs — the prototype rediscovered the\nDDAG policy's key ingredient, with the verifier doing the proof-hunting."
+    );
+
+    // Scale the check: both drafts across several chain lengths.
+    println!("\nchain-length sweep (draft 2 stays safe):");
+    for len in 2..=4 {
+        let mut b = SystemBuilder::new();
+        let chain: Vec<_> = (0..len).map(|i| b.exists(&format!("c{i}"))).collect();
+        b.add_transaction(draft2_chain_walk(1, &chain));
+        b.add_transaction(draft2_chain_walk(2, &chain));
+        let system = b.build();
+        let verdict = verify_safety(&system, SearchBudget::default());
+        println!("  chain length {len}: safe = {} ({})", verdict.is_safe(), verdict.stats());
+        assert!(verdict.is_safe());
+    }
+}

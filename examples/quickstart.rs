@@ -1,0 +1,86 @@
+//! Quickstart: the dynamic-database model in five minutes.
+//!
+//! Reproduces the paper's Section 2 running example — two transactions on
+//! an initially empty database whose interleavings are proper or improper —
+//! then asks the safety verifier about a small locked transaction system.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use safe_locking::core::display::render_schedule;
+use safe_locking::core::{
+    is_serializable, Schedule, SerializationGraph, StructuralState, SystemBuilder, TxId,
+};
+use safe_locking::verifier::{verify_safety, SearchBudget};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Proper vs improper schedules (Section 2).
+    // ------------------------------------------------------------------
+    let mut b = SystemBuilder::new();
+    b.tx(1).insert("a").insert("b").write("c").insert("d").finish();
+    b.tx(2).read("a").delete("b").insert("c").finish();
+    let system = b.build();
+    let txs = system.transactions();
+
+    println!("== Section 2: proper vs improper interleavings ==\n");
+    let proper = Schedule::interleave(
+        txs,
+        &[TxId(1), TxId(1), TxId(2), TxId(2), TxId(2), TxId(1), TxId(1)],
+    )
+    .expect("valid interleaving");
+    println!("{}", render_schedule(&proper, system.universe()));
+    match proper.check_proper(&StructuralState::empty()) {
+        Ok(final_state) => println!("proper ✓ — final structural state: {final_state:?}"),
+        Err(v) => println!("improper: {v}"),
+    }
+
+    let improper = Schedule::interleave(
+        txs,
+        &[TxId(1), TxId(1), TxId(1), TxId(2), TxId(2), TxId(2), TxId(1)],
+    )
+    .expect("valid interleaving");
+    println!("\n{}", render_schedule(&improper, system.universe()));
+    match improper.check_proper(&StructuralState::empty()) {
+        Ok(_) => println!("proper ✓"),
+        Err(v) => println!("improper ✗ — {v}"),
+    }
+
+    // Serializability of the proper interleaving.
+    let d = SerializationGraph::of(&proper);
+    println!("\nD(S) of the proper schedule: {d}");
+    println!(
+        "serializable: {} (properness and serializability are orthogonal)",
+        is_serializable(&proper)
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Safety of a locked transaction system (Theorem 1, Section 3).
+    // ------------------------------------------------------------------
+    println!("\n== Safety verification ==\n");
+
+    // Two-phase transactions: safe.
+    let mut b = SystemBuilder::new();
+    b.exists("x");
+    b.exists("y");
+    b.tx(1).lx("x").write("x").lx("y").write("y").ux("x").ux("y").finish();
+    b.tx(2).lx("y").write("y").lx("x").write("x").ux("y").ux("x").finish();
+    let two_phase = b.build();
+    let verdict = verify_safety(&two_phase, SearchBudget::default());
+    println!("2PL system: safe = {} ({})", verdict.is_safe(), verdict.stats());
+
+    // Early-release transactions: unsafe, with a counterexample.
+    let mut b = SystemBuilder::new();
+    b.exists("x");
+    b.exists("y");
+    b.tx(1).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
+    b.tx(2).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
+    let early = b.build();
+    let verdict = verify_safety(&early, SearchBudget::default());
+    println!("early-release system: safe = {}", verdict.is_safe());
+    if let Some(witness) = verdict.witness() {
+        println!("\ncounterexample (legal, proper, nonserializable):");
+        println!("{}", render_schedule(witness, early.universe()));
+        let d = SerializationGraph::of(witness);
+        println!("cycle: {:?}", d.find_cycle().expect("nonserializable"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # safe-locking — *Safe Locking Policies for Dynamic Databases* in Rust
+//!
+//! A full reproduction of Chaudhri & Hadzilacos, PODS 1995 (JCSS 57,
+//! 260–271, 1998): the dynamic-database model, the canonical
+//! nonserializable schedules theorem (Theorem 1), the three locking
+//! policies it proves safe (DDAG, altruistic, dynamic tree), a safety
+//! verifier built on the theorem, and a concurrency-control simulator for
+//! policy comparison.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! name. See the component crates for details:
+//!
+//! * [`core`] (`slp-core`) — model, schedules, serializability, Theorem 1
+//!   certificates;
+//! * [`graph`] (`slp-graph`) — rooted DAGs, dominators, forests;
+//! * [`policies`] (`slp-policies`) — 2PL, tree, DDAG, altruistic, DTR;
+//! * [`verifier`] (`slp-verifier`) — exhaustive & canonical safety search;
+//! * [`sim`] (`slp-sim`) — discrete-event simulator and workloads.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use safe_locking::core::{SystemBuilder, TxId};
+//! use safe_locking::verifier::{verify_safety, SearchBudget};
+//!
+//! // Two transactions that release a lock early (not two-phase):
+//! let mut b = SystemBuilder::new();
+//! b.exists("x");
+//! b.exists("y");
+//! b.tx(1).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
+//! b.tx(2).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
+//! let system = b.build();
+//!
+//! // The verifier finds a legal, proper, nonserializable schedule.
+//! let verdict = verify_safety(&system, SearchBudget::default());
+//! assert!(verdict.is_unsafe());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use slp_core as core;
+pub use slp_graph as graph;
+pub use slp_policies as policies;
+pub use slp_sim as sim;
+pub use slp_verifier as verifier;

@@ -1,0 +1,271 @@
+//! Property-based tests for the core model: structural-state semantics,
+//! schedule predicates, conflict relation, and the Lemma 1–2 invariants on
+//! arbitrary generated schedules.
+
+use proptest::prelude::*;
+use safe_locking::core::transform::{move_to_back, transpose, TransposeError};
+use safe_locking::core::{
+    are_conflict_equivalent, equivalent_serial_schedule, is_serializable, DataOp, EntityId,
+    LockMode, Operation, Schedule, ScheduleSimulator, ScheduledStep, SerializationGraph, Step,
+    StructuralState, TxId,
+};
+use std::collections::HashSet;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn arb_entity(max: u32) -> impl Strategy<Value = EntityId> {
+    (0..max).prop_map(EntityId)
+}
+
+fn arb_data_op() -> impl Strategy<Value = DataOp> {
+    prop_oneof![
+        Just(DataOp::Read),
+        Just(DataOp::Write),
+        Just(DataOp::Insert),
+        Just(DataOp::Delete),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Operation> {
+    prop_oneof![
+        arb_data_op().prop_map(Operation::Data),
+        prop_oneof![Just(LockMode::Shared), Just(LockMode::Exclusive)].prop_map(Operation::Lock),
+        prop_oneof![Just(LockMode::Shared), Just(LockMode::Exclusive)]
+            .prop_map(Operation::Unlock),
+    ]
+}
+
+fn arb_step(entities: u32) -> impl Strategy<Value = Step> {
+    (arb_op(), arb_entity(entities)).prop_map(|(op, e)| Step { op, entity: e })
+}
+
+fn arb_scheduled_steps(entities: u32, txs: u32, len: usize) -> impl Strategy<Value = Vec<ScheduledStep>> {
+    prop::collection::vec(
+        ((1..=txs).prop_map(TxId), arb_step(entities)).prop_map(|(tx, s)| ScheduledStep::new(tx, s)),
+        0..len,
+    )
+}
+
+/// A *legal & proper by construction* schedule generator: random action
+/// requests filtered through the `ScheduleSimulator`, plus per-transaction
+/// lock discipline so transactions stay well formed.
+fn constructed_schedule(seed_steps: Vec<ScheduledStep>, g0: &StructuralState) -> Schedule {
+    let mut sim = ScheduleSimulator::new(g0.clone());
+    let mut out = Vec::new();
+    // (tx, entity) -> currently held mode; (tx, entity) ever locked.
+    let mut held: HashSet<(TxId, EntityId, bool)> = HashSet::new();
+    let mut ever: HashSet<(TxId, EntityId)> = HashSet::new();
+    for s in seed_steps {
+        let tx = s.tx;
+        let e = s.step.entity;
+        let exclusive_held = held.contains(&(tx, e, true));
+        let shared_held = held.contains(&(tx, e, false));
+        let ok_discipline = match s.step.op {
+            Operation::Lock(_) => !ever.contains(&(tx, e)),
+            Operation::Unlock(LockMode::Exclusive) => exclusive_held,
+            Operation::Unlock(LockMode::Shared) => shared_held,
+            Operation::Data(d) => match d.required_mode() {
+                LockMode::Exclusive => exclusive_held,
+                LockMode::Shared => exclusive_held || shared_held,
+            },
+        };
+        if !ok_discipline || sim.apply(tx, &s.step).is_err() {
+            continue;
+        }
+        match s.step.op {
+            Operation::Lock(m) => {
+                held.insert((tx, e, m == LockMode::Exclusive));
+                ever.insert((tx, e));
+            }
+            Operation::Unlock(m) => {
+                held.remove(&(tx, e, m == LockMode::Exclusive));
+            }
+            _ => {}
+        }
+        out.push(s);
+    }
+    Schedule::from_steps(out)
+}
+
+// ---------------------------------------------------------------------
+// Structural state vs a HashSet model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn bitset_state_matches_hashset_model(ops in prop::collection::vec((any::<bool>(), 0u32..200), 0..300)) {
+        let mut bitset = StructuralState::empty();
+        let mut model: HashSet<u32> = HashSet::new();
+        for (insert, id) in ops {
+            let e = EntityId(id);
+            if insert {
+                prop_assert_eq!(bitset.insert(e), model.insert(id));
+            } else {
+                prop_assert_eq!(bitset.remove(e), model.remove(&id));
+            }
+            prop_assert_eq!(bitset.len(), model.len());
+            prop_assert_eq!(bitset.contains(e), model.contains(&id));
+        }
+        let mut from_bitset: Vec<u32> = bitset.iter().map(|e| e.0).collect();
+        let mut from_model: Vec<u32> = model.into_iter().collect();
+        from_bitset.sort_unstable();
+        from_model.sort_unstable();
+        prop_assert_eq!(from_bitset, from_model);
+    }
+
+    #[test]
+    fn state_equality_is_content_based(ids in prop::collection::hash_set(0u32..200, 0..40)) {
+        // Insert in two different orders with extra churn; states compare equal.
+        let mut a = StructuralState::empty();
+        let mut sorted: Vec<u32> = ids.iter().copied().collect();
+        sorted.sort_unstable();
+        for &i in &sorted {
+            a.insert(EntityId(i));
+        }
+        let mut b = StructuralState::empty();
+        b.insert(EntityId(199)); // churn word allocation
+        for &i in sorted.iter().rev() {
+            b.insert(EntityId(i));
+        }
+        if !ids.contains(&199) {
+            b.remove(EntityId(199));
+        }
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conflict relation and serializability
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn conflict_relation_is_symmetric(a in arb_step(6), b in arb_step(6)) {
+        prop_assert_eq!(a.conflicts_with(&b), b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn benign_pairs_never_conflict(e in arb_entity(6)) {
+        let benign = [Step::read(e), Step::lock_shared(e), Step::unlock_shared(e)];
+        for a in &benign {
+            for b in &benign {
+                prop_assert!(!a.conflicts_with(b));
+            }
+        }
+    }
+
+    #[test]
+    fn serial_schedules_are_serializable(steps in arb_scheduled_steps(5, 3, 40)) {
+        // Group the random steps per transaction, then concatenate.
+        let mut by_tx: Vec<(TxId, Vec<Step>)> = Vec::new();
+        for s in steps {
+            match by_tx.iter_mut().find(|(t, _)| *t == s.tx) {
+                Some((_, v)) => v.push(s.step),
+                None => by_tx.push((s.tx, vec![s.step])),
+            }
+        }
+        let serial: Schedule = by_tx
+            .into_iter()
+            .flat_map(|(tx, v)| v.into_iter().map(move |s| ScheduledStep::new(tx, s)))
+            .collect();
+        prop_assert!(is_serializable(&serial));
+    }
+
+    #[test]
+    fn equivalent_serial_schedule_is_equivalent(steps in arb_scheduled_steps(4, 3, 30)) {
+        let s = Schedule::from_steps(steps);
+        if let Some(serial) = equivalent_serial_schedule(&s) {
+            prop_assert!(are_conflict_equivalent(&s, &serial));
+            prop_assert!(is_serializable(&serial));
+        } else {
+            prop_assert!(!is_serializable(&s));
+        }
+    }
+
+    #[test]
+    fn sgraph_nodes_match_participants(steps in arb_scheduled_steps(4, 4, 30)) {
+        let s = Schedule::from_steps(steps);
+        let g = SerializationGraph::of(&s);
+        let mut nodes: Vec<TxId> = g.nodes().to_vec();
+        let mut parts = s.participants();
+        nodes.sort_unstable();
+        parts.sort_unstable();
+        prop_assert_eq!(nodes, parts);
+    }
+
+    #[test]
+    fn acyclic_iff_topological_sort_exists(steps in arb_scheduled_steps(4, 4, 30)) {
+        let g = SerializationGraph::of(&Schedule::from_steps(steps));
+        prop_assert_eq!(g.is_acyclic(), g.topological_sort().is_some());
+        prop_assert_eq!(g.is_acyclic(), g.find_cycle().is_none());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lemmas 1 and 2 on constructed legal & proper schedules
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lemma1_on_constructed_schedules(
+        seed in arb_scheduled_steps(5, 3, 60),
+        initial in prop::collection::hash_set(0u32..5, 0..5),
+    ) {
+        let g0 = StructuralState::from_entities(initial.into_iter().map(EntityId));
+        let s = constructed_schedule(seed, &g0);
+        prop_assert!(s.is_legal());
+        prop_assert!(s.is_proper(&g0));
+        let d = SerializationGraph::of(&s);
+        for pos in 0..s.len().saturating_sub(1) {
+            match transpose(&s, pos) {
+                Ok(swapped) => {
+                    prop_assert!(swapped.is_legal(), "transposition at {} broke legality", pos);
+                    prop_assert!(swapped.is_proper(&g0), "transposition at {} broke properness", pos);
+                    prop_assert_eq!(&SerializationGraph::of(&swapped), &d);
+                }
+                Err(TransposeError::SameTransaction | TransposeError::ConflictingSteps) => {}
+                Err(e) => prop_assert!(false, "unexpected transpose error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_on_constructed_schedules(
+        seed in arb_scheduled_steps(5, 3, 60),
+        initial in prop::collection::hash_set(0u32..5, 0..5),
+        prefix_frac in 0.0f64..=1.0,
+    ) {
+        let g0 = StructuralState::from_entities(initial.into_iter().map(EntityId));
+        let s = constructed_schedule(seed, &g0);
+        let d = SerializationGraph::of(&s);
+        let prefix_len = ((s.len() as f64) * prefix_frac) as usize;
+        let d_prefix = SerializationGraph::of(&s.prefix(prefix_len));
+        for sink in d_prefix.sinks() {
+            let moved = move_to_back(&s, prefix_len, sink);
+            prop_assert!(moved.is_legal(), "move of {sink} broke legality");
+            prop_assert!(moved.is_proper(&g0), "move of {sink} broke properness");
+            prop_assert_eq!(&SerializationGraph::of(&moved), &d);
+        }
+    }
+
+    #[test]
+    fn moving_a_non_sink_can_change_but_never_fixes_ds(
+        seed in arb_scheduled_steps(4, 3, 50),
+        initial in prop::collection::hash_set(0u32..4, 0..4),
+    ) {
+        // Sanity complement for Lemma 2: move_to_back always preserves
+        // per-transaction order, hence always yields a *schedule*; what it
+        // may break without the sink precondition is legality/properness/D.
+        let g0 = StructuralState::from_entities(initial.into_iter().map(EntityId));
+        let s = constructed_schedule(seed, &g0);
+        for tx in s.participants() {
+            let moved = move_to_back(&s, s.len(), tx);
+            // Projections (program order) are always preserved.
+            prop_assert_eq!(moved.projection(tx), s.projection(tx));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based end-to-end simulation tests: for arbitrary seeded
+//! workloads, MPLs, and latency models, every sound policy's trace is
+//! legal, proper, and serializable, and the engine's accounting is
+//! consistent.
+
+use proptest::prelude::*;
+use safe_locking::core::{is_serializable, EntityId};
+use safe_locking::sim::{
+    dag_access_jobs, layered_dag, run_sim, uniform_jobs, AltruisticAdapter, DdagAdapter,
+    DtrAdapter, LatencyModel, SimConfig, TwoPhaseAdapter,
+};
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (1usize..6, 1u64..4, 1u64..8).prop_map(|(workers, lock, data)| SimConfig {
+        workers,
+        latency: LatencyModel { lock, unlock: lock, data, restart_backoff: 10 },
+        max_ticks: 1_000_000,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn two_phase_and_altruistic_always_serializable(
+        seed in 0u64..10_000,
+        config in arb_config(),
+        pool_size in 4u32..12,
+        per_job in 1usize..4,
+    ) {
+        let pool: Vec<EntityId> = (0..pool_size).map(EntityId).collect();
+        let jobs = uniform_jobs(&pool, 12, per_job, seed);
+
+        let mut a = TwoPhaseAdapter::new(pool.clone());
+        let initial = a.initial_state();
+        let report = run_sim(&mut a, &jobs, &config);
+        prop_assert!(!report.timed_out);
+        prop_assert_eq!(report.committed, 12);
+        prop_assert!(report.schedule.is_legal());
+        prop_assert!(report.schedule.is_proper(&initial));
+        prop_assert!(is_serializable(&report.schedule));
+        prop_assert_eq!(
+            report.attempts,
+            report.committed + report.policy_aborts + report.deadlock_aborts
+        );
+
+        let mut a = AltruisticAdapter::new(pool.clone());
+        let initial = a.initial_state();
+        let report = run_sim(&mut a, &jobs, &config);
+        prop_assert!(!report.timed_out);
+        prop_assert_eq!(report.committed, 12);
+        prop_assert!(report.schedule.is_legal());
+        prop_assert!(report.schedule.is_proper(&initial));
+        prop_assert!(is_serializable(&report.schedule));
+    }
+
+    #[test]
+    fn dtr_always_serializable_and_deadlock_free(
+        seed in 0u64..10_000,
+        config in arb_config(),
+        pool_size in 4u32..12,
+    ) {
+        let pool: Vec<EntityId> = (0..pool_size).map(EntityId).collect();
+        let jobs = uniform_jobs(&pool, 12, 3, seed);
+        let mut a = DtrAdapter::new(pool);
+        let initial = a.initial_state();
+        let report = run_sim(&mut a, &jobs, &config);
+        prop_assert!(!report.timed_out);
+        prop_assert_eq!(report.committed, 12);
+        prop_assert_eq!(report.deadlock_aborts, 0, "tree locking is deadlock-free");
+        prop_assert!(report.schedule.is_legal());
+        prop_assert!(report.schedule.is_proper(&initial));
+        prop_assert!(is_serializable(&report.schedule));
+    }
+
+    #[test]
+    fn ddag_always_serializable(
+        seed in 0u64..10_000,
+        config in arb_config(),
+        layers in 2usize..5,
+        width in 2usize..4,
+    ) {
+        let dag = layered_dag(layers, width, 2, seed);
+        let jobs = dag_access_jobs(&dag, 12, 2, seed);
+        let mut a = DdagAdapter::new(dag.universe.clone(), dag.graph.clone());
+        let initial = a.initial_state();
+        let report = run_sim(&mut a, &jobs, &config);
+        prop_assert!(!report.timed_out);
+        prop_assert_eq!(report.committed, 12);
+        prop_assert!(report.schedule.is_legal());
+        prop_assert!(report.schedule.is_proper(&initial));
+        prop_assert!(is_serializable(&report.schedule));
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        seed in 0u64..10_000,
+        workers in 1usize..5,
+    ) {
+        let pool: Vec<EntityId> = (0..8).map(EntityId).collect();
+        let jobs = uniform_jobs(&pool, 10, 3, seed);
+        let config = SimConfig { workers, ..Default::default() };
+        let run = |jobs: &[safe_locking::sim::Job]| {
+            let mut a = TwoPhaseAdapter::new(pool.clone());
+            run_sim(&mut a, jobs, &config)
+        };
+        let r1 = run(&jobs);
+        let r2 = run(&jobs);
+        prop_assert_eq!(r1.schedule, r2.schedule);
+        prop_assert_eq!(r1.makespan, r2.makespan);
+        prop_assert_eq!(r1.committed, r2.committed);
+        prop_assert_eq!(r1.lock_waits, r2.lock_waits);
+    }
+}

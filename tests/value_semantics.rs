@@ -1,0 +1,154 @@
+//! Why safety matters, observably: executing a legal, proper, but
+//! nonserializable schedule over the *value* state produces final values
+//! that **no serial execution** can produce — while every schedule a sound
+//! policy admits matches some serial outcome.
+//!
+//! Execution semantics used here (a simple register machine): each
+//! transaction has one register; `(R e)` loads `e`'s value into the
+//! register; `(W e)` stores `register + <transaction constant>` into `e`.
+//! This is the classic "swap-and-add" anomaly pair.
+
+use safe_locking::core::{
+    is_serializable, DataOp, EntityId, Operation, Schedule, TxId, ValueState,
+};
+use safe_locking::policies::mutants::lock_short;
+use safe_locking::core::{Step, Transaction};
+use std::collections::HashMap;
+
+/// Executes a schedule under the register semantics; `addend(tx)` is the
+/// per-transaction constant added on every write.
+fn execute(schedule: &Schedule, addend: &dyn Fn(TxId) -> i64) -> ValueState {
+    let mut values = ValueState::new();
+    let mut registers: HashMap<TxId, i64> = HashMap::new();
+    for s in schedule.steps() {
+        match s.step.op {
+            Operation::Data(DataOp::Read) => {
+                registers.insert(s.tx, values.read(s.step.entity));
+            }
+            Operation::Data(DataOp::Write) => {
+                let r = registers.get(&s.tx).copied().unwrap_or(0);
+                values.write(s.step.entity, r + addend(s.tx));
+            }
+            Operation::Data(DataOp::Insert) => values.write(s.step.entity, 0),
+            Operation::Data(DataOp::Delete) => values.clear(s.step.entity),
+            _ => {}
+        }
+    }
+    values
+}
+
+fn transfer_pair() -> (Vec<safe_locking::core::LockedTransaction>, EntityId, EntityId) {
+    let (x, y) = (EntityId(0), EntityId(1));
+    // T1: y := x + 10;  T2: x := y + 100. Short locks (non-2PL) so the
+    // dangerous interleaving is legal.
+    let t1 = lock_short(&Transaction::new(TxId(1), vec![Step::read(x), Step::write(y)]));
+    let t2 = lock_short(&Transaction::new(TxId(2), vec![Step::read(y), Step::write(x)]));
+    (vec![t1, t2], x, y)
+}
+
+fn addend(tx: TxId) -> i64 {
+    match tx {
+        TxId(1) => 10,
+        _ => 100,
+    }
+}
+
+#[test]
+fn nonserializable_schedule_produces_impossible_values() {
+    let (txs, x, y) = transfer_pair();
+    // Interleave reads before writes: T1 reads x, T2 reads y, then both write.
+    // Short-locked T1 = [LS x, R x, US x, LX y, W y, UX y]; same shape for T2.
+    let order = [
+        TxId(1), TxId(1), TxId(1), // T1 reads x = 0
+        TxId(2), TxId(2), TxId(2), // T2 reads y = 0
+        TxId(1), TxId(1), TxId(1), // T1 writes y = 10
+        TxId(2), TxId(2), TxId(2), // T2 writes x = 100
+    ];
+    let s = Schedule::interleave(&txs, &order).unwrap();
+    assert!(s.is_legal(), "short locks make this interleaving legal");
+    assert!(!is_serializable(&s), "and it is not serializable");
+
+    let anomalous = execute(&s, &addend);
+    assert_eq!((anomalous.read(x), anomalous.read(y)), (100, 10));
+
+    // Every serial execution gives something else.
+    let serial_12 = execute(&Schedule::serial(&txs), &addend);
+    let serial_21 = execute(
+        &Schedule::serial([&txs[1].clone(), &txs[0].clone()]),
+        &addend,
+    );
+    assert_eq!((serial_12.read(x), serial_12.read(y)), (110, 10));
+    assert_eq!((serial_21.read(x), serial_21.read(y)), (100, 110));
+    assert_ne!(
+        (anomalous.read(x), anomalous.read(y)),
+        (serial_12.read(x), serial_12.read(y))
+    );
+    assert_ne!(
+        (anomalous.read(x), anomalous.read(y)),
+        (serial_21.read(x), serial_21.read(y))
+    );
+}
+
+#[test]
+fn serializable_schedules_match_a_serial_outcome() {
+    let (txs, x, y) = transfer_pair();
+    // A serializable interleaving: T1 completes its read AND write before
+    // T2 touches anything it conflicts with.
+    let order = [
+        TxId(1), TxId(1), TxId(1), TxId(1), TxId(1), TxId(1), // all of T1
+        TxId(2), TxId(2), TxId(2), TxId(2), TxId(2), TxId(2), // all of T2
+    ];
+    let s = Schedule::interleave(&txs, &order).unwrap();
+    assert!(is_serializable(&s));
+    let result = execute(&s, &addend);
+    let serial_12 = execute(&Schedule::serial(&txs), &addend);
+    assert_eq!((result.read(x), result.read(y)), (serial_12.read(x), serial_12.read(y)));
+}
+
+#[test]
+fn two_phase_locking_prevents_the_anomaly() {
+    use safe_locking::core::{StructuralState, TransactionSystem, Universe};
+    use safe_locking::policies::two_phase;
+    use safe_locking::verifier::{verify_safety, SearchBudget};
+    let (x, y) = (EntityId(0), EntityId(1));
+    let t1 = two_phase::lock_strict(&Transaction::new(TxId(1), vec![Step::read(x), Step::write(y)]));
+    let t2 = two_phase::lock_strict(&Transaction::new(TxId(2), vec![Step::read(y), Step::write(x)]));
+    let mut u = Universe::new();
+    u.entity("x");
+    u.entity("y");
+    let system = TransactionSystem::new(
+        u,
+        StructuralState::from_entities([x, y]),
+        vec![t1, t2],
+    );
+    // No legal proper schedule of the 2PL pair is nonserializable, so the
+    // anomalous outcome is unreachable.
+    assert!(verify_safety(&system, SearchBudget::default()).is_safe());
+}
+
+#[test]
+fn conflict_equivalent_schedules_produce_identical_values() {
+    // Soundness of the conflict model itself: any serializable schedule's
+    // execution equals its equivalent serial schedule's execution.
+    use safe_locking::core::equivalent_serial_schedule;
+    let (txs, x, y) = transfer_pair();
+    // Enumerate a few legal interleavings and compare outcomes.
+    let orders: Vec<Vec<TxId>> = vec![
+        vec![TxId(1); 6].into_iter().chain(vec![TxId(2); 6]).collect(),
+        vec![
+            TxId(1), TxId(2), TxId(1), TxId(2), TxId(1), TxId(2),
+            TxId(1), TxId(2), TxId(1), TxId(2), TxId(1), TxId(2),
+        ],
+    ];
+    for order in orders {
+        let Ok(s) = Schedule::interleave(&txs, &order) else { continue };
+        if !s.is_legal() {
+            continue;
+        }
+        if let Some(serial) = equivalent_serial_schedule(&s) {
+            let a = execute(&s, &addend);
+            let b = execute(&serial, &addend);
+            assert_eq!((a.read(x), a.read(y)), (b.read(x), b.read(y)));
+        }
+    }
+}
