@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use slp_core::{
-    is_serializable, EntityId, LockedTransaction, Schedule, ScheduleSimulator,
-    SerializationGraph, Step, StructuralState, TxId,
+    is_serializable, EntityId, LockedTransaction, Schedule, ScheduleSimulator, SerializationGraph,
+    Step, StructuralState, TxId,
 };
 use std::collections::HashSet;
 use std::hint::black_box;
@@ -16,8 +16,9 @@ fn interleaved_schedule(k: u32, len: usize, entities: u32) -> (Schedule, Structu
     let txs: Vec<LockedTransaction> = (0..k)
         .map(|i| {
             let mut steps = Vec::new();
-            let mine: Vec<EntityId> =
-                (0..len).map(|j| EntityId((i + j as u32 * k) % entities)).collect();
+            let mine: Vec<EntityId> = (0..len)
+                .map(|j| EntityId((i + j as u32 * k) % entities))
+                .collect();
             let mut seen: Vec<EntityId> = Vec::new();
             for &e in &mine {
                 if !seen.contains(&e) {

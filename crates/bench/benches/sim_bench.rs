@@ -14,7 +14,10 @@ fn bench_policy_runs(c: &mut Criterion) {
     group.sample_size(20);
     let pool: Vec<EntityId> = (0..16).map(EntityId).collect();
     let jobs = uniform_jobs(&pool, 30, 3, 5);
-    let config = SimConfig { workers: 4, ..Default::default() };
+    let config = SimConfig {
+        workers: 4,
+        ..Default::default()
+    };
 
     group.bench_function("2pl", |b| {
         b.iter_batched(
@@ -55,14 +58,19 @@ fn bench_trace_verification(c: &mut Criterion) {
     let jobs = uniform_jobs(&pool, 50, 3, 9);
     let mut adapter = TwoPhaseAdapter::new(pool.clone());
     let initial = adapter.initial_state();
-    let report = run_sim(&mut adapter, &jobs, &SimConfig { workers: 4, ..Default::default() });
+    let report = run_sim(
+        &mut adapter,
+        &jobs,
+        &SimConfig {
+            workers: 4,
+            ..Default::default()
+        },
+    );
     let trace = report.schedule;
     c.bench_function("verify_trace_legal_proper_serializable", |b| {
         b.iter(|| {
             black_box(
-                trace.is_legal()
-                    && trace.is_proper(&initial)
-                    && slp_core::is_serializable(&trace),
+                trace.is_legal() && trace.is_proper(&initial) && slp_core::is_serializable(&trace),
             )
         });
     });

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slp_core::SystemBuilder;
 use slp_verifier::{
-    find_canonical_witness, random_system, verify_safety, CanonicalBudget, GenParams,
-    SearchBudget,
+    find_canonical_witness, random_system, verify_safety, verify_safety_reference, CanonicalBudget,
+    GenParams, SearchBudget,
 };
 use std::hint::black_box;
 
@@ -17,7 +17,14 @@ fn safe_system(k: u32) -> slp_core::TransactionSystem {
     }
     for t in 1..=k {
         let (a, bb) = (format!("x{}", t - 1), format!("x{t}"));
-        b.tx(t).lx(&a).write(&a).lx(&bb).write(&bb).ux(&a).ux(&bb).finish();
+        b.tx(t)
+            .lx(&a)
+            .write(&a)
+            .lx(&bb)
+            .write(&bb)
+            .ux(&a)
+            .ux(&bb)
+            .finish();
     }
     b.build()
 }
@@ -28,7 +35,14 @@ fn unsafe_system(k: u32) -> slp_core::TransactionSystem {
     b.exists("x");
     b.exists("y");
     for t in 1..=k {
-        b.tx(t).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
+        b.tx(t)
+            .lx("x")
+            .write("x")
+            .ux("x")
+            .lx("y")
+            .write("y")
+            .ux("y")
+            .finish();
     }
     b.build()
 }
@@ -57,14 +71,76 @@ fn bench_memo_ablation(c: &mut Criterion) {
     let system = safe_system(3);
     group.bench_function("memo_on", |b| {
         b.iter(|| {
-            black_box(verify_safety(&system, SearchBudget { use_memo: true, ..Default::default() }))
+            black_box(verify_safety(
+                &system,
+                SearchBudget {
+                    use_memo: true,
+                    ..Default::default()
+                },
+            ))
         });
     });
     group.bench_function("memo_off", |b| {
         b.iter(|| {
             black_box(verify_safety(
                 &system,
-                SearchBudget { use_memo: false, ..Default::default() },
+                SearchBudget {
+                    use_memo: false,
+                    ..Default::default()
+                },
+            ))
+        });
+    });
+    group.finish();
+}
+
+/// DFS throughput: the apply/undo explorer against the retained
+/// clone-per-node reference, on safe systems (full-space coverage) and an
+/// unsafe system (early exit), with the memoization ablation retained.
+/// States/sec is derivable from the reported time and the fixed state
+/// counts both explorers visit (their search shapes are identical).
+fn bench_dfs_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dfs_throughput");
+    group.sample_size(10);
+    for k in [3u32, 4] {
+        let safe = safe_system(k);
+        group.bench_with_input(BenchmarkId::new("optimized/safe", k), &k, |b, _| {
+            b.iter(|| black_box(verify_safety(&safe, SearchBudget::default()).is_safe()));
+        });
+        group.bench_with_input(BenchmarkId::new("reference/safe", k), &k, |b, _| {
+            b.iter(|| black_box(verify_safety_reference(&safe, SearchBudget::default()).is_safe()));
+        });
+    }
+    let unsafe_ = unsafe_system(3);
+    group.bench_function("optimized/unsafe/3", |b| {
+        b.iter(|| black_box(verify_safety(&unsafe_, SearchBudget::default()).is_unsafe()));
+    });
+    group.bench_function("reference/unsafe/3", |b| {
+        b.iter(|| {
+            black_box(verify_safety_reference(&unsafe_, SearchBudget::default()).is_unsafe())
+        });
+    });
+    // Memo ablation on the optimized explorer (plain DFS vs memoized).
+    let safe3 = safe_system(3);
+    group.bench_function("optimized/safe/3/memo_off", |b| {
+        b.iter(|| {
+            black_box(verify_safety(
+                &safe3,
+                SearchBudget {
+                    use_memo: false,
+                    ..Default::default()
+                },
+            ))
+        });
+    });
+    group.bench_function("reference/safe/3/memo_off", |b| {
+        b.iter(|| {
+            black_box(verify_safety_reference(
+                &safe3,
+                SearchBudget {
+                    use_memo: false,
+                    ..Default::default()
+                },
             ))
         });
     });
@@ -89,8 +165,9 @@ fn bench_random_agreement_pair(c: &mut Criterion) {
     // The per-system cost of an E6 row: one exhaustive + one canonical run.
     let mut group = c.benchmark_group("agreement_pair");
     group.sample_size(10);
-    let systems: Vec<_> =
-        (0..8u64).map(|s| random_system(GenParams::default(), s)).collect();
+    let systems: Vec<_> = (0..8u64)
+        .map(|s| random_system(GenParams::default(), s))
+        .collect();
     group.bench_function("8_random_systems", |b| {
         b.iter(|| {
             let mut unsafe_count = 0;
@@ -112,6 +189,7 @@ criterion_group!(
     benches,
     bench_exhaustive,
     bench_memo_ablation,
+    bench_dfs_throughput,
     bench_canonical,
     bench_random_agreement_pair
 );

@@ -8,7 +8,12 @@ use std::fmt::Write;
 
 fn system() -> TransactionSystem {
     let mut b = SystemBuilder::new();
-    b.tx(1).insert("a").insert("b").write("c").insert("d").finish();
+    b.tx(1)
+        .insert("a")
+        .insert("b")
+        .write("c")
+        .insert("d")
+        .finish();
     b.tx(2).read("a").delete("b").insert("c").finish();
     b.build()
 }
@@ -17,7 +22,15 @@ fn system() -> TransactionSystem {
 pub fn proper_schedule(system: &TransactionSystem) -> Schedule {
     Schedule::interleave(
         system.transactions(),
-        &[TxId(1), TxId(1), TxId(2), TxId(2), TxId(2), TxId(1), TxId(1)],
+        &[
+            TxId(1),
+            TxId(1),
+            TxId(2),
+            TxId(2),
+            TxId(2),
+            TxId(1),
+            TxId(1),
+        ],
     )
     .expect("valid interleaving")
 }
@@ -26,7 +39,15 @@ pub fn proper_schedule(system: &TransactionSystem) -> Schedule {
 pub fn improper_schedule(system: &TransactionSystem) -> Schedule {
     Schedule::interleave(
         system.transactions(),
-        &[TxId(1), TxId(1), TxId(1), TxId(2), TxId(2), TxId(2), TxId(1)],
+        &[
+            TxId(1),
+            TxId(1),
+            TxId(1),
+            TxId(2),
+            TxId(2),
+            TxId(2),
+            TxId(1),
+        ],
     )
     .expect("valid interleaving")
 }
@@ -36,14 +57,21 @@ pub fn run() -> String {
     let system = system();
     let g0 = StructuralState::empty();
     let mut out = String::new();
-    writeln!(out, "E0 — Section 2: proper vs improper interleavings (empty initial DB)\n").unwrap();
+    writeln!(
+        out,
+        "E0 — Section 2: proper vs improper interleavings (empty initial DB)\n"
+    )
+    .unwrap();
 
     let proper = proper_schedule(&system);
     writeln!(out, "interleaving 1:").unwrap();
     write!(out, "{}", render_schedule(&proper, system.universe())).unwrap();
     let verdict = proper.check_proper(&g0);
     writeln!(out, "=> proper: {}", verdict.is_ok()).unwrap();
-    assert!(verdict.is_ok(), "paper's proper interleaving must check out");
+    assert!(
+        verdict.is_ok(),
+        "paper's proper interleaving must check out"
+    );
 
     let improper = improper_schedule(&system);
     writeln!(out, "\ninterleaving 2:").unwrap();

@@ -24,27 +24,60 @@ pub fn static_shape_system() -> (TransactionSystem, CanonicalWitness) {
     b.exists("a2");
     b.exists("astar");
     // Tc = T1: unlocks a1, later locks A*.
-    b.tx(1).lx("a1").write("a1").ux("a1").lx("astar").write("astar").ux("astar").finish();
+    b.tx(1)
+        .lx("a1")
+        .write("a1")
+        .ux("a1")
+        .lx("astar")
+        .write("astar")
+        .ux("astar")
+        .finish();
     // T2: carries the conflict chain from a1 to a2.
-    b.tx(2).lx("a1").write("a1").lx("a2").write("a2").ux("a1").ux("a2").finish();
+    b.tx(2)
+        .lx("a1")
+        .write("a1")
+        .lx("a2")
+        .write("a2")
+        .ux("a1")
+        .ux("a2")
+        .finish();
     // T3: the sink — locks and releases A* in a conflicting (exclusive) mode.
-    b.tx(3).lx("a2").write("a2").lx("astar").write("astar").ux("a2").ux("astar").finish();
+    b.tx(3)
+        .lx("a2")
+        .write("a2")
+        .lx("astar")
+        .write("astar")
+        .ux("a2")
+        .ux("astar")
+        .finish();
     let system = b.build();
 
     let t1 = system.get(TxId(1)).unwrap().clone();
     let t2 = system.get(TxId(2)).unwrap().clone();
     let t3 = system.get(TxId(3)).unwrap().clone();
     let mut ext: Vec<ScheduledStep> = Vec::new();
-    ext.extend(t1.steps[..3].iter().map(|&s| ScheduledStep::new(TxId(1), s)));
+    ext.extend(
+        t1.steps[..3]
+            .iter()
+            .map(|&s| ScheduledStep::new(TxId(1), s)),
+    );
     ext.extend(t2.steps.iter().map(|&s| ScheduledStep::new(TxId(2), s)));
     ext.extend(t3.steps.iter().map(|&s| ScheduledStep::new(TxId(3), s)));
-    ext.extend(t1.steps[3..].iter().map(|&s| ScheduledStep::new(TxId(1), s)));
+    ext.extend(
+        t1.steps[3..]
+            .iter()
+            .map(|&s| ScheduledStep::new(TxId(1), s)),
+    );
     let a_star = system.universe().lookup("astar").unwrap();
     let witness = CanonicalWitness {
         tc: TxId(1),
         a_star,
         lock_pos: 3,
-        order: vec![(TxId(1), 3), (TxId(2), t2.steps.len()), (TxId(3), t3.steps.len())],
+        order: vec![
+            (TxId(1), 3),
+            (TxId(2), t2.steps.len()),
+            (TxId(3), t3.steps.len()),
+        ],
         extension: Schedule::from_steps(ext),
     };
     (system, witness)
@@ -59,10 +92,31 @@ pub fn dynamic_shape_system() -> (TransactionSystem, CanonicalWitness) {
     // T1: inserts b (so Tc's prefix is only proper after T1 runs).
     b.tx(1).lx("b").insert("b").ux("b").finish();
     // Tc = T2: writes b, releases it, then locks A* exclusively.
-    b.tx(2).lx("b").write("b").ux("b").lx("astar").write("astar").ux("astar").finish();
+    b.tx(2)
+        .lx("b")
+        .write("b")
+        .ux("b")
+        .lx("astar")
+        .write("astar")
+        .ux("astar")
+        .finish();
     // T3, T4: read b (conflict with T2's write) and share-lock A*.
-    b.tx(3).ls("b").read("b").us("b").ls("astar").read("astar").us("astar").finish();
-    b.tx(4).ls("b").read("b").us("b").ls("astar").read("astar").us("astar").finish();
+    b.tx(3)
+        .ls("b")
+        .read("b")
+        .us("b")
+        .ls("astar")
+        .read("astar")
+        .us("astar")
+        .finish();
+    b.tx(4)
+        .ls("b")
+        .read("b")
+        .us("b")
+        .ls("astar")
+        .read("astar")
+        .us("astar")
+        .finish();
     let system = b.build();
 
     let t1 = system.get(TxId(1)).unwrap().clone();
@@ -71,10 +125,18 @@ pub fn dynamic_shape_system() -> (TransactionSystem, CanonicalWitness) {
     let t4 = system.get(TxId(4)).unwrap().clone();
     let mut ext: Vec<ScheduledStep> = Vec::new();
     ext.extend(t1.steps.iter().map(|&s| ScheduledStep::new(TxId(1), s)));
-    ext.extend(t2.steps[..3].iter().map(|&s| ScheduledStep::new(TxId(2), s)));
+    ext.extend(
+        t2.steps[..3]
+            .iter()
+            .map(|&s| ScheduledStep::new(TxId(2), s)),
+    );
     ext.extend(t3.steps.iter().map(|&s| ScheduledStep::new(TxId(3), s)));
     ext.extend(t4.steps.iter().map(|&s| ScheduledStep::new(TxId(4), s)));
-    ext.extend(t2.steps[3..].iter().map(|&s| ScheduledStep::new(TxId(2), s)));
+    ext.extend(
+        t2.steps[3..]
+            .iter()
+            .map(|&s| ScheduledStep::new(TxId(2), s)),
+    );
     let a_star = system.universe().lookup("astar").unwrap();
     let witness = CanonicalWitness {
         tc: TxId(2),
@@ -94,34 +156,66 @@ pub fn dynamic_shape_system() -> (TransactionSystem, CanonicalWitness) {
 /// Regenerates Fig. 1.
 pub fn run() -> String {
     let mut out = String::new();
-    writeln!(out, "E1 — Fig. 1: serializability graphs of canonical schedules\n").unwrap();
+    writeln!(
+        out,
+        "E1 — Fig. 1: serializability graphs of canonical schedules\n"
+    )
+    .unwrap();
 
     // (a) static shape.
     let (system, witness) = static_shape_system();
-    witness.verify(&system).expect("static-shape witness must verify");
+    witness
+        .verify(&system)
+        .expect("static-shape witness must verify");
     let s_prime = witness.serial_prefix(&system);
     let d_prime = SerializationGraph::of(&s_prime);
     writeln!(out, "(a) static database shape — D(S') before Tc locks A*:").unwrap();
     writeln!(out, "    {d_prime}").unwrap();
-    assert!(d_prime.is_simple_path_with_back_edge(), "static shape is a simple path");
+    assert!(
+        d_prime.is_simple_path_with_back_edge(),
+        "static shape is a simple path"
+    );
     let d_closed = SerializationGraph::of(&witness.extension);
     writeln!(out, "    after Tc locks A*: {d_closed}").unwrap();
-    assert!(d_closed.is_simple_path_with_back_edge(), "closed by a single back edge");
+    assert!(
+        d_closed.is_simple_path_with_back_edge(),
+        "closed by a single back edge"
+    );
     assert!(!d_closed.is_acyclic());
-    writeln!(out, "    => simple path T1' -> T2' -> T3' closed by the back edge (Fig. 1a)\n").unwrap();
+    writeln!(
+        out,
+        "    => simple path T1' -> T2' -> T3' closed by the back edge (Fig. 1a)\n"
+    )
+    .unwrap();
 
     // (b) dynamic shape.
     let (system, witness) = dynamic_shape_system();
-    witness.verify(&system).expect("dynamic-shape witness must verify");
+    witness
+        .verify(&system)
+        .expect("dynamic-shape witness must verify");
     let s_prime = witness.serial_prefix(&system);
     let d_prime = SerializationGraph::of(&s_prime);
-    writeln!(out, "(b) dynamic database shape — D(S') before Tc locks A*:").unwrap();
+    writeln!(
+        out,
+        "(b) dynamic database shape — D(S') before Tc locks A*:"
+    )
+    .unwrap();
     writeln!(out, "    {d_prime}").unwrap();
     let sinks = d_prime.sinks();
-    writeln!(out, "    sinks: {sinks:?} (multiple, via shared locks on A*)").unwrap();
+    writeln!(
+        out,
+        "    sinks: {sinks:?} (multiple, via shared locks on A*)"
+    )
+    .unwrap();
     assert_eq!(sinks.len(), 2, "dynamic shape has multiple sinks");
-    assert!(!d_prime.is_simple_path_with_back_edge(), "not a simple path");
-    assert_ne!(witness.order[0].0, witness.tc, "Tc is not the first transaction");
+    assert!(
+        !d_prime.is_simple_path_with_back_edge(),
+        "not a simple path"
+    );
+    assert_ne!(
+        witness.order[0].0, witness.tc,
+        "Tc is not the first transaction"
+    );
     let d_closed = SerializationGraph::of(&witness.extension);
     writeln!(out, "    after Tc locks A*: {d_closed}").unwrap();
     assert!(!d_closed.is_acyclic());

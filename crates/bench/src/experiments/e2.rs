@@ -26,9 +26,30 @@ use std::fmt::Write;
 /// The Fig. 2 transaction system (initially empty database).
 pub fn fig2_system() -> TransactionSystem {
     let mut b = SystemBuilder::new();
-    b.tx(1).lx("a").insert("a").ux("a").lx("c").read("c").ux("c").finish();
-    b.tx(2).lx("a").read("a").ux("a").lx("b").insert("b").ux("b").finish();
-    b.tx(3).lx("b").read("b").ux("b").lx("c").insert("c").ux("c").finish();
+    b.tx(1)
+        .lx("a")
+        .insert("a")
+        .ux("a")
+        .lx("c")
+        .read("c")
+        .ux("c")
+        .finish();
+    b.tx(2)
+        .lx("a")
+        .read("a")
+        .ux("a")
+        .lx("b")
+        .insert("b")
+        .ux("b")
+        .finish();
+    b.tx(3)
+        .lx("b")
+        .read("b")
+        .ux("b")
+        .lx("c")
+        .insert("c")
+        .ux("c")
+        .finish();
     b.build()
 }
 
@@ -52,7 +73,11 @@ pub fn run() -> String {
     let system = fig2_system();
     let g0 = system.initial_state();
     let mut out = String::new();
-    writeln!(out, "E2 — Fig. 2: a proper schedule the static characterization misses\n").unwrap();
+    writeln!(
+        out,
+        "E2 — Fig. 2: a proper schedule the static characterization misses\n"
+    )
+    .unwrap();
 
     let sp = sp(&system);
     writeln!(out, "the schedule Sp:").unwrap();
@@ -77,7 +102,11 @@ pub fn run() -> String {
     // No 2-transaction subsystem admits any proper complete schedule, so a
     // chordless-cycle-restricted analysis would find nothing and declare
     // the system safe...
-    writeln!(out, "\nper-pair analysis (the static method would stop here):").unwrap();
+    writeln!(
+        out,
+        "\nper-pair analysis (the static method would stop here):"
+    )
+    .unwrap();
     let ids = system.ids();
     for i in 0..ids.len() {
         for j in (i + 1)..ids.len() {
@@ -85,11 +114,7 @@ pub fn run() -> String {
                 system.get(ids[i]).unwrap().clone(),
                 system.get(ids[j]).unwrap().clone(),
             ];
-            let sub = slp_core::TransactionSystem::new(
-                system.universe().clone(),
-                g0.clone(),
-                pair,
-            );
+            let sub = slp_core::TransactionSystem::new(system.universe().clone(), g0.clone(), pair);
             let verdict = verify_safety(&sub, SearchBudget::default());
             writeln!(
                 out,
@@ -99,7 +124,10 @@ pub fn run() -> String {
                 verdict.is_unsafe()
             )
             .unwrap();
-            assert!(verdict.is_safe(), "every 2-transaction subsystem is (vacuously) safe");
+            assert!(
+                verdict.is_safe(),
+                "every 2-transaction subsystem is (vacuously) safe"
+            );
         }
     }
 

@@ -29,7 +29,11 @@ pub fn fig3_engine() -> (DdagEngine, Vec<EntityId>) {
 /// Regenerates the Fig. 3 walkthrough.
 pub fn run() -> String {
     let mut out = String::new();
-    writeln!(out, "E3 — Fig. 3: the DDAG policy on the chain 1 -> 2 -> 3 -> 4\n").unwrap();
+    writeln!(
+        out,
+        "E3 — Fig. 3: the DDAG policy on the chain 1 -> 2 -> 3 -> 4\n"
+    )
+    .unwrap();
 
     // Part 1: the interleaving without the edge insert — T2 follows T1.
     let (mut eng, ids) = fig3_engine();
@@ -55,7 +59,11 @@ pub fn run() -> String {
     log(t2, eng.access(t2, n4).unwrap(), &mut trace);
     log(t1, eng.finish(t1).unwrap(), &mut trace);
     log(t2, eng.finish(t2).unwrap(), &mut trace);
-    writeln!(out, "without the edge insert — T2 follows T1 down the chain:").unwrap();
+    writeln!(
+        out,
+        "without the edge insert — T2 follows T1 down the chain:"
+    )
+    .unwrap();
     write!(out, "{}", render_schedule(&trace, eng.universe())).unwrap();
     assert!(trace.is_legal());
     assert!(slp_core::is_serializable(&trace));
@@ -70,8 +78,17 @@ pub fn run() -> String {
     eng.lock(t1, n4).unwrap();
     eng.unlock(t1, n3).unwrap();
     let edge_steps = eng.insert_edge(t1, n2, n4).unwrap();
-    writeln!(out, "with T1 inserting edge (2,4) while holding 2 and 4 (rule L1):").unwrap();
-    writeln!(out, "  T1 emits {} steps for the edge entity", edge_steps.len()).unwrap();
+    writeln!(
+        out,
+        "with T1 inserting edge (2,4) while holding 2 and 4 (rule L1):"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  T1 emits {} steps for the edge entity",
+        edge_steps.len()
+    )
+    .unwrap();
     eng.begin(t2).unwrap();
     eng.lock(t2, n3).unwrap();
     eng.unlock(t1, n4).unwrap();
@@ -87,8 +104,12 @@ pub fn run() -> String {
         other => panic!("expected L5 violation, got {other:?}"),
     }
     let released = eng.abort(t2);
-    writeln!(out, "  T2 aborts (releases {} lock) and must restart from node 2", released.len())
-        .unwrap();
+    writeln!(
+        out,
+        "  T2 aborts (releases {} lock) and must restart from node 2",
+        released.len()
+    )
+    .unwrap();
     eng.begin(TxId(3)).unwrap();
     match eng.check_lock(TxId(3), n2) {
         Err(DdagViolation::LockConflict(_, holder)) => {
@@ -98,7 +119,11 @@ pub fn run() -> String {
     }
     eng.finish(t1).unwrap();
     assert!(eng.lock(TxId(3), n2).is_ok());
-    writeln!(out, "  after T1 finishes, the restarted T2 proceeds from node 2 ✓").unwrap();
+    writeln!(
+        out,
+        "  after T1 finishes, the restarted T2 proceeds from node 2 ✓"
+    )
+    .unwrap();
     assert!(eng.is_rooted_dag(), "graph stays a rooted DAG throughout");
     out
 }

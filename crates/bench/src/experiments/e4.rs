@@ -60,12 +60,20 @@ pub fn run() -> String {
     push(t1, vec![eng.unlock(t1, i2).unwrap()], &mut trace);
     push(t2, vec![eng.lock(t2, i2).unwrap()], &mut trace);
     push(t2, eng.access(t2, i2).unwrap(), &mut trace);
-    writeln!(out, "T1 donates item 2 as well; T2 (fully in the wake) takes it").unwrap();
+    writeln!(
+        out,
+        "T1 donates item 2 as well; T2 (fully in the wake) takes it"
+    )
+    .unwrap();
 
     push(t1, vec![eng.lock(t1, i3).unwrap()], &mut trace);
     eng.declare_locked_point(t1).unwrap();
     assert!(!eng.in_wake_of(t2, t1));
-    writeln!(out, "T1 locks item 3 — its locked point: T2 is no longer in the wake").unwrap();
+    writeln!(
+        out,
+        "T1 locks item 3 — its locked point: T2 is no longer in the wake"
+    )
+    .unwrap();
 
     push(t2, vec![eng.lock(t2, i4).unwrap()], &mut trace);
     push(t2, eng.access(t2, i4).unwrap(), &mut trace);
@@ -83,7 +91,11 @@ pub fn run() -> String {
         "altruistic schedules are serializable (Theorem 3)"
     );
     let order = slp_core::serializability::serialization_order(&trace).unwrap();
-    writeln!(out, "\nlegal ✓  serializable ✓ — equivalent serial order: {order:?}").unwrap();
+    writeln!(
+        out,
+        "\nlegal ✓  serializable ✓ — equivalent serial order: {order:?}"
+    )
+    .unwrap();
     writeln!(
         out,
         "note: T2 ran entirely in T1's wake, so it serializes AFTER T1 even\nthough T1 was still running — the altruism that helps long transactions."

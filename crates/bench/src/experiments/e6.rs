@@ -6,8 +6,7 @@
 //! each decider performed, showing what the theorem's structure buys.
 
 use slp_verifier::{
-    find_canonical_witness, random_system, verify_safety, CanonicalBudget, GenParams,
-    SearchBudget,
+    find_canonical_witness, random_system, verify_safety, CanonicalBudget, GenParams, SearchBudget,
 };
 use std::fmt::Write;
 
@@ -54,7 +53,11 @@ pub fn agreement_batch(params: GenParams, seeds: std::ops::Range<u64>) -> Agreem
 /// Regenerates the Theorem 1 agreement table.
 pub fn run() -> String {
     let mut out = String::new();
-    writeln!(out, "E6 — Theorem 1: exhaustive search vs canonical search\n").unwrap();
+    writeln!(
+        out,
+        "E6 — Theorem 1: exhaustive search vs canonical search\n"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<26} {:>8} {:>6} {:>8} {:>10} {:>12} {:>14}",
@@ -66,22 +69,36 @@ pub fn run() -> String {
         ("3 tx, mixed", GenParams::default(), 0..40),
         (
             "3 tx, structural-heavy",
-            GenParams { structural_prob: 0.5, ..GenParams::default() },
+            GenParams {
+                structural_prob: 0.5,
+                ..GenParams::default()
+            },
             100..140,
         ),
         (
             "2 tx, long",
-            GenParams { transactions: 2, sessions_per_tx: 3, ..GenParams::default() },
+            GenParams {
+                transactions: 2,
+                sessions_per_tx: 3,
+                ..GenParams::default()
+            },
             200..240,
         ),
         (
             "4 tx, short",
-            GenParams { transactions: 4, sessions_per_tx: 1, ..GenParams::default() },
+            GenParams {
+                transactions: 4,
+                sessions_per_tx: 1,
+                ..GenParams::default()
+            },
             300..330,
         ),
         (
             "all two-phase (control)",
-            GenParams { two_phase_prob: 1.0, ..GenParams::default() },
+            GenParams {
+                two_phase_prob: 1.0,
+                ..GenParams::default()
+            },
             400..430,
         ),
     ];
@@ -93,7 +110,12 @@ pub fn run() -> String {
         writeln!(
             out,
             "{:<26} {:>8} {:>6} {:>8} {:>10} {:>12.0} {:>14.0}",
-            name, row.systems, row.safe, row.unsafe_, row.disagreements, row.mean_states,
+            name,
+            row.systems,
+            row.safe,
+            row.unsafe_,
+            row.disagreements,
+            row.mean_states,
             row.mean_candidates
         )
         .unwrap();
@@ -101,7 +123,10 @@ pub fn run() -> String {
             assert_eq!(row.unsafe_, 0, "2PL systems are always safe (condition 1)");
         }
     }
-    assert_eq!(total_disagreements, 0, "Theorem 1 must hold on every system");
+    assert_eq!(
+        total_disagreements, 0,
+        "Theorem 1 must hold on every system"
+    );
     writeln!(
         out,
         "\nzero disagreements — a locked transaction system admits a legal, proper,\nnonserializable schedule iff it admits a canonical one (Theorem 1)."

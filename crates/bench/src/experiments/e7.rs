@@ -49,7 +49,10 @@ pub fn soundness_table(seeds: std::ops::Range<u64>) -> Vec<SoundnessRow> {
             committed: 0,
         };
         for seed in seeds.clone() {
-            let config = SimConfig { workers: 4, ..Default::default() };
+            let config = SimConfig {
+                workers: 4,
+                ..Default::default()
+            };
             let (report, initial) = match policy {
                 "2PL" => {
                     let pool: Vec<_> = (0..12).map(slp_core::EntityId).collect();
@@ -218,9 +221,17 @@ pub fn altruistic_no_wake_scenario() -> Schedule {
 /// Regenerates the soundness + ablation tables.
 pub fn run() -> String {
     let mut out = String::new();
-    writeln!(out, "E7 — policy soundness (Theorems 2–4) and rule ablations\n").unwrap();
+    writeln!(
+        out,
+        "E7 — policy soundness (Theorems 2–4) and rule ablations\n"
+    )
+    .unwrap();
 
-    writeln!(out, "positive half: simulated workloads, traces verified post-hoc").unwrap();
+    writeln!(
+        out,
+        "positive half: simulated workloads, traces verified post-hoc"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<12} {:>5} {:>10} {:>8} {:>8} {:>14}",
@@ -241,10 +252,18 @@ pub fn run() -> String {
         .unwrap();
         assert_eq!(row.legal, row.runs);
         assert_eq!(row.proper, row.runs);
-        assert_eq!(row.serializable, row.runs, "{} produced a nonserializable trace", row.policy);
+        assert_eq!(
+            row.serializable, row.runs,
+            "{} produced a nonserializable trace",
+            row.policy
+        );
     }
 
-    writeln!(out, "\nnegative half: one rule removed, nonserializable execution admitted").unwrap();
+    writeln!(
+        out,
+        "\nnegative half: one rule removed, nonserializable execution admitted"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<34} {:>8} {:>8} {:>14}",
@@ -252,16 +271,28 @@ pub fn run() -> String {
     )
     .unwrap();
     let scenarios: Vec<(&str, Schedule)> = vec![
-        ("DDAG without held-predecessor (L5b)", ddag_no_held_predecessor_scenario()),
-        ("DDAG without all-predecessors (L5a)", ddag_no_all_predecessors_scenario()),
-        ("altruistic without wake rule (AL2)", altruistic_no_wake_scenario()),
+        (
+            "DDAG without held-predecessor (L5b)",
+            ddag_no_held_predecessor_scenario(),
+        ),
+        (
+            "DDAG without all-predecessors (L5a)",
+            ddag_no_all_predecessors_scenario(),
+        ),
+        (
+            "altruistic without wake rule (AL2)",
+            altruistic_no_wake_scenario(),
+        ),
     ];
     for (name, trace) in scenarios {
         let legal = trace.is_legal();
         let ser = is_serializable(&trace);
         writeln!(out, "{:<34} {:>8} {:>8} {:>14}", name, legal, "yes", ser).unwrap();
         assert!(legal, "{name}: mutant executions are still legal");
-        assert!(!ser, "{name}: the mutant must admit a NONserializable execution");
+        assert!(
+            !ser,
+            "{name}: the mutant must admit a NONserializable execution"
+        );
     }
     writeln!(
         out,

@@ -40,7 +40,11 @@ fn random_legal_proper_schedule(seed: u64) -> Option<(TransactionSystem, Schedul
             ..GenParams::default()
         }
     } else {
-        GenParams { transactions: 3, sessions_per_tx: 2, ..GenParams::default() }
+        GenParams {
+            transactions: 3,
+            sessions_per_tx: 2,
+            ..GenParams::default()
+        }
     };
     let system = random_system(params, seed);
     let schedule =
@@ -52,7 +56,9 @@ fn random_legal_proper_schedule(seed: u64) -> Option<(TransactionSystem, Schedul
 pub fn lemma_sweep(seeds: std::ops::Range<u64>) -> LemmaStats {
     let mut stats = LemmaStats::default();
     for seed in seeds {
-        let Some((system, schedule)) = random_legal_proper_schedule(seed) else { continue };
+        let Some((system, schedule)) = random_legal_proper_schedule(seed) else {
+            continue;
+        };
         let g0 = system.initial_state();
         debug_assert!(schedule.is_legal() && schedule.is_proper(g0));
         stats.schedules += 1;
@@ -60,7 +66,9 @@ pub fn lemma_sweep(seeds: std::ops::Range<u64>) -> LemmaStats {
 
         // Lemma 1: every admissible adjacent transposition.
         for pos in 0..schedule.len().saturating_sub(1) {
-            let Ok(swapped) = transpose(&schedule, pos) else { continue };
+            let Ok(swapped) = transpose(&schedule, pos) else {
+                continue;
+            };
             stats.transpositions += 1;
             let ok = swapped.is_legal()
                 && swapped.is_proper(g0)
@@ -92,7 +100,11 @@ pub fn lemma_sweep(seeds: std::ops::Range<u64>) -> LemmaStats {
 /// Regenerates the Lemma 1/2 invariance table.
 pub fn run() -> String {
     let mut out = String::new();
-    writeln!(out, "E8 — Lemmas 1–2: schedule transformations preserve legality,\n     properness, and D(S)\n").unwrap();
+    writeln!(
+        out,
+        "E8 — Lemmas 1–2: schedule transformations preserve legality,\n     properness, and D(S)\n"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<10} {:>10} {:>16} {:>10} {:>12}",
@@ -107,9 +119,15 @@ pub fn run() -> String {
     )
     .unwrap();
     assert!(stats.schedules >= 30, "enough schedules must be generated");
-    assert!(stats.transpositions > 100, "enough transpositions must be exercised");
+    assert!(
+        stats.transpositions > 100,
+        "enough transpositions must be exercised"
+    );
     assert!(stats.moves > 100, "enough moves must be exercised");
-    assert_eq!(stats.violations, 0, "Lemmas 1–2 must hold on every instance");
+    assert_eq!(
+        stats.violations, 0,
+        "Lemmas 1–2 must hold on every instance"
+    );
     writeln!(
         out,
         "\nzero violations across every admissible transposition (Lemma 1) and\nevery sink move (Lemma 2) — the proof machinery of Theorem 1 is sound\non randomized inputs."

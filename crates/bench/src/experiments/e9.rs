@@ -20,7 +20,10 @@ use std::fmt::Write;
 pub fn mpl_sweep(mpls: &[usize], seed: u64) -> Vec<(usize, Vec<SimReport>)> {
     let mut rows = Vec::new();
     for &mpl in mpls {
-        let config = SimConfig { workers: mpl, ..Default::default() };
+        let config = SimConfig {
+            workers: mpl,
+            ..Default::default()
+        };
         let mut reports = Vec::new();
 
         let pool: Vec<EntityId> = (0..24).map(EntityId).collect();
@@ -51,7 +54,10 @@ pub fn scan_length_sweep(lengths: &[usize], seed: u64) -> Vec<(usize, SimReport,
     for &len in lengths {
         let pool: Vec<EntityId> = (0..32).map(EntityId).collect();
         let jobs = long_short_jobs(&pool, len, 30, 2, seed);
-        let config = SimConfig { workers: 6, ..Default::default() };
+        let config = SimConfig {
+            workers: 6,
+            ..Default::default()
+        };
         let mut two_phase = TwoPhaseAdapter::new(pool.clone());
         let r_2pl = run_sim(&mut two_phase, &jobs, &config);
         let mut altruistic = AltruisticAdapter::new(pool.clone());
@@ -72,7 +78,10 @@ pub fn insert_mix_sweep(probs: &[f64], seed: u64) -> Vec<(f64, SimReport)> {
             let mut intern = |name: &str| adapter.intern(name);
             dag_mixed_jobs(&dag, 60, 2, p, &mut intern, seed)
         };
-        let config = SimConfig { workers: 6, ..Default::default() };
+        let config = SimConfig {
+            workers: 6,
+            ..Default::default()
+        };
         let report = run_sim(&mut adapter, &jobs, &config);
         rows.push((p, report));
     }
@@ -82,9 +91,17 @@ pub fn insert_mix_sweep(probs: &[f64], seed: u64) -> Vec<(f64, SimReport)> {
 /// Regenerates the E9 performance tables.
 pub fn run() -> String {
     let mut out = String::new();
-    writeln!(out, "E9 — policy performance comparison ([CHMS94] substitution)\n").unwrap();
+    writeln!(
+        out,
+        "E9 — policy performance comparison ([CHMS94] substitution)\n"
+    )
+    .unwrap();
 
-    writeln!(out, "(a) throughput (jobs/kilotick) and mean response vs multiprogramming level").unwrap();
+    writeln!(
+        out,
+        "(a) throughput (jobs/kilotick) and mean response vs multiprogramming level"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<5} | {:>22} | {:>22} | {:>22} | {:>22}",
@@ -94,14 +111,29 @@ pub fn run() -> String {
     for (mpl, reports) in mpl_sweep(&[1, 2, 4, 8], 17) {
         write!(out, "{mpl:<5}").unwrap();
         for r in &reports {
-            write!(out, " | {:>10.2} {:>11.1}", r.throughput(), r.mean_response()).unwrap();
+            write!(
+                out,
+                " | {:>10.2} {:>11.1}",
+                r.throughput(),
+                r.mean_response()
+            )
+            .unwrap();
             assert!(!r.timed_out, "{} timed out at MPL {mpl}", r.policy);
-            assert!(r.committed == 60, "{} committed {} != 60", r.policy, r.committed);
+            assert!(
+                r.committed == 60,
+                "{} committed {} != 60",
+                r.policy,
+                r.committed
+            );
         }
         writeln!(out).unwrap();
     }
 
-    writeln!(out, "\n(b) long scan + short transactions: 2PL vs altruistic").unwrap();
+    writeln!(
+        out,
+        "\n(b) long scan + short transactions: 2PL vs altruistic"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",

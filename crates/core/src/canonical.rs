@@ -116,7 +116,9 @@ impl CanonicalWitness {
             .order
             .iter()
             .filter_map(|&(id, len)| {
-                system.get(id).map(|t| LockedTransaction::new(id, t.steps[..len.min(t.steps.len())].to_vec()))
+                system
+                    .get(id)
+                    .map(|t| LockedTransaction::new(id, t.steps[..len.min(t.steps.len())].to_vec()))
             })
             .collect();
         Schedule::serial(&prefixes)
@@ -134,7 +136,10 @@ impl CanonicalWitness {
     /// Whether `D(S')` has a unique sink — the simplified condition (2a) of
     /// Section 3.3, which must hold when only exclusive locks are used.
     pub fn has_unique_sink(&self, system: &TransactionSystem) -> bool {
-        SerializationGraph::of(&self.serial_prefix(system)).sinks().len() == 1
+        SerializationGraph::of(&self.serial_prefix(system))
+            .sinks()
+            .len()
+            == 1
     }
 
     /// Verifies every condition of Theorem 1 against `system`, returning
@@ -263,8 +268,22 @@ mod tests {
         let mut b = SystemBuilder::new();
         b.exists("a");
         b.exists("b");
-        b.tx(1).lx("a").write("a").ux("a").lx("b").write("b").ux("b").finish();
-        b.tx(2).lx("a").write("a").lx("b").write("b").ux("b").ux("a").finish();
+        b.tx(1)
+            .lx("a")
+            .write("a")
+            .ux("a")
+            .lx("b")
+            .write("b")
+            .ux("b")
+            .finish();
+        b.tx(2)
+            .lx("a")
+            .write("a")
+            .lx("b")
+            .write("b")
+            .ux("b")
+            .ux("a")
+            .finish();
         let system = b.build();
         let a = system.universe().lookup("a").unwrap();
         let b_ent = system.universe().lookup("b").unwrap();
@@ -320,7 +339,8 @@ mod tests {
         witness.a_star = a;
         assert!(matches!(
             witness.verify(&system),
-            Err(CanonicalViolation::NoEarlierUnlock) | Err(CanonicalViolation::ExtensionDoesNotExtendPrefix)
+            Err(CanonicalViolation::NoEarlierUnlock)
+                | Err(CanonicalViolation::ExtensionDoesNotExtendPrefix)
         ));
     }
 
@@ -340,14 +360,20 @@ mod tests {
     fn order_must_reference_known_transactions() {
         let (system, mut witness) = unsafe_system();
         witness.order.push((TxId(9), 0));
-        assert_eq!(witness.verify(&system), Err(CanonicalViolation::MalformedOrder));
+        assert_eq!(
+            witness.verify(&system),
+            Err(CanonicalViolation::MalformedOrder)
+        );
     }
 
     #[test]
     fn k_must_exceed_one() {
         let (system, mut witness) = unsafe_system();
         witness.order.truncate(1);
-        assert_eq!(witness.verify(&system), Err(CanonicalViolation::TooFewTransactions));
+        assert_eq!(
+            witness.verify(&system),
+            Err(CanonicalViolation::TooFewTransactions)
+        );
     }
 
     #[test]
@@ -355,7 +381,10 @@ mod tests {
         let (system, mut witness) = unsafe_system();
         witness.lock_pos = 4; // (W b), not a lock
         witness.order[0] = (TxId(1), 4);
-        assert_eq!(witness.verify(&system), Err(CanonicalViolation::NotALockStep));
+        assert_eq!(
+            witness.verify(&system),
+            Err(CanonicalViolation::NotALockStep)
+        );
     }
 
     #[test]
@@ -383,9 +412,23 @@ mod tests {
         b.exists("a");
         b.exists("b");
         // T1: LS a, R a, US a, LS b ... locks b shared after unlocking a.
-        b.tx(1).ls("a").read("a").us("a").ls("b").read("b").us("b").finish();
+        b.tx(1)
+            .ls("a")
+            .read("a")
+            .us("a")
+            .ls("b")
+            .read("b")
+            .us("b")
+            .finish();
         // T2: locks b shared (no conflict with T1's shared lock).
-        b.tx(2).ls("b").read("b").us("b").lx("a").write("a").ux("a").finish();
+        b.tx(2)
+            .ls("b")
+            .read("b")
+            .us("b")
+            .lx("a")
+            .write("a")
+            .ux("a")
+            .finish();
         let system = b.build();
         let b_ent = system.universe().lookup("b").unwrap();
         let t2_len = system.get(TxId(2)).unwrap().steps.len();

@@ -80,13 +80,26 @@ mod tests {
     #[test]
     fn renders_paper_layout() {
         let mut b = SystemBuilder::new();
-        b.tx(1).insert("a").insert("b").write("c").insert("d").finish();
+        b.tx(1)
+            .insert("a")
+            .insert("b")
+            .write("c")
+            .insert("d")
+            .finish();
         b.tx(2).read("a").delete("b").insert("c").finish();
         let sys = b.build();
         let txs = sys.transactions().to_vec();
         let s = Schedule::interleave(
             &txs,
-            &[TxId(1), TxId(1), TxId(2), TxId(2), TxId(2), TxId(1), TxId(1)],
+            &[
+                TxId(1),
+                TxId(1),
+                TxId(2),
+                TxId(2),
+                TxId(2),
+                TxId(1),
+                TxId(1),
+            ],
         )
         .unwrap();
         let rendered = render_schedule(&s, sys.universe());

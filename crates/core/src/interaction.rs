@@ -36,7 +36,11 @@ impl InteractionGraph {
                     }
                 }
                 if count > 0 {
-                    let key = if a.id <= b.id { (a.id, b.id) } else { (b.id, a.id) };
+                    let key = if a.id <= b.id {
+                        (a.id, b.id)
+                    } else {
+                        (b.id, a.id)
+                    };
                     edge_counts.insert(key, count);
                 }
             }
@@ -126,8 +130,8 @@ impl InteractionGraph {
                     // Consecutive pairs must not carry a parallel edge
                     // (a parallel edge is a chord of the cycle).
                     if chordless {
-                        chordless = (0..k)
-                            .all(|i| self.multiplicity(path[i], path[(i + 1) % k]) == 1);
+                        chordless =
+                            (0..k).all(|i| self.multiplicity(path[i], path[(i + 1) % k]) == 1);
                     }
                     if chordless {
                         let mut cycle = path.clone();
@@ -224,9 +228,15 @@ mod tests {
         // Square 1-2-3-4 plus chord 1-3: the 4-cycle has a chord, so only
         // the two triangles are chordless.
         let txs = vec![
-            LockedTransaction::new(t(1), vec![Step::write(e(0)), Step::write(e(3)), Step::write(e(4))]),
+            LockedTransaction::new(
+                t(1),
+                vec![Step::write(e(0)), Step::write(e(3)), Step::write(e(4))],
+            ),
             LockedTransaction::new(t(2), vec![Step::read(e(0)), Step::write(e(1))]),
-            LockedTransaction::new(t(3), vec![Step::read(e(1)), Step::write(e(2)), Step::read(e(4))]),
+            LockedTransaction::new(
+                t(3),
+                vec![Step::read(e(1)), Step::write(e(2)), Step::read(e(4))],
+            ),
             LockedTransaction::new(t(4), vec![Step::read(e(2)), Step::read(e(3))]),
         ];
         let g = InteractionGraph::of(&txs);
@@ -244,8 +254,14 @@ mod tests {
         // cycles have exactly two nodes.
         let txs = vec![
             LockedTransaction::new(t(1), vec![Step::write(e(0)), Step::write(e(1))]),
-            LockedTransaction::new(t(2), vec![Step::write(e(0)), Step::write(e(1)), Step::write(e(2))]),
-            LockedTransaction::new(t(3), vec![Step::write(e(1)), Step::write(e(2)), Step::write(e(0))]),
+            LockedTransaction::new(
+                t(2),
+                vec![Step::write(e(0)), Step::write(e(1)), Step::write(e(2))],
+            ),
+            LockedTransaction::new(
+                t(3),
+                vec![Step::write(e(1)), Step::write(e(2)), Step::write(e(0))],
+            ),
         ];
         let g = InteractionGraph::of(&txs);
         let cycles = g.chordless_cycles();

@@ -74,10 +74,10 @@ pub use interaction::InteractionGraph;
 pub use ops::{DataOp, LockMode, Operation};
 pub use schedule::{
     LegalViolation, LockTable, ProperViolation, Schedule, ScheduleSimulator, ScheduledStep,
-    StepError,
+    StepError, UndoToken,
 };
 pub use serializability::{are_conflict_equivalent, equivalent_serial_schedule, is_serializable};
-pub use sgraph::{ConflictEdge, SerializationGraph};
+pub use sgraph::{ConflictEdge, ConflictIndex, SerializationGraph};
 pub use state::{StructuralState, UndefinedStep, ValueState};
 pub use step::Step;
 pub use system::{SystemBuilder, TransactionSystem, TxBuilder};

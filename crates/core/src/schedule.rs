@@ -47,7 +47,11 @@ pub struct ProperViolation {
 
 impl fmt::Display for ProperViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "step {} at position {}: {}", self.step, self.pos, self.cause)
+        write!(
+            f,
+            "step {} at position {}: {}",
+            self.step, self.pos, self.cause
+        )
     }
 }
 
@@ -123,7 +127,9 @@ impl Schedule {
         let by_id: HashMap<TxId, &LockedTransaction> = txs.iter().map(|t| (t.id, t)).collect();
         let mut steps = Vec::with_capacity(order.len());
         for &tx in order {
-            let t = by_id.get(&tx).ok_or_else(|| format!("unknown transaction {tx}"))?;
+            let t = by_id
+                .get(&tx)
+                .ok_or_else(|| format!("unknown transaction {tx}"))?;
             let cursor = cursors.entry(tx).or_insert(0);
             let step = t
                 .steps
@@ -151,13 +157,23 @@ impl Schedule {
     }
 
     /// Appends a step.
+    #[inline]
     pub fn push(&mut self, s: ScheduledStep) {
         self.steps.push(s);
     }
 
+    /// Removes and returns the last step in O(1). The safety verifier's
+    /// apply/undo DFS backtracks through this on every node.
+    #[inline]
+    pub fn pop(&mut self) -> Option<ScheduledStep> {
+        self.steps.pop()
+    }
+
     /// The prefix consisting of the first `n` steps.
     pub fn prefix(&self, n: usize) -> Schedule {
-        Schedule { steps: self.steps[..n.min(self.steps.len())].to_vec() }
+        Schedule {
+            steps: self.steps[..n.min(self.steps.len())].to_vec(),
+        }
     }
 
     /// Whether `prefix` is a prefix of this schedule.
@@ -168,12 +184,18 @@ impl Schedule {
 
     /// The projection of the schedule onto one transaction's steps.
     pub fn projection(&self, tx: TxId) -> Vec<Step> {
-        self.steps.iter().filter(|s| s.tx == tx).map(|s| s.step).collect()
+        self.steps
+            .iter()
+            .filter(|s| s.tx == tx)
+            .map(|s| s.step)
+            .collect()
     }
 
     /// Positions (schedule indices) of one transaction's steps.
     pub fn positions_of(&self, tx: TxId) -> Vec<usize> {
-        (0..self.steps.len()).filter(|&i| self.steps[i].tx == tx).collect()
+        (0..self.steps.len())
+            .filter(|&i| self.steps[i].tx == tx)
+            .collect()
     }
 
     /// The transactions appearing in the schedule, in first-step order.
@@ -205,7 +227,9 @@ impl Schedule {
         let by_id: HashMap<TxId, &LockedTransaction> = txs.iter().map(|t| (t.id, t)).collect();
         let mut cursors: HashMap<TxId, usize> = HashMap::new();
         for s in &self.steps {
-            let Some(t) = by_id.get(&s.tx) else { return false };
+            let Some(t) = by_id.get(&s.tx) else {
+                return false;
+            };
             let cursor = cursors.entry(s.tx).or_insert(0);
             if t.steps.get(*cursor) != Some(&s.step) {
                 return false;
@@ -220,8 +244,11 @@ impl Schedule {
     pub fn check_proper(&self, g0: &StructuralState) -> Result<StructuralState, ProperViolation> {
         let mut g = g0.clone();
         for (pos, s) in self.steps.iter().enumerate() {
-            g.apply_step(&s.step)
-                .map_err(|cause| ProperViolation { pos, step: *s, cause })?;
+            g.apply_step(&s.step).map_err(|cause| ProperViolation {
+                pos,
+                step: *s,
+                cause,
+            })?;
         }
         Ok(g)
     }
@@ -286,7 +313,9 @@ impl fmt::Display for Schedule {
 
 impl FromIterator<ScheduledStep> for Schedule {
     fn from_iter<I: IntoIterator<Item = ScheduledStep>>(iter: I) -> Self {
-        Schedule { steps: iter.into_iter().collect() }
+        Schedule {
+            steps: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -295,9 +324,29 @@ impl FromIterator<ScheduledStep> for Schedule {
 /// Invariant (when driven only through legal grants): an entity is held
 /// either by any number of transactions in shared mode or by exactly one in
 /// exclusive mode.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+///
+/// Storage is a dense vector indexed by entity id (entity ids come from
+/// the `Universe` interner, so the table stays small): the verifier's DFS
+/// probes the table on every candidate step, and a direct index beats a
+/// hash lookup there. Equality ignores empty holder slots, so tables that
+/// held locks on different entities at some point still compare equal once
+/// those locks are gone; holder *order* within an entity is significant,
+/// which is what lets [`undo_release`](LockTable::undo_release) restore a
+/// table to exact equality.
+#[derive(Clone, Eq, Debug, Default)]
 pub struct LockTable {
-    held: HashMap<EntityId, Vec<(TxId, LockMode)>>,
+    held: Vec<Vec<(TxId, LockMode)>>,
+}
+
+impl PartialEq for LockTable {
+    fn eq(&self, other: &Self) -> bool {
+        let (short, long) = if self.held.len() <= other.held.len() {
+            (&self.held, &other.held)
+        } else {
+            (&other.held, &self.held)
+        };
+        short == &long[..short.len()] && long[short.len()..].iter().all(Vec::is_empty)
+    }
 }
 
 impl LockTable {
@@ -306,40 +355,91 @@ impl LockTable {
         Self::default()
     }
 
+    #[inline]
+    fn slot(&self, entity: EntityId) -> &[(TxId, LockMode)] {
+        self.held.get(entity.index()).map_or(&[], Vec::as_slice)
+    }
+
     /// A transaction (≠ `tx`) holding a lock on `entity` incompatible with
     /// `mode`, if any. Granting while such a holder exists makes the
     /// schedule illegal.
+    #[inline]
     pub fn conflicting_holder(&self, tx: TxId, entity: EntityId, mode: LockMode) -> Option<TxId> {
-        self.held.get(&entity).and_then(|holders| {
-            holders
-                .iter()
-                .find(|(h, m)| *h != tx && !m.compatible_with(mode))
-                .map(|(h, _)| *h)
-        })
+        self.slot(entity)
+            .iter()
+            .find(|(h, m)| *h != tx && !m.compatible_with(mode))
+            .map(|(h, _)| *h)
     }
 
     /// Records a grant (does not re-check compatibility).
+    #[inline]
     pub fn grant(&mut self, tx: TxId, entity: EntityId, mode: LockMode) {
-        self.held.entry(entity).or_default().push((tx, mode));
+        let i = entity.index();
+        if i >= self.held.len() {
+            self.held.resize_with(i + 1, Vec::new);
+        }
+        self.held[i].push((tx, mode));
     }
 
     /// Records a release of one `(tx, mode)` lock on `entity`.
     pub fn release(&mut self, tx: TxId, entity: EntityId, mode: LockMode) -> bool {
-        let Some(holders) = self.held.get_mut(&entity) else { return false };
-        let Some(i) = holders.iter().position(|&(h, m)| h == tx && m == mode) else {
-            return false;
-        };
+        self.release_tracked(tx, entity, mode).is_some()
+    }
+
+    /// Like [`release`](LockTable::release), but returns the holder-vector
+    /// slot the lock was removed from (`swap_remove` semantics), which
+    /// [`undo_release`](LockTable::undo_release) needs to restore the table
+    /// bit-for-bit. `None` if `(tx, mode)` held no lock on `entity`.
+    #[inline]
+    pub fn release_tracked(&mut self, tx: TxId, entity: EntityId, mode: LockMode) -> Option<u32> {
+        let holders = self.held.get_mut(entity.index())?;
+        let i = holders.iter().position(|&(h, m)| h == tx && m == mode)?;
         holders.swap_remove(i);
-        if holders.is_empty() {
-            self.held.remove(&entity);
+        Some(i as u32)
+    }
+
+    /// Reverses the most recent [`grant`](LockTable::grant) of `(tx, mode)`
+    /// on `entity`. Part of the verifier's apply/undo machinery; only valid
+    /// under LIFO discipline (no intervening un-undone operation on
+    /// `entity`), where the grant is necessarily the last holder.
+    #[inline]
+    pub fn undo_grant(&mut self, tx: TxId, entity: EntityId, mode: LockMode) {
+        let holders = self
+            .held
+            .get_mut(entity.index())
+            .expect("undo_grant: entity has holders");
+        let last = holders.pop().expect("undo_grant: holder vector nonempty");
+        debug_assert_eq!(last, (tx, mode), "undo_grant out of LIFO order");
+    }
+
+    /// Reverses a [`release_tracked`](LockTable::release_tracked) of
+    /// `(tx, mode)` on `entity` that removed the holder from `slot`,
+    /// restoring the exact holder-vector layout (so `LockTable` equality
+    /// holds after undo). Only valid under LIFO discipline.
+    #[inline]
+    pub fn undo_release(&mut self, tx: TxId, entity: EntityId, mode: LockMode, slot: u32) {
+        let i = entity.index();
+        if i >= self.held.len() {
+            self.held.resize_with(i + 1, Vec::new);
         }
-        true
+        let holders = &mut self.held[i];
+        let slot = slot as usize;
+        debug_assert!(slot <= holders.len(), "undo_release: slot out of range");
+        if slot == holders.len() {
+            // The released holder was the last element: swap_remove popped.
+            holders.push((tx, mode));
+        } else {
+            // swap_remove moved the then-last holder into `slot`; put it
+            // back at the end and reinstate the released holder.
+            let moved = holders[slot];
+            holders.push(moved);
+            holders[slot] = (tx, mode);
+        }
     }
 
     /// The mode in which `tx` holds `entity`, if any.
     pub fn mode_of(&self, tx: TxId, entity: EntityId) -> Option<LockMode> {
-        self.held
-            .get(&entity)?
+        self.slot(entity)
             .iter()
             .find(|&&(h, _)| h == tx)
             .map(|&(_, m)| m)
@@ -347,24 +447,23 @@ impl LockTable {
 
     /// All holders of `entity`.
     pub fn holders(&self, entity: EntityId) -> &[(TxId, LockMode)] {
-        self.held.get(&entity).map_or(&[], Vec::as_slice)
+        self.slot(entity)
     }
 
     /// Whether any lock is held on `entity`.
     pub fn is_locked(&self, entity: EntityId) -> bool {
-        self.held.contains_key(&entity)
+        !self.slot(entity).is_empty()
     }
 
     /// All entities locked by `tx`.
     pub fn entities_held_by(&self, tx: TxId) -> Vec<EntityId> {
-        let mut out: Vec<EntityId> = self
-            .held
+        // Slots are id-ordered, so the output is sorted by construction.
+        self.held
             .iter()
+            .enumerate()
             .filter(|(_, holders)| holders.iter().any(|&(h, _)| h == tx))
-            .map(|(&e, _)| e)
-            .collect();
-        out.sort_unstable();
-        out
+            .map(|(i, _)| EntityId(i as u32))
+            .collect()
     }
 }
 
@@ -395,13 +494,48 @@ impl fmt::Display for StepError {
 
 impl std::error::Error for StepError {}
 
+/// A compact record of one applied step, sufficient to reverse it exactly.
+///
+/// Returned by [`ScheduleSimulator::apply_undoable`] and consumed by
+/// [`ScheduleSimulator::undo`]. Tokens must be undone in **reverse apply
+/// order** (LIFO): the verifier's DFS applies a step on the way down and
+/// undoes it on the way back up, so at undo time the simulator is in
+/// exactly the state the apply left it in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UndoToken {
+    tx: TxId,
+    step: Step,
+    /// For unlock steps: the holder-vector slot the released lock was
+    /// `swap_remove`d from, or [`UndoToken::NO_SLOT`] if the unlock matched
+    /// no held lock (and therefore changed nothing).
+    slot: u32,
+}
+
+impl UndoToken {
+    const NO_SLOT: u32 = u32::MAX;
+
+    /// The transaction whose step this token reverses.
+    pub fn tx(&self) -> TxId {
+        self.tx
+    }
+
+    /// The step this token reverses.
+    pub fn step(&self) -> Step {
+        self.step
+    }
+}
+
 /// An incremental cursor over schedule execution: maintains the structural
 /// state and lock table, and accepts one step at a time, rejecting steps
 /// that would make the schedule so far improper or illegal.
 ///
 /// This is the machinery the safety verifier drives: instead of re-checking
 /// a whole candidate schedule after each extension (O(n) per step), the
-/// simulator validates each extension in O(1)–O(holders).
+/// simulator validates each extension in O(1)–O(holders). Steps applied
+/// through [`apply_undoable`](ScheduleSimulator::apply_undoable) can be
+/// reversed exactly with [`undo`](ScheduleSimulator::undo), so a
+/// backtracking search mutates **one** simulator in place instead of
+/// cloning it at every branch.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ScheduleSimulator {
     state: StructuralState,
@@ -412,13 +546,20 @@ pub struct ScheduleSimulator {
 impl ScheduleSimulator {
     /// A simulator starting from structural state `g0`.
     pub fn new(g0: StructuralState) -> Self {
-        ScheduleSimulator { state: g0, table: LockTable::new(), applied: 0 }
+        ScheduleSimulator {
+            state: g0,
+            table: LockTable::new(),
+            applied: 0,
+        }
     }
 
     /// Whether `tx` could take `step` next without violating properness or
     /// legality.
+    #[inline]
     pub fn check(&self, tx: TxId, step: &Step) -> Result<(), StepError> {
-        self.state.step_defined(step).map_err(StepError::Undefined)?;
+        self.state
+            .step_defined(step)
+            .map_err(StepError::Undefined)?;
         if let Operation::Lock(mode) = step.op {
             if let Some(holder) = self.table.conflicting_holder(tx, step.entity, mode) {
                 return Err(StepError::LockConflict { holder });
@@ -429,11 +570,21 @@ impl ScheduleSimulator {
 
     /// Applies `step` for `tx`, or reports why it cannot be applied.
     pub fn apply(&mut self, tx: TxId, step: &Step) -> Result<(), StepError> {
+        self.apply_undoable(tx, step).map(|_| ())
+    }
+
+    /// Applies `step` for `tx` and returns a token that [`undo`]
+    /// (ScheduleSimulator::undo) can use to reverse it exactly.
+    #[inline]
+    pub fn apply_undoable(&mut self, tx: TxId, step: &Step) -> Result<UndoToken, StepError> {
         self.check(tx, step)?;
+        let mut slot = UndoToken::NO_SLOT;
         match step.op {
             Operation::Lock(mode) => self.table.grant(tx, step.entity, mode),
             Operation::Unlock(mode) => {
-                self.table.release(tx, step.entity, mode);
+                if let Some(s) = self.table.release_tracked(tx, step.entity, mode) {
+                    slot = s;
+                }
             }
             Operation::Data(_) => {
                 self.state
@@ -442,7 +593,38 @@ impl ScheduleSimulator {
             }
         }
         self.applied += 1;
-        Ok(())
+        Ok(UndoToken {
+            tx,
+            step: *step,
+            slot,
+        })
+    }
+
+    /// Reverses the step recorded by `token`, restoring the simulator to
+    /// exactly the state before the corresponding
+    /// [`apply_undoable`](ScheduleSimulator::apply_undoable) — including
+    /// `Eq`-visible representation details of the lock table.
+    ///
+    /// Tokens must be undone in reverse apply order (LIFO). Undoing in any
+    /// other order is a logic error; debug builds assert on the patterns it
+    /// would produce.
+    #[inline]
+    pub fn undo(&mut self, token: UndoToken) {
+        match token.step.op {
+            Operation::Lock(mode) => {
+                self.table.undo_grant(token.tx, token.step.entity, mode);
+            }
+            Operation::Unlock(mode) => {
+                if token.slot != UndoToken::NO_SLOT {
+                    self.table
+                        .undo_release(token.tx, token.step.entity, mode, token.slot);
+                }
+            }
+            Operation::Data(_) => {
+                self.state.unapply_step(&token.step);
+            }
+        }
+        self.applied -= 1;
     }
 
     /// Applies every step of `schedule`, reporting the first failure.
@@ -489,7 +671,12 @@ mod tests {
         vec![
             LockedTransaction::new(
                 t(1),
-                vec![Step::insert(a), Step::insert(b), Step::write(c), Step::insert(d)],
+                vec![
+                    Step::insert(a),
+                    Step::insert(b),
+                    Step::write(c),
+                    Step::insert(d),
+                ],
             ),
             LockedTransaction::new(t(2), vec![Step::read(a), Step::delete(b), Step::insert(c)]),
         ]
@@ -502,11 +689,7 @@ mod tests {
         // proper interleaving runs (I c) *before* (W c):
         // (I a)(I b)(R a)(D b)(I c)(W c)(I d).
         let txs = section2_txs();
-        let s = Schedule::interleave(
-            &txs,
-            &[t(1), t(1), t(2), t(2), t(2), t(1), t(1)],
-        )
-        .unwrap();
+        let s = Schedule::interleave(&txs, &[t(1), t(1), t(2), t(2), t(2), t(1), t(1)]).unwrap();
         assert!(s.is_proper(&StructuralState::empty()));
         assert!(s.is_complete_schedule_of(&txs));
     }
@@ -516,11 +699,7 @@ mod tests {
         // (I a)(R a)(D b)... — (D b) before (I b)? No: the paper's improper
         // interleaving is (I a)(I b)(W c)... with (W c) before (I c).
         let txs = section2_txs();
-        let s = Schedule::interleave(
-            &txs,
-            &[t(1), t(1), t(1), t(2), t(2), t(2), t(1)],
-        )
-        .unwrap();
+        let s = Schedule::interleave(&txs, &[t(1), t(1), t(1), t(2), t(2), t(2), t(1)]).unwrap();
         let err = s.check_proper(&StructuralState::empty()).unwrap_err();
         assert_eq!(err.pos, 2); // (W c) with c absent
         assert_eq!(err.cause, UndefinedStep::EntityAbsent(e(2)));
@@ -571,7 +750,10 @@ mod tests {
     fn projection_and_partial_schedule_checks() {
         let txs = section2_txs();
         let s = Schedule::interleave(&txs, &[t(1), t(1), t(2)]).unwrap();
-        assert_eq!(s.projection(t(1)), vec![Step::insert(e(0)), Step::insert(e(1))]);
+        assert_eq!(
+            s.projection(t(1)),
+            vec![Step::insert(e(0)), Step::insert(e(1))]
+        );
         assert!(s.is_partial_schedule_of(&txs));
         assert!(!s.is_complete_schedule_of(&txs));
         // Reordering T2's steps is not a partial schedule.
@@ -592,8 +774,8 @@ mod tests {
     #[test]
     fn simulator_agrees_with_one_shot_checks() {
         let txs = section2_txs();
-        let proper = Schedule::interleave(&txs, &[t(1), t(1), t(2), t(2), t(2), t(1), t(1)])
-            .unwrap();
+        let proper =
+            Schedule::interleave(&txs, &[t(1), t(1), t(2), t(2), t(2), t(1), t(1)]).unwrap();
         let mut sim = ScheduleSimulator::new(StructuralState::empty());
         assert!(sim.apply_schedule(&proper).is_ok());
         assert_eq!(sim.applied(), 7);
@@ -622,7 +804,10 @@ mod tests {
         table.grant(t(1), e(0), LockMode::Shared);
         table.grant(t(2), e(0), LockMode::Shared);
         assert_eq!(table.mode_of(t(1), e(0)), Some(LockMode::Shared));
-        assert_eq!(table.conflicting_holder(t(3), e(0), LockMode::Exclusive), Some(t(1)));
+        assert_eq!(
+            table.conflicting_holder(t(3), e(0), LockMode::Exclusive),
+            Some(t(1))
+        );
         assert_eq!(table.conflicting_holder(t(3), e(0), LockMode::Shared), None);
         assert!(table.release(t(1), e(0), LockMode::Shared));
         assert!(!table.release(t(1), e(0), LockMode::Shared));
@@ -630,6 +815,97 @@ mod tests {
         assert!(table.is_locked(e(0)));
         assert!(table.release(t(2), e(0), LockMode::Shared));
         assert!(!table.is_locked(e(0)));
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let mut s = Schedule::empty();
+        assert_eq!(s.pop(), None);
+        let a = ScheduledStep::new(t(1), Step::insert(e(0)));
+        let b = ScheduledStep::new(t(2), Step::read(e(0)));
+        s.push(a);
+        s.push(b);
+        assert_eq!(s.pop(), Some(b));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop(), Some(a));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn apply_undo_restores_simulator_exactly() {
+        // Mixed locks, shared coexistence, structural ops — applied then
+        // undone in reverse; the simulator must compare equal at every
+        // unwind depth, not just at the end.
+        let steps = [
+            (t(1), Step::lock_exclusive(e(0))),
+            (t(1), Step::insert(e(0))),
+            (t(1), Step::unlock_exclusive(e(0))),
+            (t(2), Step::lock_shared(e(0))),
+            (t(3), Step::lock_shared(e(0))),
+            (t(2), Step::read(e(0))),
+            (t(2), Step::unlock_shared(e(0))),
+            (t(3), Step::unlock_shared(e(0))),
+            (t(3), Step::lock_exclusive(e(0))),
+            (t(3), Step::delete(e(0))),
+            (t(3), Step::unlock_exclusive(e(0))),
+        ];
+        let mut sim = ScheduleSimulator::new(StructuralState::empty());
+        let mut snapshots = vec![sim.clone()];
+        let mut tokens = Vec::new();
+        for (tx, step) in steps {
+            tokens.push(sim.apply_undoable(tx, &step).unwrap());
+            snapshots.push(sim.clone());
+        }
+        while let Some(token) = tokens.pop() {
+            snapshots.pop();
+            sim.undo(token);
+            assert_eq!(
+                &sim,
+                snapshots.last().unwrap(),
+                "undo of {token:?} diverged"
+            );
+        }
+        assert_eq!(sim.applied(), 0);
+    }
+
+    #[test]
+    fn undo_release_restores_holder_order_after_swap_remove() {
+        // Three shared holders; releasing the *first* swap_removes, moving
+        // the last holder into slot 0. Undo must restore the original
+        // layout so LockTable equality (order-sensitive Vec) holds.
+        let mut sim = ScheduleSimulator::new(StructuralState::empty());
+        for i in 1..=3 {
+            sim.apply(t(i), &Step::lock_shared(e(0))).unwrap();
+        }
+        let before = sim.clone();
+        let token = sim
+            .apply_undoable(t(1), &Step::unlock_shared(e(0)))
+            .unwrap();
+        assert_ne!(sim, before);
+        sim.undo(token);
+        assert_eq!(sim, before);
+        assert_eq!(
+            sim.lock_table().holders(e(0)),
+            &[
+                (t(1), LockMode::Shared),
+                (t(2), LockMode::Shared),
+                (t(3), LockMode::Shared)
+            ]
+        );
+    }
+
+    #[test]
+    fn undo_of_unmatched_unlock_is_a_no_op() {
+        // Unlocking a never-held lock applies as a no-op (legality treats
+        // it as vacuous); its undo must also be a no-op.
+        let mut sim = ScheduleSimulator::new(StructuralState::empty());
+        let before = sim.clone();
+        let token = sim
+            .apply_undoable(t(1), &Step::unlock_exclusive(e(0)))
+            .unwrap();
+        assert_eq!(sim.applied(), 1);
+        sim.undo(token);
+        assert_eq!(sim, before);
     }
 
     #[test]

@@ -26,7 +26,12 @@ pub fn equivalent_serial_schedule(schedule: &Schedule) -> Option<Schedule> {
     let order = serialization_order(schedule)?;
     let mut steps = Vec::with_capacity(schedule.len());
     for tx in order {
-        steps.extend(schedule.projection(tx).into_iter().map(|s| ScheduledStep::new(tx, s)));
+        steps.extend(
+            schedule
+                .projection(tx)
+                .into_iter()
+                .map(|s| ScheduledStep::new(tx, s)),
+        );
     }
     Some(Schedule::from_steps(steps))
 }

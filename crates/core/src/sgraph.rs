@@ -6,9 +6,12 @@
 //! a *witness* — the earliest pair of conflicting schedule positions — so
 //! counterexamples can be explained.
 
+use crate::entity::EntityId;
 use crate::schedule::Schedule;
+use crate::step::Step;
 use crate::txn::TxId;
-use std::collections::{BTreeMap, HashMap};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// An edge of the serializability graph, with its witnessing conflict.
@@ -25,7 +28,11 @@ pub struct ConflictEdge {
 
 impl fmt::Display for ConflictEdge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {} (steps {} < {})", self.from, self.to, self.witness.0, self.witness.1)
+        write!(
+            f,
+            "{} -> {} (steps {} < {})",
+            self.from, self.to, self.witness.0, self.witness.1
+        )
     }
 }
 
@@ -43,13 +50,14 @@ pub struct SerializationGraph {
 /// first-appearance order) and same edge set. Witness positions are
 /// ignored — Lemmas 1–2 conclude `D(S) = D(S̄)` even though the schedules
 /// permute positions.
+///
+/// Comparison is allocation-free: nodes are unique per graph (they come
+/// from [`Schedule::participants`]), so equal lengths plus membership of
+/// every `self` node in `other` imply set equality.
 impl PartialEq for SerializationGraph {
     fn eq(&self, other: &Self) -> bool {
-        let mut a = self.nodes.clone();
-        let mut b = other.nodes.clone();
-        a.sort_unstable();
-        b.sort_unstable();
-        a == b
+        self.nodes.len() == other.nodes.len()
+            && self.nodes.iter().all(|n| other.nodes.contains(n))
             && self.edges.len() == other.edges.len()
             && self.edges.keys().all(|k| other.edges.contains_key(k))
     }
@@ -65,7 +73,7 @@ impl SerializationGraph {
     pub fn of(schedule: &Schedule) -> Self {
         let nodes = schedule.participants();
         let mut edges: BTreeMap<(TxId, TxId), (usize, usize)> = BTreeMap::new();
-        let mut by_entity: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut by_entity: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
         let steps = schedule.steps();
         for (i, s) in steps.iter().enumerate() {
             by_entity.entry(s.step.entity.0).or_default().push(i);
@@ -119,7 +127,9 @@ impl SerializationGraph {
 
     /// Iterates over all edges with witnesses.
     pub fn edges(&self) -> impl Iterator<Item = ConflictEdge> + '_ {
-        self.edges.iter().map(|(&(from, to), &witness)| ConflictEdge { from, to, witness })
+        self.edges
+            .iter()
+            .map(|(&(from, to), &witness)| ConflictEdge { from, to, witness })
     }
 
     /// Whether the edge `(from, to)` is present.
@@ -134,12 +144,20 @@ impl SerializationGraph {
 
     /// Successors of `tx`.
     pub fn successors(&self, tx: TxId) -> Vec<TxId> {
-        self.edges.keys().filter(|&&(f, _)| f == tx).map(|&(_, t)| t).collect()
+        self.edges
+            .keys()
+            .filter(|&&(f, _)| f == tx)
+            .map(|&(_, t)| t)
+            .collect()
     }
 
     /// Predecessors of `tx`.
     pub fn predecessors(&self, tx: TxId) -> Vec<TxId> {
-        self.edges.keys().filter(|&&(_, t)| t == tx).map(|&(f, _)| f).collect()
+        self.edges
+            .keys()
+            .filter(|&&(_, t)| t == tx)
+            .map(|&(f, _)| f)
+            .collect()
     }
 
     /// Nodes with no outgoing edge. An isolated node is both a source and a
@@ -201,14 +219,14 @@ impl SerializationGraph {
             Gray,
             Black,
         }
-        let mut color: HashMap<TxId, Color> =
+        let mut color: FxHashMap<TxId, Color> =
             self.nodes.iter().map(|&n| (n, Color::White)).collect();
         let mut stack: Vec<TxId> = Vec::new();
 
         fn dfs(
             g: &SerializationGraph,
             n: TxId,
-            color: &mut HashMap<TxId, Color>,
+            color: &mut FxHashMap<TxId, Color>,
             stack: &mut Vec<TxId>,
         ) -> Option<Vec<TxId>> {
             color.insert(n, Color::Gray);
@@ -255,16 +273,17 @@ impl SerializationGraph {
         }
         // A simple path has exactly one source; follow unique successors.
         let sources = self.sources();
-        let start = match sources.as_slice() {
-            [s] => *s,
-            [] if n >= 2 => {
-                // Fully closed cycle: every node has in/out degree 1.
-                return self.nodes.iter().all(|&v| {
-                    self.successors(v).len() == 1 && self.predecessors(v).len() == 1
-                }) && self.find_cycle().is_some_and(|c| c.len() == n + 1);
-            }
-            _ => return false,
-        };
+        let start =
+            match sources.as_slice() {
+                [s] => *s,
+                [] if n >= 2 => {
+                    // Fully closed cycle: every node has in/out degree 1.
+                    return self.nodes.iter().all(|&v| {
+                        self.successors(v).len() == 1 && self.predecessors(v).len() == 1
+                    }) && self.find_cycle().is_some_and(|c| c.len() == n + 1);
+                }
+                _ => return false,
+            };
         let mut seen = vec![start];
         let mut cur = start;
         loop {
@@ -280,7 +299,13 @@ impl SerializationGraph {
                 }
                 [a, b] => {
                     // Allowed only for the node that also closes back to start.
-                    let next = if *a == start { *b } else if *b == start { *a } else { return false };
+                    let next = if *a == start {
+                        *b
+                    } else if *b == start {
+                        *a
+                    } else {
+                        return false;
+                    };
                     if seen.contains(&next) {
                         return false;
                     }
@@ -291,6 +316,104 @@ impl SerializationGraph {
             }
         }
         seen.len() == n
+    }
+}
+
+/// An incremental conflict index over a *growing-and-shrinking* schedule:
+/// the engine of the verifier's apply/undo DFS.
+///
+/// Transactions are addressed by **dense indices** `0..k` (the caller fixes
+/// the numbering, typically first-appearance order of the system's ids).
+/// The index maintains, per entity, the list of steps pushed so far that
+/// touched it — so the `D(S)`-edge delta of a candidate step is computed by
+/// scanning only that entity's accessors, `O(accessors)`, instead of
+/// rescanning the whole schedule, `O(|S|)`. Pushes and pops are `O(1)`.
+///
+/// Edge sets are represented as `u128` bitmasks with bit `from * k + to`
+/// encoding the edge `from -> to`, which bounds `k` at
+/// [`ConflictIndex::MAX_TXS`] transactions — ample for exhaustive safety
+/// search, whose state space is the real limit.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictIndex {
+    k: usize,
+    /// Accessor lists indexed by dense entity id (entity ids come from the
+    /// `Universe` interner, so the table stays small); grown on demand.
+    by_entity: Vec<Vec<(u32, Step)>>,
+    /// Entities of pushed steps, in push order, so `pop` knows which
+    /// per-entity list to shrink.
+    trail: Vec<EntityId>,
+}
+
+impl ConflictIndex {
+    /// Maximum number of transactions an edge bitmask can address
+    /// (`k * k <= 128`).
+    pub const MAX_TXS: usize = 11;
+
+    /// An empty index over `k` dense transaction indices.
+    pub fn new(k: usize) -> Self {
+        assert!(
+            k <= Self::MAX_TXS,
+            "ConflictIndex supports at most {} transactions, got {k}",
+            Self::MAX_TXS
+        );
+        ConflictIndex {
+            k,
+            by_entity: Vec::new(),
+            trail: Vec::new(),
+        }
+    }
+
+    /// The dense-index capacity this index was built for.
+    pub fn width(&self) -> usize {
+        self.k
+    }
+
+    /// Number of steps currently pushed.
+    pub fn len(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Whether no step is pushed.
+    pub fn is_empty(&self) -> bool {
+        self.trail.is_empty()
+    }
+
+    /// The `D(S)`-edge delta of appending `step` for dense transaction
+    /// `to`: a mask with bit `from * k + to` set for every pushed step of a
+    /// different transaction `from` that conflicts with `step`. Only the
+    /// accessors of `step.entity` are scanned.
+    #[inline]
+    pub fn edge_delta(&self, to: usize, step: &Step) -> u128 {
+        debug_assert!(to < self.k);
+        let mut mask = 0u128;
+        if let Some(accessors) = self.by_entity.get(step.entity.index()) {
+            for &(from, ref prior) in accessors {
+                if from as usize != to && prior.conflicts_with(step) {
+                    mask |= 1u128 << (from as usize * self.k + to);
+                }
+            }
+        }
+        mask
+    }
+
+    /// Records that dense transaction `tx` appended `step`.
+    #[inline]
+    pub fn push(&mut self, tx: usize, step: Step) {
+        debug_assert!(tx < self.k);
+        let slot = step.entity.index();
+        if slot >= self.by_entity.len() {
+            self.by_entity.resize_with(slot + 1, Vec::new);
+        }
+        self.by_entity[slot].push((tx as u32, step));
+        self.trail.push(step.entity);
+    }
+
+    /// Unrecords the most recently pushed step (LIFO).
+    #[inline]
+    pub fn pop(&mut self) {
+        let entity = self.trail.pop().expect("ConflictIndex::pop on empty index");
+        let accessors = &mut self.by_entity[entity.index()];
+        accessors.pop().expect("accessor list nonempty");
     }
 }
 
@@ -331,7 +454,10 @@ mod tests {
 
     fn sched(steps: Vec<(u32, Step)>) -> Schedule {
         Schedule::from_steps(
-            steps.into_iter().map(|(i, s)| ScheduledStep::new(t(i), s)).collect(),
+            steps
+                .into_iter()
+                .map(|(i, s)| ScheduledStep::new(t(i), s))
+                .collect(),
         )
     }
 
@@ -404,8 +530,16 @@ mod tests {
         let g = SerializationGraph::from_parts(
             vec![t(1), t(2), t(3)],
             vec![
-                ConflictEdge { from: t(1), to: t(2), witness: (0, 1) },
-                ConflictEdge { from: t(2), to: t(3), witness: (1, 2) },
+                ConflictEdge {
+                    from: t(1),
+                    to: t(2),
+                    witness: (0, 1),
+                },
+                ConflictEdge {
+                    from: t(2),
+                    to: t(3),
+                    witness: (1, 2),
+                },
             ],
         );
         assert_eq!(g.sources(), vec![t(1)]);
@@ -418,9 +552,21 @@ mod tests {
         let g = SerializationGraph::from_parts(
             vec![t(1), t(2), t(3)],
             vec![
-                ConflictEdge { from: t(1), to: t(2), witness: (0, 1) },
-                ConflictEdge { from: t(2), to: t(3), witness: (1, 2) },
-                ConflictEdge { from: t(3), to: t(1), witness: (2, 3) },
+                ConflictEdge {
+                    from: t(1),
+                    to: t(2),
+                    witness: (0, 1),
+                },
+                ConflictEdge {
+                    from: t(2),
+                    to: t(3),
+                    witness: (1, 2),
+                },
+                ConflictEdge {
+                    from: t(3),
+                    to: t(1),
+                    witness: (2, 3),
+                },
             ],
         );
         assert!(!g.is_acyclic());
@@ -432,8 +578,16 @@ mod tests {
         let g = SerializationGraph::from_parts(
             vec![t(1), t(2), t(3)],
             vec![
-                ConflictEdge { from: t(1), to: t(2), witness: (0, 1) },
-                ConflictEdge { from: t(1), to: t(3), witness: (0, 2) },
+                ConflictEdge {
+                    from: t(1),
+                    to: t(2),
+                    witness: (0, 1),
+                },
+                ConflictEdge {
+                    from: t(1),
+                    to: t(3),
+                    witness: (0, 2),
+                },
             ],
         );
         assert!(!g.is_simple_path_with_back_edge());
@@ -451,6 +605,78 @@ mod tests {
         ]);
         let g = SerializationGraph::of(&s);
         assert!(g.has_edge(t(1), t(2)));
+    }
+
+    /// The incremental index must agree with `SerializationGraph::of` on
+    /// the edge set of every prefix of a schedule, through pushes and pops.
+    #[test]
+    fn conflict_index_matches_batch_graph() {
+        let ids = [t(1), t(2), t(3)];
+        let steps = vec![
+            (1, Step::write(e(0))),
+            (2, Step::read(e(0))),
+            (3, Step::lock_exclusive(e(1))),
+            (3, Step::write(e(1))),
+            (3, Step::unlock_exclusive(e(1))),
+            (1, Step::lock_exclusive(e(1))),
+            (2, Step::write(e(0))),
+            (1, Step::write(e(1))),
+        ];
+        let k = ids.len();
+        let dense = |tx: TxId| ids.iter().position(|&x| x == tx).unwrap();
+        let mask_of = |s: &Schedule| {
+            let g = SerializationGraph::of(s);
+            let mut mask = 0u128;
+            for edge in g.edges() {
+                mask |= 1u128 << (dense(edge.from) * k + dense(edge.to));
+            }
+            mask
+        };
+        let mut index = ConflictIndex::new(k);
+        let mut schedule = Schedule::empty();
+        let mut mask = 0u128;
+        let mut mask_trail = vec![0u128];
+        for &(tx, step) in &steps {
+            let to = dense(t(tx));
+            mask |= index.edge_delta(to, &step);
+            index.push(to, step);
+            schedule.push(ScheduledStep::new(t(tx), step));
+            assert_eq!(mask, mask_of(&schedule), "prefix {}", schedule.len());
+            mask_trail.push(mask);
+        }
+        // Pop everything back; edge_delta must keep agreeing with the
+        // batch graph of the shrunk schedule.
+        while schedule.pop().is_some() {
+            index.pop();
+            mask_trail.pop();
+            let expect = *mask_trail.last().unwrap();
+            assert_eq!(
+                expect,
+                mask_of(&schedule),
+                "after pop to {}",
+                schedule.len()
+            );
+            assert_eq!(index.len(), schedule.len());
+        }
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn conflict_index_delta_ignores_same_transaction_and_other_entities() {
+        let mut index = ConflictIndex::new(2);
+        index.push(0, Step::write(e(0)));
+        // Same transaction: no edge.
+        assert_eq!(index.edge_delta(0, &Step::write(e(0))), 0);
+        // Different entity: no edge.
+        assert_eq!(index.edge_delta(1, &Step::write(e(1))), 0);
+        // Conflicting access by the other transaction: edge 0 -> 1.
+        assert_eq!(index.edge_delta(1, &Step::read(e(0))), 1u128 << 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn conflict_index_rejects_oversized_k() {
+        let _ = ConflictIndex::new(ConflictIndex::MAX_TXS + 1);
     }
 
     #[test]

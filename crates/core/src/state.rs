@@ -26,10 +26,16 @@ impl fmt::Display for UndefinedStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UndefinedStep::EntityAbsent(e) => {
-                write!(f, "entity {e} does not exist in the current structural state")
+                write!(
+                    f,
+                    "entity {e} does not exist in the current structural state"
+                )
             }
             UndefinedStep::EntityPresent(e) => {
-                write!(f, "entity {e} already exists in the current structural state")
+                write!(
+                    f,
+                    "entity {e} already exists in the current structural state"
+                )
             }
         }
     }
@@ -84,6 +90,7 @@ impl StructuralState {
     }
 
     /// Adds `e`; returns `true` if it was absent.
+    #[inline]
     pub fn insert(&mut self, e: EntityId) -> bool {
         let (w, b) = (e.index() / 64, e.index() % 64);
         if w >= self.words.len() {
@@ -96,6 +103,7 @@ impl StructuralState {
     }
 
     /// Removes `e`; returns `true` if it was present.
+    #[inline]
     pub fn remove(&mut self, e: EntityId) -> bool {
         let (w, b) = (e.index() / 64, e.index() % 64);
         if w >= self.words.len() {
@@ -137,6 +145,7 @@ impl StructuralState {
     /// `R`/`W`/`D` need the entity present, `I` needs it absent. Lock and
     /// unlock steps are always defined (a transaction locks an entity it is
     /// about to insert *before* the entity exists).
+    #[inline]
     pub fn step_defined(&self, step: &Step) -> Result<(), UndefinedStep> {
         let Some(data) = step.op.data() else {
             return Ok(());
@@ -150,6 +159,7 @@ impl StructuralState {
 
     /// Applies a step, mutating the state if it is an `INSERT` or `DELETE`.
     /// Fails (leaving the state unchanged) if the step is undefined.
+    #[inline]
     pub fn apply_step(&mut self, step: &Step) -> Result<(), UndefinedStep> {
         self.step_defined(step)?;
         match step.op.data() {
@@ -162,6 +172,25 @@ impl StructuralState {
             _ => {}
         }
         Ok(())
+    }
+
+    /// Reverses a previously applied step: an `INSERT` is undone by
+    /// removal, a `DELETE` by re-insertion; all other steps left the state
+    /// unchanged. Only meaningful for a step that actually applied last
+    /// (LIFO discipline) — the verifier's apply/undo DFS guarantees this.
+    #[inline]
+    pub fn unapply_step(&mut self, step: &Step) {
+        match step.op.data() {
+            Some(DataOp::Insert) => {
+                let was_present = self.remove(step.entity);
+                debug_assert!(was_present, "unapply of INSERT found entity absent");
+            }
+            Some(DataOp::Delete) => {
+                let was_absent = self.insert(step.entity);
+                debug_assert!(was_absent, "unapply of DELETE found entity present");
+            }
+            _ => {}
+        }
     }
 
     /// Applies a sequence of steps; on failure reports the failing index.

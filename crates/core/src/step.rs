@@ -18,7 +18,10 @@ impl Step {
     /// Creates a step.
     #[inline]
     pub fn new(op: impl Into<Operation>, entity: EntityId) -> Self {
-        Step { op: op.into(), entity }
+        Step {
+            op: op.into(),
+            entity,
+        }
     }
 
     /// `(R e)`

@@ -23,7 +23,11 @@ impl TransactionSystem {
         initial: StructuralState,
         transactions: Vec<LockedTransaction>,
     ) -> Self {
-        TransactionSystem { universe, initial, transactions }
+        TransactionSystem {
+            universe,
+            initial,
+            transactions,
+        }
     }
 
     /// The universe of entities.
@@ -112,7 +116,11 @@ impl SystemBuilder {
 
     /// Starts building transaction `id`; finish with [`TxBuilder::finish`].
     pub fn tx(&mut self, id: u32) -> TxBuilder<'_> {
-        TxBuilder { sys: self, id: TxId(id), steps: Vec::new() }
+        TxBuilder {
+            sys: self,
+            id: TxId(id),
+            steps: Vec::new(),
+        }
     }
 
     /// Adds an already-built locked transaction.

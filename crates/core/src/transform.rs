@@ -55,7 +55,10 @@ impl std::error::Error for TransposeError {}
 pub fn transpose(schedule: &Schedule, pos: usize) -> Result<Schedule, TransposeError> {
     let steps = schedule.steps();
     if pos + 1 >= steps.len() {
-        return Err(TransposeError::OutOfBounds { pos, len: steps.len() });
+        return Err(TransposeError::OutOfBounds {
+            pos,
+            len: steps.len(),
+        });
     }
     let (a, b) = (steps[pos], steps[pos + 1]);
     if a.tx == b.tx {
@@ -108,7 +111,10 @@ mod tests {
 
     fn sched(steps: Vec<(u32, Step)>) -> Schedule {
         Schedule::from_steps(
-            steps.into_iter().map(|(i, s)| ScheduledStep::new(t(i), s)).collect(),
+            steps
+                .into_iter()
+                .map(|(i, s)| ScheduledStep::new(t(i), s))
+                .collect(),
         )
     }
 
@@ -135,7 +141,10 @@ mod tests {
     #[test]
     fn transpose_out_of_bounds() {
         let s = sched(vec![(1, Step::read(e(0)))]);
-        assert_eq!(transpose(&s, 0), Err(TransposeError::OutOfBounds { pos: 0, len: 1 }));
+        assert_eq!(
+            transpose(&s, 0),
+            Err(TransposeError::OutOfBounds { pos: 0, len: 1 })
+        );
     }
 
     #[test]
@@ -157,7 +166,11 @@ mod tests {
             let swapped = transpose(&s, pos).unwrap();
             assert!(swapped.is_legal(), "swap at {pos} stays legal");
             assert!(swapped.is_proper(&g0), "swap at {pos} stays proper");
-            assert_eq!(SerializationGraph::of(&swapped), before, "swap at {pos} keeps D(S)");
+            assert_eq!(
+                SerializationGraph::of(&swapped),
+                before,
+                "swap at {pos} keeps D(S)"
+            );
         }
     }
 

@@ -71,10 +71,16 @@ impl fmt::Display for TxnViolation {
                 "step {pos} performs a data operation without holding the required {required} lock"
             ),
             TxnViolation::RelockedEntity { pos } => {
-                write!(f, "step {pos} locks an entity the transaction already locked")
+                write!(
+                    f,
+                    "step {pos} locks an entity the transaction already locked"
+                )
             }
             TxnViolation::UnlockNotHeld { pos } => {
-                write!(f, "step {pos} unlocks an entity/mode the transaction does not hold")
+                write!(
+                    f,
+                    "step {pos} unlocks an entity/mode the transaction does not hold"
+                )
             }
         }
     }
@@ -244,12 +250,18 @@ impl LockedTransaction {
 
     /// Positions of all lock steps, in order.
     pub fn lock_positions(&self) -> Vec<usize> {
-        (0..self.steps.len()).filter(|&i| self.steps[i].is_lock()).collect()
+        (0..self.steps.len())
+            .filter(|&i| self.steps[i].is_lock())
+            .collect()
     }
 
     /// The entities the transaction ever locks, in lock order.
     pub fn locked_entities(&self) -> Vec<EntityId> {
-        self.steps.iter().filter(|s| s.is_lock()).map(|s| s.entity).collect()
+        self.steps
+            .iter()
+            .filter(|s| s.is_lock())
+            .map(|s| s.entity)
+            .collect()
     }
 
     /// Whether the prefix of length `prefix_len` contains an unlock step.
@@ -291,7 +303,10 @@ mod tests {
         ]);
         assert_eq!(
             t.validate(),
-            Err(TxnViolation::NotWellFormed { pos: 1, required: LockMode::Exclusive })
+            Err(TxnViolation::NotWellFormed {
+                pos: 1,
+                required: LockMode::Exclusive
+            })
         );
     }
 
@@ -306,7 +321,10 @@ mod tests {
         ]);
         assert_eq!(ok.validate(), Ok(()));
         let bad = tx(vec![Step::insert(e(0))]);
-        assert!(matches!(bad.validate(), Err(TxnViolation::NotWellFormed { pos: 0, .. })));
+        assert!(matches!(
+            bad.validate(),
+            Err(TxnViolation::NotWellFormed { pos: 0, .. })
+        ));
     }
 
     #[test]

@@ -12,8 +12,7 @@ pub fn is_acyclic(g: &DiGraph) -> bool {
 /// A topological sort of the nodes (smallest-id-first among ready nodes),
 /// or `None` if the graph has a cycle.
 pub fn topological_sort(g: &DiGraph) -> Option<Vec<EntityId>> {
-    let mut indegree: BTreeMap<EntityId, usize> =
-        g.nodes().map(|n| (n, g.in_degree(n))).collect();
+    let mut indegree: BTreeMap<EntityId, usize> = g.nodes().map(|n| (n, g.in_degree(n))).collect();
     let mut ready: Vec<EntityId> = indegree
         .iter()
         .filter(|&(_, &d)| d == 0)

@@ -156,12 +156,18 @@ impl DiGraph {
 
     /// Successors of `n` (empty if absent).
     pub fn successors(&self, n: EntityId) -> impl Iterator<Item = EntityId> + '_ {
-        self.succ.get(&n).into_iter().flat_map(|s| s.iter().copied())
+        self.succ
+            .get(&n)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
     }
 
     /// Predecessors of `n` (empty if absent).
     pub fn predecessors(&self, n: EntityId) -> impl Iterator<Item = EntityId> + '_ {
-        self.pred.get(&n).into_iter().flat_map(|s| s.iter().copied())
+        self.pred
+            .get(&n)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
     }
 
     /// In-degree of `n`.
@@ -205,7 +211,10 @@ mod tests {
         assert_eq!(g.add_node(e(1)), Err(GraphError::NodeExists(e(1))));
         g.add_node(e(2)).unwrap();
         g.add_edge(e(1), e(2)).unwrap();
-        assert_eq!(g.add_edge(e(1), e(2)), Err(GraphError::EdgeExists(e(1), e(2))));
+        assert_eq!(
+            g.add_edge(e(1), e(2)),
+            Err(GraphError::EdgeExists(e(1), e(2)))
+        );
     }
 
     #[test]
@@ -230,7 +239,10 @@ mod tests {
     #[test]
     fn remove_missing_edge_errors() {
         let mut g = DiGraph::from_parts([e(1), e(2)], []);
-        assert_eq!(g.remove_edge(e(1), e(2)), Err(GraphError::NoSuchEdge(e(1), e(2))));
+        assert_eq!(
+            g.remove_edge(e(1), e(2)),
+            Err(GraphError::NoSuchEdge(e(1), e(2)))
+        );
     }
 
     #[test]
@@ -249,6 +261,9 @@ mod tests {
     fn iteration_is_deterministic() {
         let g = DiGraph::from_parts([e(3), e(1), e(2)], [(e(3), e(1)), (e(2), e(1))]);
         assert_eq!(g.nodes().collect::<Vec<_>>(), vec![e(1), e(2), e(3)]);
-        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(e(2), e(1)), (e(3), e(1))]);
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            vec![(e(2), e(1)), (e(3), e(1))]
+        );
     }
 }

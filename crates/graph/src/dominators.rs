@@ -101,7 +101,13 @@ mod tests {
     fn diamond_tail() -> DiGraph {
         DiGraph::from_parts(
             [e(1), e(2), e(3), e(4), e(5)],
-            [(e(1), e(2)), (e(1), e(3)), (e(2), e(4)), (e(3), e(4)), (e(4), e(5))],
+            [
+                (e(1), e(2)),
+                (e(1), e(3)),
+                (e(2), e(4)),
+                (e(3), e(4)),
+                (e(4), e(5)),
+            ],
         )
     }
 

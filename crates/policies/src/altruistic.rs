@@ -79,7 +79,9 @@ pub struct AltruisticConfig {
 
 impl Default for AltruisticConfig {
     fn default() -> Self {
-        AltruisticConfig { enforce_wake_rule: true }
+        AltruisticConfig {
+            enforce_wake_rule: true,
+        }
     }
 }
 
@@ -91,7 +93,9 @@ impl AltruisticConfig {
 
     /// Mutant: AL2 disabled — unsafe, used to show the rule is load-bearing.
     pub fn without_wake_rule() -> Self {
-        AltruisticConfig { enforce_wake_rule: false }
+        AltruisticConfig {
+            enforce_wake_rule: false,
+        }
     }
 }
 
@@ -119,7 +123,10 @@ impl AltruisticEngine {
 
     /// An engine with explicit rule switches.
     pub fn with_config(config: AltruisticConfig) -> Self {
-        AltruisticEngine { config, ..Self::default() }
+        AltruisticEngine {
+            config,
+            ..Self::default()
+        }
     }
 
     /// Registers a transaction.
@@ -132,7 +139,9 @@ impl AltruisticEngine {
     }
 
     fn state(&self, tx: TxId) -> Result<&AltTx, AltruisticViolation> {
-        self.txs.get(&tx).ok_or(AltruisticViolation::UnknownTransaction(tx))
+        self.txs
+            .get(&tx)
+            .ok_or(AltruisticViolation::UnknownTransaction(tx))
     }
 
     /// Whether `tx` is currently in the wake of `other`.
@@ -200,7 +209,10 @@ impl AltruisticEngine {
     /// point this is a *donation*: other transactions locking it enter the
     /// wake of `tx`.
     pub fn unlock(&mut self, tx: TxId, item: EntityId) -> Result<Step, AltruisticViolation> {
-        let st = self.txs.get_mut(&tx).ok_or(AltruisticViolation::UnknownTransaction(tx))?;
+        let st = self
+            .txs
+            .get_mut(&tx)
+            .ok_or(AltruisticViolation::UnknownTransaction(tx))?;
         if !st.holding.remove(&item) {
             return Err(AltruisticViolation::NotHolding(tx, item));
         }
@@ -236,14 +248,20 @@ impl AltruisticEngine {
     /// Declares that `tx` has acquired its last lock. From this instant
     /// transactions holding its donated items are no longer "in its wake".
     pub fn declare_locked_point(&mut self, tx: TxId) -> Result<(), AltruisticViolation> {
-        let st = self.txs.get_mut(&tx).ok_or(AltruisticViolation::UnknownTransaction(tx))?;
+        let st = self
+            .txs
+            .get_mut(&tx)
+            .ok_or(AltruisticViolation::UnknownTransaction(tx))?;
         st.at_locked_point = true;
         Ok(())
     }
 
     /// Finishes `tx`: releases remaining locks, retires it. Emits unlocks.
     pub fn finish(&mut self, tx: TxId) -> Result<Vec<Step>, AltruisticViolation> {
-        let st = self.txs.remove(&tx).ok_or(AltruisticViolation::UnknownTransaction(tx))?;
+        let st = self
+            .txs
+            .remove(&tx)
+            .ok_or(AltruisticViolation::UnknownTransaction(tx))?;
         let mut steps = Vec::new();
         for item in st.holding {
             self.table.release(tx, item, LockMode::Exclusive);
@@ -260,7 +278,9 @@ impl AltruisticEngine {
 
     /// Items currently held by `tx`.
     pub fn holding(&self, tx: TxId) -> Vec<EntityId> {
-        self.txs.get(&tx).map_or_else(Vec::new, |s| s.holding.iter().copied().collect())
+        self.txs
+            .get(&tx)
+            .map_or_else(Vec::new, |s| s.holding.iter().copied().collect())
     }
 }
 
@@ -289,13 +309,17 @@ mod tests {
         eng.access(t(1), e(1)).unwrap();
         eng.lock(t(1), e(2)).unwrap();
         eng.unlock(t(1), e(1)).unwrap(); // donate item 1
-        // T2 locks 1 -> enters T1's wake.
+                                         // T2 locks 1 -> enters T1's wake.
         eng.lock(t(2), e(1)).unwrap();
         assert!(eng.in_wake_of(t(2), t(1)));
         // T2 may not lock item 4 (not donated by T1) while in the wake.
         assert_eq!(
             eng.check_lock(t(2), e(4)),
-            Err(AltruisticViolation::OutsideWake { tx: t(2), wake_of: t(1), item: e(4) })
+            Err(AltruisticViolation::OutsideWake {
+                tx: t(2),
+                wake_of: t(1),
+                item: e(4)
+            })
         );
         // T1 donates 2 as well; T2 can take it.
         eng.unlock(t(1), e(2)).unwrap();
@@ -320,7 +344,11 @@ mod tests {
         eng.lock(t(2), e(5)).unwrap();
         assert_eq!(
             eng.check_lock(t(2), e(1)),
-            Err(AltruisticViolation::OutsideWake { tx: t(2), wake_of: t(1), item: e(5) })
+            Err(AltruisticViolation::OutsideWake {
+                tx: t(2),
+                wake_of: t(1),
+                item: e(5)
+            })
         );
     }
 
@@ -343,7 +371,10 @@ mod tests {
         eng.begin(t(1)).unwrap();
         eng.lock(t(1), e(1)).unwrap();
         eng.unlock(t(1), e(1)).unwrap();
-        assert_eq!(eng.check_lock(t(1), e(1)), Err(AltruisticViolation::Relock(t(1), e(1))));
+        assert_eq!(
+            eng.check_lock(t(1), e(1)),
+            Err(AltruisticViolation::Relock(t(1), e(1)))
+        );
     }
 
     #[test]
@@ -355,7 +386,10 @@ mod tests {
             Err(AltruisticViolation::NotHolding(t(1), e(1)))
         );
         eng.lock(t(1), e(1)).unwrap();
-        assert_eq!(eng.data(t(1), DataOp::Write, e(1)), Ok(vec![Step::write(e(1))]));
+        assert_eq!(
+            eng.data(t(1), DataOp::Write, e(1)),
+            Ok(vec![Step::write(e(1))])
+        );
     }
 
     #[test]
@@ -376,7 +410,10 @@ mod tests {
         eng.begin(t(1)).unwrap();
         eng.lock(t(1), e(1)).unwrap();
         eng.declare_locked_point(t(1)).unwrap();
-        assert_eq!(eng.check_lock(t(1), e(2)), Err(AltruisticViolation::PastLockedPoint(t(1))));
+        assert_eq!(
+            eng.check_lock(t(1), e(2)),
+            Err(AltruisticViolation::PastLockedPoint(t(1)))
+        );
     }
 
     #[test]

@@ -117,7 +117,10 @@ pub struct DdagConfig {
 
 impl Default for DdagConfig {
     fn default() -> Self {
-        DdagConfig { require_all_predecessors: true, require_held_predecessor: true }
+        DdagConfig {
+            require_all_predecessors: true,
+            require_held_predecessor: true,
+        }
     }
 }
 
@@ -129,12 +132,18 @@ impl DdagConfig {
 
     /// Mutant: drop the "presently holding" clause of L5.
     pub fn without_held_predecessor_rule() -> Self {
-        DdagConfig { require_held_predecessor: false, ..Self::default() }
+        DdagConfig {
+            require_held_predecessor: false,
+            ..Self::default()
+        }
     }
 
     /// Mutant: drop the "all predecessors locked in the past" clause of L5.
     pub fn without_all_predecessors_rule() -> Self {
-        DdagConfig { require_all_predecessors: false, ..Self::default() }
+        DdagConfig {
+            require_all_predecessors: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -192,7 +201,10 @@ impl DdagEngine {
 
     /// Creates an engine with explicit rule switches (for ablations).
     pub fn with_config(universe: Universe, graph: DiGraph, config: DdagConfig) -> Self {
-        DdagEngine { config, ..Self::new(universe, graph) }
+        DdagEngine {
+            config,
+            ..Self::new(universe, graph)
+        }
     }
 
     /// The current graph.
@@ -217,7 +229,9 @@ impl DdagEngine {
 
     /// Entities currently held by `tx` (nodes only).
     pub fn holding(&self, tx: TxId) -> Vec<EntityId> {
-        self.txs.get(&tx).map_or_else(Vec::new, |s| s.holding.iter().copied().collect())
+        self.txs
+            .get(&tx)
+            .map_or_else(Vec::new, |s| s.holding.iter().copied().collect())
     }
 
     /// Registers a new transaction.
@@ -230,7 +244,9 @@ impl DdagEngine {
     }
 
     fn state(&self, tx: TxId) -> Result<&DdagTx, DdagViolation> {
-        self.txs.get(&tx).ok_or(DdagViolation::UnknownTransaction(tx))
+        self.txs
+            .get(&tx)
+            .ok_or(DdagViolation::UnknownTransaction(tx))
     }
 
     /// Checks whether `tx` may lock node `n` *right now* without acquiring
@@ -282,7 +298,10 @@ impl DdagEngine {
 
     /// Unlocks node `n`. Emits `(UX n)`.
     pub fn unlock(&mut self, tx: TxId, n: EntityId) -> Result<Step, DdagViolation> {
-        let st = self.txs.get_mut(&tx).ok_or(DdagViolation::UnknownTransaction(tx))?;
+        let st = self
+            .txs
+            .get_mut(&tx)
+            .ok_or(DdagViolation::UnknownTransaction(tx))?;
         if !st.holding.remove(&n) {
             return Err(DdagViolation::NotHolding(tx, n));
         }
@@ -402,8 +421,7 @@ impl DdagEngine {
             return Err(DdagViolation::NoSuchEdge(a, b));
         };
         let mut steps = Vec::with_capacity(2);
-        let already_holding =
-            self.txs.get(&tx).expect("active").edge_locks.contains(&e);
+        let already_holding = self.txs.get(&tx).expect("active").edge_locks.contains(&e);
         if !already_holding {
             if let Some(holder) = self.table.conflicting_holder(tx, e, LockMode::Exclusive) {
                 return Err(DdagViolation::LockConflict(e, holder));
@@ -422,7 +440,10 @@ impl DdagEngine {
     /// Finishes `tx`: releases every lock it still holds (nodes, then edge
     /// entities) and retires it. Emits the unlock steps.
     pub fn finish(&mut self, tx: TxId) -> Result<Vec<Step>, DdagViolation> {
-        let st = self.txs.remove(&tx).ok_or(DdagViolation::UnknownTransaction(tx))?;
+        let st = self
+            .txs
+            .remove(&tx)
+            .ok_or(DdagViolation::UnknownTransaction(tx))?;
         let mut steps = Vec::new();
         for n in st.holding {
             self.table.release(tx, n, LockMode::Exclusive);
@@ -525,10 +546,13 @@ mod tests {
         // T2 must abort and start from node 2.
         let released = eng.abort(t(2));
         assert_eq!(released.len(), 1); // UX 3
-        // The restarted T2 may begin at node 2 (L4) — but must wait for T1
-        // to release its lock.
+                                       // The restarted T2 may begin at node 2 (L4) — but must wait for T1
+                                       // to release its lock.
         eng.begin(t(3)).unwrap();
-        assert_eq!(eng.check_lock(t(3), n2), Err(DdagViolation::LockConflict(n2, t(1))));
+        assert_eq!(
+            eng.check_lock(t(3), n2),
+            Err(DdagViolation::LockConflict(n2, t(1)))
+        );
         eng.finish(t(1)).unwrap();
         assert!(eng.lock(t(3), n2).is_ok());
     }
@@ -539,7 +563,10 @@ mod tests {
         eng.begin(t(1)).unwrap();
         eng.lock(t(1), ids[1]).unwrap();
         eng.unlock(t(1), ids[1]).unwrap();
-        assert_eq!(eng.check_lock(t(1), ids[1]), Err(DdagViolation::Relock(t(1), ids[1])));
+        assert_eq!(
+            eng.check_lock(t(1), ids[1]),
+            Err(DdagViolation::Relock(t(1), ids[1]))
+        );
     }
 
     #[test]
@@ -629,7 +656,10 @@ mod tests {
         eng.delete_node(t(1), n4).unwrap();
         eng.finish(t(1)).unwrap();
         eng.begin(t(2)).unwrap();
-        assert_eq!(eng.check_lock(t(2), n4), Err(DdagViolation::ReinsertionForbidden(n4)));
+        assert_eq!(
+            eng.check_lock(t(2), n4),
+            Err(DdagViolation::ReinsertionForbidden(n4))
+        );
     }
 
     #[test]
@@ -638,7 +668,10 @@ mod tests {
         eng.begin(t(1)).unwrap();
         eng.lock(t(1), ids[2]).unwrap();
         eng.lock(t(1), ids[3]).unwrap();
-        assert_eq!(eng.delete_node(t(1), ids[3]), Err(DdagViolation::NodeHasEdges(ids[3])));
+        assert_eq!(
+            eng.delete_node(t(1), ids[3]),
+            Err(DdagViolation::NodeHasEdges(ids[3]))
+        );
     }
 
     #[test]
@@ -658,7 +691,10 @@ mod tests {
     fn access_requires_lock_and_existence() {
         let (mut eng, ids) = fig3_engine();
         eng.begin(t(1)).unwrap();
-        assert_eq!(eng.access(t(1), ids[1]), Err(DdagViolation::NotHolding(t(1), ids[1])));
+        assert_eq!(
+            eng.access(t(1), ids[1]),
+            Err(DdagViolation::NotHolding(t(1), ids[1]))
+        );
         eng.lock(t(1), ids[1]).unwrap();
         assert_eq!(
             eng.access(t(1), ids[1]),
@@ -693,7 +729,11 @@ mod tests {
         assert_eq!(steps.len(), 2);
         // And delete its own fresh edge without a second lock step.
         let steps = eng.delete_edge(t(1), ids[1], ids[2]).unwrap();
-        assert_eq!(steps.len(), 1, "no relock of the edge entity it already holds");
+        assert_eq!(
+            steps.len(),
+            1,
+            "no relock of the edge entity it already holds"
+        );
     }
 
     #[test]

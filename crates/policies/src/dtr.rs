@@ -144,7 +144,12 @@ impl DtrEngine {
         let plan = tree_lock_plan(&self.forest, ops).map_err(DtrViolation::Plan)?;
         self.txs.insert(
             tx,
-            DtrTx { plan: plan.clone(), cursor: 0, holding: BTreeSet::new(), locked_any: false },
+            DtrTx {
+                plan: plan.clone(),
+                cursor: 0,
+                holding: BTreeSet::new(),
+                locked_any: false,
+            },
         );
         Ok(plan)
     }
@@ -157,7 +162,10 @@ impl DtrEngine {
     /// Whether `tx`'s next step can run right now. Distinguishes lock
     /// conflicts (wait) from rule violations.
     pub fn check_step(&self, tx: TxId) -> Result<(), DtrViolation> {
-        let st = self.txs.get(&tx).ok_or(DtrViolation::UnknownTransaction(tx))?;
+        let st = self
+            .txs
+            .get(&tx)
+            .ok_or(DtrViolation::UnknownTransaction(tx))?;
         let Some(step) = st.plan.get(st.cursor) else {
             return Err(DtrViolation::PlanExhausted(tx));
         };
@@ -204,7 +212,11 @@ impl DtrEngine {
     /// holds conflicting locks); returns the executed steps.
     pub fn run_to_end(&mut self, tx: TxId) -> Result<Vec<Step>, DtrViolation> {
         let mut steps = Vec::new();
-        while self.txs.get(&tx).is_some_and(|st| st.cursor < st.plan.len()) {
+        while self
+            .txs
+            .get(&tx)
+            .is_some_and(|st| st.cursor < st.plan.len())
+        {
             steps.push(self.step(tx)?);
         }
         Ok(steps)
@@ -212,13 +224,18 @@ impl DtrEngine {
 
     /// Whether `tx` has executed its whole plan.
     pub fn is_done(&self, tx: TxId) -> bool {
-        self.txs.get(&tx).is_some_and(|st| st.cursor == st.plan.len())
+        self.txs
+            .get(&tx)
+            .is_some_and(|st| st.cursor == st.plan.len())
     }
 
     /// Finishes `tx`: releases any locks still held (normally none — the
     /// plan unlocks everything) and retires it.
     pub fn finish(&mut self, tx: TxId) -> Result<Vec<Step>, DtrViolation> {
-        let st = self.txs.remove(&tx).ok_or(DtrViolation::UnknownTransaction(tx))?;
+        let st = self
+            .txs
+            .remove(&tx)
+            .ok_or(DtrViolation::UnknownTransaction(tx))?;
         let mut steps = Vec::new();
         for e in st.holding {
             self.table.release(tx, e, LockMode::Exclusive);
@@ -330,7 +347,10 @@ mod tests {
         eng.step(t(1)).unwrap(); // T1 locks 1
         let ops2 = BTreeMap::from([(e(1), access())]);
         eng.begin(t(2), &ops2).unwrap();
-        assert_eq!(eng.check_step(t(2)), Err(DtrViolation::LockConflict(e(1), t(1))));
+        assert_eq!(
+            eng.check_step(t(2)),
+            Err(DtrViolation::LockConflict(e(1), t(1)))
+        );
         // After T1 releases, T2 proceeds.
         eng.run_to_end(t(1)).unwrap();
         eng.finish(t(1)).unwrap();
@@ -371,14 +391,17 @@ mod tests {
     fn two_separate_trees_joined_on_demand() {
         let mut eng = DtrEngine::new();
         // T1 creates tree {1}; T2 creates tree {2}; T3 spans both.
-        eng.begin(t(1), &BTreeMap::from([(e(1), access())])).unwrap();
+        eng.begin(t(1), &BTreeMap::from([(e(1), access())]))
+            .unwrap();
         eng.run_to_end(t(1)).unwrap();
         eng.finish(t(1)).unwrap();
-        eng.begin(t(2), &BTreeMap::from([(e(2), access())])).unwrap();
+        eng.begin(t(2), &BTreeMap::from([(e(2), access())]))
+            .unwrap();
         eng.run_to_end(t(2)).unwrap();
         eng.finish(t(2)).unwrap();
         assert_eq!(eng.forest().roots().len(), 2);
-        eng.begin(t(3), &BTreeMap::from([(e(1), access()), (e(2), access())])).unwrap();
+        eng.begin(t(3), &BTreeMap::from([(e(1), access()), (e(2), access())]))
+            .unwrap();
         assert_eq!(eng.forest().roots().len(), 1, "DT1 joined the trees");
         assert!(eng.run_to_end(t(3)).is_ok());
         eng.finish(t(3)).unwrap();
@@ -387,7 +410,8 @@ mod tests {
     #[test]
     fn begin_twice_fails() {
         let mut eng = DtrEngine::new();
-        eng.begin(t(1), &BTreeMap::from([(e(1), access())])).unwrap();
+        eng.begin(t(1), &BTreeMap::from([(e(1), access())]))
+            .unwrap();
         assert_eq!(
             eng.begin(t(1), &BTreeMap::from([(e(2), access())])),
             Err(DtrViolation::AlreadyBegun(t(1)))
@@ -397,10 +421,14 @@ mod tests {
     #[test]
     fn plan_exhaustion_reported() {
         let mut eng = DtrEngine::new();
-        eng.begin(t(1), &BTreeMap::from([(e(1), access())])).unwrap();
+        eng.begin(t(1), &BTreeMap::from([(e(1), access())]))
+            .unwrap();
         eng.run_to_end(t(1)).unwrap();
         assert!(eng.is_done(t(1)));
         assert_eq!(eng.check_step(t(1)), Err(DtrViolation::PlanExhausted(t(1))));
-        assert_eq!(eng.step(t(1)).unwrap_err(), DtrViolation::PlanExhausted(t(1)));
+        assert_eq!(
+            eng.step(t(1)).unwrap_err(),
+            DtrViolation::PlanExhausted(t(1))
+        );
     }
 }

@@ -105,12 +105,24 @@ mod tests {
         // Interleave: T1 finishes x, T2 does x AND y, then T1 does y.
         let txs = [t1, t2];
         let order = [
-            TxId(1), TxId(1), TxId(1), // LX x, W x, UX x
-            TxId(2), TxId(2), TxId(2), TxId(2), TxId(2), TxId(2), // all of T2
-            TxId(1), TxId(1), TxId(1), // LX y, W y, UX y
+            TxId(1),
+            TxId(1),
+            TxId(1), // LX x, W x, UX x
+            TxId(2),
+            TxId(2),
+            TxId(2),
+            TxId(2),
+            TxId(2),
+            TxId(2), // all of T2
+            TxId(1),
+            TxId(1),
+            TxId(1), // LX y, W y, UX y
         ];
         let s = Schedule::interleave(&txs, &order).unwrap();
         assert!(s.is_legal());
-        assert!(!is_serializable(&s), "short locks admit nonserializable schedules");
+        assert!(
+            !is_serializable(&s),
+            "short locks admit nonserializable schedules"
+        );
     }
 }

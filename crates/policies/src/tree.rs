@@ -72,7 +72,10 @@ pub fn tree_lock_plan(
     let mut cover: BTreeSet<EntityId> = BTreeSet::new();
     for &t in &targets {
         let path = forest.path_from_root(t).expect("target in forest");
-        let from = path.iter().position(|&n| n == start).expect("start is an ancestor");
+        let from = path
+            .iter()
+            .position(|&n| n == start)
+            .expect("start is an ancestor");
         cover.extend(&path[from..]);
     }
 
@@ -86,8 +89,7 @@ pub fn tree_lock_plan(
                 plan.push(Step::new(op, n));
             }
         }
-        let needed: Vec<EntityId> =
-            forest.children(n).filter(|c| cover.contains(c)).collect();
+        let needed: Vec<EntityId> = forest.children(n).filter(|c| cover.contains(c)).collect();
         for &c in &needed {
             plan.push(Step::lock_exclusive(c));
         }
@@ -130,7 +132,10 @@ impl fmt::Display for TreeLockViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TreeLockViolation::ParentNotHeld { pos, entity } => {
-                write!(f, "lock of {entity} at step {pos} without holding its parent")
+                write!(
+                    f,
+                    "lock of {entity} at step {pos} without holding its parent"
+                )
             }
             TreeLockViolation::RelockedEntity { pos, entity } => {
                 write!(f, "entity {entity} relocked at step {pos}")
@@ -157,17 +162,24 @@ pub fn is_tree_locked(steps: &[Step], forest: &Forest) -> Result<(), TreeLockVio
         match s.op {
             Operation::Lock(_) => {
                 if ever.contains(&s.entity) {
-                    return Err(TreeLockViolation::RelockedEntity { pos, entity: s.entity });
+                    return Err(TreeLockViolation::RelockedEntity {
+                        pos,
+                        entity: s.entity,
+                    });
                 }
                 if !forest.contains(s.entity) {
-                    return Err(TreeLockViolation::NotInForest { pos, entity: s.entity });
+                    return Err(TreeLockViolation::NotInForest {
+                        pos,
+                        entity: s.entity,
+                    });
                 }
                 if first_lock_seen {
-                    let parent_held = forest
-                        .parent(s.entity)
-                        .is_some_and(|p| held.contains(&p));
+                    let parent_held = forest.parent(s.entity).is_some_and(|p| held.contains(&p));
                     if !parent_held {
-                        return Err(TreeLockViolation::ParentNotHeld { pos, entity: s.entity });
+                        return Err(TreeLockViolation::ParentNotHeld {
+                            pos,
+                            entity: s.entity,
+                        });
                     }
                 }
                 first_lock_seen = true;
@@ -241,8 +253,11 @@ mod tests {
             assert!(plan.contains(&Step::write(target)));
         }
         // Exactly the covering subtree {1, 2, 3, 5, 6} is locked.
-        let locked: BTreeSet<EntityId> =
-            plan.iter().filter(|s| s.is_lock()).map(|s| s.entity).collect();
+        let locked: BTreeSet<EntityId> = plan
+            .iter()
+            .filter(|s| s.is_lock())
+            .map(|s| s.entity)
+            .collect();
         assert_eq!(locked, BTreeSet::from([e(1), e(2), e(3), e(5), e(6)]));
     }
 
@@ -252,8 +267,7 @@ mod tests {
         let ops = BTreeMap::from([(e(5), access()), (e(6), access())]);
         let plan = tree_lock_plan(&f, &ops).unwrap();
         // LCA is 3; 3's unlock must come after locks of 5 and 6.
-        let pos =
-            |step: &Step| plan.iter().position(|s| s == step).expect("step in plan");
+        let pos = |step: &Step| plan.iter().position(|s| s == step).expect("step in plan");
         assert!(pos(&Step::unlock_exclusive(e(3))) > pos(&Step::lock_exclusive(e(5))));
         assert!(pos(&Step::unlock_exclusive(e(3))) > pos(&Step::lock_exclusive(e(6))));
         assert!(is_tree_locked(&plan, &f).is_ok());
@@ -262,13 +276,22 @@ mod tests {
     #[test]
     fn plan_errors() {
         let f = forest();
-        assert_eq!(tree_lock_plan(&f, &BTreeMap::new()), Err(PlanError::NoTargets));
+        assert_eq!(
+            tree_lock_plan(&f, &BTreeMap::new()),
+            Err(PlanError::NoTargets)
+        );
         let ops = BTreeMap::from([(e(9), access())]);
-        assert_eq!(tree_lock_plan(&f, &ops), Err(PlanError::TargetNotInForest(e(9))));
+        assert_eq!(
+            tree_lock_plan(&f, &ops),
+            Err(PlanError::TargetNotInForest(e(9)))
+        );
         let mut f2 = f.clone();
         f2.add_root(e(9)).unwrap();
         let ops = BTreeMap::from([(e(2), access()), (e(9), access())]);
-        assert_eq!(tree_lock_plan(&f2, &ops), Err(PlanError::TargetsSpanTrees(e(2), e(9))));
+        assert_eq!(
+            tree_lock_plan(&f2, &ops),
+            Err(PlanError::TargetsSpanTrees(e(2), e(9)))
+        );
     }
 
     #[test]
@@ -281,7 +304,10 @@ mod tests {
         ];
         assert_eq!(
             is_tree_locked(&steps, &f),
-            Err(TreeLockViolation::ParentNotHeld { pos: 2, entity: e(5) })
+            Err(TreeLockViolation::ParentNotHeld {
+                pos: 2,
+                entity: e(5)
+            })
         );
     }
 
@@ -295,7 +321,10 @@ mod tests {
         ];
         assert_eq!(
             is_tree_locked(&steps, &f),
-            Err(TreeLockViolation::RelockedEntity { pos: 2, entity: e(1) })
+            Err(TreeLockViolation::RelockedEntity {
+                pos: 2,
+                entity: e(1)
+            })
         );
     }
 
@@ -305,7 +334,10 @@ mod tests {
         let steps = vec![Step::lock_exclusive(e(42))];
         assert_eq!(
             is_tree_locked(&steps, &f),
-            Err(TreeLockViolation::NotInForest { pos: 0, entity: e(42) })
+            Err(TreeLockViolation::NotInForest {
+                pos: 0,
+                entity: e(42)
+            })
         );
     }
 
@@ -327,12 +359,15 @@ mod tests {
         let ops = BTreeMap::from([(e(4), vec![DataOp::Write])]);
         let plan = tree_lock_plan(&f, &ops).unwrap();
         assert_eq!(plan.len(), 3); // LX 4, W 4, UX 4
-        // Two targets at the ends need the whole chain.
+                                   // Two targets at the ends need the whole chain.
         let ops = BTreeMap::from([(e(1), vec![DataOp::Read]), (e(4), vec![DataOp::Write])]);
         let plan = tree_lock_plan(&f, &ops).unwrap();
         assert!(is_tree_locked(&plan, &f).is_ok());
-        let locked: Vec<EntityId> =
-            plan.iter().filter(|s| s.is_lock()).map(|s| s.entity).collect();
+        let locked: Vec<EntityId> = plan
+            .iter()
+            .filter(|s| s.is_lock())
+            .map(|s| s.entity)
+            .collect();
         assert_eq!(locked, vec![e(1), e(2), e(3), e(4)]);
     }
 }

@@ -50,7 +50,9 @@ pub fn lock_strict(t: &Transaction) -> LockedTransaction {
 pub fn lock_conservative(t: &Transaction) -> LockedTransaction {
     let mut modes: BTreeMap<slp_core::EntityId, LockMode> = BTreeMap::new();
     for s in &t.steps {
-        modes.entry(s.entity).or_insert_with(|| needed_mode(t, s.entity));
+        modes
+            .entry(s.entity)
+            .or_insert_with(|| needed_mode(t, s.entity));
     }
     let mut steps = Vec::with_capacity(t.steps.len() + 2 * modes.len());
     for (&e, &mode) in &modes {
@@ -81,7 +83,12 @@ mod tests {
     fn sample() -> Transaction {
         Transaction::new(
             TxId(1),
-            vec![Step::read(e(0)), Step::write(e(1)), Step::read(e(0)), Step::read(e(2))],
+            vec![
+                Step::read(e(0)),
+                Step::write(e(1)),
+                Step::read(e(0)),
+                Step::read(e(2)),
+            ],
         )
     }
 

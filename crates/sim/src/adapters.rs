@@ -43,7 +43,11 @@ impl TwoPhaseAdapter {
         // Strict 2PL is altruistic locking with no donations: AL2 never
         // fires, so the engine serves as a plain lock manager with
         // at-most-once bookkeeping.
-        TwoPhaseAdapter { engine: AltruisticEngine::new(), plans: HashMap::new(), pool }
+        TwoPhaseAdapter {
+            engine: AltruisticEngine::new(),
+            plans: HashMap::new(),
+            pool,
+        }
     }
 
     /// The initial structural state (the whole pool exists).
@@ -103,12 +107,14 @@ fn flat_advance(
             Err(other) => Err(other.to_string()),
         },
         FlatAction::Access(e) => engine.access(tx, e).map_err(|e| e.to_string()),
-        FlatAction::Unlock(e) => {
-            engine.unlock(tx, e).map(|s| vec![s]).map_err(|e| e.to_string())
-        }
-        FlatAction::LockedPoint => {
-            engine.declare_locked_point(tx).map(|()| Vec::new()).map_err(|e| e.to_string())
-        }
+        FlatAction::Unlock(e) => engine
+            .unlock(tx, e)
+            .map(|s| vec![s])
+            .map_err(|e| e.to_string()),
+        FlatAction::LockedPoint => engine
+            .declare_locked_point(tx)
+            .map(|()| Vec::new())
+            .map_err(|e| e.to_string()),
     };
     match result {
         Ok(steps) => {
@@ -135,7 +141,11 @@ pub struct AltruisticAdapter {
 impl AltruisticAdapter {
     /// An adapter over a pool of initially existing entities.
     pub fn new(pool: Vec<EntityId>) -> Self {
-        AltruisticAdapter { engine: AltruisticEngine::new(), plans: HashMap::new(), pool }
+        AltruisticAdapter {
+            engine: AltruisticEngine::new(),
+            plans: HashMap::new(),
+            pool,
+        }
     }
 
     /// The initial structural state (the whole pool exists).
@@ -199,7 +209,10 @@ pub struct DdagAdapter {
 impl DdagAdapter {
     /// An adapter over an initial rooted DAG.
     pub fn new(universe: Universe, graph: DiGraph) -> Self {
-        DdagAdapter { engine: DdagEngine::new(universe, graph), plans: HashMap::new() }
+        DdagAdapter {
+            engine: DdagEngine::new(universe, graph),
+            plans: HashMap::new(),
+        }
     }
 
     /// An adapter with a mutant rule configuration (ablations).
@@ -267,8 +280,7 @@ impl DdagAdapter {
         // Region: predecessor closure from the targets up to `start`.
         let mut region: BTreeSet<EntityId> = targets.iter().copied().collect();
         region.insert(start);
-        let mut frontier: Vec<EntityId> =
-            targets.iter().copied().filter(|&t| t != start).collect();
+        let mut frontier: Vec<EntityId> = targets.iter().copied().filter(|&t| t != start).collect();
         while let Some(n) = frontier.pop() {
             for p in g.predecessors(n) {
                 if p != start && region.insert(p) {
@@ -360,12 +372,12 @@ impl PolicyAdapter for DdagAdapter {
                 Err(other) => Err(other.to_string()),
             },
             DdagAction::Access(n) => self.engine.access(tx, n).map_err(|e| e.to_string()),
-            DdagAction::Unlock(n) => {
-                self.engine.unlock(tx, n).map(|s| vec![s]).map_err(|e| e.to_string())
-            }
-            DdagAction::InsertNode(n) => {
-                self.engine.insert_node(tx, n).map_err(|e| e.to_string())
-            }
+            DdagAction::Unlock(n) => self
+                .engine
+                .unlock(tx, n)
+                .map(|s| vec![s])
+                .map_err(|e| e.to_string()),
+            DdagAction::InsertNode(n) => self.engine.insert_node(tx, n).map_err(|e| e.to_string()),
             DdagAction::InsertEdge(a, b) => {
                 self.engine.insert_edge(tx, a, b).map_err(|e| e.to_string())
             }
@@ -400,7 +412,10 @@ impl DtrAdapter {
     /// An adapter over a pool of initially existing entities (the forest
     /// starts empty, per DT0, and grows as transactions arrive).
     pub fn new(pool: Vec<EntityId>) -> Self {
-        DtrAdapter { engine: DtrEngine::new(), pool }
+        DtrAdapter {
+            engine: DtrEngine::new(),
+            pool,
+        }
     }
 
     /// The initial structural state (the whole pool exists; the forest is
@@ -481,7 +496,8 @@ mod tests {
     #[test]
     fn two_phase_adapter_runs_a_job() {
         let mut a = TwoPhaseAdapter::new(pool(4));
-        a.begin(t(1), &Job::access(vec![EntityId(0), EntityId(2)])).unwrap();
+        a.begin(t(1), &Job::access(vec![EntityId(0), EntityId(2)]))
+            .unwrap();
         let steps = drain(&mut a, t(1));
         // 2 locks + 2*(R+W) + 2 unlocks
         assert_eq!(steps.len(), 8);
@@ -498,7 +514,10 @@ mod tests {
         assert!(matches!(a.advance(t(1)), Advance::Progress(_))); // T1 locks 0
         assert_eq!(
             a.advance(t(2)),
-            Advance::Blocked { entity: EntityId(0), holder: t(1) }
+            Advance::Blocked {
+                entity: EntityId(0),
+                holder: t(1)
+            }
         );
         let _ = a.abort(t(2));
     }
@@ -506,15 +525,27 @@ mod tests {
     #[test]
     fn altruistic_adapter_donates_early() {
         let mut a = AltruisticAdapter::new(pool(4));
-        a.begin(t(1), &Job::access(vec![EntityId(0), EntityId(1), EntityId(2)])).unwrap();
+        a.begin(
+            t(1),
+            &Job::access(vec![EntityId(0), EntityId(1), EntityId(2)]),
+        )
+        .unwrap();
         let steps = drain(&mut a, t(1));
         let lt = slp_core::LockedTransaction::new(t(1), steps.clone());
         assert!(lt.validate().is_ok());
-        assert!(!lt.is_two_phase(), "altruistic plans donate before the locked point");
+        assert!(
+            !lt.is_two_phase(),
+            "altruistic plans donate before the locked point"
+        );
         // Unlock of entity 0 comes before the access of entity 2.
-        let pos_unlock0 =
-            steps.iter().position(|s| *s == Step::unlock_exclusive(EntityId(0))).unwrap();
-        let pos_access2 = steps.iter().position(|s| *s == Step::read(EntityId(2))).unwrap();
+        let pos_unlock0 = steps
+            .iter()
+            .position(|s| *s == Step::unlock_exclusive(EntityId(0)))
+            .unwrap();
+        let pos_access2 = steps
+            .iter()
+            .position(|s| *s == Step::read(EntityId(2)))
+            .unwrap();
         assert!(pos_unlock0 < pos_access2);
     }
 
@@ -540,8 +571,11 @@ mod tests {
         let (mut a, ids) = diamond_adapter();
         a.begin(t(1), &Job::access(vec![ids[3]])).unwrap();
         let steps = drain(&mut a, t(1));
-        let locked: Vec<EntityId> =
-            steps.iter().filter(|s| s.is_lock()).map(|s| s.entity).collect();
+        let locked: Vec<EntityId> = steps
+            .iter()
+            .filter(|s| s.is_lock())
+            .map(|s| s.entity)
+            .collect();
         assert_eq!(locked, vec![ids[3]]);
     }
 
@@ -553,10 +587,17 @@ mod tests {
         let (mut a, ids) = diamond_adapter();
         a.begin(t(1), &Job::access(vec![ids[1], ids[3]])).unwrap();
         let steps = drain(&mut a, t(1));
-        let mut locked: Vec<EntityId> =
-            steps.iter().filter(|s| s.is_lock()).map(|s| s.entity).collect();
+        let mut locked: Vec<EntityId> = steps
+            .iter()
+            .filter(|s| s.is_lock())
+            .map(|s| s.entity)
+            .collect();
         assert_eq!(locked[0], ids[0], "start at the common dominator r");
-        assert_eq!(*locked.last().unwrap(), ids[3], "join j locked after its preds");
+        assert_eq!(
+            *locked.last().unwrap(),
+            ids[3],
+            "join j locked after its preds"
+        );
         locked.sort_unstable();
         assert_eq!(locked, vec![ids[0], ids[1], ids[2], ids[3]]);
         let lt = slp_core::LockedTransaction::new(t(1), steps);
@@ -593,7 +634,8 @@ mod tests {
     #[test]
     fn dtr_adapter_runs_jobs_and_grows_forest() {
         let mut a = DtrAdapter::new(pool(5));
-        a.begin(t(1), &Job::access(vec![EntityId(0), EntityId(1)])).unwrap();
+        a.begin(t(1), &Job::access(vec![EntityId(0), EntityId(1)]))
+            .unwrap();
         let steps = drain(&mut a, t(1));
         assert!(!steps.is_empty());
         assert_eq!(a.engine().forest().len(), 2);

@@ -12,8 +12,8 @@
 
 use crate::adapter::{Advance, PolicyAdapter};
 use crate::job::Job;
+use rustc_hash::FxHashMap;
 use slp_core::{Schedule, ScheduledStep, Step, TxId};
-use std::collections::HashMap;
 
 /// Tick costs of the simulated operations.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -31,7 +31,12 @@ pub struct LatencyModel {
 
 impl Default for LatencyModel {
     fn default() -> Self {
-        LatencyModel { lock: 1, unlock: 1, data: 5, restart_backoff: 10 }
+        LatencyModel {
+            lock: 1,
+            unlock: 1,
+            data: 5,
+            restart_backoff: 10,
+        }
     }
 }
 
@@ -49,7 +54,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { workers: 4, latency: LatencyModel::default(), max_ticks: 10_000_000 }
+        SimConfig {
+            workers: 4,
+            latency: LatencyModel::default(),
+            max_ticks: 10_000_000,
+        }
     }
 }
 
@@ -139,11 +148,11 @@ pub fn run_sim(adapter: &mut dyn PolicyAdapter, jobs: &[Job], config: &SimConfig
     // original dispatch time).
     let mut retry_queue: Vec<(usize, u64, u64)> = Vec::new();
     let mut workers: Vec<Option<Run>> = (0..config.workers).map(|_| None).collect();
-    let mut dispatch_times: HashMap<usize, u64> = HashMap::new();
+    let mut dispatch_times: FxHashMap<usize, u64> = FxHashMap::default();
     // Restart counts per job (scales the backoff to break livelocks).
-    let mut attempts_of: HashMap<usize, u64> = HashMap::new();
+    let mut attempts_of: FxHashMap<usize, u64> = FxHashMap::default();
     // tx -> (blocked-on holder) for deadlock detection.
-    let mut waits_for: HashMap<TxId, TxId> = HashMap::new();
+    let mut waits_for: FxHashMap<TxId, TxId> = FxHashMap::default();
     // FIFO park sequence counter (first parked, first woken).
     let mut park_seq = 0u64;
     let mut now = 0u64;
@@ -247,7 +256,11 @@ pub fn run_sim(adapter: &mut dyn PolicyAdapter, jobs: &[Job], config: &SimConfig
             }
             // Idle but restarts are pending: jump to the earliest backoff.
             if next_job >= jobs.len() {
-                now = retry_queue.iter().map(|&(_, t, _)| t).min().unwrap_or(now + 1);
+                now = retry_queue
+                    .iter()
+                    .map(|&(_, t, _)| t)
+                    .min()
+                    .unwrap_or(now + 1);
                 continue;
             }
             continue;
@@ -264,7 +277,9 @@ pub fn run_sim(adapter: &mut dyn PolicyAdapter, jobs: &[Job], config: &SimConfig
                 .iter()
                 .enumerate()
                 .filter_map(|(i, w)| {
-                    w.as_ref().and_then(|r| r.parked_on).map(|(_, seq)| (seq, i))
+                    w.as_ref()
+                        .and_then(|r| r.parked_on)
+                        .map(|(_, seq)| (seq, i))
                 })
                 .min()
                 .expect("a parked worker exists");
@@ -429,7 +444,10 @@ mod tests {
             Job::access(vec![EntityId(1), EntityId(0)]),
         ];
         let report = run_sim(&mut adapter, &jobs, &SimConfig::default());
-        assert_eq!(report.committed, 2, "deadlock must be resolved by abort+restart");
+        assert_eq!(
+            report.committed, 2,
+            "deadlock must be resolved by abort+restart"
+        );
         assert!(report.deadlock_aborts >= 1);
         assert!(report.schedule.is_legal());
         assert!(slp_core::is_serializable(&report.schedule));
@@ -442,7 +460,10 @@ mod tests {
             Job::access(vec![EntityId(0), EntityId(1)]),
             Job::access(vec![EntityId(1), EntityId(0)]),
         ];
-        let config = SimConfig { workers: 1, ..Default::default() };
+        let config = SimConfig {
+            workers: 1,
+            ..Default::default()
+        };
         let report = run_sim(&mut adapter, &jobs, &config);
         assert_eq!(report.committed, 2);
         assert_eq!(report.deadlock_aborts, 0, "MPL 1 cannot deadlock");
@@ -452,11 +473,13 @@ mod tests {
     #[test]
     fn report_metrics_are_consistent() {
         let mut adapter = TwoPhaseAdapter::new(pool(4));
-        let jobs: Vec<Job> =
-            (0..6).map(|i| Job::access(vec![EntityId(i % 4)])).collect();
+        let jobs: Vec<Job> = (0..6).map(|i| Job::access(vec![EntityId(i % 4)])).collect();
         let report = run_sim(&mut adapter, &jobs, &SimConfig::default());
         assert_eq!(report.committed, 6);
-        assert_eq!(report.attempts, 6 + report.policy_aborts + report.deadlock_aborts);
+        assert_eq!(
+            report.attempts,
+            6 + report.policy_aborts + report.deadlock_aborts
+        );
         assert!(report.throughput() > 0.0);
         assert!(report.mean_response() > 0.0);
         assert!(report.makespan > 0);

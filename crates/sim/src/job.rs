@@ -29,12 +29,18 @@ pub struct InsertUnder {
 impl Job {
     /// A job accessing the given targets.
     pub fn access(targets: Vec<EntityId>) -> Self {
-        Job { targets, insert_under: None }
+        Job {
+            targets,
+            insert_under: None,
+        }
     }
 
     /// A job inserting `node` under `parent` (and accessing nothing else).
     pub fn insert(parent: EntityId, node: EntityId) -> Self {
-        Job { targets: Vec::new(), insert_under: Some(InsertUnder { parent, node }) }
+        Job {
+            targets: Vec::new(),
+            insert_under: Some(InsertUnder { parent, node }),
+        }
     }
 
     /// Total number of data touches the job performs.

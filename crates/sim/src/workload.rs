@@ -45,13 +45,20 @@ pub fn layered_dag(layers: usize, width: usize, max_parents: usize, seed: u64) -
                 chosen.swap_remove(rng.random_range(0..chosen.len()));
             }
             for pi in chosen {
-                graph.add_edge(prev[pi], n).expect("layer edges are acyclic");
+                graph
+                    .add_edge(prev[pi], n)
+                    .expect("layer edges are acyclic");
             }
             this_layer.push(n);
         }
         nodes.push(this_layer);
     }
-    LayeredDag { universe, graph, root, nodes }
+    LayeredDag {
+        universe,
+        graph,
+        root,
+        nodes,
+    }
 }
 
 /// Jobs over a flat entity pool: each accesses `per_job` distinct random

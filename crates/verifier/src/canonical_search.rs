@@ -21,7 +21,8 @@
 use crate::explorer::{complete_schedule, SearchBudget};
 use slp_core::canonical::CanonicalWitness;
 use slp_core::{
-    LockedTransaction, Operation, Schedule, SerializationGraph, TransactionSystem, TxId,
+    ConflictIndex, Operation, Schedule, ScheduleSimulator, ScheduledStep, SerializationGraph,
+    TransactionSystem, TxId,
 };
 use std::fmt;
 
@@ -38,7 +39,10 @@ impl Default for CanonicalBudget {
     fn default() -> Self {
         CanonicalBudget {
             max_candidates: 500_000,
-            completion: SearchBudget { max_states: 200_000, use_memo: true },
+            completion: SearchBudget {
+                max_states: 200_000,
+                use_memo: true,
+            },
         }
     }
 }
@@ -54,7 +58,11 @@ pub struct CanonicalStats {
 
 impl fmt::Display for CanonicalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} candidates, {} completions tried", self.candidates, self.completions_tried)
+        write!(
+            f,
+            "{} candidates, {} completions tried",
+            self.candidates, self.completions_tried
+        )
     }
 }
 
@@ -144,9 +152,14 @@ pub fn find_canonical_witness(
                 continue;
             }
             let a_star = tc.steps[lock_pos].entity;
-            let Operation::Lock(tc_mode) = tc.steps[lock_pos].op else { continue };
+            let Operation::Lock(tc_mode) = tc.steps[lock_pos].op else {
+                continue;
+            };
             // At-most-once: Tc must not have locked A* in its prefix.
-            if tc.steps[..lock_pos].iter().any(|s| s.is_lock() && s.entity == a_star) {
+            if tc.steps[..lock_pos]
+                .iter()
+                .any(|s| s.is_lock() && s.entity == a_star)
+            {
                 continue;
             }
             let others: Vec<TxId> = ids.iter().copied().filter(|&t| t != tc_id).collect();
@@ -166,7 +179,9 @@ pub fn find_canonical_witness(
                     let prefix_lens: Vec<(TxId, usize)> = subset
                         .iter()
                         .zip(&combo)
-                        .map(|(&t, &ci)| (t, lens[subset.iter().position(|&x| x == t).unwrap()][ci]))
+                        .map(|(&t, &ci)| {
+                            (t, lens[subset.iter().position(|&x| x == t).unwrap()][ci])
+                        })
                         .collect();
                     // Orders: permutations of subset ∪ {tc}.
                     let mut participants: Vec<(TxId, usize)> = prefix_lens.clone();
@@ -216,21 +231,42 @@ fn try_candidate(
     budget: CanonicalBudget,
     stats: &mut CanonicalStats,
 ) -> Option<CanonicalWitness> {
-    // Build S' and check it is legal (a cheap necessary condition for 2b).
-    let prefixes: Vec<LockedTransaction> = order
-        .iter()
-        .map(|&(id, len)| {
-            let t = system.get(id).expect("listed");
-            LockedTransaction::new(id, t.steps[..len].to_vec())
-        })
-        .collect();
-    let s_prime = Schedule::serial(&prefixes);
-    if !s_prime.is_legal() || !s_prime.is_proper(system.initial_state()) {
-        return None;
+    // Build S' incrementally: one simulator pass checks legality and
+    // properness together (instead of two full re-scans of the serial
+    // schedule), while a ConflictIndex accumulates the D(S')-edge mask —
+    // the same apply-side machinery the exhaustive explorer drives.
+    let k = order.len();
+    let use_index = k <= ConflictIndex::MAX_TXS;
+    let mut sim = ScheduleSimulator::new(system.initial_state().clone());
+    let mut index = use_index.then(|| ConflictIndex::new(k));
+    let mut mask = 0u128;
+    let mut s_prime = Schedule::empty();
+    for (oi, &(id, len)) in order.iter().enumerate() {
+        let t = system.get(id).expect("listed");
+        for &step in &t.steps[..len] {
+            if sim.apply(id, &step).is_err() {
+                return None; // S' illegal or improper
+            }
+            if let Some(ix) = &mut index {
+                mask |= ix.edge_delta(oi, &step);
+                ix.push(oi, step);
+            }
+            s_prime.push(ScheduledStep::new(id, step));
+        }
     }
-    // Condition 2a.
-    let d = SerializationGraph::of(&s_prime);
-    for sink in d.sinks() {
+    // Condition 2a. Every order member has a nonempty prefix, so the dense
+    // order position is the mask row; a sink is a row with no out-edges.
+    // (Candidates wider than the mask bound fall back to building D(S').)
+    let sinks: Vec<TxId> = if use_index {
+        let row_bits = (1u128 << k) - 1;
+        (0..k)
+            .filter(|&oi| (mask >> (oi * k)) & row_bits == 0)
+            .map(|oi| order[oi].0)
+            .collect()
+    } else {
+        SerializationGraph::of(&s_prime).sinks()
+    };
+    for sink in sinks {
         let (_, plen) = order.iter().find(|&&(id, _)| id == sink)?;
         let t = system.get(sink).expect("listed");
         let prefix = &t.steps[..*plen];
@@ -268,8 +304,22 @@ mod tests {
         let mut b = SystemBuilder::new();
         b.exists("x");
         b.exists("y");
-        b.tx(1).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
-        b.tx(2).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
+        b.tx(1)
+            .lx("x")
+            .write("x")
+            .ux("x")
+            .lx("y")
+            .write("y")
+            .ux("y")
+            .finish();
+        b.tx(2)
+            .lx("x")
+            .write("x")
+            .ux("x")
+            .lx("y")
+            .write("y")
+            .ux("y")
+            .finish();
         b.build()
     }
 
@@ -277,8 +327,22 @@ mod tests {
         let mut b = SystemBuilder::new();
         b.exists("x");
         b.exists("y");
-        b.tx(1).lx("x").write("x").lx("y").write("y").ux("x").ux("y").finish();
-        b.tx(2).lx("y").write("y").lx("x").write("x").ux("y").ux("x").finish();
+        b.tx(1)
+            .lx("x")
+            .write("x")
+            .lx("y")
+            .write("y")
+            .ux("x")
+            .ux("y")
+            .finish();
+        b.tx(2)
+            .lx("y")
+            .write("y")
+            .lx("x")
+            .write("x")
+            .ux("y")
+            .ux("x")
+            .finish();
         b.build()
     }
 
@@ -286,7 +350,9 @@ mod tests {
     fn unsafe_system_yields_verified_witness() {
         let system = short_lock_system();
         let outcome = find_canonical_witness(&system, CanonicalBudget::default());
-        let witness = outcome.witness().expect("unsafe system has a canonical witness");
+        let witness = outcome
+            .witness()
+            .expect("unsafe system has a canonical witness");
         assert_eq!(witness.verify(&system), Ok(()));
         // The theorem's "if" direction: the extension is nonserializable.
         assert!(!slp_core::is_serializable(&witness.extension));
@@ -301,9 +367,7 @@ mod tests {
 
     #[test]
     fn agrees_with_exhaustive_search_on_fixed_systems() {
-        for (system, expect_unsafe) in
-            [(short_lock_system(), true), (two_phase_system(), false)]
-        {
+        for (system, expect_unsafe) in [(short_lock_system(), true), (two_phase_system(), false)] {
             let exhaustive = verify_safety(&system, Default::default());
             let canonical = find_canonical_witness(&system, CanonicalBudget::default());
             assert_eq!(exhaustive.is_unsafe(), expect_unsafe);
@@ -315,9 +379,15 @@ mod tests {
     fn budget_exhaustion_reported() {
         let outcome = find_canonical_witness(
             &short_lock_system(),
-            CanonicalBudget { max_candidates: 1, completion: Default::default() },
+            CanonicalBudget {
+                max_candidates: 1,
+                completion: Default::default(),
+            },
         );
-        assert!(matches!(outcome, CanonicalOutcome::Exhausted(_) | CanonicalOutcome::Witness { .. }));
+        assert!(matches!(
+            outcome,
+            CanonicalOutcome::Exhausted(_) | CanonicalOutcome::Witness { .. }
+        ));
     }
 
     #[test]

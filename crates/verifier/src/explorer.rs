@@ -7,13 +7,49 @@
 //! per-transaction positions admit exactly the same *futures* (legality and
 //! properness of a suffix depend only on positions), but may differ in the
 //! serializability graph accumulated so far — so the memo key is the pair
-//! (positions, `D(S)`-edge bitmask).
+//! (positions, `D(S)`-edge bitmask). Completion searches accept any
+//! completion regardless of `D(S)`, so there the memo keys on positions
+//! alone.
+//!
+//! # Search-loop design: apply/undo, not clone
+//!
+//! The DFS allocates **nothing per node** on its hot path:
+//!
+//! * **One simulator, mutated in place.** Instead of `sim.clone()` per
+//!   branch, each candidate step is applied through
+//!   [`ScheduleSimulator::apply_undoable`], which returns a compact
+//!   [`slp_core::UndoToken`]; on backtrack the token is passed to
+//!   [`ScheduleSimulator::undo`], restoring the simulator bit-for-bit
+//!   (LIFO discipline). [`SearchStats::undo_ops`] counts these reversals.
+//! * **O(1) schedule backtracking** via [`Schedule::pop`].
+//! * **Incremental conflict edges.** A [`slp_core::ConflictIndex`] keeps
+//!   per-entity accessor lists keyed by dense transaction indices, so the
+//!   `D(S)`-edge delta of a candidate step scans only that entity's prior
+//!   accessors instead of the whole schedule.
+//! * **Packed memo keys.** Positions are bit-packed 8 bits per transaction
+//!   into a `u128` (maintained incrementally), and probed in an
+//!   `FxHashSet<(u128, u128)>` — no `Vec` allocation per probe. Systems
+//!   exceeding the pack bound (more than 16 transactions or a transaction
+//!   longer than 255 steps) fall back to `Vec<u16>` keys; the edge bitmask
+//!   itself caps exhaustive safety search at
+//!   [`slp_core::ConflictIndex::MAX_TXS`] (11) transactions, far beyond
+//!   what exhaustive search can cover anyway.
+//!
+//! The pre-optimization clone-per-node DFS is retained verbatim in
+//! [`crate::reference`] as the agreement baseline; `verifier_bench`'s
+//! `dfs_throughput` group tracks the speedup.
+//!
+//! The randomized corpus-generation mode ([`complete_schedule_randomized`])
+//! shuffles the candidate order at each node, which allocates the shuffled
+//! order vector; only that mode pays the allocation.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use slp_core::{Schedule, ScheduleSimulator, ScheduledStep, TransactionSystem, TxId};
-use std::collections::HashSet;
+use rustc_hash::FxHashSet;
+use slp_core::{
+    ConflictIndex, Schedule, ScheduleSimulator, ScheduledStep, TransactionSystem, TxId,
+};
 use std::fmt;
 
 /// Limits on the search.
@@ -29,7 +65,10 @@ pub struct SearchBudget {
 
 impl Default for SearchBudget {
     fn default() -> Self {
-        SearchBudget { max_states: 2_000_000, use_memo: true }
+        SearchBudget {
+            max_states: 2_000_000,
+            use_memo: true,
+        }
     }
 }
 
@@ -42,14 +81,17 @@ pub struct SearchStats {
     pub memo_hits: usize,
     /// Complete schedules reached.
     pub completions: usize,
+    /// Steps reversed while backtracking (apply/undo DFS only; the
+    /// reference explorer clones instead and reports 0).
+    pub undo_ops: usize,
 }
 
 impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} states, {} memo hits, {} completions",
-            self.states, self.memo_hits, self.completions
+            "{} states, {} memo hits, {} completions, {} undos",
+            self.states, self.memo_hits, self.completions, self.undo_ops
         )
     }
 }
@@ -99,7 +141,7 @@ impl Verdict {
 
 /// Whether the edge bitmask over `k` nodes contains a cycle (transitive
 /// closure; bit `i * k + j` encodes edge `i -> j`).
-fn mask_has_cycle(mask: u128, k: usize) -> bool {
+pub(crate) fn mask_has_cycle(mask: u128, k: usize) -> bool {
     let mut reach = mask;
     // Floyd–Warshall on bits.
     for via in 0..k {
@@ -116,12 +158,65 @@ fn mask_has_cycle(mask: u128, k: usize) -> bool {
     (0..k).any(|i| reach & (1u128 << (i * k + i)) != 0)
 }
 
+/// The visited-state set. Packed keys when positions fit 8 bits per
+/// transaction and at most 16 transactions; otherwise a `Vec<u16>`-keyed
+/// fallback (which allocates per probe — only ever reached by systems far
+/// beyond exhaustive-search scale).
+enum Memo {
+    Packed(FxHashSet<(u128, u128)>),
+    Wide(FxHashSet<(Vec<u16>, u128)>),
+}
+
+impl Memo {
+    fn contains(&self, packed: u128, positions: &[u16], edges: u128) -> bool {
+        match self {
+            Memo::Packed(set) => set.contains(&(packed, edges)),
+            Memo::Wide(set) => set.contains(&(positions.to_vec(), edges)),
+        }
+    }
+
+    fn insert(&mut self, packed: u128, positions: &[u16], edges: u128) {
+        match self {
+            Memo::Packed(set) => {
+                set.insert((packed, edges));
+            }
+            Memo::Wide(set) => {
+                set.insert((positions.to_vec(), edges));
+            }
+        }
+    }
+}
+
 struct Search<'a> {
-    system: &'a TransactionSystem,
-    ids: Vec<TxId>,
     budget: SearchBudget,
     stats: SearchStats,
-    memo: HashSet<(Vec<u16>, u128)>,
+    /// Transactions in dense-index order (index `i` ↔ `ids[i]`).
+    ids: Vec<TxId>,
+    txs: Vec<&'a slp_core::LockedTransaction>,
+    /// Per-transaction step counts, densely indexed.
+    lens: Vec<u16>,
+    memo: Memo,
+    /// Whether memo keys are bit-packed (k <= 16, all |T| <= 255); gates
+    /// maintenance of `packed` so wide systems never shift out of range.
+    packable: bool,
+    /// Positions bit-packed 8 bits per transaction, maintained
+    /// incrementally alongside `positions` (meaningful in packed mode).
+    packed: u128,
+    /// Number of transactions with at least one step taken, maintained
+    /// incrementally so acceptance checks need no O(k) scan per node.
+    /// Zero-length transactions can never start and are excluded.
+    started: usize,
+    /// Number of *started* transactions that have run to completion.
+    /// Zero-length transactions are excluded here too — counting them
+    /// would let `started == finished` accept nodes where a started
+    /// transaction is still mid-flight.
+    finished: usize,
+    /// Number of zero-length transactions (trivially complete; they only
+    /// matter for the require_all acceptance mode).
+    zero_len: usize,
+    /// `D(S)`-edge tracking: present iff the acceptance predicate inspects
+    /// edges (`want_cycle`), absent for plain completion searches.
+    index: Option<ConflictIndex>,
     /// Search goal: when all started transactions have finished, accept if
     /// the accumulated `D(S)` edge mask satisfies this predicate.
     want_cycle: bool,
@@ -143,37 +238,80 @@ enum Dfs {
 
 impl<'a> Search<'a> {
     fn new(system: &'a TransactionSystem, budget: SearchBudget, want_cycle: bool) -> Self {
+        let ids = system.ids();
+        let txs: Vec<_> = ids
+            .iter()
+            .map(|&id| system.get(id).expect("listed id"))
+            .collect();
+        let lens: Vec<u16> = txs.iter().map(|t| t.len() as u16).collect();
+        let k = ids.len();
+        let packable = k <= 16 && lens.iter().all(|&l| l <= u8::MAX as u16);
+        let memo = if packable {
+            Memo::Packed(FxHashSet::default())
+        } else {
+            Memo::Wide(FxHashSet::default())
+        };
+        let zero_len = lens.iter().filter(|&&l| l == 0).count();
+        let index = want_cycle.then(|| {
+            assert!(
+                k <= ConflictIndex::MAX_TXS,
+                "exhaustive safety search supports at most {} transactions, got {k}",
+                ConflictIndex::MAX_TXS
+            );
+            ConflictIndex::new(k)
+        });
         Search {
-            system,
-            ids: system.ids(),
             budget,
             stats: SearchStats::default(),
-            memo: HashSet::new(),
+            ids,
+            txs,
+            lens,
+            memo,
+            packable,
+            packed: 0,
+            started: 0,
+            finished: 0,
+            zero_len,
+            index,
             want_cycle,
             rng: None,
             require_all: false,
         }
     }
 
-    /// Recomputes the conflict edges the next step of `tx_idx` adds against
-    /// all earlier steps in the schedule.
-    fn new_edges(&self, schedule: &Schedule, step: &ScheduledStep) -> u128 {
-        let k = self.ids.len();
-        let to = self.ids.iter().position(|&t| t == step.tx).expect("known tx");
-        let mut mask = 0u128;
-        for prior in schedule.steps() {
-            if prior.tx != step.tx && prior.step.conflicts_with(&step.step) {
-                let from = self.ids.iter().position(|&t| t == prior.tx).expect("known tx");
-                mask |= 1u128 << (from * k + to);
-            }
+    /// Advances dense transaction `i` by one step: positions, the packed
+    /// word, and the started/finished counters, all O(1).
+    fn take(&mut self, positions: &mut [u16], i: usize) {
+        positions[i] += 1;
+        if self.packable {
+            self.packed += 1u128 << (8 * i);
         }
-        mask
+        if positions[i] == 1 {
+            self.started += 1;
+        }
+        if positions[i] == self.lens[i] {
+            self.finished += 1;
+        }
+    }
+
+    /// Reverses [`take`](Search::take) for dense transaction `i`.
+    fn untake(&mut self, positions: &mut [u16], i: usize) {
+        if positions[i] == self.lens[i] {
+            self.finished -= 1;
+        }
+        if positions[i] == 1 {
+            self.started -= 1;
+        }
+        if self.packable {
+            self.packed -= 1u128 << (8 * i);
+        }
+        positions[i] -= 1;
     }
 
     fn dfs(
         &mut self,
-        positions: &mut Vec<u16>,
-        sim: &ScheduleSimulator,
+        positions: &mut [u16],
+        sim: &mut ScheduleSimulator,
         schedule: &mut Schedule,
         edges: u128,
     ) -> Dfs {
@@ -183,62 +321,91 @@ impl<'a> Search<'a> {
         self.stats.states += 1;
 
         // Acceptance: every *started* transaction has run to completion
-        // (or, in require_all mode, every transaction of the system).
+        // (or, in require_all mode, every transaction of the system) —
+        // read off the incrementally maintained counters in O(1).
         let k = self.ids.len();
-        let all_started_finished = self.ids.iter().enumerate().all(|(i, &id)| {
-            let len = self.system.get(id).expect("known tx").len() as u16;
-            (positions[i] == 0 && !self.require_all) || positions[i] == len
-        });
-        let started_any = positions.iter().any(|&p| p > 0);
-        if all_started_finished && started_any {
+        let all_started_finished = if self.require_all {
+            self.finished + self.zero_len == k
+        } else {
+            self.started == self.finished
+        };
+        if all_started_finished && self.started > 0 {
             self.stats.completions += 1;
-            let accept = if self.want_cycle { mask_has_cycle(edges, k) } else { true };
+            let accept = if self.want_cycle {
+                mask_has_cycle(edges, k)
+            } else {
+                true
+            };
             if accept {
                 return Dfs::Found(schedule.clone());
             }
         }
 
+        // The deterministic search iterates candidates in dense order with
+        // no per-node allocation; only the randomized corpus generator
+        // materializes (and shuffles) an order vector.
+        let shuffled: Option<Vec<usize>> = self.rng.as_mut().map(|rng| {
+            let mut order: Vec<usize> = (0..k).collect();
+            order.shuffle(rng);
+            order
+        });
         let mut budget_hit = false;
-        let mut try_order: Vec<usize> = (0..k).collect();
-        if let Some(rng) = &mut self.rng {
-            try_order.shuffle(rng);
-        }
-        for i in try_order {
+        for idx in 0..k {
+            let i = shuffled.as_ref().map_or(idx, |order| order[idx]);
             let id = self.ids[i];
-            let tx = self.system.get(id).expect("known tx");
             let pos = positions[i] as usize;
-            let Some(&step) = tx.steps.get(pos) else { continue };
-            // Legality + properness gate.
-            if sim.check(id, &step).is_err() {
+            let Some(&step) = self.txs[i].steps.get(pos) else {
                 continue;
-            }
-            let sstep = ScheduledStep::new(id, step);
-            let next_edges = edges | self.new_edges(schedule, &sstep);
-            positions[i] += 1;
-            let key = (positions.clone(), next_edges);
-            if self.budget.use_memo && self.memo.contains(&key) {
+            };
+            let next_edges = match &self.index {
+                Some(index) => edges | index.edge_delta(i, &step),
+                None => 0,
+            };
+            // Memo probe before the legality/properness gate: the
+            // simulator state is a function of `positions`, so a memoized
+            // successor state was necessarily reached by applying this very
+            // step legally — an illegal candidate can never hit.
+            self.take(positions, i);
+            if self.budget.use_memo && self.memo.contains(self.packed, positions, next_edges) {
                 self.stats.memo_hits += 1;
-                positions[i] -= 1;
+                self.untake(positions, i);
                 continue;
             }
-            let mut next_sim = sim.clone();
-            next_sim.apply(id, &step).expect("checked");
-            schedule.push(sstep);
-            let result = self.dfs(positions, &next_sim, schedule, next_edges);
-            schedule_pop(schedule);
-            positions[i] -= 1;
+            // Legality + properness gate and application in one pass
+            // (apply_undoable checks, then mutates only on success).
+            let Ok(token) = sim.apply_undoable(id, &step) else {
+                self.untake(positions, i);
+                continue;
+            };
+            schedule.push(ScheduledStep::new(id, step));
+            if let Some(index) = &mut self.index {
+                index.push(i, step);
+            }
+            let result = self.dfs(positions, sim, schedule, next_edges);
+            if let Some(index) = &mut self.index {
+                index.pop();
+            }
+            schedule.pop();
+            sim.undo(token);
+            self.stats.undo_ops += 1;
             match result {
-                Dfs::Found(s) => return Dfs::Found(s),
+                Dfs::Found(s) => {
+                    self.untake(positions, i);
+                    return Dfs::Found(s);
+                }
                 // Only fully explored subtrees may be memoized.
                 Dfs::NotFound => {
                     if self.budget.use_memo {
-                        self.memo.insert(key);
+                        self.memo.insert(self.packed, positions, next_edges);
                     }
                 }
                 Dfs::BudgetExhausted => {
                     budget_hit = true;
-                    break;
                 }
+            }
+            self.untake(positions, i);
+            if budget_hit {
+                break;
             }
         }
         if budget_hit {
@@ -249,21 +416,18 @@ impl<'a> Search<'a> {
     }
 }
 
-fn schedule_pop(s: &mut Schedule) {
-    let mut steps = s.steps().to_vec();
-    steps.pop();
-    *s = Schedule::from_steps(steps);
-}
-
 /// Decides safety of `system` by exhaustive search: looks for a complete
 /// (over the started subset), legal, proper, nonserializable schedule.
 pub fn verify_safety(system: &TransactionSystem, budget: SearchBudget) -> Verdict {
     let mut search = Search::new(system, budget, true);
     let mut positions = vec![0u16; search.ids.len()];
-    let sim = ScheduleSimulator::new(system.initial_state().clone());
+    let mut sim = ScheduleSimulator::new(system.initial_state().clone());
     let mut schedule = Schedule::empty();
-    match search.dfs(&mut positions, &sim, &mut schedule, 0) {
-        Dfs::Found(witness) => Verdict::Unsafe { witness, stats: search.stats },
+    match search.dfs(&mut positions, &mut sim, &mut schedule, 0) {
+        Dfs::Found(witness) => Verdict::Unsafe {
+            witness,
+            stats: search.stats,
+        },
         Dfs::NotFound => Verdict::Safe(search.stats),
         Dfs::BudgetExhausted => Verdict::Exhausted(search.stats),
     }
@@ -306,7 +470,6 @@ fn complete_with(
     let mut positions = vec![0u16; search.ids.len()];
     let mut sim = ScheduleSimulator::new(system.initial_state().clone());
     let mut schedule = Schedule::empty();
-    let mut edges = 0u128;
     for s in prefix.steps() {
         let i = search.ids.iter().position(|&t| t == s.tx)?;
         let tx = system.get(s.tx)?;
@@ -314,11 +477,10 @@ fn complete_with(
             return None; // not a partial schedule of the system
         }
         sim.apply(s.tx, &s.step).ok()?;
-        edges |= search.new_edges(&schedule, s);
         schedule.push(*s);
-        positions[i] += 1;
+        search.take(&mut positions, i);
     }
-    match search.dfs(&mut positions, &sim, &mut schedule, edges) {
+    match search.dfs(&mut positions, &mut sim, &mut schedule, 0) {
         Dfs::Found(s) => Some(s),
         _ => None,
     }
@@ -334,8 +496,22 @@ mod tests {
         let mut b = SystemBuilder::new();
         b.exists("x");
         b.exists("y");
-        b.tx(1).lx("x").write("x").lx("y").write("y").ux("x").ux("y").finish();
-        b.tx(2).lx("x").write("x").lx("y").write("y").ux("y").ux("x").finish();
+        b.tx(1)
+            .lx("x")
+            .write("x")
+            .lx("y")
+            .write("y")
+            .ux("x")
+            .ux("y")
+            .finish();
+        b.tx(2)
+            .lx("x")
+            .write("x")
+            .lx("y")
+            .write("y")
+            .ux("y")
+            .ux("x")
+            .finish();
         b.build()
     }
 
@@ -344,8 +520,22 @@ mod tests {
         let mut b = SystemBuilder::new();
         b.exists("x");
         b.exists("y");
-        b.tx(1).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
-        b.tx(2).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
+        b.tx(1)
+            .lx("x")
+            .write("x")
+            .ux("x")
+            .lx("y")
+            .write("y")
+            .ux("y")
+            .finish();
+        b.tx(2)
+            .lx("x")
+            .write("x")
+            .ux("x")
+            .lx("y")
+            .write("y")
+            .ux("y")
+            .finish();
         b.build()
     }
 
@@ -354,6 +544,10 @@ mod tests {
         let verdict = verify_safety(&two_phase_system(), SearchBudget::default());
         assert!(verdict.is_safe(), "{verdict:?}");
         assert!(verdict.stats().states > 0);
+        assert!(
+            verdict.stats().undo_ops > 0,
+            "apply/undo DFS must backtrack via undo"
+        );
     }
 
     #[test]
@@ -403,7 +597,13 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_is_reported() {
-        let verdict = verify_safety(&two_phase_system(), SearchBudget { max_states: 3, ..Default::default() });
+        let verdict = verify_safety(
+            &two_phase_system(),
+            SearchBudget {
+                max_states: 3,
+                ..Default::default()
+            },
+        );
         assert!(matches!(verdict, Verdict::Exhausted(_)));
     }
 
@@ -440,7 +640,10 @@ mod tests {
             TxId(1),
             slp_core::Step::write(slp_core::EntityId(0)), // T1 starts with LX x
         )]);
-        assert_eq!(complete_schedule(&system, &bogus, SearchBudget::default()), None);
+        assert_eq!(
+            complete_schedule(&system, &bogus, SearchBudget::default()),
+            None
+        );
     }
 
     #[test]
@@ -452,5 +655,29 @@ mod tests {
         assert!(mask_has_cycle(edge(0, 1) | edge(1, 2) | edge(2, 0), k));
         assert!(mask_has_cycle(edge(0, 1) | edge(1, 0), k));
         assert!(!mask_has_cycle(0, k));
+    }
+
+    #[test]
+    fn randomized_completions_vary_with_seed_but_stay_valid() {
+        let system = two_phase_system();
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..8 {
+            let s = complete_schedule_randomized(
+                &system,
+                &Schedule::empty(),
+                SearchBudget::default(),
+                seed,
+            )
+            .expect("completion exists");
+            assert!(s.is_legal());
+            assert!(s.is_proper(system.initial_state()));
+            let all: Vec<_> = system.transactions().to_vec();
+            assert!(s.is_complete_schedule_of(&all));
+            distinct.insert(format!("{s}"));
+        }
+        assert!(
+            distinct.len() > 1,
+            "seeds should produce different interleavings"
+        );
     }
 }

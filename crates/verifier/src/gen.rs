@@ -166,9 +166,7 @@ mod tests {
         let a = random_system(GenParams::default(), 1);
         let b = random_system(GenParams::default(), 2);
         // Not a hard guarantee per pair, but these two seeds do differ.
-        assert!(
-            a.transactions() != b.transactions() || a.initial_state() != b.initial_state()
-        );
+        assert!(a.transactions() != b.transactions() || a.initial_state() != b.initial_state());
     }
 
     #[test]
@@ -181,7 +179,10 @@ mod tests {
                 break;
             }
         }
-        assert!(any_non_2pl, "generator never produced a non-2PL transaction");
+        assert!(
+            any_non_2pl,
+            "generator never produced a non-2PL transaction"
+        );
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //!   the paper's main theorem; experiment E6 cross-validates the two
 //!   deciders on randomized systems.
 //!
-//! Supporting modules: [`minimize`] (witness shrinking) and [`gen`]
-//! (seeded random system generation).
+//! Supporting modules: [`minimize`] (witness shrinking), [`gen`] (seeded
+//! random system generation), and [`reference`] — the retained
+//! clone-per-node explorer, kept as the agreement oracle for the
+//! optimized apply/undo DFS.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub mod canonical_search;
 pub mod explorer;
 pub mod gen;
 pub mod minimize;
+pub mod reference;
 
 pub use canonical_search::{find_canonical_witness, CanonicalBudget, CanonicalOutcome};
 pub use explorer::{
@@ -31,3 +34,4 @@ pub use explorer::{
 };
 pub use gen::{random_system, GenParams};
 pub use minimize::minimize_witness;
+pub use reference::verify_safety_reference;

@@ -42,7 +42,7 @@ fn drop_transaction(s: &Schedule, tx: TxId) -> Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slp_core::{ScheduledStep, Step, EntityId};
+    use slp_core::{EntityId, ScheduledStep, Step};
 
     fn e(i: u32) -> EntityId {
         EntityId(i)

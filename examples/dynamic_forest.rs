@@ -87,13 +87,26 @@ fn main() {
     let jobs = uniform_jobs(&pool, 30, 3, 21);
     let mut adapter = DtrAdapter::new(pool);
     let initial = adapter.initial_state();
-    let report = run_sim(&mut adapter, &jobs, &SimConfig { workers: 4, ..Default::default() });
+    let report = run_sim(
+        &mut adapter,
+        &jobs,
+        &SimConfig {
+            workers: 4,
+            ..Default::default()
+        },
+    );
 
     println!("jobs committed   : {}", report.committed);
     println!("lock waits       : {}", report.lock_waits);
     println!("makespan (ticks) : {}", report.makespan);
-    println!("throughput       : {:.2} jobs / kilotick", report.throughput());
-    println!("forest size now  : {} nodes", adapter.engine().forest().len());
+    println!(
+        "throughput       : {:.2} jobs / kilotick",
+        report.throughput()
+    );
+    println!(
+        "forest size now  : {} nodes",
+        adapter.engine().forest().len()
+    );
 
     assert!(report.schedule.is_legal());
     assert!(report.schedule.is_proper(&initial));

@@ -11,9 +11,7 @@
 use safe_locking::core::{is_serializable, TxId, Universe};
 use safe_locking::graph::DiGraph;
 use safe_locking::policies::ddag::{DdagEngine, DdagViolation};
-use safe_locking::sim::{
-    dag_mixed_jobs, layered_dag, run_sim, DdagAdapter, SimConfig,
-};
+use safe_locking::sim::{dag_mixed_jobs, layered_dag, run_sim, DdagAdapter, SimConfig};
 
 fn main() {
     // ------------------------------------------------------------------
@@ -73,20 +71,36 @@ fn main() {
         dag_mixed_jobs(&dag, 40, 2, 0.25, &mut intern, 11)
     };
     let initial = adapter.initial_state();
-    let report = run_sim(&mut adapter, &jobs, &SimConfig { workers: 4, ..Default::default() });
+    let report = run_sim(
+        &mut adapter,
+        &jobs,
+        &SimConfig {
+            workers: 4,
+            ..Default::default()
+        },
+    );
 
     println!("policy            : {}", report.policy);
     println!("jobs committed    : {}", report.committed);
-    println!("policy aborts     : {} (plans invalidated by concurrent inserts)", report.policy_aborts);
+    println!(
+        "policy aborts     : {} (plans invalidated by concurrent inserts)",
+        report.policy_aborts
+    );
     println!("deadlock aborts   : {}", report.deadlock_aborts);
     println!("lock waits        : {}", report.lock_waits);
     println!("makespan (ticks)  : {}", report.makespan);
-    println!("throughput        : {:.2} jobs / kilotick", report.throughput());
+    println!(
+        "throughput        : {:.2} jobs / kilotick",
+        report.throughput()
+    );
     println!("mean response     : {:.1} ticks", report.mean_response());
 
     // The whole point: every committed trace is serializable.
     assert!(report.schedule.is_legal(), "trace must be legal");
     assert!(report.schedule.is_proper(&initial), "trace must be proper");
-    assert!(is_serializable(&report.schedule), "DDAG guarantees serializability");
+    assert!(
+        is_serializable(&report.schedule),
+        "DDAG guarantees serializability"
+    );
     println!("\ntrace verified: legal ✓  proper ✓  serializable ✓ (Theorem 2)");
 }

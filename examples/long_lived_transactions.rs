@@ -10,9 +10,7 @@
 
 use safe_locking::core::{is_serializable, EntityId, TxId};
 use safe_locking::policies::altruistic::{AltruisticEngine, AltruisticViolation};
-use safe_locking::sim::{
-    long_short_jobs, run_sim, AltruisticAdapter, SimConfig, TwoPhaseAdapter,
-};
+use safe_locking::sim::{long_short_jobs, run_sim, AltruisticAdapter, SimConfig, TwoPhaseAdapter};
 
 fn main() {
     // ------------------------------------------------------------------
@@ -55,7 +53,10 @@ fn main() {
     println!("\n== Simulation: long scan + short transactions ==\n");
     let pool: Vec<EntityId> = (0..24).map(EntityId).collect();
     let jobs = long_short_jobs(&pool, 16, 24, 2, 3);
-    let config = SimConfig { workers: 6, ..Default::default() };
+    let config = SimConfig {
+        workers: 6,
+        ..Default::default()
+    };
 
     println!(
         "{:<12} {:>9} {:>10} {:>12} {:>10} {:>8}",
@@ -85,7 +86,11 @@ fn main() {
         );
         assert!(report.schedule.is_legal());
         assert!(report.schedule.is_proper(&initial));
-        assert!(is_serializable(&report.schedule), "{}: trace must be serializable", report.policy);
+        assert!(
+            is_serializable(&report.schedule),
+            "{}: trace must be serializable",
+            report.policy
+        );
     }
     println!("\nboth traces verified serializable ✓ (2PL classic; altruistic by Theorem 3)");
     println!("altruistic lets short transactions follow in the scan's wake instead of");

@@ -14,7 +14,9 @@ use safe_locking::core::display::render_schedule;
 use safe_locking::core::{
     explain_nonserializable, LockedTransaction, Step, SystemBuilder, TransactionSystem, TxId,
 };
-use safe_locking::verifier::{find_canonical_witness, verify_safety, CanonicalBudget, SearchBudget};
+use safe_locking::verifier::{
+    find_canonical_witness, verify_safety, CanonicalBudget, SearchBudget,
+};
 
 /// Draft 1 — "lock, use, release, hop": each node locked only while used.
 /// (This is the discipline rule L5's "presently holding a predecessor"
@@ -111,7 +113,11 @@ fn main() {
         b.add_transaction(draft2_chain_walk(2, &chain));
         let system = b.build();
         let verdict = verify_safety(&system, SearchBudget::default());
-        println!("  chain length {len}: safe = {} ({})", verdict.is_safe(), verdict.stats());
+        println!(
+            "  chain length {len}: safe = {} ({})",
+            verdict.is_safe(),
+            verdict.stats()
+        );
         assert!(verdict.is_safe());
     }
 }

@@ -17,7 +17,12 @@ fn main() {
     // 1. Proper vs improper schedules (Section 2).
     // ------------------------------------------------------------------
     let mut b = SystemBuilder::new();
-    b.tx(1).insert("a").insert("b").write("c").insert("d").finish();
+    b.tx(1)
+        .insert("a")
+        .insert("b")
+        .write("c")
+        .insert("d")
+        .finish();
     b.tx(2).read("a").delete("b").insert("c").finish();
     let system = b.build();
     let txs = system.transactions();
@@ -25,7 +30,15 @@ fn main() {
     println!("== Section 2: proper vs improper interleavings ==\n");
     let proper = Schedule::interleave(
         txs,
-        &[TxId(1), TxId(1), TxId(2), TxId(2), TxId(2), TxId(1), TxId(1)],
+        &[
+            TxId(1),
+            TxId(1),
+            TxId(2),
+            TxId(2),
+            TxId(2),
+            TxId(1),
+            TxId(1),
+        ],
     )
     .expect("valid interleaving");
     println!("{}", render_schedule(&proper, system.universe()));
@@ -36,7 +49,15 @@ fn main() {
 
     let improper = Schedule::interleave(
         txs,
-        &[TxId(1), TxId(1), TxId(1), TxId(2), TxId(2), TxId(2), TxId(1)],
+        &[
+            TxId(1),
+            TxId(1),
+            TxId(1),
+            TxId(2),
+            TxId(2),
+            TxId(2),
+            TxId(1),
+        ],
     )
     .expect("valid interleaving");
     println!("\n{}", render_schedule(&improper, system.universe()));
@@ -62,18 +83,50 @@ fn main() {
     let mut b = SystemBuilder::new();
     b.exists("x");
     b.exists("y");
-    b.tx(1).lx("x").write("x").lx("y").write("y").ux("x").ux("y").finish();
-    b.tx(2).lx("y").write("y").lx("x").write("x").ux("y").ux("x").finish();
+    b.tx(1)
+        .lx("x")
+        .write("x")
+        .lx("y")
+        .write("y")
+        .ux("x")
+        .ux("y")
+        .finish();
+    b.tx(2)
+        .lx("y")
+        .write("y")
+        .lx("x")
+        .write("x")
+        .ux("y")
+        .ux("x")
+        .finish();
     let two_phase = b.build();
     let verdict = verify_safety(&two_phase, SearchBudget::default());
-    println!("2PL system: safe = {} ({})", verdict.is_safe(), verdict.stats());
+    println!(
+        "2PL system: safe = {} ({})",
+        verdict.is_safe(),
+        verdict.stats()
+    );
 
     // Early-release transactions: unsafe, with a counterexample.
     let mut b = SystemBuilder::new();
     b.exists("x");
     b.exists("y");
-    b.tx(1).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
-    b.tx(2).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
+    b.tx(1)
+        .lx("x")
+        .write("x")
+        .ux("x")
+        .lx("y")
+        .write("y")
+        .ux("y")
+        .finish();
+    b.tx(2)
+        .lx("x")
+        .write("x")
+        .ux("x")
+        .lx("y")
+        .write("y")
+        .ux("y")
+        .finish();
     let early = b.build();
     let verdict = verify_safety(&early, SearchBudget::default());
     println!("early-release system: safe = {}", verdict.is_safe());

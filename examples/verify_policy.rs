@@ -25,24 +25,50 @@ fn main() {
     let mut b = SystemBuilder::new();
     b.exists("n1");
     b.exists("n2");
-    b.tx(1).lx("n1").read("n1").write("n1").ux("n1").lx("n2").read("n2").write("n2").ux("n2").finish();
-    b.tx(2).lx("n1").read("n1").write("n1").ux("n1").lx("n2").read("n2").write("n2").ux("n2").finish();
+    b.tx(1)
+        .lx("n1")
+        .read("n1")
+        .write("n1")
+        .ux("n1")
+        .lx("n2")
+        .read("n2")
+        .write("n2")
+        .ux("n2")
+        .finish();
+    b.tx(2)
+        .lx("n1")
+        .read("n1")
+        .write("n1")
+        .ux("n1")
+        .lx("n2")
+        .read("n2")
+        .write("n2")
+        .ux("n2")
+        .finish();
     let system = b.build();
 
     let verdict = verify_safety(&system, SearchBudget::default());
     println!("exhaustive search: unsafe = {}", verdict.is_unsafe());
 
     let outcome = find_canonical_witness(&system, CanonicalBudget::default());
-    let witness = outcome.witness().expect("Theorem 1: unsafe => canonical witness");
+    let witness = outcome
+        .witness()
+        .expect("Theorem 1: unsafe => canonical witness");
     println!("canonical search : {witness}");
     println!("\nTheorem 1 reading of the witness:");
-    println!("  condition 1  — {} locks {} after having unlocked an entity", witness.tc, witness.a_star);
+    println!(
+        "  condition 1  — {} locks {} after having unlocked an entity",
+        witness.tc, witness.a_star
+    );
     let s_prime = witness.serial_prefix(&system);
     println!("  condition 2  — the serial prefix schedule S':");
     println!("{}", render_schedule(&s_prime, system.universe()));
     let d = SerializationGraph::of(&s_prime);
     println!("  D(S') = {d}");
-    println!("  sinks of D(S') release {} in a conflicting mode (2a)", witness.a_star);
+    println!(
+        "  sinks of D(S') release {} in a conflicting mode (2a)",
+        witness.a_star
+    );
     println!("  extension to a complete legal proper schedule exists (2b):");
     println!("{}", render_schedule(&witness.extension, system.universe()));
     assert!(!safe_locking::core::is_serializable(&witness.extension));
@@ -52,14 +78,21 @@ fn main() {
     // 2. Witness minimization on a randomized unsafe system.
     // ------------------------------------------------------------------
     println!("\n== Minimizing a randomized counterexample ==\n");
-    let params = GenParams { transactions: 4, ..GenParams::default() };
+    let params = GenParams {
+        transactions: 4,
+        ..GenParams::default()
+    };
     for seed in 0..200 {
         let system = random_system(params, seed);
         let verdict = verify_safety(&system, SearchBudget::default());
         if let Some(w) = verdict.witness() {
             if w.participants().len() >= 3 {
                 let min = minimize_witness(w, system.initial_state());
-                println!("seed {seed}: witness has {} transactions, {} steps", w.participants().len(), w.len());
+                println!(
+                    "seed {seed}: witness has {} transactions, {} steps",
+                    w.participants().len(),
+                    w.len()
+                );
                 println!(
                     "minimized to {} transactions, {} steps:",
                     min.participants().len(),
@@ -80,7 +113,9 @@ fn main() {
     for seed in 0..30 {
         let system = random_system(GenParams::default(), seed);
         let a = verify_safety(&system, SearchBudget::default()).is_unsafe();
-        let b = find_canonical_witness(&system, CanonicalBudget::default()).witness().is_some();
+        let b = find_canonical_witness(&system, CanonicalBudget::default())
+            .witness()
+            .is_some();
         assert_eq!(a, b, "Theorem 1 violated at seed {seed}!");
         agree += 1;
         n_unsafe += usize::from(a);

@@ -4,8 +4,8 @@
 use safe_locking::core::display::{render_schedule_line, render_schedule_rows, render_step};
 use safe_locking::core::{
     DataOp, EntityId, InteractionGraph, LockMode, LockTable, LockedTransaction, Operation,
-    Schedule, ScheduledStep, SerializationGraph, Step, StructuralState, SystemBuilder,
-    Transaction, TxId, Universe,
+    Schedule, ScheduledStep, SerializationGraph, Step, StructuralState, SystemBuilder, Transaction,
+    TxId, Universe,
 };
 
 #[test]
@@ -80,7 +80,10 @@ fn schedule_navigation() {
     assert!(line.starts_with("T1:(LX x)"));
     let rows = render_schedule_rows(&s, sys.universe(), &[TxId(2), TxId(1)]);
     assert!(rows.lines().next().unwrap().starts_with("T2:"));
-    assert_eq!(render_step(&Step::read(EntityId(0)), sys.universe()), "(R x)");
+    assert_eq!(
+        render_step(&Step::read(EntityId(0)), sys.universe()),
+        "(R x)"
+    );
     // Step-level display.
     assert_eq!(
         ScheduledStep::new(TxId(1), Step::read(EntityId(0))).to_string(),
@@ -108,7 +111,10 @@ fn lock_table_queries() {
         Some(TxId(2))
     );
     table.release(TxId(2), EntityId(7), LockMode::Shared);
-    assert_eq!(table.conflicting_holder(TxId(1), EntityId(7), LockMode::Exclusive), None);
+    assert_eq!(
+        table.conflicting_holder(TxId(1), EntityId(7), LockMode::Exclusive),
+        None
+    );
 }
 
 #[test]
@@ -176,8 +182,22 @@ fn verifier_outcome_displays() {
     let mut b = SystemBuilder::new();
     b.exists("x");
     b.exists("y");
-    b.tx(1).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
-    b.tx(2).lx("x").write("x").ux("x").lx("y").write("y").ux("y").finish();
+    b.tx(1)
+        .lx("x")
+        .write("x")
+        .ux("x")
+        .lx("y")
+        .write("y")
+        .ux("y")
+        .finish();
+    b.tx(2)
+        .lx("x")
+        .write("x")
+        .ux("x")
+        .lx("y")
+        .write("y")
+        .ux("y")
+        .finish();
     let system = b.build();
     let outcome = find_canonical_witness(&system, CanonicalBudget::default());
     let w = outcome.witness().unwrap();

@@ -66,7 +66,10 @@ fn exclusive_only_witnesses_have_unique_sinks() {
             );
         }
     }
-    assert!(checked >= 2, "expected some exclusive-only witnesses, got {checked}");
+    assert!(
+        checked >= 2,
+        "expected some exclusive-only witnesses, got {checked}"
+    );
 }
 
 #[test]
@@ -80,7 +83,10 @@ fn minimized_witnesses_stay_valid_counterexamples() {
         assert!(min.is_proper(system.initial_state()), "seed {seed}");
         assert!(!is_serializable(&min), "seed {seed}");
         assert!(min.participants().len() >= 2, "seed {seed}");
-        assert!(min.len() <= w.len(), "seed {seed}: minimization never grows");
+        assert!(
+            min.len() <= w.len(),
+            "seed {seed}: minimization never grows"
+        );
         // Minimization only removes whole transactions, so every remaining
         // projection matches the original witness's projection.
         for tx in min.participants() {
@@ -105,7 +111,10 @@ fn exhaustive_witnesses_are_genuine() {
                 .collect();
             assert!(w.is_complete_schedule_of(&parts), "seed {seed}");
             // And its serialization graph really has a cycle.
-            assert!(SerializationGraph::of(w).find_cycle().is_some(), "seed {seed}");
+            assert!(
+                SerializationGraph::of(w).find_cycle().is_some(),
+                "seed {seed}"
+            );
         }
     }
 }
@@ -113,7 +122,10 @@ fn exhaustive_witnesses_are_genuine() {
 #[test]
 fn budget_exhaustion_degrades_gracefully() {
     let system = random_system(GenParams::default(), 3);
-    let tiny = SearchBudget { max_states: 5, ..Default::default() };
+    let tiny = SearchBudget {
+        max_states: 5,
+        ..Default::default()
+    };
     let verdict = verify_safety(&system, tiny);
     // Must never claim Safe with an exhausted budget.
     match verdict {

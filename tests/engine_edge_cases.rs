@@ -19,8 +19,14 @@ fn ddag_operations_on_unknown_transactions_fail() {
     let mut g = DiGraph::new();
     g.add_node(n).unwrap();
     let mut eng = DdagEngine::new(u, g);
-    assert_eq!(eng.check_lock(TxId(9), n), Err(DdagViolation::UnknownTransaction(TxId(9))));
-    assert_eq!(eng.access(TxId(9), n), Err(DdagViolation::UnknownTransaction(TxId(9))));
+    assert_eq!(
+        eng.check_lock(TxId(9), n),
+        Err(DdagViolation::UnknownTransaction(TxId(9)))
+    );
+    assert_eq!(
+        eng.access(TxId(9), n),
+        Err(DdagViolation::UnknownTransaction(TxId(9)))
+    );
     assert!(eng.finish(TxId(9)).is_err());
     // Abort of an unknown transaction is a no-op, not a panic.
     assert!(eng.abort(TxId(9)).is_empty());
@@ -64,7 +70,10 @@ fn ddag_insert_requires_lock_first() {
     eng.lock(TxId(1), fresh).unwrap(); // L2: lockable pre-insert
     assert!(eng.insert_node(TxId(1), fresh).is_ok());
     // Double insert fails.
-    assert_eq!(eng.insert_node(TxId(1), fresh), Err(DdagViolation::NodeExists(fresh)));
+    assert_eq!(
+        eng.insert_node(TxId(1), fresh),
+        Err(DdagViolation::NodeExists(fresh))
+    );
 }
 
 #[test]
@@ -108,7 +117,10 @@ fn altruistic_unknown_transaction_and_double_begin() {
         Err(AltruisticViolation::UnknownTransaction(TxId(1)))
     );
     eng.begin(TxId(1)).unwrap();
-    assert_eq!(eng.begin(TxId(1)), Err(AltruisticViolation::AlreadyBegun(TxId(1))));
+    assert_eq!(
+        eng.begin(TxId(1)),
+        Err(AltruisticViolation::AlreadyBegun(TxId(1)))
+    );
     // Unlock of an item never locked.
     assert_eq!(
         eng.unlock(TxId(1), EntityId(0)),
@@ -141,7 +153,10 @@ fn altruistic_wake_is_per_pair() {
 #[test]
 fn dtr_lifecycle_errors() {
     let mut eng = DtrEngine::new();
-    assert_eq!(eng.check_step(TxId(1)), Err(DtrViolation::UnknownTransaction(TxId(1))));
+    assert_eq!(
+        eng.check_step(TxId(1)),
+        Err(DtrViolation::UnknownTransaction(TxId(1)))
+    );
     assert!(eng.finish(TxId(1)).is_err());
     let ops = BTreeMap::from([(EntityId(0), access())]);
     eng.begin(TxId(1), &ops).unwrap();

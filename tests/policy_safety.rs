@@ -9,9 +9,16 @@ use safe_locking::sim::{
     AltruisticAdapter, DdagAdapter, DtrAdapter, SimConfig, TwoPhaseAdapter,
 };
 
-fn assert_trace_ok(report: &safe_locking::sim::SimReport, initial: &safe_locking::core::StructuralState) {
+fn assert_trace_ok(
+    report: &safe_locking::sim::SimReport,
+    initial: &safe_locking::core::StructuralState,
+) {
     assert!(!report.timed_out, "{} timed out", report.policy);
-    assert!(report.schedule.is_legal(), "{}: illegal trace", report.policy);
+    assert!(
+        report.schedule.is_legal(),
+        "{}: illegal trace",
+        report.policy
+    );
     assert!(
         report.schedule.is_proper(initial),
         "{}: improper trace",
@@ -32,7 +39,14 @@ fn two_phase_traces_serializable_across_seeds_and_mpls() {
             let jobs = uniform_jobs(&pool, 25, 4, seed);
             let mut a = TwoPhaseAdapter::new(pool);
             let initial = a.initial_state();
-            let report = run_sim(&mut a, &jobs, &SimConfig { workers, ..Default::default() });
+            let report = run_sim(
+                &mut a,
+                &jobs,
+                &SimConfig {
+                    workers,
+                    ..Default::default()
+                },
+            );
             assert_eq!(report.committed, 25);
             assert_trace_ok(&report, &initial);
         }
@@ -48,7 +62,14 @@ fn altruistic_traces_serializable_with_wake_churn() {
         let jobs = long_short_jobs(&pool, 14, 20, 2, seed);
         let mut a = AltruisticAdapter::new(pool);
         let initial = a.initial_state();
-        let report = run_sim(&mut a, &jobs, &SimConfig { workers: 6, ..Default::default() });
+        let report = run_sim(
+            &mut a,
+            &jobs,
+            &SimConfig {
+                workers: 6,
+                ..Default::default()
+            },
+        );
         assert_eq!(report.committed, 21);
         assert_trace_ok(&report, &initial);
     }
@@ -64,7 +85,14 @@ fn ddag_traces_serializable_under_structural_churn() {
             dag_mixed_jobs(&dag, 25, 2, 0.3, &mut intern, seed + 100)
         };
         let initial = a.initial_state();
-        let report = run_sim(&mut a, &jobs, &SimConfig { workers: 5, ..Default::default() });
+        let report = run_sim(
+            &mut a,
+            &jobs,
+            &SimConfig {
+                workers: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(report.committed, 25);
         assert_trace_ok(&report, &initial);
         // The graph must remain a rooted DAG after all the churn.
@@ -80,9 +108,19 @@ fn ddag_pure_traversals_have_no_policy_aborts() {
         let jobs = dag_access_jobs(&dag, 25, 2, seed);
         let mut a = DdagAdapter::new(dag.universe.clone(), dag.graph.clone());
         let initial = a.initial_state();
-        let report = run_sim(&mut a, &jobs, &SimConfig { workers: 5, ..Default::default() });
+        let report = run_sim(
+            &mut a,
+            &jobs,
+            &SimConfig {
+                workers: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(report.policy_aborts, 0, "static graph -> stable plans");
-        assert_eq!(report.deadlock_aborts, 0, "topological lock order -> no deadlock");
+        assert_eq!(
+            report.deadlock_aborts, 0,
+            "topological lock order -> no deadlock"
+        );
         assert_trace_ok(&report, &initial);
     }
 }
@@ -94,7 +132,14 @@ fn dtr_traces_serializable_and_deadlock_free() {
         let jobs = uniform_jobs(&pool, 25, 3, seed);
         let mut a = DtrAdapter::new(pool);
         let initial = a.initial_state();
-        let report = run_sim(&mut a, &jobs, &SimConfig { workers: 5, ..Default::default() });
+        let report = run_sim(
+            &mut a,
+            &jobs,
+            &SimConfig {
+                workers: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(report.committed, 25);
         // Tree locking is deadlock-free: lock orders follow tree paths.
         assert_eq!(report.deadlock_aborts, 0, "tree locking cannot deadlock");
@@ -108,7 +153,10 @@ fn single_worker_runs_are_serial_and_waitless() {
         let pool: Vec<EntityId> = (0..8).map(EntityId).collect();
         let jobs = uniform_jobs(&pool, 10, 3, seed);
         for mk in 0..3 {
-            let config = SimConfig { workers: 1, ..Default::default() };
+            let config = SimConfig {
+                workers: 1,
+                ..Default::default()
+            };
             let (report, initial) = match mk {
                 0 => {
                     let mut a = TwoPhaseAdapter::new(pool.clone());
@@ -141,16 +189,30 @@ fn deadlocks_are_detected_and_resolved_under_2pl() {
     let mut jobs = Vec::new();
     for i in 0..10 {
         if i % 2 == 0 {
-            jobs.push(safe_locking::sim::Job::access(vec![pool[0], pool[1], pool[2]]));
+            jobs.push(safe_locking::sim::Job::access(vec![
+                pool[0], pool[1], pool[2],
+            ]));
         } else {
-            jobs.push(safe_locking::sim::Job::access(vec![pool[2], pool[1], pool[0]]));
+            jobs.push(safe_locking::sim::Job::access(vec![
+                pool[2], pool[1], pool[0],
+            ]));
         }
     }
     let mut a = TwoPhaseAdapter::new(pool);
     let initial = a.initial_state();
-    let report = run_sim(&mut a, &jobs, &SimConfig { workers: 4, ..Default::default() });
+    let report = run_sim(
+        &mut a,
+        &jobs,
+        &SimConfig {
+            workers: 4,
+            ..Default::default()
+        },
+    );
     assert_eq!(report.committed, 10);
-    assert!(report.deadlock_aborts > 0, "opposite lock orders must deadlock");
+    assert!(
+        report.deadlock_aborts > 0,
+        "opposite lock orders must deadlock"
+    );
     assert_trace_ok(&report, &initial);
 }
 
@@ -158,10 +220,10 @@ fn deadlocks_are_detected_and_resolved_under_2pl() {
 fn policy_generators_from_policies_crate_are_safe_under_verifier() {
     // Lock random transactions with the 2PL generators and verify the
     // systems with the exhaustive verifier: always safe.
+    use safe_locking::core::Step;
     use safe_locking::core::{SystemBuilder, Transaction, TxId};
     use safe_locking::policies::two_phase;
     use safe_locking::verifier::{verify_safety, SearchBudget};
-    use safe_locking::core::Step;
 
     for seed in 0..5u32 {
         let mut b = SystemBuilder::new();
@@ -183,6 +245,9 @@ fn policy_generators_from_policies_crate_are_safe_under_verifier() {
         b.add_transaction(two_phase::lock_conservative(&t2));
         let system = b.build();
         let verdict = verify_safety(&system, SearchBudget::default());
-        assert!(verdict.is_safe(), "2PL-locked system must verify safe (seed {seed})");
+        assert!(
+            verdict.is_safe(),
+            "2PL-locked system must verify safe (seed {seed})"
+        );
     }
 }

@@ -32,8 +32,7 @@ fn arb_op() -> impl Strategy<Value = Operation> {
     prop_oneof![
         arb_data_op().prop_map(Operation::Data),
         prop_oneof![Just(LockMode::Shared), Just(LockMode::Exclusive)].prop_map(Operation::Lock),
-        prop_oneof![Just(LockMode::Shared), Just(LockMode::Exclusive)]
-            .prop_map(Operation::Unlock),
+        prop_oneof![Just(LockMode::Shared), Just(LockMode::Exclusive)].prop_map(Operation::Unlock),
     ]
 }
 
@@ -41,9 +40,14 @@ fn arb_step(entities: u32) -> impl Strategy<Value = Step> {
     (arb_op(), arb_entity(entities)).prop_map(|(op, e)| Step { op, entity: e })
 }
 
-fn arb_scheduled_steps(entities: u32, txs: u32, len: usize) -> impl Strategy<Value = Vec<ScheduledStep>> {
+fn arb_scheduled_steps(
+    entities: u32,
+    txs: u32,
+    len: usize,
+) -> impl Strategy<Value = Vec<ScheduledStep>> {
     prop::collection::vec(
-        ((1..=txs).prop_map(TxId), arb_step(entities)).prop_map(|(tx, s)| ScheduledStep::new(tx, s)),
+        ((1..=txs).prop_map(TxId), arb_step(entities))
+            .prop_map(|(tx, s)| ScheduledStep::new(tx, s)),
         0..len,
     )
 }

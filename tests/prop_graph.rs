@@ -15,7 +15,9 @@ fn arb_layered_dag() -> impl Strategy<Value = (DiGraph, EntityId)> {
         // Simple deterministic pseudo-random expansion from the seed.
         let mut state = seed | 1;
         let mut next = move |bound: usize| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % bound.max(1)
         };
         let mut g = DiGraph::new();

@@ -30,7 +30,9 @@ fn arb_transaction(entities: u32, len: usize) -> impl Strategy<Value = Transacti
     .prop_map(|ops| {
         Transaction::new(
             TxId(1),
-            ops.into_iter().map(|(op, e)| Step::new(op, EntityId(e))).collect(),
+            ops.into_iter()
+                .map(|(op, e)| Step::new(op, EntityId(e)))
+                .collect(),
         )
     })
 }

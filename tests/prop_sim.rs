@@ -13,7 +13,12 @@ use safe_locking::sim::{
 fn arb_config() -> impl Strategy<Value = SimConfig> {
     (1usize..6, 1u64..4, 1u64..8).prop_map(|(workers, lock, data)| SimConfig {
         workers,
-        latency: LatencyModel { lock, unlock: lock, data, restart_backoff: 10 },
+        latency: LatencyModel {
+            lock,
+            unlock: lock,
+            data,
+            restart_backoff: 10,
+        },
         max_ticks: 1_000_000,
     })
 }

@@ -1,0 +1,124 @@
+//! Property tests for the reversible step API behind the verifier's
+//! apply/undo DFS: any legal-and-proper apply sequence, undone in reverse,
+//! must restore the `ScheduleSimulator` to equality at every unwind depth
+//! (lock-table holder order and structural-state representation included,
+//! since the DFS relies on `Eq`-exact restoration for memo soundness).
+
+use proptest::prelude::*;
+use safe_locking::core::{
+    DataOp, EntityId, LockMode, Operation, Schedule, ScheduleSimulator, ScheduledStep, Step,
+    StructuralState, TxId, UndoToken,
+};
+
+fn arb_op() -> impl Strategy<Value = Operation> {
+    prop_oneof![
+        prop_oneof![
+            Just(DataOp::Read),
+            Just(DataOp::Write),
+            Just(DataOp::Insert),
+            Just(DataOp::Delete),
+        ]
+        .prop_map(Operation::Data),
+        prop_oneof![Just(LockMode::Shared), Just(LockMode::Exclusive)].prop_map(Operation::Lock),
+        prop_oneof![Just(LockMode::Shared), Just(LockMode::Exclusive)].prop_map(Operation::Unlock),
+    ]
+}
+
+fn arb_requests(entities: u32, txs: u32, len: usize) -> impl Strategy<Value = Vec<ScheduledStep>> {
+    prop::collection::vec(
+        (
+            (1..=txs).prop_map(TxId),
+            arb_op(),
+            (0..entities).prop_map(EntityId),
+        )
+            .prop_map(|(tx, op, entity)| ScheduledStep::new(tx, Step { op, entity })),
+        0..len,
+    )
+}
+
+/// Filters random step requests through the simulator, keeping the legal
+/// and proper ones — the same construction the DFS performs.
+fn applied_trace(
+    requests: Vec<ScheduledStep>,
+    g0: &StructuralState,
+) -> (ScheduleSimulator, Vec<(ScheduledStep, UndoToken)>) {
+    let mut sim = ScheduleSimulator::new(g0.clone());
+    let mut trace = Vec::new();
+    for s in requests {
+        if let Ok(token) = sim.apply_undoable(s.tx, &s.step) {
+            trace.push((s, token));
+        }
+    }
+    (sim, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn undo_in_reverse_restores_simulator_equality(
+        requests in arb_requests(5, 4, 80),
+        initial in prop::collection::hash_set(0u32..5, 0..5),
+    ) {
+        let g0 = StructuralState::from_entities(initial.into_iter().map(EntityId));
+        let mut replay = ScheduleSimulator::new(g0.clone());
+        let (mut sim, trace) = applied_trace(requests, &g0);
+
+        // Snapshot the simulator after each prefix by replaying.
+        let mut snapshots = vec![replay.clone()];
+        for (s, _) in &trace {
+            replay.apply(s.tx, &s.step).expect("trace step was applicable");
+            snapshots.push(replay.clone());
+        }
+        prop_assert_eq!(&sim, snapshots.last().unwrap());
+
+        // Undo in reverse: equality must hold at *every* depth.
+        for (i, (_, token)) in trace.iter().enumerate().rev() {
+            sim.undo(*token);
+            prop_assert_eq!(&sim, &snapshots[i], "undo diverged at depth {}", i);
+        }
+        prop_assert_eq!(sim.applied(), 0);
+        prop_assert_eq!(sim.structural_state(), &g0);
+    }
+
+    #[test]
+    fn undone_steps_can_be_reapplied_identically(
+        requests in arb_requests(4, 3, 60),
+        initial in prop::collection::hash_set(0u32..4, 0..4),
+    ) {
+        // The DFS interleaves apply and undo arbitrarily along the search
+        // tree; after undoing a suffix, re-applying the same steps must
+        // succeed and land in the same state.
+        let g0 = StructuralState::from_entities(initial.into_iter().map(EntityId));
+        let (sim_full, trace) = applied_trace(requests, &g0);
+        let keep = trace.len() / 2;
+
+        let mut sim = ScheduleSimulator::new(g0.clone());
+        let mut tokens = Vec::new();
+        for (s, _) in &trace {
+            tokens.push(sim.apply_undoable(s.tx, &s.step).expect("replayable"));
+        }
+        for token in tokens.drain(keep..).rev() {
+            sim.undo(token);
+        }
+        for (s, _) in &trace[keep..] {
+            sim.apply(s.tx, &s.step).expect("reapplicable after undo");
+        }
+        prop_assert_eq!(&sim, &sim_full);
+    }
+
+    #[test]
+    fn schedule_pop_inverts_push(steps in arb_requests(4, 3, 40)) {
+        let mut schedule = Schedule::empty();
+        let mut lens = vec![0usize];
+        for &s in &steps {
+            schedule.push(s);
+            lens.push(schedule.len());
+        }
+        for &s in steps.iter().rev() {
+            prop_assert_eq!(schedule.pop(), Some(s));
+        }
+        prop_assert_eq!(schedule.pop(), None);
+        prop_assert!(schedule.is_empty());
+    }
+}

@@ -11,8 +11,8 @@
 use safe_locking::core::{
     is_serializable, DataOp, EntityId, Operation, Schedule, TxId, ValueState,
 };
-use safe_locking::policies::mutants::lock_short;
 use safe_locking::core::{Step, Transaction};
+use safe_locking::policies::mutants::lock_short;
 use std::collections::HashMap;
 
 /// Executes a schedule under the register semantics; `addend(tx)` is the
@@ -37,12 +37,22 @@ fn execute(schedule: &Schedule, addend: &dyn Fn(TxId) -> i64) -> ValueState {
     values
 }
 
-fn transfer_pair() -> (Vec<safe_locking::core::LockedTransaction>, EntityId, EntityId) {
+fn transfer_pair() -> (
+    Vec<safe_locking::core::LockedTransaction>,
+    EntityId,
+    EntityId,
+) {
     let (x, y) = (EntityId(0), EntityId(1));
     // T1: y := x + 10;  T2: x := y + 100. Short locks (non-2PL) so the
     // dangerous interleaving is legal.
-    let t1 = lock_short(&Transaction::new(TxId(1), vec![Step::read(x), Step::write(y)]));
-    let t2 = lock_short(&Transaction::new(TxId(2), vec![Step::read(y), Step::write(x)]));
+    let t1 = lock_short(&Transaction::new(
+        TxId(1),
+        vec![Step::read(x), Step::write(y)],
+    ));
+    let t2 = lock_short(&Transaction::new(
+        TxId(2),
+        vec![Step::read(y), Step::write(x)],
+    ));
     (vec![t1, t2], x, y)
 }
 
@@ -59,10 +69,18 @@ fn nonserializable_schedule_produces_impossible_values() {
     // Interleave reads before writes: T1 reads x, T2 reads y, then both write.
     // Short-locked T1 = [LS x, R x, US x, LX y, W y, UX y]; same shape for T2.
     let order = [
-        TxId(1), TxId(1), TxId(1), // T1 reads x = 0
-        TxId(2), TxId(2), TxId(2), // T2 reads y = 0
-        TxId(1), TxId(1), TxId(1), // T1 writes y = 10
-        TxId(2), TxId(2), TxId(2), // T2 writes x = 100
+        TxId(1),
+        TxId(1),
+        TxId(1), // T1 reads x = 0
+        TxId(2),
+        TxId(2),
+        TxId(2), // T2 reads y = 0
+        TxId(1),
+        TxId(1),
+        TxId(1), // T1 writes y = 10
+        TxId(2),
+        TxId(2),
+        TxId(2), // T2 writes x = 100
     ];
     let s = Schedule::interleave(&txs, &order).unwrap();
     assert!(s.is_legal(), "short locks make this interleaving legal");
@@ -95,14 +113,27 @@ fn serializable_schedules_match_a_serial_outcome() {
     // A serializable interleaving: T1 completes its read AND write before
     // T2 touches anything it conflicts with.
     let order = [
-        TxId(1), TxId(1), TxId(1), TxId(1), TxId(1), TxId(1), // all of T1
-        TxId(2), TxId(2), TxId(2), TxId(2), TxId(2), TxId(2), // all of T2
+        TxId(1),
+        TxId(1),
+        TxId(1),
+        TxId(1),
+        TxId(1),
+        TxId(1), // all of T1
+        TxId(2),
+        TxId(2),
+        TxId(2),
+        TxId(2),
+        TxId(2),
+        TxId(2), // all of T2
     ];
     let s = Schedule::interleave(&txs, &order).unwrap();
     assert!(is_serializable(&s));
     let result = execute(&s, &addend);
     let serial_12 = execute(&Schedule::serial(&txs), &addend);
-    assert_eq!((result.read(x), result.read(y)), (serial_12.read(x), serial_12.read(y)));
+    assert_eq!(
+        (result.read(x), result.read(y)),
+        (serial_12.read(x), serial_12.read(y))
+    );
 }
 
 #[test]
@@ -111,16 +142,18 @@ fn two_phase_locking_prevents_the_anomaly() {
     use safe_locking::policies::two_phase;
     use safe_locking::verifier::{verify_safety, SearchBudget};
     let (x, y) = (EntityId(0), EntityId(1));
-    let t1 = two_phase::lock_strict(&Transaction::new(TxId(1), vec![Step::read(x), Step::write(y)]));
-    let t2 = two_phase::lock_strict(&Transaction::new(TxId(2), vec![Step::read(y), Step::write(x)]));
+    let t1 = two_phase::lock_strict(&Transaction::new(
+        TxId(1),
+        vec![Step::read(x), Step::write(y)],
+    ));
+    let t2 = two_phase::lock_strict(&Transaction::new(
+        TxId(2),
+        vec![Step::read(y), Step::write(x)],
+    ));
     let mut u = Universe::new();
     u.entity("x");
     u.entity("y");
-    let system = TransactionSystem::new(
-        u,
-        StructuralState::from_entities([x, y]),
-        vec![t1, t2],
-    );
+    let system = TransactionSystem::new(u, StructuralState::from_entities([x, y]), vec![t1, t2]);
     // No legal proper schedule of the 2PL pair is nonserializable, so the
     // anomalous outcome is unreachable.
     assert!(verify_safety(&system, SearchBudget::default()).is_safe());
@@ -134,14 +167,29 @@ fn conflict_equivalent_schedules_produce_identical_values() {
     let (txs, x, y) = transfer_pair();
     // Enumerate a few legal interleavings and compare outcomes.
     let orders: Vec<Vec<TxId>> = vec![
-        vec![TxId(1); 6].into_iter().chain(vec![TxId(2); 6]).collect(),
+        vec![TxId(1); 6]
+            .into_iter()
+            .chain(vec![TxId(2); 6])
+            .collect(),
         vec![
-            TxId(1), TxId(2), TxId(1), TxId(2), TxId(1), TxId(2),
-            TxId(1), TxId(2), TxId(1), TxId(2), TxId(1), TxId(2),
+            TxId(1),
+            TxId(2),
+            TxId(1),
+            TxId(2),
+            TxId(1),
+            TxId(2),
+            TxId(1),
+            TxId(2),
+            TxId(1),
+            TxId(2),
+            TxId(1),
+            TxId(2),
         ],
     ];
     for order in orders {
-        let Ok(s) = Schedule::interleave(&txs, &order) else { continue };
+        let Ok(s) = Schedule::interleave(&txs, &order) else {
+            continue;
+        };
         if !s.is_legal() {
             continue;
         }

@@ -1,0 +1,117 @@
+//! Offline shim for `rustc-hash`: the Fx multiply-rotate hash used by the
+//! Rust compiler, exposed as drop-in [`FxHashMap`] / [`FxHashSet`] aliases.
+//!
+//! The build environment cannot fetch crates.io, so the workspace vendors
+//! this ~60-line implementation of the well-known algorithm. Fx is not a
+//! cryptographic hash and has no DoS resistance — it is used here purely
+//! on hot paths (verifier memo table, simulator bookkeeping) where keys
+//! are small integers and SipHash's per-probe cost dominates.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FireFox/rustc multiply-rotate hasher.
+#[derive(Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_behave() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<(u128, u128)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+        assert!(s.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_builders() {
+        use std::hash::BuildHasher;
+        let b1 = FxBuildHasher::default();
+        let b2 = FxBuildHasher::default();
+        let hash = |b: &FxBuildHasher, v: &(u64, u32)| b.hash_one(v);
+        assert_eq!(hash(&b1, &(42, 7)), hash(&b2, &(42, 7)));
+        assert_ne!(hash(&b1, &(42, 7)), hash(&b1, &(42, 8)));
+    }
+}
