@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slp_core::SystemBuilder;
 use slp_verifier::{
     find_canonical_witness, random_system, verify_safety, verify_safety_reference, CanonicalBudget,
-    GenParams, SearchBudget,
+    GenParams, ParallelVerifier, SearchBudget,
 };
 use std::hint::black_box;
 
@@ -147,6 +147,55 @@ fn bench_dfs_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Work-stealing parallel DFS against the sequential apply/undo DFS, on
+/// full-coverage (safe) systems where parallelism can pay. The
+/// `ParallelVerifier` is constructed once per row, so the measurement is
+/// dispatch + search, not thread-spawn latency. The wide row runs a
+/// `k = 13` system through the words-backed `EdgeSet` path end-to-end.
+///
+/// NOTE: speedups only manifest with real cores; on a single-CPU host the
+/// parallel rows measure coordination overhead (see BENCH_verifier.json).
+fn bench_parallel_dfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_dfs");
+    group.sample_size(10);
+    for k in [4u32, 5] {
+        let safe = safe_system(k);
+        group.bench_with_input(BenchmarkId::new("sequential/safe", k), &k, |b, _| {
+            b.iter(|| black_box(verify_safety(&safe, SearchBudget::default()).is_safe()));
+        });
+        for threads in [1usize, 2, 4] {
+            let verifier = ParallelVerifier::new(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel/safe/{k}/threads"), threads),
+                &threads,
+                |b, _| {
+                    b.iter(|| black_box(verifier.verify(&safe, SearchBudget::default()).is_safe()));
+                },
+            );
+        }
+    }
+    // Wide regime: a k = 13 system (2 real transactions + 11 padding) —
+    // impossible to verify at all before the EdgeSet lift.
+    let wide = random_system(
+        GenParams {
+            transactions: 2,
+            sessions_per_tx: 2,
+            padding_txs: 11,
+            ..GenParams::default()
+        },
+        9,
+    );
+    assert_eq!(wide.ids().len(), 13);
+    group.bench_function("sequential/wide/13", |b| {
+        b.iter(|| black_box(verify_safety(&wide, SearchBudget::default())));
+    });
+    let verifier = ParallelVerifier::new(4);
+    group.bench_function("parallel/wide/13/threads/4", |b| {
+        b.iter(|| black_box(verifier.verify(&wide, SearchBudget::default())));
+    });
+    group.finish();
+}
+
 fn bench_canonical(c: &mut Criterion) {
     let mut group = c.benchmark_group("canonical_search");
     group.sample_size(20);
@@ -190,6 +239,7 @@ criterion_group!(
     bench_exhaustive,
     bench_memo_ablation,
     bench_dfs_throughput,
+    bench_parallel_dfs,
     bench_canonical,
     bench_random_agreement_pair
 );

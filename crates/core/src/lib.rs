@@ -73,11 +73,11 @@ pub use explain::{explain, explain_nonserializable, Explanation};
 pub use interaction::InteractionGraph;
 pub use ops::{DataOp, LockMode, Operation};
 pub use schedule::{
-    LegalViolation, LockTable, ProperViolation, Schedule, ScheduleSimulator, ScheduledStep,
-    StepError, UndoToken,
+    pack_positions, LegalViolation, LockTable, ProperViolation, Schedule, ScheduleSimulator,
+    ScheduledStep, StepError, UndoToken,
 };
 pub use serializability::{are_conflict_equivalent, equivalent_serial_schedule, is_serializable};
-pub use sgraph::{ConflictEdge, ConflictIndex, SerializationGraph};
+pub use sgraph::{mask_has_cycle, ConflictEdge, ConflictIndex, EdgeSet, SerializationGraph};
 pub use state::{StructuralState, UndefinedStep, ValueState};
 pub use step::Step;
 pub use system::{SystemBuilder, TransactionSystem, TxBuilder};

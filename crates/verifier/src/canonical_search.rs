@@ -21,7 +21,7 @@
 use crate::explorer::{complete_schedule, SearchBudget};
 use slp_core::canonical::CanonicalWitness;
 use slp_core::{
-    ConflictIndex, Operation, Schedule, ScheduleSimulator, ScheduledStep, SerializationGraph,
+    ConflictIndex, EdgeSet, Operation, Schedule, ScheduleSimulator, ScheduledStep,
     TransactionSystem, TxId,
 };
 use std::fmt;
@@ -233,13 +233,15 @@ fn try_candidate(
 ) -> Option<CanonicalWitness> {
     // Build S' incrementally: one simulator pass checks legality and
     // properness together (instead of two full re-scans of the serial
-    // schedule), while a ConflictIndex accumulates the D(S')-edge mask —
-    // the same apply-side machinery the exhaustive explorer drives.
+    // schedule), while a ConflictIndex accumulates the D(S')-edge set —
+    // the same apply-side machinery the exhaustive explorer drives. The
+    // EdgeSet picks its own representation from k, so candidates of any
+    // width take this one path (the old k > 11 SerializationGraph fallback
+    // is gone).
     let k = order.len();
-    let use_index = k <= ConflictIndex::MAX_TXS;
     let mut sim = ScheduleSimulator::new(system.initial_state().clone());
-    let mut index = use_index.then(|| ConflictIndex::new(k));
-    let mut mask = 0u128;
+    let mut index = ConflictIndex::new(k);
+    let mut edges = EdgeSet::empty(k);
     let mut s_prime = Schedule::empty();
     for (oi, &(id, len)) in order.iter().enumerate() {
         let t = system.get(id).expect("listed");
@@ -247,25 +249,20 @@ fn try_candidate(
             if sim.apply(id, &step).is_err() {
                 return None; // S' illegal or improper
             }
-            if let Some(ix) = &mut index {
-                mask |= ix.edge_delta(oi, &step);
-                ix.push(oi, step);
+            if let Some(d) = index.edge_delta(oi, &step) {
+                edges.union_with(&d);
             }
+            index.push(oi, step);
             s_prime.push(ScheduledStep::new(id, step));
         }
     }
     // Condition 2a. Every order member has a nonempty prefix, so the dense
-    // order position is the mask row; a sink is a row with no out-edges.
-    // (Candidates wider than the mask bound fall back to building D(S').)
-    let sinks: Vec<TxId> = if use_index {
-        let row_bits = (1u128 << k) - 1;
-        (0..k)
-            .filter(|&oi| (mask >> (oi * k)) & row_bits == 0)
-            .map(|oi| order[oi].0)
-            .collect()
-    } else {
-        SerializationGraph::of(&s_prime).sinks()
-    };
+    // order position is the edge-set row; a sink is a row with no
+    // out-edges.
+    let sinks: Vec<TxId> = (0..k)
+        .filter(|&oi| !edges.has_out_edges(oi))
+        .map(|oi| order[oi].0)
+        .collect();
     for sink in sinks {
         let (_, plen) = order.iter().find(|&&(id, _)| id == sink)?;
         let t = system.get(sink).expect("listed");

@@ -25,19 +25,28 @@
 //! * **Incremental conflict edges.** A [`slp_core::ConflictIndex`] keeps
 //!   per-entity accessor lists keyed by dense transaction indices, so the
 //!   `D(S)`-edge delta of a candidate step scans only that entity's prior
-//!   accessors instead of the whole schedule.
+//!   accessors instead of the whole schedule. The accumulated edge set is
+//!   **one** [`slp_core::EdgeSet`] mutated in place through its
+//!   `apply`/`undo` pair, mirroring the simulator discipline.
 //! * **Packed memo keys.** Positions are bit-packed 8 bits per transaction
-//!   into a `u128` (maintained incrementally), and probed in an
-//!   `FxHashSet<(u128, u128)>` — no `Vec` allocation per probe. Systems
-//!   exceeding the pack bound (more than 16 transactions or a transaction
-//!   longer than 255 steps) fall back to `Vec<u16>` keys; the edge bitmask
-//!   itself caps exhaustive safety search at
-//!   [`slp_core::ConflictIndex::MAX_TXS`] (11) transactions, far beyond
-//!   what exhaustive search can cover anyway.
+//!   into a `u128` (maintained incrementally, definitionally equal to
+//!   [`slp_core::pack_positions`]), and probed alongside the `u128` edge
+//!   mask in an `FxHashSet<(u128, u128)>` — no allocation per probe.
+//!   Systems exceeding a bound degrade gracefully instead of failing:
+//!   positions beyond the pack bound (more than 16 transactions or a
+//!   transaction longer than 255 steps) fall back to `Vec<u16>` key halves,
+//!   and edge sets beyond [`slp_core::ConflictIndex::MAX_TXS`] (11)
+//!   transactions fall back to [`slp_core::EdgeSet`]'s words
+//!   representation. Those fallbacks allocate per probe — but they turn
+//!   the old hard `k <= 11` panic into "any `k` verifies; the state space
+//!   is the only limit".
 //!
 //! The pre-optimization clone-per-node DFS is retained verbatim in
 //! [`crate::reference`] as the agreement baseline; `verifier_bench`'s
-//! `dfs_throughput` group tracks the speedup.
+//! `dfs_throughput` group tracks the speedup. [`crate::parallel`] runs this
+//! same search as a work-stealing fleet over a shared sharded memo;
+//! `verifier/tests/parallel_agreement.rs` locks the two to identical
+//! verdicts.
 //!
 //! The randomized corpus-generation mode ([`complete_schedule_randomized`])
 //! shuffles the candidate order at each node, which allocates the shuffled
@@ -48,9 +57,13 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rustc_hash::FxHashSet;
 use slp_core::{
-    ConflictIndex, Schedule, ScheduleSimulator, ScheduledStep, TransactionSystem, TxId,
+    ConflictIndex, EdgeSet, Schedule, ScheduleSimulator, ScheduledStep, TransactionSystem, TxId,
 };
 use std::fmt;
+
+/// Re-exported for the retained reference explorer, which keeps raw `u128`
+/// masks (it predates [`EdgeSet`] and is kept byte-for-byte faithful).
+pub(crate) use slp_core::mask_has_cycle;
 
 /// Limits on the search.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -139,51 +152,131 @@ impl Verdict {
     }
 }
 
-/// Whether the edge bitmask over `k` nodes contains a cycle (transitive
-/// closure; bit `i * k + j` encodes edge `i -> j`).
-pub(crate) fn mask_has_cycle(mask: u128, k: usize) -> bool {
-    let mut reach = mask;
-    // Floyd–Warshall on bits.
-    for via in 0..k {
-        for i in 0..k {
-            if reach & (1u128 << (i * k + via)) != 0 {
-                for j in 0..k {
-                    if reach & (1u128 << (via * k + j)) != 0 {
-                        reach |= 1u128 << (i * k + j);
-                    }
-                }
-            }
-        }
-    }
-    (0..k).any(|i| reach & (1u128 << (i * k + i)) != 0)
-}
-
-/// The visited-state set. Packed keys when positions fit 8 bits per
-/// transaction and at most 16 transactions; otherwise a `Vec<u16>`-keyed
-/// fallback (which allocates per probe — only ever reached by systems far
-/// beyond exhaustive-search scale).
+/// The visited-state set, keyed on (positions, `D(S)` edges). Three key
+/// shapes, from fast to fallback:
+///
+/// * `Packed` — positions bit-packed into a `u128` **and** edges in
+///   [`EdgeSet`]'s `u128` representation: one `(u128, u128)` probe, no
+///   allocation. This is every system exhaustive search can realistically
+///   cover.
+/// * `PackedEdges` — positions still pack (k ≤ 16, steps ≤ 255) but edges
+///   are words (k > 11): keys clone the `EdgeSet` per probe.
+/// * `Wide` — positions exceed the pack bound too: `Vec<u16>` position
+///   keys. Allocates per probe; correctness fallback only.
 enum Memo {
     Packed(FxHashSet<(u128, u128)>),
-    Wide(FxHashSet<(Vec<u16>, u128)>),
+    PackedEdges(FxHashSet<(u128, EdgeSet)>),
+    Wide(FxHashSet<(Vec<u16>, EdgeSet)>),
 }
 
 impl Memo {
-    fn contains(&self, packed: u128, positions: &[u16], edges: u128) -> bool {
-        match self {
-            Memo::Packed(set) => set.contains(&(packed, edges)),
-            Memo::Wide(set) => set.contains(&(positions.to_vec(), edges)),
+    /// Picks the key shape for a system of `k` transactions whose
+    /// positions do (not) pack, with `small_edges` saying whether edge
+    /// sets use the `u128` representation.
+    fn for_system(packable: bool, small_edges: bool) -> Memo {
+        match (packable, small_edges) {
+            (true, true) => Memo::Packed(FxHashSet::default()),
+            (true, false) => Memo::PackedEdges(FxHashSet::default()),
+            (false, _) => Memo::Wide(FxHashSet::default()),
         }
     }
 
-    fn insert(&mut self, packed: u128, positions: &[u16], edges: u128) {
+    fn contains(&self, packed: u128, positions: &[u16], edges: &EdgeSet) -> bool {
         match self {
             Memo::Packed(set) => {
-                set.insert((packed, edges));
+                set.contains(&(packed, edges.as_small_mask().expect("small edges")))
+            }
+            Memo::PackedEdges(set) => set.contains(&(packed, edges.clone())),
+            Memo::Wide(set) => set.contains(&(positions.to_vec(), edges.clone())),
+        }
+    }
+
+    fn insert(&mut self, packed: u128, positions: &[u16], edges: &EdgeSet) {
+        match self {
+            Memo::Packed(set) => {
+                set.insert((packed, edges.as_small_mask().expect("small edges")));
+            }
+            Memo::PackedEdges(set) => {
+                set.insert((packed, edges.clone()));
             }
             Memo::Wide(set) => {
-                set.insert((positions.to_vec(), edges));
+                set.insert((positions.to_vec(), edges.clone()));
             }
         }
+    }
+}
+
+/// Incrementally maintained per-position bookkeeping, shared by the
+/// sequential [`Search`] and the parallel explorer's workers so the two
+/// searches cannot drift apart on it:
+///
+/// * `packed` — positions bit-packed 8 bits per transaction (the position
+///   half of the fast-path memo key, definitionally equal to
+///   [`slp_core::pack_positions`]), maintained only when `packable` (k ≤
+///   16, all |T| ≤ 255) so wide systems never shift out of range;
+/// * `started` / `finished` — how many transactions have taken at least
+///   one step resp. run to completion, so acceptance checks need no O(k)
+///   scan per node. Zero-length transactions are excluded from **both**
+///   counters: they can never start, and pre-counting them as finished
+///   would let `started == finished` accept nodes where a started
+///   transaction is still mid-flight.
+#[derive(Clone)]
+pub(crate) struct PositionBook {
+    /// Per-transaction step counts, densely indexed.
+    pub(crate) lens: Vec<u16>,
+    pub(crate) packable: bool,
+    pub(crate) packed: u128,
+    pub(crate) started: usize,
+    pub(crate) finished: usize,
+}
+
+impl PositionBook {
+    pub(crate) fn new(lens: Vec<u16>) -> Self {
+        let packable = lens.len() <= 16 && lens.iter().all(|&l| l <= u8::MAX as u16);
+        PositionBook {
+            lens,
+            packable,
+            packed: 0,
+            started: 0,
+            finished: 0,
+        }
+    }
+
+    /// Back to the all-zero-positions state (the parallel workers reuse
+    /// one book across task replays).
+    pub(crate) fn reset(&mut self) {
+        self.packed = 0;
+        self.started = 0;
+        self.finished = 0;
+    }
+
+    /// Advances dense transaction `i` by one step: positions, the packed
+    /// word, and the started/finished counters, all O(1).
+    pub(crate) fn take(&mut self, positions: &mut [u16], i: usize) {
+        positions[i] += 1;
+        if self.packable {
+            self.packed += 1u128 << (8 * i);
+        }
+        if positions[i] == 1 {
+            self.started += 1;
+        }
+        if positions[i] == self.lens[i] {
+            self.finished += 1;
+        }
+    }
+
+    /// Reverses [`take`](PositionBook::take) for dense transaction `i`.
+    pub(crate) fn untake(&mut self, positions: &mut [u16], i: usize) {
+        if positions[i] == self.lens[i] {
+            self.finished -= 1;
+        }
+        if positions[i] == 1 {
+            self.started -= 1;
+        }
+        if self.packable {
+            self.packed -= 1u128 << (8 * i);
+        }
+        positions[i] -= 1;
     }
 }
 
@@ -193,24 +286,9 @@ struct Search<'a> {
     /// Transactions in dense-index order (index `i` ↔ `ids[i]`).
     ids: Vec<TxId>,
     txs: Vec<&'a slp_core::LockedTransaction>,
-    /// Per-transaction step counts, densely indexed.
-    lens: Vec<u16>,
     memo: Memo,
-    /// Whether memo keys are bit-packed (k <= 16, all |T| <= 255); gates
-    /// maintenance of `packed` so wide systems never shift out of range.
-    packable: bool,
-    /// Positions bit-packed 8 bits per transaction, maintained
-    /// incrementally alongside `positions` (meaningful in packed mode).
-    packed: u128,
-    /// Number of transactions with at least one step taken, maintained
-    /// incrementally so acceptance checks need no O(k) scan per node.
-    /// Zero-length transactions can never start and are excluded.
-    started: usize,
-    /// Number of *started* transactions that have run to completion.
-    /// Zero-length transactions are excluded here too — counting them
-    /// would let `started == finished` accept nodes where a started
-    /// transaction is still mid-flight.
-    finished: usize,
+    /// Position bookkeeping (packed memo-key word, started/finished).
+    book: PositionBook,
     /// Number of zero-length transactions (trivially complete; they only
     /// matter for the require_all acceptance mode).
     zero_len: usize,
@@ -245,32 +323,20 @@ impl<'a> Search<'a> {
             .collect();
         let lens: Vec<u16> = txs.iter().map(|t| t.len() as u16).collect();
         let k = ids.len();
-        let packable = k <= 16 && lens.iter().all(|&l| l <= u8::MAX as u16);
-        let memo = if packable {
-            Memo::Packed(FxHashSet::default())
-        } else {
-            Memo::Wide(FxHashSet::default())
-        };
         let zero_len = lens.iter().filter(|&&l| l == 0).count();
-        let index = want_cycle.then(|| {
-            assert!(
-                k <= ConflictIndex::MAX_TXS,
-                "exhaustive safety search supports at most {} transactions, got {k}",
-                ConflictIndex::MAX_TXS
-            );
-            ConflictIndex::new(k)
-        });
+        let book = PositionBook::new(lens);
+        // Completion searches never accumulate edges, so their keys always
+        // qualify for the small-edge shape.
+        let small_edges = !want_cycle || k <= ConflictIndex::MAX_TXS;
+        let memo = Memo::for_system(book.packable, small_edges);
+        let index = want_cycle.then(|| ConflictIndex::new(k));
         Search {
             budget,
             stats: SearchStats::default(),
             ids,
             txs,
-            lens,
             memo,
-            packable,
-            packed: 0,
-            started: 0,
-            finished: 0,
+            book,
             zero_len,
             index,
             want_cycle,
@@ -279,41 +345,12 @@ impl<'a> Search<'a> {
         }
     }
 
-    /// Advances dense transaction `i` by one step: positions, the packed
-    /// word, and the started/finished counters, all O(1).
-    fn take(&mut self, positions: &mut [u16], i: usize) {
-        positions[i] += 1;
-        if self.packable {
-            self.packed += 1u128 << (8 * i);
-        }
-        if positions[i] == 1 {
-            self.started += 1;
-        }
-        if positions[i] == self.lens[i] {
-            self.finished += 1;
-        }
-    }
-
-    /// Reverses [`take`](Search::take) for dense transaction `i`.
-    fn untake(&mut self, positions: &mut [u16], i: usize) {
-        if positions[i] == self.lens[i] {
-            self.finished -= 1;
-        }
-        if positions[i] == 1 {
-            self.started -= 1;
-        }
-        if self.packable {
-            self.packed -= 1u128 << (8 * i);
-        }
-        positions[i] -= 1;
-    }
-
     fn dfs(
         &mut self,
         positions: &mut [u16],
         sim: &mut ScheduleSimulator,
         schedule: &mut Schedule,
-        edges: u128,
+        edges: &mut EdgeSet,
     ) -> Dfs {
         if self.stats.states >= self.budget.max_states {
             return Dfs::BudgetExhausted;
@@ -325,14 +362,14 @@ impl<'a> Search<'a> {
         // read off the incrementally maintained counters in O(1).
         let k = self.ids.len();
         let all_started_finished = if self.require_all {
-            self.finished + self.zero_len == k
+            self.book.finished + self.zero_len == k
         } else {
-            self.started == self.finished
+            self.book.started == self.book.finished
         };
-        if all_started_finished && self.started > 0 {
+        if all_started_finished && self.book.started > 0 {
             self.stats.completions += 1;
             let accept = if self.want_cycle {
-                mask_has_cycle(edges, k)
+                edges.has_cycle()
             } else {
                 true
             };
@@ -357,31 +394,43 @@ impl<'a> Search<'a> {
             let Some(&step) = self.txs[i].steps.get(pos) else {
                 continue;
             };
-            let next_edges = match &self.index {
-                Some(index) => edges | index.edge_delta(i, &step),
-                None => 0,
-            };
+            // OR the candidate's edge delta into the running set; `added`
+            // records the genuinely new edges so the backtrack can clear
+            // exactly those (the edge-set half of the apply/undo trail).
+            // Empty deltas — the common case — are `None` end to end, so
+            // they skip the apply/undo pair and every allocation.
+            let added = self
+                .index
+                .as_ref()
+                .and_then(|index| index.edge_delta(i, &step))
+                .map(|delta| edges.apply(&delta));
             // Memo probe before the legality/properness gate: the
             // simulator state is a function of `positions`, so a memoized
             // successor state was necessarily reached by applying this very
             // step legally — an illegal candidate can never hit.
-            self.take(positions, i);
-            if self.budget.use_memo && self.memo.contains(self.packed, positions, next_edges) {
+            self.book.take(positions, i);
+            if self.budget.use_memo && self.memo.contains(self.book.packed, positions, edges) {
                 self.stats.memo_hits += 1;
-                self.untake(positions, i);
+                self.book.untake(positions, i);
+                if let Some(a) = &added {
+                    edges.undo(a);
+                }
                 continue;
             }
             // Legality + properness gate and application in one pass
             // (apply_undoable checks, then mutates only on success).
             let Ok(token) = sim.apply_undoable(id, &step) else {
-                self.untake(positions, i);
+                self.book.untake(positions, i);
+                if let Some(a) = &added {
+                    edges.undo(a);
+                }
                 continue;
             };
             schedule.push(ScheduledStep::new(id, step));
             if let Some(index) = &mut self.index {
                 index.push(i, step);
             }
-            let result = self.dfs(positions, sim, schedule, next_edges);
+            let result = self.dfs(positions, sim, schedule, edges);
             if let Some(index) = &mut self.index {
                 index.pop();
             }
@@ -390,20 +439,26 @@ impl<'a> Search<'a> {
             self.stats.undo_ops += 1;
             match result {
                 Dfs::Found(s) => {
-                    self.untake(positions, i);
+                    self.book.untake(positions, i);
+                    if let Some(a) = &added {
+                        edges.undo(a);
+                    }
                     return Dfs::Found(s);
                 }
                 // Only fully explored subtrees may be memoized.
                 Dfs::NotFound => {
                     if self.budget.use_memo {
-                        self.memo.insert(self.packed, positions, next_edges);
+                        self.memo.insert(self.book.packed, positions, edges);
                     }
                 }
                 Dfs::BudgetExhausted => {
                     budget_hit = true;
                 }
             }
-            self.untake(positions, i);
+            self.book.untake(positions, i);
+            if let Some(a) = &added {
+                edges.undo(a);
+            }
             if budget_hit {
                 break;
             }
@@ -423,7 +478,8 @@ pub fn verify_safety(system: &TransactionSystem, budget: SearchBudget) -> Verdic
     let mut positions = vec![0u16; search.ids.len()];
     let mut sim = ScheduleSimulator::new(system.initial_state().clone());
     let mut schedule = Schedule::empty();
-    match search.dfs(&mut positions, &mut sim, &mut schedule, 0) {
+    let mut edges = EdgeSet::empty(search.ids.len());
+    match search.dfs(&mut positions, &mut sim, &mut schedule, &mut edges) {
         Dfs::Found(witness) => Verdict::Unsafe {
             witness,
             stats: search.stats,
@@ -478,9 +534,16 @@ fn complete_with(
         }
         sim.apply(s.tx, &s.step).ok()?;
         schedule.push(*s);
-        search.take(&mut positions, i);
+        search.book.take(&mut positions, i);
     }
-    match search.dfs(&mut positions, &mut sim, &mut schedule, 0) {
+    debug_assert!(
+        !search.book.packable || Some(search.book.packed) == slp_core::pack_positions(&positions),
+        "incrementally maintained packed key diverged from pack_positions"
+    );
+    // Completion searches accept any completion regardless of `D(S)`, so
+    // the edge set stays empty (and zero-width).
+    let mut edges = EdgeSet::empty(0);
+    match search.dfs(&mut positions, &mut sim, &mut schedule, &mut edges) {
         Dfs::Found(s) => Some(s),
         _ => None,
     }
@@ -644,6 +707,55 @@ mod tests {
             complete_schedule(&system, &bogus, SearchBudget::default()),
             None
         );
+    }
+
+    /// A 16-transaction system verifies exhaustively end-to-end — both
+    /// verdict directions. Before the [`EdgeSet`] words representation,
+    /// `ConflictIndex::new(16)` panicked and exhaustive safety search was
+    /// hard-capped at 11 transactions.
+    #[test]
+    fn sixteen_transaction_system_verifies_end_to_end() {
+        // Safe arm: a 2PL pair on x (so real D(S) edges flow through the
+        // wide edge sets) plus 14 single-step transactions contending on
+        // one shared entity p — whoever locks p first holds it forever,
+        // which keeps the state space tiny at k = 16.
+        let mut b = SystemBuilder::new();
+        b.exists("x");
+        for t in 1..=2 {
+            b.tx(t).lx("x").write("x").ux("x").finish();
+        }
+        for t in 3..=16 {
+            b.tx(t).lx("p").finish();
+        }
+        let safe = b.build();
+        assert_eq!(safe.ids().len(), 16);
+        let verdict = verify_safety(&safe, SearchBudget::default());
+        assert!(verdict.is_safe(), "{verdict:?}");
+
+        // Unsafe arm: the classic short-lock pair under the same padding;
+        // the wide-representation cycle check must still fire.
+        let mut b = SystemBuilder::new();
+        b.exists("x");
+        b.exists("y");
+        for t in 1..=2 {
+            b.tx(t)
+                .lx("x")
+                .write("x")
+                .ux("x")
+                .lx("y")
+                .write("y")
+                .ux("y")
+                .finish();
+        }
+        for t in 3..=16 {
+            b.tx(t).lx("p").finish();
+        }
+        let unsafe_ = b.build();
+        let verdict = verify_safety(&unsafe_, SearchBudget::default());
+        let witness = verdict.witness().expect("unsafe at k = 16").clone();
+        assert!(witness.is_legal());
+        assert!(witness.is_proper(unsafe_.initial_state()));
+        assert!(!slp_core::is_serializable(&witness));
     }
 
     #[test]

@@ -37,6 +37,17 @@ pub struct GenParams {
     /// Probability that a read-only lock session uses a shared lock.
     /// Set to 0.0 to generate exclusive-only systems (Section 3.3).
     pub shared_lock_prob: f64,
+    /// Number of extra *padding* transactions appended after the main
+    /// ones: each is a single exclusive lock step (never released) on a
+    /// padding-only entity shared by at most one other padding
+    /// transaction. Padding never touches main-transaction entities and
+    /// never produces a `D(S)` edge (a pair's second locker is blocked
+    /// forever), so it cannot change the safety verdict — but it widens
+    /// the dense transaction index space at only ~3 reachable position
+    /// combinations per pair. This is how the differential tests generate
+    /// the `k > 11` regime — wide edge sets and memo keys — without an
+    /// intractable state space.
+    pub padding_txs: usize,
 }
 
 impl Default for GenParams {
@@ -49,6 +60,7 @@ impl Default for GenParams {
             two_phase_prob: 0.3,
             presence_prob: 0.5,
             shared_lock_prob: 0.7,
+            padding_txs: 0,
         }
     }
 }
@@ -130,6 +142,13 @@ pub fn random_system(params: GenParams, seed: u64) -> TransactionSystem {
             steps,
         ));
     }
+    for p in 0..params.padding_txs {
+        let e = b.entity(&format!("pad{}", p / 2));
+        b.add_transaction(slp_core::LockedTransaction::new(
+            slp_core::TxId((params.transactions + p) as u32 + 1),
+            vec![Step::lock(LockMode::Exclusive, e)],
+        ));
+    }
     b.build()
 }
 
@@ -183,6 +202,41 @@ mod tests {
             any_non_2pl,
             "generator never produced a non-2PL transaction"
         );
+    }
+
+    #[test]
+    fn padding_txs_widen_k_without_conflicts() {
+        let params = GenParams {
+            transactions: 2,
+            padding_txs: 10,
+            ..GenParams::default()
+        };
+        for seed in 0..20 {
+            let system = random_system(params, seed);
+            assert_eq!(system.transactions().len(), 12);
+            assert!(system.validate().is_ok(), "seed {seed}");
+            // Padding transactions are single lock steps on entities no
+            // main transaction touches and at most one *other* padding
+            // transaction shares.
+            let (main, pads) = system.transactions().split_at(2);
+            for p in pads {
+                assert_eq!(p.len(), 1);
+                assert!(p.steps[0].is_lock());
+                let e = p.steps[0].entity;
+                for m in main {
+                    assert!(
+                        m.steps.iter().all(|s| s.entity != e),
+                        "padding entity shared with main {}",
+                        m.id
+                    );
+                }
+                let sharers = pads
+                    .iter()
+                    .filter(|q| q.id != p.id && q.steps[0].entity == e)
+                    .count();
+                assert!(sharers <= 1, "padding entity shared {sharers} ways");
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //!   the paper's main theorem; experiment E6 cross-validates the two
 //!   deciders on randomized systems.
 //!
+//! The exhaustive decider also runs **in parallel**:
+//! [`parallel::verify_safety_parallel`] spreads the same apply/undo DFS
+//! over a work-stealing thread pool with a shared sharded memo table and
+//! early cancellation; `verifier/tests/parallel_agreement.rs` pins its
+//! verdicts to the sequential explorer's differentially.
+//!
 //! Supporting modules: [`minimize`] (witness shrinking), [`gen`] (seeded
 //! random system generation), and [`reference`] — the retained
 //! clone-per-node explorer, kept as the agreement oracle for the
@@ -25,6 +31,7 @@ pub mod canonical_search;
 pub mod explorer;
 pub mod gen;
 pub mod minimize;
+pub mod parallel;
 pub mod reference;
 
 pub use canonical_search::{find_canonical_witness, CanonicalBudget, CanonicalOutcome};
@@ -34,4 +41,5 @@ pub use explorer::{
 };
 pub use gen::{random_system, GenParams};
 pub use minimize::minimize_witness;
+pub use parallel::{verify_safety_parallel, ParallelVerifier};
 pub use reference::verify_safety_reference;

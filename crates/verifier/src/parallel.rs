@@ -1,0 +1,767 @@
+//! Work-stealing parallel safety verification.
+//!
+//! [`verify_safety_parallel`] decides the same question as
+//! [`crate::explorer::verify_safety`] — *does a legal, proper,
+//! nonserializable complete schedule exist?* — by running the apply/undo
+//! DFS on a fixed pool of `std::thread` workers (the vendored
+//! [`workpool`] shim; no crates.io access) that cooperate through three
+//! pieces of shared state:
+//!
+//! * **A task queue of subtree roots.** A task is the *path* (dense
+//!   transaction indices) from the empty schedule to a search node; the
+//!   receiving worker replays it through its private simulator /
+//!   [`ConflictIndex`] / [`EdgeSet`] and explores the subtree. Work
+//!   *stealing* is donation-based: whenever a worker is about to descend
+//!   into a sibling subtree while other workers sit idle, it pushes the
+//!   sibling as a task instead of recursing — the first worker starts at
+//!   the root and the frontier fans out on demand, so no static
+//!   partitioning is needed and skewed subtrees rebalance automatically.
+//! * **A sharded memo table.** The visited-state set is split across
+//!   [`MEMO_SHARDS`] `Mutex<FxHashSet>` shards keyed by key hash, so
+//!   concurrent probes rarely contend. Sharing it across workers preserves
+//!   the sequential search's pruning: a state fully explored by *any*
+//!   worker is skipped by all. Soundness is unchanged — entries are only
+//!   inserted for subtrees explored to exhaustion with no witness, and a
+//!   frame whose children were donated or truncated (cancel/budget)
+//!   inserts nothing, so a memo hit always means "no witness below".
+//! * **An early-cancel flag.** The first worker to reach a
+//!   nonserializable completion records it and flips an `AtomicBool`;
+//!   every worker polls the flag once per node and unwinds.
+//!
+//! # What is (and is not) deterministic
+//!
+//! With an ample budget the **verdict** is deterministic and identical to
+//! the sequential explorer's: the task queue partitions the search space
+//! exactly (every donated subtree is explored before termination), so a
+//! witness is found iff one exists. The *witness schedule* and the search
+//! statistics may vary run to run — which subtree reaches a witness first
+//! is a race, and memo-race duplication can revisit states. When the
+//! budget trips, `Exhausted` frontiers are likewise race-dependent.
+//! `verifier/tests/parallel_agreement.rs` locks the verdict guarantees
+//! down differentially, across seeds, thread counts, and repeated runs.
+
+use crate::explorer::{PositionBook, SearchBudget, SearchStats, Verdict};
+use rustc_hash::{FxHashSet, FxHasher};
+use slp_core::{
+    pack_positions, ConflictIndex, EdgeSet, LockedTransaction, Schedule, ScheduleSimulator,
+    ScheduledStep, TransactionSystem, TxId,
+};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use workpool::{PoolJob, ThreadPool};
+
+/// Shards of the shared memo table. A power of two well above any sane
+/// worker count, so concurrent probes mostly land on distinct mutexes.
+const MEMO_SHARDS: usize = 64;
+
+/// Workers flush their *consumed* state counts into the shared total (and
+/// check it against the budget) every this many nodes — one atomic RMW
+/// per chunk instead of per node. Exhaustion triggers only when states
+/// actually visited reach `max_states`, so a search that fits its budget
+/// can never spuriously report `Exhausted`; the cost is overshoot — up to
+/// `threads * STATE_CHUNK` states may be visited past the limit before
+/// every worker notices. Budgets smaller than the chunk are flushed at
+/// budget granularity, keeping tiny-budget exhaustion prompt.
+const STATE_CHUNK: usize = 256;
+
+/// A hash-sharded concurrent set: `contains`/`insert` lock only the shard
+/// the key hashes to.
+struct Sharded<K> {
+    shards: Vec<Mutex<FxHashSet<K>>>,
+}
+
+impl<K: Hash + Eq> Sharded<K> {
+    fn new() -> Self {
+        Sharded {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(FxHashSet::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<FxHashSet<K>> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        // Shard on the HIGH hash bits: the inner hash table derives its
+        // bucket index from the low bits, so sharding on those would give
+        // every key in a shard the same low 6 bits and cluster them onto
+        // every 64th bucket.
+        &self.shards[(h.finish() >> 58) as usize % MEMO_SHARDS]
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.shard(key).lock().expect("memo shard").contains(key)
+    }
+
+    fn insert(&self, key: K) {
+        self.shard(&key).lock().expect("memo shard").insert(key);
+    }
+}
+
+/// The shared visited-state set, with the same three key shapes as the
+/// sequential [`crate::explorer`] memo (see its `Memo` docs). The shape
+/// selection and key construction deliberately mirror that type — change
+/// them in lockstep, or the two searches' pruning (and the differential
+/// tests comparing them) will diverge.
+enum SharedMemo {
+    Packed(Sharded<(u128, u128)>),
+    PackedEdges(Sharded<(u128, EdgeSet)>),
+    Wide(Sharded<(Vec<u16>, EdgeSet)>),
+}
+
+impl SharedMemo {
+    fn for_system(packable: bool, small_edges: bool) -> SharedMemo {
+        match (packable, small_edges) {
+            (true, true) => SharedMemo::Packed(Sharded::new()),
+            (true, false) => SharedMemo::PackedEdges(Sharded::new()),
+            (false, _) => SharedMemo::Wide(Sharded::new()),
+        }
+    }
+
+    fn contains(&self, packed: u128, positions: &[u16], edges: &EdgeSet) -> bool {
+        match self {
+            SharedMemo::Packed(s) => {
+                s.contains(&(packed, edges.as_small_mask().expect("small edges")))
+            }
+            SharedMemo::PackedEdges(s) => s.contains(&(packed, edges.clone())),
+            SharedMemo::Wide(s) => s.contains(&(positions.to_vec(), edges.clone())),
+        }
+    }
+
+    fn insert(&self, packed: u128, positions: &[u16], edges: &EdgeSet) {
+        match self {
+            SharedMemo::Packed(s) => {
+                s.insert((packed, edges.as_small_mask().expect("small edges")));
+            }
+            SharedMemo::PackedEdges(s) => s.insert((packed, edges.clone())),
+            SharedMemo::Wide(s) => s.insert((positions.to_vec(), edges.clone())),
+        }
+    }
+}
+
+/// A subtree of the search space: the dense-index path from the empty
+/// schedule to its root node. Compact to donate, cheap to replay
+/// (`O(path)` step applications).
+struct Task {
+    path: Vec<u32>,
+}
+
+struct TaskQueue {
+    tasks: Vec<Task>,
+    /// Tasks enqueued or currently being executed; the search space is
+    /// covered exactly when this reaches zero.
+    pending: usize,
+}
+
+/// All state shared by the workers of one verification run.
+struct VerifyJob {
+    system: TransactionSystem,
+    ids: Vec<TxId>,
+    /// Template position bookkeeping (zeroed counters) cloned by each
+    /// worker — the packability bound is thereby derived in exactly one
+    /// place, `PositionBook::new`, for both explorers.
+    book: PositionBook,
+    k: usize,
+    budget: SearchBudget,
+    memo: SharedMemo,
+    queue: Mutex<TaskQueue>,
+    task_cv: Condvar,
+    /// Workers currently parked waiting for a task — the donation signal.
+    idle: AtomicUsize,
+    /// Set when the run should stop — witness found or budget exhausted
+    /// (never cleared): all workers unwind and drain.
+    cancel: AtomicBool,
+    budget_hit: AtomicBool,
+    /// Search states consumed across all workers, flushed in chunks (see
+    /// [`STATE_CHUNK`]); compared against `budget.max_states`.
+    states_counted: AtomicUsize,
+    witness: Mutex<Option<Schedule>>,
+    // Aggregated statistics, flushed once per worker at the end.
+    states: AtomicUsize,
+    memo_hits: AtomicUsize,
+    completions: AtomicUsize,
+    undo_ops: AtomicUsize,
+}
+
+impl VerifyJob {
+    fn new(system: TransactionSystem, budget: SearchBudget) -> Self {
+        let ids = system.ids();
+        let lens: Vec<u16> = ids
+            .iter()
+            .map(|&id| system.get(id).expect("listed id").len() as u16)
+            .collect();
+        let k = ids.len();
+        let book = PositionBook::new(lens);
+        let small_edges = k <= ConflictIndex::MAX_TXS;
+        let memo = SharedMemo::for_system(book.packable, small_edges);
+        VerifyJob {
+            system,
+            ids,
+            book,
+            k,
+            budget,
+            memo,
+            queue: Mutex::new(TaskQueue {
+                tasks: vec![Task { path: Vec::new() }],
+                pending: 1,
+            }),
+            task_cv: Condvar::new(),
+            idle: AtomicUsize::new(0),
+            cancel: AtomicBool::new(false),
+            budget_hit: AtomicBool::new(false),
+            states_counted: AtomicUsize::new(0),
+            witness: Mutex::new(None),
+            states: AtomicUsize::new(0),
+            memo_hits: AtomicUsize::new(0),
+            completions: AtomicUsize::new(0),
+            undo_ops: AtomicUsize::new(0),
+        }
+    }
+
+    fn stats(&self) -> SearchStats {
+        SearchStats {
+            states: self.states.load(Ordering::SeqCst),
+            memo_hits: self.memo_hits.load(Ordering::SeqCst),
+            completions: self.completions.load(Ordering::SeqCst),
+            undo_ops: self.undo_ops.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl PoolJob for VerifyJob {
+    fn run(&self, _worker: usize) {
+        Worker::new(self).run();
+    }
+}
+
+/// Outcome of one worker's exploration of a subtree node.
+enum Dfs {
+    /// A witness was found (already recorded on the job).
+    Found,
+    /// Fully explored by this worker: no witness below; memoizable.
+    NotFound,
+    /// Some children were donated to other workers: no witness found
+    /// *here*, but the frame is not fully explored by this worker, so
+    /// neither it nor its ancestors may be memoized.
+    Donated,
+    /// Unwound early (cancel or budget): nothing may be memoized.
+    Pruned,
+}
+
+/// One worker's private search state, rebuilt per task by path replay.
+struct Worker<'j> {
+    job: &'j VerifyJob,
+    txs: Vec<&'j LockedTransaction>,
+    positions: Vec<u16>,
+    /// Dense-index path to the current node — the donation currency.
+    path: Vec<u32>,
+    /// Position bookkeeping (packed memo-key word, started/finished) —
+    /// the same [`PositionBook`] the sequential explorer maintains.
+    book: PositionBook,
+    sim: ScheduleSimulator,
+    schedule: Schedule,
+    index: ConflictIndex,
+    edges: EdgeSet,
+    stats: SearchStats,
+    /// States visited since the last flush into `VerifyJob::states_counted`.
+    unflushed: usize,
+}
+
+impl<'j> Worker<'j> {
+    fn new(job: &'j VerifyJob) -> Self {
+        let txs = job
+            .ids
+            .iter()
+            .map(|&id| job.system.get(id).expect("listed id"))
+            .collect();
+        Worker {
+            job,
+            txs,
+            positions: vec![0; job.k],
+            path: Vec::new(),
+            book: job.book.clone(),
+            sim: ScheduleSimulator::new(job.system.initial_state().clone()),
+            schedule: Schedule::empty(),
+            index: ConflictIndex::new(job.k),
+            edges: EdgeSet::empty(job.k),
+            stats: SearchStats::default(),
+            unflushed: 0,
+        }
+    }
+
+    /// Flushes this worker's unflushed state count into the shared total,
+    /// returning the updated total.
+    fn flush_states(&mut self) -> usize {
+        let total = self
+            .job
+            .states_counted
+            .fetch_add(self.unflushed, Ordering::Relaxed)
+            + self.unflushed;
+        self.unflushed = 0;
+        total
+    }
+
+    fn memo_contains(&mut self) -> bool {
+        self.job
+            .memo
+            .contains(self.book.packed, &self.positions, &self.edges)
+    }
+
+    fn memo_insert(&mut self) {
+        self.job
+            .memo
+            .insert(self.book.packed, &self.positions, &self.edges);
+    }
+
+    fn run(&mut self) {
+        while let Some(task) = self.next_task() {
+            self.run_task(task);
+            self.flush_states();
+            let mut q = self.job.queue.lock().expect("task queue");
+            q.pending -= 1;
+            if q.pending == 0 {
+                drop(q);
+                self.job.task_cv.notify_all();
+            }
+        }
+        // Flush private statistics into the shared totals.
+        self.job
+            .states
+            .fetch_add(self.stats.states, Ordering::SeqCst);
+        self.job
+            .memo_hits
+            .fetch_add(self.stats.memo_hits, Ordering::SeqCst);
+        self.job
+            .completions
+            .fetch_add(self.stats.completions, Ordering::SeqCst);
+        self.job
+            .undo_ops
+            .fetch_add(self.stats.undo_ops, Ordering::SeqCst);
+    }
+
+    /// Pops a task, parking on the condvar while the queue is empty but
+    /// other workers still hold pending tasks (which they may split).
+    /// Returns `None` when the space is covered or the run is cancelled.
+    fn next_task(&self) -> Option<Task> {
+        let mut q = self.job.queue.lock().expect("task queue");
+        loop {
+            if self.job.cancel.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(t) = q.tasks.pop() {
+                return Some(t);
+            }
+            if q.pending == 0 {
+                return None;
+            }
+            self.job.idle.fetch_add(1, Ordering::Relaxed);
+            q = self.job.task_cv.wait(q).expect("task queue");
+            self.job.idle.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Replays `task`'s path from the empty schedule, then explores the
+    /// subtree rooted there.
+    fn run_task(&mut self, task: Task) {
+        let job = self.job;
+        self.positions.fill(0);
+        self.book.reset();
+        self.sim = ScheduleSimulator::new(job.system.initial_state().clone());
+        self.schedule = Schedule::empty();
+        self.index = ConflictIndex::new(job.k);
+        self.edges = EdgeSet::empty(job.k);
+        self.path = task.path;
+        for pi in 0..self.path.len() {
+            let i = self.path[pi] as usize;
+            let id = job.ids[i];
+            let step = self.txs[i].steps[self.positions[i] as usize];
+            if let Some(d) = self.index.edge_delta(i, &step) {
+                self.edges.union_with(&d);
+            }
+            self.index.push(i, step);
+            self.sim
+                .apply(id, &step)
+                .expect("donated paths are legal and proper by construction");
+            self.schedule.push(ScheduledStep::new(id, step));
+            self.book.take(&mut self.positions, i);
+        }
+        debug_assert!(
+            !job.book.packable || Some(self.book.packed) == pack_positions(&self.positions),
+            "incrementally maintained packed key diverged from pack_positions"
+        );
+        // The node may have been memoized between donation and pickup by a
+        // worker that reached the same (positions, edges) state elsewhere.
+        if job.budget.use_memo && !self.path.is_empty() && self.memo_contains() {
+            self.stats.memo_hits += 1;
+            return;
+        }
+        if let Dfs::NotFound = self.dfs() {
+            // Mirror of the sequential parent's post-recursion insert: the
+            // subtree root is now fully explored with no witness.
+            if job.budget.use_memo && !self.path.is_empty() {
+                self.memo_insert();
+            }
+        }
+    }
+
+    /// Records the first witness found and cancels all workers.
+    fn offer_witness(&self) {
+        {
+            let mut w = self.job.witness.lock().expect("witness slot");
+            if w.is_none() {
+                *w = Some(self.schedule.clone());
+            }
+        }
+        self.cancel_all();
+    }
+
+    /// Stops the whole search: used on witness discovery and on budget
+    /// exhaustion (the verdict is picked from the witness slot and the
+    /// `budget_hit` flag, not from `cancel`).
+    ///
+    /// The cancel flag is published and broadcast **while holding the
+    /// queue mutex**: `next_task` checks the flag under that same mutex
+    /// before parking, so publishing outside it could slot a store +
+    /// `notify_all` into the window between a worker's flag check and its
+    /// `wait` — a lost wakeup that would park the worker forever (queued
+    /// tasks orphaned by cancellation keep `pending > 0`, so no later
+    /// notification would come).
+    fn cancel_all(&self) {
+        let _q = self.job.queue.lock().expect("task queue");
+        self.job.cancel.store(true, Ordering::SeqCst);
+        self.job.task_cv.notify_all();
+    }
+
+    fn dfs(&mut self) -> Dfs {
+        let job = self.job;
+        if job.cancel.load(Ordering::Relaxed) {
+            return Dfs::Pruned;
+        }
+        self.stats.states += 1;
+        self.unflushed += 1;
+        if self.unflushed >= STATE_CHUNK.min(job.budget.max_states.max(1)) {
+            // Strictly greater: a search space of exactly `max_states`
+            // states completes (the sequential explorer only exhausts when
+            // it attempts state `max_states + 1`).
+            if self.flush_states() > job.budget.max_states {
+                job.budget_hit.store(true, Ordering::SeqCst);
+                // Cancel the whole run so queued tasks are abandoned
+                // instead of each being explored up to its own flush
+                // boundary, keeping post-exhaustion overshoot bounded.
+                self.cancel_all();
+                return Dfs::Pruned;
+            }
+        }
+
+        if self.book.started == self.book.finished && self.book.started > 0 {
+            self.stats.completions += 1;
+            if self.edges.has_cycle() {
+                self.offer_witness();
+                return Dfs::Found;
+            }
+        }
+
+        let mut donated_any = false;
+        let mut explored_locally = false;
+        let mut pruned = false;
+        for i in 0..job.k {
+            let id = job.ids[i];
+            let pos = self.positions[i] as usize;
+            let Some(&step) = self.txs[i].steps.get(pos) else {
+                continue;
+            };
+            // Empty deltas — the common case — are `None` end to end, so
+            // they skip the apply/undo pair and every allocation.
+            let added = self
+                .index
+                .edge_delta(i, &step)
+                .map(|delta| self.edges.apply(&delta));
+            self.book.take(&mut self.positions, i);
+            // Memo probe before the legality gate, exactly as in the
+            // sequential explorer (see its comment for the soundness
+            // argument — it holds across workers because the simulator
+            // state is a function of positions alone).
+            if job.budget.use_memo && self.memo_contains() {
+                self.stats.memo_hits += 1;
+                self.book.untake(&mut self.positions, i);
+                if let Some(a) = &added {
+                    self.edges.undo(a);
+                }
+                continue;
+            }
+            // Donation ("stealing" from the donor's side): once this node
+            // has one locally explored child, viable siblings go to idle
+            // workers instead of being explored here.
+            if explored_locally
+                && job.idle.load(Ordering::Relaxed) > 0
+                && self.sim.check(id, &step).is_ok()
+            {
+                let mut child = self.path.clone();
+                child.push(i as u32);
+                {
+                    let mut q = job.queue.lock().expect("task queue");
+                    q.pending += 1;
+                    q.tasks.push(Task { path: child });
+                }
+                job.task_cv.notify_one();
+                donated_any = true;
+                self.book.untake(&mut self.positions, i);
+                if let Some(a) = &added {
+                    self.edges.undo(a);
+                }
+                continue;
+            }
+            let Ok(token) = self.sim.apply_undoable(id, &step) else {
+                self.book.untake(&mut self.positions, i);
+                if let Some(a) = &added {
+                    self.edges.undo(a);
+                }
+                continue;
+            };
+            self.schedule.push(ScheduledStep::new(id, step));
+            self.path.push(i as u32);
+            self.index.push(i, step);
+            let result = self.dfs();
+            self.index.pop();
+            self.path.pop();
+            self.schedule.pop();
+            self.sim.undo(token);
+            self.stats.undo_ops += 1;
+            match result {
+                Dfs::Found => {
+                    self.book.untake(&mut self.positions, i);
+                    if let Some(a) = &added {
+                        self.edges.undo(a);
+                    }
+                    return Dfs::Found;
+                }
+                Dfs::NotFound => {
+                    explored_locally = true;
+                    if job.budget.use_memo {
+                        self.memo_insert();
+                    }
+                }
+                Dfs::Donated => {
+                    explored_locally = true;
+                    donated_any = true;
+                }
+                Dfs::Pruned => {
+                    pruned = true;
+                }
+            }
+            self.book.untake(&mut self.positions, i);
+            if let Some(a) = &added {
+                self.edges.undo(a);
+            }
+            if pruned {
+                break;
+            }
+        }
+        if pruned {
+            Dfs::Pruned
+        } else if donated_any {
+            Dfs::Donated
+        } else {
+            Dfs::NotFound
+        }
+    }
+}
+
+/// A reusable parallel safety verifier: a fixed thread pool plus the
+/// dispatch logic. Building one pins the thread-spawn cost up front;
+/// [`verify`](ParallelVerifier::verify) then costs one condvar round-trip
+/// per call, which is what lets benchmarks measure search speedup rather
+/// than thread-creation latency.
+pub struct ParallelVerifier {
+    pool: ThreadPool,
+}
+
+impl ParallelVerifier {
+    /// A verifier over `threads` pooled workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        ParallelVerifier {
+            pool: ThreadPool::new(threads),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Decides safety of `system` exactly like
+    /// [`crate::explorer::verify_safety`], in parallel. The verdict is
+    /// identical to the sequential explorer's whenever neither run trips
+    /// the budget; see the module docs for the determinism contract.
+    pub fn verify(&self, system: &TransactionSystem, budget: SearchBudget) -> Verdict {
+        let job = Arc::new(VerifyJob::new(system.clone(), budget));
+        self.pool.run(job.clone());
+        let stats = job.stats();
+        let witness = job.witness.lock().expect("witness slot").take();
+        match witness {
+            Some(witness) => Verdict::Unsafe { witness, stats },
+            None if job.budget_hit.load(Ordering::SeqCst) => Verdict::Exhausted(stats),
+            None => Verdict::Safe(stats),
+        }
+    }
+}
+
+/// One-shot convenience over [`ParallelVerifier`]: spawns a pool of
+/// `threads` workers, verifies, and tears the pool down. Callers verifying
+/// many systems should hold a [`ParallelVerifier`] instead.
+pub fn verify_safety_parallel(
+    system: &TransactionSystem,
+    budget: SearchBudget,
+    threads: usize,
+) -> Verdict {
+    ParallelVerifier::new(threads).verify(system, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::verify_safety;
+    use slp_core::SystemBuilder;
+
+    fn two_phase_system() -> TransactionSystem {
+        let mut b = SystemBuilder::new();
+        b.exists("x");
+        b.exists("y");
+        b.tx(1)
+            .lx("x")
+            .write("x")
+            .lx("y")
+            .write("y")
+            .ux("x")
+            .ux("y")
+            .finish();
+        b.tx(2)
+            .lx("x")
+            .write("x")
+            .lx("y")
+            .write("y")
+            .ux("y")
+            .ux("x")
+            .finish();
+        b.build()
+    }
+
+    fn short_lock_system() -> TransactionSystem {
+        let mut b = SystemBuilder::new();
+        b.exists("x");
+        b.exists("y");
+        for t in 1..=2 {
+            b.tx(t)
+                .lx("x")
+                .write("x")
+                .ux("x")
+                .lx("y")
+                .write("y")
+                .ux("y")
+                .finish();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_verdicts_match_sequential_on_classic_pairs() {
+        for threads in [1, 2, 4] {
+            let verifier = ParallelVerifier::new(threads);
+            assert!(verifier
+                .verify(&two_phase_system(), SearchBudget::default())
+                .is_safe());
+            let v = verifier.verify(&short_lock_system(), SearchBudget::default());
+            let w = v.witness().expect("unsafe").clone();
+            assert!(w.is_legal());
+            assert!(w.is_proper(short_lock_system().initial_state()));
+            assert!(!slp_core::is_serializable(&w));
+        }
+    }
+
+    #[test]
+    fn verifier_is_reusable_across_systems() {
+        let verifier = ParallelVerifier::new(2);
+        for _ in 0..5 {
+            assert!(verifier
+                .verify(&two_phase_system(), SearchBudget::default())
+                .is_safe());
+            assert!(verifier
+                .verify(&short_lock_system(), SearchBudget::default())
+                .is_unsafe());
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_systems() {
+        let verifier = ParallelVerifier::new(4);
+        let empty = SystemBuilder::new().build();
+        assert!(verifier.verify(&empty, SearchBudget::default()).is_safe());
+        let mut b = SystemBuilder::new();
+        b.exists("x");
+        b.tx(1).lx("x").write("x").ux("x").finish();
+        assert!(verifier
+            .verify(&b.build(), SearchBudget::default())
+            .is_safe());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let verdict = verify_safety_parallel(
+            &two_phase_system(),
+            SearchBudget {
+                max_states: 3,
+                ..Default::default()
+            },
+            2,
+        );
+        assert!(matches!(verdict, Verdict::Exhausted(_)), "{verdict:?}");
+    }
+
+    #[test]
+    fn budget_that_fits_never_reports_exhausted() {
+        // Exhaustion is keyed on *consumed* states, so a search whose true
+        // state count fits the budget must never spuriously report
+        // Exhausted, no matter how workers interleave.
+        let system = two_phase_system();
+        let true_states = verify_safety(&system, SearchBudget::default())
+            .stats()
+            .states;
+        let verifier = ParallelVerifier::new(4);
+        // 4x headroom absorbs memo-race duplication; the single-thread
+        // exact-fit budget has no duplication and must complete too (the
+        // sequential explorer only exhausts attempting state max + 1).
+        let budget = SearchBudget {
+            max_states: 4 * true_states,
+            ..Default::default()
+        };
+        for run in 0..20 {
+            let verdict = verifier.verify(&system, budget);
+            assert!(verdict.is_safe(), "run {run}: {verdict:?}");
+        }
+        let exact = SearchBudget {
+            max_states: true_states,
+            ..Default::default()
+        };
+        let single = ParallelVerifier::new(1);
+        let verdict = single.verify(&system, exact);
+        assert!(verdict.is_safe(), "exact-fit budget: {verdict:?}");
+    }
+
+    #[test]
+    fn parallel_states_stay_in_the_sequential_ballpark() {
+        // Memo races may duplicate a little work, but sharing the table
+        // must keep the parallel search from degenerating to memo-less
+        // exponential blowup.
+        let system = two_phase_system();
+        let seq = verify_safety(&system, SearchBudget::default());
+        let par = verify_safety_parallel(&system, SearchBudget::default(), 4);
+        assert!(par.is_safe());
+        assert!(
+            par.stats().states <= 10 * seq.stats().states.max(1),
+            "parallel visited {} states vs sequential {}",
+            par.stats().states,
+            seq.stats().states
+        );
+    }
+}

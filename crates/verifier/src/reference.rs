@@ -139,7 +139,22 @@ fn schedule_pop(s: &mut Schedule) {
 /// Decides safety of `system` exactly like
 /// [`verify_safety`](crate::explorer::verify_safety), using the retained
 /// clone-per-node reference DFS. Slow; use only as an oracle.
+///
+/// # Panics
+///
+/// If the system has more than [`slp_core::ConflictIndex::MAX_TXS`] (11)
+/// transactions: the oracle is kept byte-for-byte at its pre-`EdgeSet`
+/// state, so its raw `u128` edge masks still carry the old hard cap that
+/// the production explorers have since lifted. Wide-`k` cross-checks use
+/// the sequential [`verify_safety`](crate::explorer::verify_safety)
+/// instead (see `verifier/tests/parallel_agreement.rs`).
 pub fn verify_safety_reference(system: &TransactionSystem, budget: SearchBudget) -> Verdict {
+    assert!(
+        system.ids().len() <= slp_core::ConflictIndex::MAX_TXS,
+        "the reference oracle's u128 edge masks address at most {} transactions, got {}",
+        slp_core::ConflictIndex::MAX_TXS,
+        system.ids().len()
+    );
     let mut search = NaiveSearch {
         system,
         ids: system.ids(),

@@ -1,0 +1,211 @@
+//! Minimal fixed-size thread pool, vendored for the offline build.
+//!
+//! The build environment cannot fetch crates.io, so the parallel safety
+//! verifier's thread pool is this ~150-line shim over `std::thread` +
+//! `std::sync` instead of `rayon`/`crossbeam`. The surface is deliberately
+//! tiny: a [`ThreadPool`] owns `n` long-lived worker threads, and
+//! [`ThreadPool::run`] hands every worker the same shared [`PoolJob`] and
+//! blocks until all of them return from [`PoolJob::run`].
+//!
+//! That "everyone runs the same job" shape is exactly what a work-stealing
+//! search wants: the job owns the shared task queue, memo table, and
+//! cancellation flag, and each worker loops popping tasks from it. The
+//! scheduling policy lives in the job, not the pool.
+//!
+//! Workers park on a condvar between jobs, so a pool can be reused across
+//! many [`run`](ThreadPool::run) calls without paying thread-spawn latency
+//! per call — the verifier benchmarks rely on this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work executed cooperatively by every worker of a pool.
+///
+/// [`run`](PoolJob::run) is called once per worker, concurrently; the job
+/// coordinates the workers through its own shared state (queues, atomics).
+/// The pool-level barrier is the return: [`ThreadPool::run`] completes when
+/// every worker's `run` has returned.
+pub trait PoolJob: Send + Sync {
+    /// Body executed by worker `worker` (`0..threads`).
+    fn run(&self, worker: usize);
+}
+
+struct PoolState {
+    /// Bumped once per dispatched job; workers run a job iff they have not
+    /// seen its epoch yet.
+    epoch: u64,
+    job: Option<Arc<dyn PoolJob>>,
+    /// Workers still inside `PoolJob::run` for the current epoch.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch.
+    work_cv: Condvar,
+    /// Dispatchers wait here for `active` to drain (and for the slot to
+    /// free up before publishing the next job).
+    done_cv: Condvar,
+}
+
+/// A fixed set of long-lived worker threads.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool of `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "ThreadPool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("workpool-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `job` on every worker and blocks until all of them return.
+    ///
+    /// Concurrent `run` calls from different threads are serialized: a
+    /// second dispatcher waits for the pool to go idle before publishing.
+    pub fn run(&self, job: Arc<dyn PoolJob>) {
+        let n = self.threads();
+        let mut state = self.shared.state.lock().expect("pool lock");
+        while state.job.is_some() || state.active > 0 {
+            state = self.shared.done_cv.wait(state).expect("pool lock");
+        }
+        state.epoch += 1;
+        let epoch = state.epoch;
+        state.job = Some(job);
+        state.active = n;
+        self.shared.work_cv.notify_all();
+        while !(state.active == 0 && state.epoch == epoch) {
+            state = self.shared.done_cv.wait(state).expect("pool lock");
+        }
+        state.job = None;
+        // Wake any dispatcher queued behind us.
+        self.shared.done_cv.notify_all();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch > seen_epoch {
+                    if let Some(job) = &state.job {
+                        seen_epoch = state.epoch;
+                        break Arc::clone(job);
+                    }
+                }
+                state = shared.work_cv.wait(state).expect("pool lock");
+            }
+        };
+        job.run(worker);
+        let mut state = shared.state.lock().expect("pool lock");
+        state.active -= 1;
+        if state.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountJob {
+        hits: AtomicUsize,
+        workers_seen: Mutex<Vec<usize>>,
+    }
+
+    impl PoolJob for CountJob {
+        fn run(&self, worker: usize) {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+            self.workers_seen.lock().unwrap().push(worker);
+        }
+    }
+
+    #[test]
+    fn every_worker_runs_the_job_once() {
+        let pool = ThreadPool::new(4);
+        let job = Arc::new(CountJob {
+            hits: AtomicUsize::new(0),
+            workers_seen: Mutex::new(Vec::new()),
+        });
+        pool.run(job.clone());
+        assert_eq!(job.hits.load(Ordering::SeqCst), 4);
+        let mut seen = job.workers_seen.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = ThreadPool::new(2);
+        let job = Arc::new(CountJob {
+            hits: AtomicUsize::new(0),
+            workers_seen: Mutex::new(Vec::new()),
+        });
+        for _ in 0..10 {
+            pool.run(job.clone());
+        }
+        assert_eq!(job.hits.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let job = Arc::new(CountJob {
+            hits: AtomicUsize::new(0),
+            workers_seen: Mutex::new(Vec::new()),
+        });
+        pool.run(job.clone());
+        assert_eq!(job.hits.load(Ordering::SeqCst), 1);
+    }
+}
