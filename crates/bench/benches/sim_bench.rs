@@ -1,17 +1,17 @@
 //! Microbenchmarks for the simulator: end-to-end run cost per policy and
-//! the post-hoc trace verification cost.
+//! the post-hoc trace verification cost. Every adapter is built through
+//! the policy registry.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use slp_core::EntityId;
-use slp_sim::{
-    dag_access_jobs, layered_dag, run_sim, uniform_jobs, AltruisticAdapter, DdagAdapter,
-    DtrAdapter, SimConfig, TwoPhaseAdapter,
-};
+use slp_policies::{PolicyConfig, PolicyKind, PolicyRegistry};
+use slp_sim::{build_adapter, dag_access_jobs, layered_dag, run_sim, uniform_jobs, SimConfig};
 use std::hint::black_box;
 
 fn bench_policy_runs(c: &mut Criterion) {
     let mut group = c.benchmark_group("run_sim_30_jobs");
     group.sample_size(20);
+    let registry = PolicyRegistry::new();
     let pool: Vec<EntityId> = (0..16).map(EntityId).collect();
     let jobs = uniform_jobs(&pool, 30, 3, 5);
     let config = SimConfig {
@@ -19,32 +19,26 @@ fn bench_policy_runs(c: &mut Criterion) {
         ..Default::default()
     };
 
-    group.bench_function("2pl", |b| {
-        b.iter_batched(
-            || TwoPhaseAdapter::new(pool.clone()),
-            |mut a| black_box(run_sim(&mut a, &jobs, &config).committed),
-            BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("altruistic", |b| {
-        b.iter_batched(
-            || AltruisticAdapter::new(pool.clone()),
-            |mut a| black_box(run_sim(&mut a, &jobs, &config).committed),
-            BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("dtr", |b| {
-        b.iter_batched(
-            || DtrAdapter::new(pool.clone()),
-            |mut a| black_box(run_sim(&mut a, &jobs, &config).committed),
-            BatchSize::SmallInput,
-        );
-    });
+    for kind in [
+        PolicyKind::TwoPhase,
+        PolicyKind::Altruistic,
+        PolicyKind::Dtr,
+    ] {
+        let flat = PolicyConfig::flat(pool.clone());
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || build_adapter(&registry, kind, &flat).expect("flat kind"),
+                |mut a| black_box(run_sim(&mut a, &jobs, &config).committed),
+                BatchSize::SmallInput,
+            );
+        });
+    }
     let dag = layered_dag(4, 4, 2, 5);
     let dag_jobs = dag_access_jobs(&dag, 30, 2, 5);
-    group.bench_function("ddag", |b| {
+    let dag_config = PolicyConfig::dag(dag.universe.clone(), dag.graph.clone());
+    group.bench_function(PolicyKind::Ddag.name(), |b| {
         b.iter_batched(
-            || DdagAdapter::new(dag.universe.clone(), dag.graph.clone()),
+            || build_adapter(&registry, PolicyKind::Ddag, &dag_config).expect("DAG provided"),
             |mut a| black_box(run_sim(&mut a, &dag_jobs, &config).committed),
             BatchSize::SmallInput,
         );
@@ -54,9 +48,15 @@ fn bench_policy_runs(c: &mut Criterion) {
 
 fn bench_trace_verification(c: &mut Criterion) {
     // Post-hoc verification cost for a realistic trace.
+    let registry = PolicyRegistry::new();
     let pool: Vec<EntityId> = (0..16).map(EntityId).collect();
     let jobs = uniform_jobs(&pool, 50, 3, 9);
-    let mut adapter = TwoPhaseAdapter::new(pool.clone());
+    let mut adapter = build_adapter(
+        &registry,
+        PolicyKind::TwoPhase,
+        &PolicyConfig::flat(pool.clone()),
+    )
+    .expect("flat kind");
     let initial = adapter.initial_state();
     let report = run_sim(
         &mut adapter,

@@ -8,14 +8,19 @@
 //! rule removed, plus a deterministic scenario in which the mutant engine
 //! itself permits a nonserializable execution — demonstrating that the
 //! removed rule is exactly what the safety proof needs.
+//!
+//! Both halves run entirely through the unified policy API: engines are
+//! built by [`PolicyKind`] through the [`PolicyRegistry`] and driven via
+//! [`PolicyEngine::request`] — the mutant scenarios literally script the
+//! forbidden interleavings against `Box<dyn PolicyEngine>`.
 
-use slp_core::{is_serializable, Schedule, ScheduledStep, Step, TxId, Universe};
+use slp_core::{is_serializable, EntityId, Schedule, ScheduledStep, TxId, Universe};
 use slp_graph::DiGraph;
-use slp_policies::altruistic::{AltruisticConfig, AltruisticEngine};
-use slp_policies::ddag::{DdagConfig, DdagEngine};
+use slp_policies::{
+    AccessIntent, PolicyAction, PolicyConfig, PolicyEngine, PolicyKind, PolicyRegistry,
+};
 use slp_sim::{
-    dag_access_jobs, layered_dag, long_short_jobs, run_sim, uniform_jobs, AltruisticAdapter,
-    DdagAdapter, DtrAdapter, SimConfig, TwoPhaseAdapter,
+    build_adapter, dag_access_jobs, layered_dag, long_short_jobs, run_sim, uniform_jobs, SimConfig,
 };
 use std::fmt::Write;
 
@@ -38,10 +43,11 @@ pub struct SoundnessRow {
 
 /// Runs the positive half for every sound policy.
 pub fn soundness_table(seeds: std::ops::Range<u64>) -> Vec<SoundnessRow> {
+    let registry = PolicyRegistry::new();
     let mut rows = Vec::new();
-    for policy in ["2PL", "altruistic", "DDAG", "DTR"] {
+    for kind in PolicyKind::SAFE {
         let mut row = SoundnessRow {
-            policy,
+            policy: kind.name(),
             runs: 0,
             legal: 0,
             proper: 0,
@@ -53,32 +59,32 @@ pub fn soundness_table(seeds: std::ops::Range<u64>) -> Vec<SoundnessRow> {
                 workers: 4,
                 ..Default::default()
             };
-            let (report, initial) = match policy {
-                "2PL" => {
-                    let pool: Vec<_> = (0..12).map(slp_core::EntityId).collect();
-                    let jobs = uniform_jobs(&pool, 20, 3, seed);
-                    let mut a = TwoPhaseAdapter::new(pool);
-                    let init = a.initial_state();
-                    (run_sim(&mut a, &jobs, &config), init)
-                }
-                "altruistic" => {
-                    let pool: Vec<_> = (0..16).map(slp_core::EntityId).collect();
+            let (report, initial) = match kind {
+                PolicyKind::Altruistic => {
+                    let pool: Vec<_> = (0..16).map(EntityId).collect();
                     let jobs = long_short_jobs(&pool, 10, 15, 2, seed);
-                    let mut a = AltruisticAdapter::new(pool);
+                    let mut a = build_adapter(&registry, kind, &PolicyConfig::flat(pool))
+                        .expect("flat kind");
                     let init = a.initial_state();
                     (run_sim(&mut a, &jobs, &config), init)
                 }
-                "DDAG" => {
+                PolicyKind::Ddag => {
                     let dag = layered_dag(4, 3, 2, seed);
                     let jobs = dag_access_jobs(&dag, 20, 2, seed + 1);
-                    let mut a = DdagAdapter::new(dag.universe.clone(), dag.graph.clone());
+                    let mut a = build_adapter(
+                        &registry,
+                        kind,
+                        &PolicyConfig::dag(dag.universe.clone(), dag.graph.clone()),
+                    )
+                    .expect("DAG provided");
                     let init = a.initial_state();
                     (run_sim(&mut a, &jobs, &config), init)
                 }
                 _ => {
-                    let pool: Vec<_> = (0..12).map(slp_core::EntityId).collect();
+                    let pool: Vec<_> = (0..12).map(EntityId).collect();
                     let jobs = uniform_jobs(&pool, 20, 3, seed);
-                    let mut a = DtrAdapter::new(pool);
+                    let mut a = build_adapter(&registry, kind, &PolicyConfig::flat(pool))
+                        .expect("flat kind");
                     let init = a.initial_state();
                     (run_sim(&mut a, &jobs, &config), init)
                 }
@@ -94,8 +100,23 @@ pub fn soundness_table(seeds: std::ops::Range<u64>) -> Vec<SoundnessRow> {
     rows
 }
 
-fn record(trace: &mut Schedule, tx: TxId, steps: Vec<Step>) {
-    for s in steps {
+/// Requests `action` for `tx`, appending the granted steps to `trace`.
+/// Panics (with the refusal) if the engine does not grant it — the mutant
+/// scenarios rely on the ablated engines *allowing* these interleavings.
+fn granted(
+    engine: &mut Box<dyn PolicyEngine>,
+    tx: TxId,
+    action: PolicyAction,
+    trace: &mut Schedule,
+) {
+    for s in engine.request(tx, action).expect_granted() {
+        trace.push(ScheduledStep::new(tx, s));
+    }
+}
+
+/// Finishes `tx`, appending the released locks to `trace`.
+fn finished(engine: &mut Box<dyn PolicyEngine>, tx: TxId, trace: &mut Schedule) {
+    for s in engine.finish(tx).expect("active transaction") {
         trace.push(ScheduledStep::new(tx, s));
     }
 }
@@ -114,30 +135,32 @@ pub fn ddag_no_held_predecessor_scenario() -> Schedule {
     }
     g.add_edge(ids[0], a).unwrap();
     g.add_edge(a, b).unwrap();
-    let mut eng = DdagEngine::with_config(u, g, DdagConfig::without_held_predecessor_rule());
+    let mut eng = PolicyRegistry::new()
+        .build(PolicyKind::DdagNoHeldPredecessor, &PolicyConfig::dag(u, g))
+        .expect("DAG provided");
     let (t1, t2) = (TxId(1), TxId(2));
     let mut trace = Schedule::empty();
-    eng.begin(t1).unwrap();
-    eng.begin(t2).unwrap();
+    eng.begin(t1, &AccessIntent::empty()).unwrap();
+    eng.begin(t2, &AccessIntent::empty()).unwrap();
     // T1: lock a, access, release a (too early!), ...
-    record(&mut trace, t1, vec![eng.lock(t1, a).unwrap()]);
-    record(&mut trace, t1, eng.access(t1, a).unwrap());
-    record(&mut trace, t1, vec![eng.unlock(t1, a).unwrap()]);
+    granted(&mut eng, t1, PolicyAction::Lock(a), &mut trace);
+    granted(&mut eng, t1, PolicyAction::Access(a), &mut trace);
+    granted(&mut eng, t1, PolicyAction::Unlock(a), &mut trace);
     // T2 overtakes completely: a then b.
-    record(&mut trace, t2, vec![eng.lock(t2, a).unwrap()]);
-    record(&mut trace, t2, eng.access(t2, a).unwrap());
-    record(&mut trace, t2, vec![eng.unlock(t2, a).unwrap()]);
+    granted(&mut eng, t2, PolicyAction::Lock(a), &mut trace);
+    granted(&mut eng, t2, PolicyAction::Access(a), &mut trace);
+    granted(&mut eng, t2, PolicyAction::Unlock(a), &mut trace);
     // Without the held-predecessor clause the engine ALLOWS this lock
     // (a was locked in the past, though no longer held):
-    record(&mut trace, t2, vec![eng.lock(t2, b).unwrap()]);
-    record(&mut trace, t2, eng.access(t2, b).unwrap());
-    record(&mut trace, t2, vec![eng.unlock(t2, b).unwrap()]);
+    granted(&mut eng, t2, PolicyAction::Lock(b), &mut trace);
+    granted(&mut eng, t2, PolicyAction::Access(b), &mut trace);
+    granted(&mut eng, t2, PolicyAction::Unlock(b), &mut trace);
     // T1 resumes: locks b after T2.
-    record(&mut trace, t1, vec![eng.lock(t1, b).unwrap()]);
-    record(&mut trace, t1, eng.access(t1, b).unwrap());
-    record(&mut trace, t1, vec![eng.unlock(t1, b).unwrap()]);
-    eng.finish(t1).unwrap();
-    eng.finish(t2).unwrap();
+    granted(&mut eng, t1, PolicyAction::Lock(b), &mut trace);
+    granted(&mut eng, t1, PolicyAction::Access(b), &mut trace);
+    granted(&mut eng, t1, PolicyAction::Unlock(b), &mut trace);
+    finished(&mut eng, t1, &mut trace);
+    finished(&mut eng, t2, &mut trace);
     trace
 }
 
@@ -156,65 +179,69 @@ pub fn ddag_no_all_predecessors_scenario() -> Schedule {
     g.add_edge(r, b).unwrap();
     g.add_edge(a, j).unwrap();
     g.add_edge(b, j).unwrap();
-    let mut eng = DdagEngine::with_config(u, g, DdagConfig::without_all_predecessors_rule());
+    let mut eng = PolicyRegistry::new()
+        .build(PolicyKind::DdagNoAllPredecessors, &PolicyConfig::dag(u, g))
+        .expect("DAG provided");
     let (t1, t2, t3) = (TxId(1), TxId(2), TxId(3));
     let mut trace = Schedule::empty();
     for t in [t1, t2, t3] {
-        eng.begin(t).unwrap();
+        eng.begin(t, &AccessIntent::empty()).unwrap();
     }
     // T3 (fully rule-abiding) visits r then a early, b late.
-    record(&mut trace, t3, vec![eng.lock(t3, r).unwrap()]);
-    record(&mut trace, t3, vec![eng.lock(t3, a).unwrap()]);
-    record(&mut trace, t3, eng.access(t3, a).unwrap());
-    record(&mut trace, t3, vec![eng.unlock(t3, a).unwrap()]);
+    granted(&mut eng, t3, PolicyAction::Lock(r), &mut trace);
+    granted(&mut eng, t3, PolicyAction::Lock(a), &mut trace);
+    granted(&mut eng, t3, PolicyAction::Access(a), &mut trace);
+    granted(&mut eng, t3, PolicyAction::Unlock(a), &mut trace);
     // T1: first lock a, then j — strict DDAG would demand b locked too;
     // the mutant only needs the held predecessor a.
-    record(&mut trace, t1, vec![eng.lock(t1, a).unwrap()]);
-    record(&mut trace, t1, eng.access(t1, a).unwrap());
-    record(&mut trace, t1, vec![eng.lock(t1, j).unwrap()]);
-    record(&mut trace, t1, eng.access(t1, j).unwrap());
-    record(&mut trace, t1, vec![eng.unlock(t1, j).unwrap()]);
-    record(&mut trace, t1, vec![eng.unlock(t1, a).unwrap()]);
+    granted(&mut eng, t1, PolicyAction::Lock(a), &mut trace);
+    granted(&mut eng, t1, PolicyAction::Access(a), &mut trace);
+    granted(&mut eng, t1, PolicyAction::Lock(j), &mut trace);
+    granted(&mut eng, t1, PolicyAction::Access(j), &mut trace);
+    granted(&mut eng, t1, PolicyAction::Unlock(j), &mut trace);
+    granted(&mut eng, t1, PolicyAction::Unlock(a), &mut trace);
     // T2: first lock b, then j (same mutant shortcut), after T1 released j.
-    record(&mut trace, t2, vec![eng.lock(t2, b).unwrap()]);
-    record(&mut trace, t2, eng.access(t2, b).unwrap());
-    record(&mut trace, t2, vec![eng.lock(t2, j).unwrap()]);
-    record(&mut trace, t2, eng.access(t2, j).unwrap());
-    record(&mut trace, t2, vec![eng.unlock(t2, j).unwrap()]);
-    record(&mut trace, t2, vec![eng.unlock(t2, b).unwrap()]);
+    granted(&mut eng, t2, PolicyAction::Lock(b), &mut trace);
+    granted(&mut eng, t2, PolicyAction::Access(b), &mut trace);
+    granted(&mut eng, t2, PolicyAction::Lock(j), &mut trace);
+    granted(&mut eng, t2, PolicyAction::Access(j), &mut trace);
+    granted(&mut eng, t2, PolicyAction::Unlock(j), &mut trace);
+    granted(&mut eng, t2, PolicyAction::Unlock(b), &mut trace);
     // T3 finishes: b after T2.
-    record(&mut trace, t3, vec![eng.lock(t3, b).unwrap()]);
-    record(&mut trace, t3, eng.access(t3, b).unwrap());
-    record(&mut trace, t3, eng.finish(t3).unwrap());
-    eng.finish(t1).unwrap();
-    eng.finish(t2).unwrap();
+    granted(&mut eng, t3, PolicyAction::Lock(b), &mut trace);
+    granted(&mut eng, t3, PolicyAction::Access(b), &mut trace);
+    finished(&mut eng, t3, &mut trace);
+    finished(&mut eng, t1, &mut trace);
+    finished(&mut eng, t2, &mut trace);
     trace
 }
 
 /// Mutant scenario 3: altruistic locking without AL2 (the wake rule). `T2`
 /// locks a donated item, then escapes the wake and overtakes `T1`.
 pub fn altruistic_no_wake_scenario() -> Schedule {
-    let mut eng = AltruisticEngine::with_config(AltruisticConfig::without_wake_rule());
+    let mut eng = PolicyRegistry::new()
+        .build(PolicyKind::AltruisticNoWake, &PolicyConfig::default())
+        .expect("flat kind");
     let (t1, t2) = (TxId(1), TxId(2));
-    let (x, y) = (slp_core::EntityId(0), slp_core::EntityId(1));
+    let (x, y) = (EntityId(0), EntityId(1));
     let mut trace = Schedule::empty();
-    eng.begin(t1).unwrap();
-    eng.begin(t2).unwrap();
+    eng.begin(t1, &AccessIntent::empty()).unwrap();
+    eng.begin(t2, &AccessIntent::empty()).unwrap();
     // T1: lock x, access, donate x (before its locked point).
-    record(&mut trace, t1, vec![eng.lock(t1, x).unwrap()]);
-    record(&mut trace, t1, eng.access(t1, x).unwrap());
-    record(&mut trace, t1, vec![eng.unlock(t1, x).unwrap()]);
+    granted(&mut eng, t1, PolicyAction::Lock(x), &mut trace);
+    granted(&mut eng, t1, PolicyAction::Access(x), &mut trace);
+    granted(&mut eng, t1, PolicyAction::Unlock(x), &mut trace);
     // T2 locks x (wake of T1), then — with AL2 disabled — locks the
     // non-donated y and finishes.
-    record(&mut trace, t2, vec![eng.lock(t2, x).unwrap()]);
-    record(&mut trace, t2, eng.access(t2, x).unwrap());
-    record(&mut trace, t2, vec![eng.lock(t2, y).unwrap()]);
-    record(&mut trace, t2, eng.access(t2, y).unwrap());
-    record(&mut trace, t2, eng.finish(t2).unwrap());
+    granted(&mut eng, t2, PolicyAction::Lock(x), &mut trace);
+    granted(&mut eng, t2, PolicyAction::Access(x), &mut trace);
+    granted(&mut eng, t2, PolicyAction::Lock(y), &mut trace);
+    granted(&mut eng, t2, PolicyAction::Access(y), &mut trace);
+    finished(&mut eng, t2, &mut trace);
     // T1 reaches y afterwards.
-    record(&mut trace, t1, vec![eng.lock(t1, y).unwrap()]);
-    record(&mut trace, t1, eng.access(t1, y).unwrap());
-    record(&mut trace, t1, eng.finish(t1).unwrap());
+    granted(&mut eng, t1, PolicyAction::Lock(y), &mut trace);
+    granted(&mut eng, t1, PolicyAction::Access(y), &mut trace);
+    finished(&mut eng, t1, &mut trace);
     trace
 }
 

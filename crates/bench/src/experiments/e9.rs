@@ -5,19 +5,29 @@
 //! regenerates the comparison *shape* on the discrete-event simulator
 //! (DESIGN.md §5): who wins, by roughly what factor, and where the
 //! crossovers are — across multiprogramming level, transaction length,
-//! and structural-update mix.
+//! structural-update mix, and (section d) a large-contention regime.
+//!
+//! Every policy is selected by [`PolicyKind`] and constructed through the
+//! [`PolicyRegistry`] — no engine is hand-wired.
 
-use slp_core::EntityId;
+use slp_core::{is_serializable, EntityId};
+use slp_policies::{PolicyConfig, PolicyKind, PolicyRegistry};
 use slp_sim::{
-    dag_access_jobs, dag_mixed_jobs, layered_dag, long_short_jobs, run_sim, uniform_jobs,
-    AltruisticAdapter, DdagAdapter, DtrAdapter, SimConfig, SimReport, TwoPhaseAdapter,
+    build_adapter, dag_access_jobs, dag_mixed_jobs, deep_dag_jobs, hot_cold_jobs, layered_dag,
+    long_short_jobs, run_sim, uniform_jobs, SimConfig, SimReport,
 };
 use std::fmt::Write;
 
+/// The flat-pool config over entity ids `0..n`.
+fn flat_pool(n: u32) -> PolicyConfig {
+    PolicyConfig::flat((0..n).map(EntityId).collect())
+}
+
 /// E9a: throughput and response vs multiprogramming level on a shared
 /// 3-target workload (flat pool for 2PL/altruistic/DTR; layered DAG for
-/// DDAG).
+/// DDAG). Reports come back in [2PL, altruistic, DTR, DDAG] order.
 pub fn mpl_sweep(mpls: &[usize], seed: u64) -> Vec<(usize, Vec<SimReport>)> {
+    let registry = PolicyRegistry::new();
     let mut rows = Vec::new();
     for &mpl in mpls {
         let config = SimConfig {
@@ -28,18 +38,23 @@ pub fn mpl_sweep(mpls: &[usize], seed: u64) -> Vec<(usize, Vec<SimReport>)> {
 
         let pool: Vec<EntityId> = (0..24).map(EntityId).collect();
         let jobs = uniform_jobs(&pool, 60, 3, seed);
-        let mut two_phase = TwoPhaseAdapter::new(pool.clone());
-        reports.push(run_sim(&mut two_phase, &jobs, &config));
-
-        let mut altruistic = AltruisticAdapter::new(pool.clone());
-        reports.push(run_sim(&mut altruistic, &jobs, &config));
-
-        let mut dtr = DtrAdapter::new(pool.clone());
-        reports.push(run_sim(&mut dtr, &jobs, &config));
+        for kind in [
+            PolicyKind::TwoPhase,
+            PolicyKind::Altruistic,
+            PolicyKind::Dtr,
+        ] {
+            let mut adapter = build_adapter(&registry, kind, &flat_pool(24)).expect("flat kind");
+            reports.push(run_sim(&mut adapter, &jobs, &config));
+        }
 
         let dag = layered_dag(4, 6, 2, seed);
         let dag_jobs = dag_access_jobs(&dag, 60, 2, seed);
-        let mut ddag = DdagAdapter::new(dag.universe.clone(), dag.graph.clone());
+        let mut ddag = build_adapter(
+            &registry,
+            PolicyKind::Ddag,
+            &PolicyConfig::dag(dag.universe.clone(), dag.graph.clone()),
+        )
+        .expect("DAG provided");
         reports.push(run_sim(&mut ddag, &dag_jobs, &config));
 
         rows.push((mpl, reports));
@@ -50,6 +65,7 @@ pub fn mpl_sweep(mpls: &[usize], seed: u64) -> Vec<(usize, Vec<SimReport>)> {
 /// E9b: the altruistic-locking story — mean short-transaction response as
 /// the long scan grows.
 pub fn scan_length_sweep(lengths: &[usize], seed: u64) -> Vec<(usize, SimReport, SimReport)> {
+    let registry = PolicyRegistry::new();
     let mut rows = Vec::new();
     for &len in lengths {
         let pool: Vec<EntityId> = (0..32).map(EntityId).collect();
@@ -58,9 +74,11 @@ pub fn scan_length_sweep(lengths: &[usize], seed: u64) -> Vec<(usize, SimReport,
             workers: 6,
             ..Default::default()
         };
-        let mut two_phase = TwoPhaseAdapter::new(pool.clone());
+        let mut two_phase =
+            build_adapter(&registry, PolicyKind::TwoPhase, &flat_pool(32)).expect("flat");
         let r_2pl = run_sim(&mut two_phase, &jobs, &config);
-        let mut altruistic = AltruisticAdapter::new(pool.clone());
+        let mut altruistic =
+            build_adapter(&registry, PolicyKind::Altruistic, &flat_pool(32)).expect("flat");
         let r_alt = run_sim(&mut altruistic, &jobs, &config);
         rows.push((len, r_2pl, r_alt));
     }
@@ -70,12 +88,18 @@ pub fn scan_length_sweep(lengths: &[usize], seed: u64) -> Vec<(usize, SimReport,
 /// E9c: DDAG under structural churn — abort rate and throughput as the
 /// share of insert jobs grows.
 pub fn insert_mix_sweep(probs: &[f64], seed: u64) -> Vec<(f64, SimReport)> {
+    let registry = PolicyRegistry::new();
     let mut rows = Vec::new();
     for &p in probs {
         let dag = layered_dag(4, 5, 2, seed);
-        let mut adapter = DdagAdapter::new(dag.universe.clone(), dag.graph.clone());
+        let mut adapter = build_adapter(
+            &registry,
+            PolicyKind::Ddag,
+            &PolicyConfig::dag(dag.universe.clone(), dag.graph.clone()),
+        )
+        .expect("DAG provided");
         let jobs = {
-            let mut intern = |name: &str| adapter.intern(name);
+            let mut intern = |name: &str| adapter.intern(name).expect("DDAG interns");
             dag_mixed_jobs(&dag, 60, 2, p, &mut intern, seed)
         };
         let config = SimConfig {
@@ -86,6 +110,45 @@ pub fn insert_mix_sweep(probs: &[f64], seed: u64) -> Vec<(f64, SimReport)> {
         rows.push((p, report));
     }
     rows
+}
+
+/// E9d: the large-contention regime (the ROADMAP "simulator-side scale"
+/// item): `jobs` hot-set jobs over a 48-entity pool whose touches
+/// concentrate on 6 hot entities (2PL / altruistic / DTR), and `jobs`
+/// deep-layer traversals on a 6-layer DAG whose dominator regions
+/// overlap near the root (DDAG). Every engine's hot path — lock queues,
+/// wake bookkeeping, dominator closures, abort/restart — runs at a
+/// contention level the small E9a/b/c workloads never reach. Reports come
+/// back in [2PL, altruistic, DTR, DDAG] order.
+pub fn large_contention(jobs: usize, seed: u64) -> Vec<SimReport> {
+    let registry = PolicyRegistry::new();
+    let config = SimConfig {
+        workers: 8,
+        ..Default::default()
+    };
+    let mut reports = Vec::new();
+
+    let pool: Vec<EntityId> = (0..48).map(EntityId).collect();
+    let flat_jobs = hot_cold_jobs(&pool, jobs, 3, 6, 0.8, seed);
+    for kind in [
+        PolicyKind::TwoPhase,
+        PolicyKind::Altruistic,
+        PolicyKind::Dtr,
+    ] {
+        let mut adapter = build_adapter(&registry, kind, &flat_pool(48)).expect("flat kind");
+        reports.push(run_sim(&mut adapter, &flat_jobs, &config));
+    }
+
+    let dag = layered_dag(6, 5, 2, seed);
+    let deep_jobs = deep_dag_jobs(&dag, jobs, 2, seed + 1);
+    let mut ddag = build_adapter(
+        &registry,
+        PolicyKind::Ddag,
+        &PolicyConfig::dag(dag.universe.clone(), dag.graph.clone()),
+    )
+    .expect("DAG provided");
+    reports.push(run_sim(&mut ddag, &deep_jobs, &config));
+    reports
 }
 
 /// Regenerates the E9 performance tables.
@@ -184,9 +247,53 @@ pub fn run() -> String {
         .unwrap();
         assert_eq!(r.committed, 60, "all jobs must eventually commit");
     }
+
     writeln!(
         out,
-        "\nshape notes: altruistic locking finishes the mixed workload faster than\n2PL and the gap grows with scan length (short transactions flow through\nthe scan's wake instead of queueing behind it); its per-job response at\nlong scans shows the cost of rule AL2's restrictiveness (aborted wake\nescapes), exactly the trade-off [SGMS94] and Section 5 discuss. DDAG\nabsorbs structural churn with abort/replan rather than blocking. Every\ntrace in every cell verified serializable."
+        "\n(d) large contention: 120 hot-set jobs (48 entities, 6 hot) /\n    120 deep-layer traversals (6-layer DAG), MPL 8, via the registry"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<12} {:>9} {:>8} {:>8} {:>10} {:>12} {:>12}",
+        "policy", "committed", "waits", "aborts", "makespan", "throughput", "mean resp"
+    )
+    .unwrap();
+    for r in large_contention(120, 31) {
+        writeln!(
+            out,
+            "{:<12} {:>9} {:>8} {:>8} {:>10} {:>12.2} {:>12.1}",
+            r.policy,
+            r.committed,
+            r.lock_waits,
+            r.policy_aborts + r.deadlock_aborts,
+            r.makespan,
+            r.throughput(),
+            r.mean_response(),
+        )
+        .unwrap();
+        assert!(
+            !r.timed_out,
+            "{} timed out under large contention",
+            r.policy
+        );
+        assert_eq!(r.committed, 120, "{}: every job must commit", r.policy);
+        assert!(
+            r.lock_waits > 0,
+            "{}: a contention workload must produce waits",
+            r.policy
+        );
+        assert!(r.schedule.is_legal(), "{}: illegal trace", r.policy);
+        assert!(
+            is_serializable(&r.schedule),
+            "{}: NONSERIALIZABLE trace under contention",
+            r.policy
+        );
+    }
+
+    writeln!(
+        out,
+        "\nshape notes: altruistic locking finishes the mixed workload faster than\n2PL and the gap grows with scan length (short transactions flow through\nthe scan's wake instead of queueing behind it); its per-job response at\nlong scans shows the cost of rule AL2's restrictiveness (aborted wake\nescapes), exactly the trade-off [SGMS94] and Section 5 discuss. DDAG\nabsorbs structural churn with abort/replan rather than blocking, and\nunder the (d) hot-set regime every policy is wait-dominated while every\ntrace still verifies serializable. Every cell was built through the\npolicy registry."
     )
     .unwrap();
     out

@@ -596,8 +596,8 @@ impl ScheduleSimulator {
         self.apply_undoable(tx, step).map(|_| ())
     }
 
-    /// Applies `step` for `tx` and returns a token that [`undo`]
-    /// (ScheduleSimulator::undo) can use to reverse it exactly.
+    /// Applies `step` for `tx` and returns a token that
+    /// [`undo`](ScheduleSimulator::undo) can use to reverse it exactly.
     #[inline]
     pub fn apply_undoable(&mut self, tx: TxId, step: &Step) -> Result<UndoToken, StepError> {
         self.check(tx, step)?;

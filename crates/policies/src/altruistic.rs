@@ -282,6 +282,84 @@ impl AltruisticEngine {
             .get(&tx)
             .map_or_else(Vec::new, |s| s.holding.iter().copied().collect())
     }
+
+    /// The rule switches this engine enforces.
+    pub fn config(&self) -> AltruisticConfig {
+        self.config
+    }
+}
+
+// ---------------------------------------------------------------------
+// The unified policy API
+// ---------------------------------------------------------------------
+
+use crate::api::{AccessIntent, PolicyAction, PolicyEngine, PolicyResponse, PolicyViolation};
+
+/// Folds an engine result into a [`PolicyResponse`], routing lock
+/// conflicts to the wait channel and rule violations to the abort channel.
+fn respond(result: Result<Vec<Step>, AltruisticViolation>) -> PolicyResponse {
+    match result {
+        Ok(steps) => PolicyResponse::Granted(steps),
+        Err(AltruisticViolation::LockConflict(entity, holder)) => {
+            PolicyResponse::Conflict { entity, holder }
+        }
+        Err(v) => PolicyResponse::Violation(PolicyViolation::Altruistic(v)),
+    }
+}
+
+impl PolicyEngine for AltruisticEngine {
+    fn name(&self) -> &'static str {
+        if self.config.enforce_wake_rule {
+            "altruistic"
+        } else {
+            "altruistic-no-wake"
+        }
+    }
+
+    fn begin(
+        &mut self,
+        tx: TxId,
+        _intent: &AccessIntent,
+    ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
+        AltruisticEngine::begin(self, tx).map_err(PolicyViolation::Altruistic)?;
+        Ok(None)
+    }
+
+    fn request(&mut self, tx: TxId, action: PolicyAction) -> PolicyResponse {
+        let result = match action {
+            PolicyAction::Lock(e) => self
+                .check_lock(tx, e)
+                .map(|()| vec![self.lock(tx, e).expect("checked")]),
+            PolicyAction::Unlock(e) => self.unlock(tx, e).map(|s| vec![s]),
+            PolicyAction::Access(e) => self.access(tx, e),
+            PolicyAction::Read(e) => self.data(tx, DataOp::Read, e),
+            PolicyAction::Write(e) => self.data(tx, DataOp::Write, e),
+            PolicyAction::LockedPoint => self.declare_locked_point(tx).map(|()| Vec::new()),
+            structural => {
+                return PolicyResponse::Violation(PolicyViolation::Unsupported {
+                    policy: PolicyEngine::name(self),
+                    action: structural,
+                })
+            }
+        };
+        respond(result)
+    }
+
+    fn finish(&mut self, tx: TxId) -> Result<Vec<Step>, PolicyViolation> {
+        AltruisticEngine::finish(self, tx).map_err(PolicyViolation::Altruistic)
+    }
+
+    fn abort(&mut self, tx: TxId) -> Vec<Step> {
+        AltruisticEngine::abort(self, tx)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]

@@ -472,6 +472,103 @@ impl DdagEngine {
         );
         self.universe.entity(&name)
     }
+
+    /// The rule switches this engine enforces.
+    pub fn config(&self) -> DdagConfig {
+        self.config
+    }
+}
+
+// ---------------------------------------------------------------------
+// The unified policy API
+// ---------------------------------------------------------------------
+
+use crate::api::{AccessIntent, PolicyAction, PolicyEngine, PolicyResponse, PolicyViolation};
+
+/// Folds an engine result into a [`PolicyResponse`], routing lock
+/// conflicts to the wait channel and rule violations to the abort channel.
+fn respond(result: Result<Vec<Step>, DdagViolation>) -> PolicyResponse {
+    match result {
+        Ok(steps) => PolicyResponse::Granted(steps),
+        Err(DdagViolation::LockConflict(entity, holder)) => {
+            PolicyResponse::Conflict { entity, holder }
+        }
+        Err(v) => PolicyResponse::Violation(PolicyViolation::Ddag(v)),
+    }
+}
+
+impl PolicyEngine for DdagEngine {
+    fn name(&self) -> &'static str {
+        match (
+            self.config.require_all_predecessors,
+            self.config.require_held_predecessor,
+        ) {
+            (true, true) => "DDAG",
+            (true, false) => "DDAG-no-held-pred",
+            (false, true) => "DDAG-no-all-preds",
+            (false, false) => "DDAG-no-L5",
+        }
+    }
+
+    fn begin(
+        &mut self,
+        tx: TxId,
+        _intent: &AccessIntent,
+    ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
+        DdagEngine::begin(self, tx).map_err(PolicyViolation::Ddag)?;
+        Ok(None)
+    }
+
+    fn request(&mut self, tx: TxId, action: PolicyAction) -> PolicyResponse {
+        let result = match action {
+            PolicyAction::Lock(n) => self
+                .check_lock(tx, n)
+                .map(|()| vec![self.lock(tx, n).expect("checked")]),
+            PolicyAction::Unlock(n) => self.unlock(tx, n).map(|s| vec![s]),
+            PolicyAction::Access(n) => self.access(tx, n),
+            PolicyAction::InsertNode(n) => self.insert_node(tx, n),
+            PolicyAction::DeleteNode(n) => self.delete_node(tx, n),
+            PolicyAction::InsertEdge(a, b) => self.insert_edge(tx, a, b),
+            PolicyAction::DeleteEdge(a, b) => self.delete_edge(tx, a, b),
+            unsupported => {
+                return PolicyResponse::Violation(PolicyViolation::Unsupported {
+                    policy: PolicyEngine::name(self),
+                    action: unsupported,
+                })
+            }
+        };
+        respond(result)
+    }
+
+    fn finish(&mut self, tx: TxId) -> Result<Vec<Step>, PolicyViolation> {
+        DdagEngine::finish(self, tx).map_err(PolicyViolation::Ddag)
+    }
+
+    fn abort(&mut self, tx: TxId) -> Vec<Step> {
+        DdagEngine::abort(self, tx)
+    }
+
+    fn graph(&self) -> Option<&DiGraph> {
+        Some(&self.graph)
+    }
+
+    fn intern_entity(&mut self, name: &str) -> Option<EntityId> {
+        Some(self.universe.entity(name))
+    }
+
+    fn structural_entities(&self) -> Option<Vec<EntityId>> {
+        let mut entities: Vec<EntityId> = self.graph.nodes().collect();
+        entities.extend(self.edge_entities.values().copied());
+        Some(entities)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]

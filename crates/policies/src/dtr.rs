@@ -272,6 +272,89 @@ impl DtrEngine {
     }
 }
 
+// ---------------------------------------------------------------------
+// The unified policy API
+// ---------------------------------------------------------------------
+
+use crate::api::{AccessIntent, PolicyAction, PolicyEngine, PolicyResponse, PolicyViolation};
+
+/// The [`PolicyAction`] realizing one plan [`Step`] (plans contain no
+/// structural steps; data steps map to their read/write/insert/delete
+/// actions).
+fn action_of(step: &Step) -> PolicyAction {
+    match step.op {
+        Operation::Lock(_) => PolicyAction::Lock(step.entity),
+        Operation::Unlock(_) => PolicyAction::Unlock(step.entity),
+        Operation::Data(DataOp::Read) => PolicyAction::Read(step.entity),
+        Operation::Data(DataOp::Write) => PolicyAction::Write(step.entity),
+        Operation::Data(DataOp::Insert) => PolicyAction::InsertNode(step.entity),
+        Operation::Data(DataOp::Delete) => PolicyAction::DeleteNode(step.entity),
+    }
+}
+
+impl PolicyEngine for DtrEngine {
+    fn name(&self) -> &'static str {
+        "DTR"
+    }
+
+    /// DT2: joins/extends the forest for the declared access set and
+    /// returns the precomputed tree-locked plan as actions — the caller
+    /// drives [`PolicyEngine::request`] with exactly these, in order.
+    fn begin(
+        &mut self,
+        tx: TxId,
+        intent: &AccessIntent,
+    ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
+        let plan = DtrEngine::begin(self, tx, &intent.ops).map_err(PolicyViolation::Dtr)?;
+        Ok(Some(plan.iter().map(action_of).collect()))
+    }
+
+    fn request(&mut self, tx: TxId, action: PolicyAction) -> PolicyResponse {
+        match self.peek(tx) {
+            Some(step) if action_of(step) == action => {}
+            Some(_) => return PolicyResponse::Violation(PolicyViolation::OffPlan(tx, action)),
+            None => {
+                let v = if self.txs.contains_key(&tx) {
+                    DtrViolation::PlanExhausted(tx)
+                } else {
+                    DtrViolation::UnknownTransaction(tx)
+                };
+                return PolicyResponse::Violation(PolicyViolation::Dtr(v));
+            }
+        }
+        match self.check_step(tx) {
+            Ok(()) => match self.step(tx) {
+                Ok(step) => PolicyResponse::Granted(vec![step]),
+                Err(v) => PolicyResponse::Violation(PolicyViolation::Dtr(v)),
+            },
+            Err(DtrViolation::LockConflict(entity, holder)) => {
+                PolicyResponse::Conflict { entity, holder }
+            }
+            Err(v) => PolicyResponse::Violation(PolicyViolation::Dtr(v)),
+        }
+    }
+
+    fn finish(&mut self, tx: TxId) -> Result<Vec<Step>, PolicyViolation> {
+        DtrEngine::finish(self, tx).map_err(PolicyViolation::Dtr)
+    }
+
+    fn abort(&mut self, tx: TxId) -> Vec<Step> {
+        DtrEngine::finish(self, tx).unwrap_or_default()
+    }
+
+    fn forest(&self) -> Option<&Forest> {
+        Some(&self.forest)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,23 +13,47 @@
 //! | [`dtr`] | dynamic tree policy engine (rules DT0–DT3) \[CM86\] | Section 6 |
 //! | [`mutants`] | deliberately unsafe lockers (negative controls) | — |
 //!
-//! The three dynamic-policy engines share a common shape: they maintain
-//! the shared structure (graph / wake sets / forest), enforce every rule
-//! *online*, emit the [`slp_core::Step`]s realizing each action, and
-//! distinguish **rule violations** (the transaction must abort) from
-//! **lock conflicts** (the transaction may wait) so a scheduler can queue.
+//! The engines share one shape, made explicit by the [`api`] module: they
+//! maintain the shared structure (graph / wake sets / forest), enforce
+//! every rule *online*, emit the [`slp_core::Step`]s realizing each
+//! action, and distinguish **rule violations** (the transaction must
+//! abort) from **lock conflicts** (the transaction may wait) so a
+//! scheduler can queue. Every engine implements the object-safe
+//! [`PolicyEngine`] trait, and [`PolicyRegistry`] builds any of them —
+//! mutants included — from a [`PolicyKind`] or a name:
+//!
+//! ```
+//! use slp_policies::{AccessIntent, PolicyAction, PolicyConfig, PolicyKind, PolicyRegistry};
+//! use slp_core::{EntityId, TxId};
+//!
+//! let registry = PolicyRegistry::new();
+//! let config = PolicyConfig::flat((0..4).map(EntityId).collect());
+//! let mut engine = registry.build(PolicyKind::TwoPhase, &config).unwrap();
+//! engine.begin(TxId(1), &AccessIntent::empty()).unwrap();
+//! let steps = engine
+//!     .request(TxId(1), PolicyAction::Lock(EntityId(0)))
+//!     .expect_granted();
+//! assert_eq!(steps.len(), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod altruistic;
+pub mod api;
 pub mod ddag;
 pub mod dtr;
 pub mod mutants;
+pub mod registry;
 pub mod tree;
 pub mod two_phase;
 
 pub use altruistic::{AltruisticConfig, AltruisticEngine, AltruisticViolation};
+pub use api::{
+    AccessIntent, PlanViolation, PolicyAction, PolicyEngine, PolicyResponse, PolicyViolation,
+};
 pub use ddag::{DdagConfig, DdagEngine, DdagViolation};
 pub use dtr::{DtrEngine, DtrViolation};
+pub use registry::{PolicyBuilder, PolicyConfig, PolicyKind, PolicyRegistry, RegistryError};
 pub use tree::{is_tree_locked, tree_lock_plan, PlanError, TreeLockViolation};
+pub use two_phase::TwoPhaseEngine;

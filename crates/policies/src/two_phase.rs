@@ -71,6 +71,75 @@ pub fn complies(t: &LockedTransaction) -> bool {
     t.validate().is_ok() && t.is_two_phase()
 }
 
+// ---------------------------------------------------------------------
+// The unified policy API
+// ---------------------------------------------------------------------
+
+use crate::altruistic::AltruisticEngine;
+use crate::api::{AccessIntent, PolicyAction, PolicyEngine, PolicyResponse, PolicyViolation};
+use slp_core::TxId;
+
+/// Strict 2PL as an online [`PolicyEngine`].
+///
+/// Internally this is an [`AltruisticEngine`]: strict 2PL is altruistic
+/// locking whose plans never donate, so AL2 never fires and the engine
+/// serves as a plain exclusive/shared lock manager with at-most-once
+/// bookkeeping. The newtype exists so the registry and reports can tell
+/// the two policies apart — the *planner* is what makes 2PL two-phase.
+#[derive(Clone, Debug, Default)]
+pub struct TwoPhaseEngine {
+    inner: AltruisticEngine,
+}
+
+impl TwoPhaseEngine {
+    /// A fresh lock manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PolicyEngine for TwoPhaseEngine {
+    fn name(&self) -> &'static str {
+        "2PL"
+    }
+
+    fn begin(
+        &mut self,
+        tx: TxId,
+        intent: &AccessIntent,
+    ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
+        PolicyEngine::begin(&mut self.inner, tx, intent)
+    }
+
+    fn request(&mut self, tx: TxId, action: PolicyAction) -> PolicyResponse {
+        match self.inner.request(tx, action) {
+            PolicyResponse::Violation(PolicyViolation::Unsupported { action, .. }) => {
+                PolicyResponse::Violation(PolicyViolation::Unsupported {
+                    policy: "2PL",
+                    action,
+                })
+            }
+            response => response,
+        }
+    }
+
+    fn finish(&mut self, tx: TxId) -> Result<Vec<slp_core::Step>, PolicyViolation> {
+        PolicyEngine::finish(&mut self.inner, tx)
+    }
+
+    fn abort(&mut self, tx: TxId) -> Vec<slp_core::Step> {
+        PolicyEngine::abort(&mut self.inner, tx)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

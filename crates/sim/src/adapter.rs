@@ -1,13 +1,15 @@
 //! The adapter interface between the simulator and the policy engines.
 //!
-//! Each adapter wraps one policy engine, translates [`Job`]s into the
-//! engine's lock/data/unlock actions, and reports per-step outcomes the
-//! scheduler can act on: progress, blocked-on-a-lock (wait), or a policy
-//! violation (abort and restart — e.g. the Fig. 3 scenario where an edge
-//! insert invalidates a traversal's lock plan).
+//! An adapter wraps one [`slp_policies::PolicyEngine`], translates
+//! [`Job`]s into the engine's action vocabulary, and reports per-step
+//! outcomes the scheduler can act on: progress, blocked-on-a-lock (wait),
+//! or a typed policy violation (abort and restart — e.g. the Fig. 3
+//! scenario where an edge insert invalidates a traversal's lock plan).
+//! See [`crate::adapters::EngineAdapter`] for the one implementation.
 
 use crate::job::Job;
 use slp_core::{EntityId, Step, TxId};
+use slp_policies::PolicyViolation;
 
 /// The outcome of attempting to advance a transaction by one action.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -21,9 +23,12 @@ pub enum Advance {
         /// The transaction holding it.
         holder: TxId,
     },
-    /// The policy forbids the next action outright (the transaction must
-    /// abort and retry as a fresh transaction).
-    Violation(String),
+    /// The policy forbids the next action outright. The scheduler
+    /// classifies the violation by matching on the enum —
+    /// [`PolicyViolation::is_fatal`] separates retryable rule violations
+    /// (abort and restart as a fresh transaction) from malformed requests
+    /// (drop the job).
+    Violation(PolicyViolation),
     /// The transaction finished; these final steps (unlocks) were emitted.
     Done(Vec<Step>),
 }
@@ -34,8 +39,9 @@ pub trait PolicyAdapter {
     fn name(&self) -> &'static str;
 
     /// Starts a transaction for `job`. The adapter may precompute a plan
-    /// against the current shared state. Fails only on malformed jobs.
-    fn begin(&mut self, tx: TxId, job: &Job) -> Result<(), String>;
+    /// against the current shared state; planning failures and engine
+    /// refusals surface as typed violations.
+    fn begin(&mut self, tx: TxId, job: &Job) -> Result<(), PolicyViolation>;
 
     /// Attempts the next action of `tx`.
     fn advance(&mut self, tx: TxId) -> Advance;

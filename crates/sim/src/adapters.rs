@@ -1,264 +1,146 @@
-//! Policy adapters: one per policy compared in experiment E9.
+//! One generic adapter over every policy: [`EngineAdapter`] drives any
+//! [`PolicyEngine`] from per-transaction action plans produced by a
+//! per-policy [`ActionPlanner`].
 //!
-//! * [`TwoPhaseAdapter`] — strict 2PL (locks on demand in job order, all
-//!   releases at commit);
-//! * [`AltruisticAdapter`] — altruistic locking with eager donation (each
-//!   target is donated as soon as the next lock is acquired);
-//! * [`DdagAdapter`] — DDAG traversals (dominator-closed regions locked in
-//!   topological order with crawling release) plus structural inserts;
-//! * [`DtrAdapter`] — dynamic tree policy (plans precomputed by the
-//!   engine, per rule DT2).
+//! The planner split is what distinguishes policies that share an engine:
+//! strict 2PL and altruistic locking both run on a plain lock manager, but
+//! the [`TwoPhasePlanner`] holds every lock to the end while the
+//! [`AltruisticPlanner`] donates each target as soon as the next lock is
+//! acquired. The [`DdagPlanner`] lays dominator-closed traversal regions
+//! over the engine's *current* graph (so concurrent structural changes
+//! surface later as policy violations — abort + replan, as in Fig. 3),
+//! and the [`DtrPlanner`] defers entirely to the engine, which precomputes
+//! tree-locked plans per rule DT2.
+//!
+//! Use [`build_adapter`] to construct the adapter for any
+//! [`PolicyKind`] through a [`PolicyRegistry`]:
+//!
+//! ```
+//! use slp_core::EntityId;
+//! use slp_policies::{PolicyConfig, PolicyKind, PolicyRegistry};
+//! use slp_sim::{build_adapter, run_sim, uniform_jobs, SimConfig};
+//!
+//! let registry = PolicyRegistry::new();
+//! let pool: Vec<EntityId> = (0..8).map(EntityId).collect();
+//! let jobs = uniform_jobs(&pool, 10, 2, 7);
+//! let mut adapter =
+//!     build_adapter(&registry, PolicyKind::TwoPhase, &PolicyConfig::flat(pool)).unwrap();
+//! let report = run_sim(&mut adapter, &jobs, &SimConfig::default());
+//! assert_eq!(report.committed, 10);
+//! ```
 
 use crate::adapter::{Advance, PolicyAdapter};
 use crate::job::Job;
-use slp_core::{EntityId, Step, StructuralState, TxId, Universe};
+use rustc_hash::FxHashMap;
+use slp_core::{EntityId, Step, StructuralState, TxId};
 use slp_graph::{dag, dominators, rooted, DiGraph};
-use slp_policies::altruistic::{AltruisticEngine, AltruisticViolation};
-use slp_policies::ddag::{DdagEngine, DdagViolation};
-use slp_policies::dtr::{DtrEngine, DtrViolation};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use slp_policies::{
+    AccessIntent, PlanViolation, PolicyAction, PolicyConfig, PolicyEngine, PolicyKind,
+    PolicyRegistry, PolicyResponse, PolicyViolation, RegistryError,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Translates [`Job`]s into [`PolicyAction`] plans for one policy.
+///
+/// A planner may lay the plan itself (against the engine's current shared
+/// state) or return `Ok(None)` to defer to the engine's own plan from
+/// [`PolicyEngine::begin`] (plan-precomputing policies, rule DT2).
+pub trait ActionPlanner {
+    /// The access set `job` declares at `begin` (plan-precomputing
+    /// policies require it; on-demand policies ignore it).
+    fn intent(&self, job: &Job) -> AccessIntent;
+
+    /// Plans the actions realizing `job`, or `Ok(None)` to use the
+    /// engine's own precomputed plan.
+    fn plan(
+        &mut self,
+        engine: &mut dyn PolicyEngine,
+        job: &Job,
+    ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation>;
+}
 
 // ---------------------------------------------------------------------
-// 2PL
+// Flat-pool planners: 2PL and altruistic
 // ---------------------------------------------------------------------
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum FlatAction {
-    Lock(EntityId),
-    Access(EntityId),
-    Unlock(EntityId),
-    LockedPoint,
-}
+/// Strict 2PL: lock each target on demand in job order, access it, release
+/// everything only at commit (the adapter's implicit `finish`).
+pub struct TwoPhasePlanner;
 
-/// Strict two-phase locking over a flat entity pool.
-pub struct TwoPhaseAdapter {
-    engine: AltruisticEngine,
-    plans: HashMap<TxId, (Vec<FlatAction>, usize)>,
-    pool: Vec<EntityId>,
-}
-
-impl TwoPhaseAdapter {
-    /// An adapter over a pool of initially existing entities.
-    pub fn new(pool: Vec<EntityId>) -> Self {
-        // Strict 2PL is altruistic locking with no donations: AL2 never
-        // fires, so the engine serves as a plain lock manager with
-        // at-most-once bookkeeping.
-        TwoPhaseAdapter {
-            engine: AltruisticEngine::new(),
-            plans: HashMap::new(),
-            pool,
-        }
+impl ActionPlanner for TwoPhasePlanner {
+    fn intent(&self, _job: &Job) -> AccessIntent {
+        AccessIntent::empty()
     }
 
-    /// The initial structural state (the whole pool exists).
-    pub fn initial_state(&self) -> StructuralState {
-        StructuralState::from_entities(self.pool.iter().copied())
-    }
-}
-
-impl PolicyAdapter for TwoPhaseAdapter {
-    fn name(&self) -> &'static str {
-        "2PL"
-    }
-
-    fn begin(&mut self, tx: TxId, job: &Job) -> Result<(), String> {
-        self.engine.begin(tx).map_err(|e| e.to_string())?;
+    fn plan(
+        &mut self,
+        _engine: &mut dyn PolicyEngine,
+        job: &Job,
+    ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
         let mut plan = Vec::with_capacity(job.targets.len() * 2);
         for &t in &job.targets {
-            plan.push(FlatAction::Lock(t));
-            plan.push(FlatAction::Access(t));
+            plan.push(PolicyAction::Lock(t));
+            plan.push(PolicyAction::Access(t));
         }
-        self.plans.insert(tx, (plan, 0));
-        Ok(())
-    }
-
-    fn advance(&mut self, tx: TxId) -> Advance {
-        flat_advance(&mut self.engine, &mut self.plans, tx)
-    }
-
-    fn abort(&mut self, tx: TxId) -> Vec<Step> {
-        self.plans.remove(&tx);
-        self.engine.abort(tx)
+        Ok(Some(plan))
     }
 }
 
-/// Shared action interpreter for the two flat-pool adapters.
-fn flat_advance(
-    engine: &mut AltruisticEngine,
-    plans: &mut HashMap<TxId, (Vec<FlatAction>, usize)>,
-    tx: TxId,
-) -> Advance {
-    let Some((plan, cursor)) = plans.get_mut(&tx) else {
-        return Advance::Violation(format!("{tx} has no plan"));
-    };
-    let Some(&action) = plan.get(*cursor) else {
-        plans.remove(&tx);
-        return match engine.finish(tx) {
-            Ok(steps) => Advance::Done(steps),
-            Err(e) => Advance::Violation(e.to_string()),
-        };
-    };
-    let result = match action {
-        FlatAction::Lock(e) => match engine.check_lock(tx, e) {
-            Ok(()) => Ok(vec![engine.lock(tx, e).expect("checked")]),
-            Err(AltruisticViolation::LockConflict(entity, holder)) => {
-                return Advance::Blocked { entity, holder };
-            }
-            Err(other) => Err(other.to_string()),
-        },
-        FlatAction::Access(e) => engine.access(tx, e).map_err(|e| e.to_string()),
-        FlatAction::Unlock(e) => engine
-            .unlock(tx, e)
-            .map(|s| vec![s])
-            .map_err(|e| e.to_string()),
-        FlatAction::LockedPoint => engine
-            .declare_locked_point(tx)
-            .map(|()| Vec::new())
-            .map_err(|e| e.to_string()),
-    };
-    match result {
-        Ok(steps) => {
-            *cursor += 1;
-            Advance::Progress(steps)
-        }
-        Err(msg) => Advance::Violation(msg),
-    }
-}
+/// Altruistic locking with eager donation: target `i` is donated as soon
+/// as target `i + 1`'s lock is acquired, so short transactions can run in
+/// the long transaction's wake.
+pub struct AltruisticPlanner;
 
-// ---------------------------------------------------------------------
-// Altruistic
-// ---------------------------------------------------------------------
-
-/// Altruistic locking with eager donation: target `i` is donated right
-/// after target `i + 1`'s lock is acquired, so short transactions can run
-/// in the long transaction's wake.
-pub struct AltruisticAdapter {
-    engine: AltruisticEngine,
-    plans: HashMap<TxId, (Vec<FlatAction>, usize)>,
-    pool: Vec<EntityId>,
-}
-
-impl AltruisticAdapter {
-    /// An adapter over a pool of initially existing entities.
-    pub fn new(pool: Vec<EntityId>) -> Self {
-        AltruisticAdapter {
-            engine: AltruisticEngine::new(),
-            plans: HashMap::new(),
-            pool,
-        }
+impl ActionPlanner for AltruisticPlanner {
+    fn intent(&self, _job: &Job) -> AccessIntent {
+        AccessIntent::empty()
     }
 
-    /// The initial structural state (the whole pool exists).
-    pub fn initial_state(&self) -> StructuralState {
-        StructuralState::from_entities(self.pool.iter().copied())
-    }
-}
-
-impl PolicyAdapter for AltruisticAdapter {
-    fn name(&self) -> &'static str {
-        "altruistic"
-    }
-
-    fn begin(&mut self, tx: TxId, job: &Job) -> Result<(), String> {
-        self.engine.begin(tx).map_err(|e| e.to_string())?;
+    fn plan(
+        &mut self,
+        _engine: &mut dyn PolicyEngine,
+        job: &Job,
+    ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
         let mut plan = Vec::new();
         for (i, &t) in job.targets.iter().enumerate() {
-            plan.push(FlatAction::Lock(t));
+            plan.push(PolicyAction::Lock(t));
             if i == job.targets.len() - 1 {
-                plan.push(FlatAction::LockedPoint);
+                plan.push(PolicyAction::LockedPoint);
             }
             if i > 0 {
                 // Donate the previous target now that the next lock is held.
-                plan.push(FlatAction::Unlock(job.targets[i - 1]));
+                plan.push(PolicyAction::Unlock(job.targets[i - 1]));
             }
-            plan.push(FlatAction::Access(t));
+            plan.push(PolicyAction::Access(t));
         }
-        self.plans.insert(tx, (plan, 0));
-        Ok(())
-    }
-
-    fn advance(&mut self, tx: TxId) -> Advance {
-        flat_advance(&mut self.engine, &mut self.plans, tx)
-    }
-
-    fn abort(&mut self, tx: TxId) -> Vec<Step> {
-        self.plans.remove(&tx);
-        self.engine.abort(tx)
+        Ok(Some(plan))
     }
 }
 
 // ---------------------------------------------------------------------
-// DDAG
+// DDAG planner
 // ---------------------------------------------------------------------
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum DdagAction {
-    Lock(EntityId),
-    Access(EntityId),
-    Unlock(EntityId),
-    InsertNode(EntityId),
-    InsertEdge(EntityId, EntityId),
-}
+/// DDAG traversals and structural inserts over the engine's shared rooted
+/// DAG.
+pub struct DdagPlanner;
 
-/// DDAG traversal and insertion transactions over a shared rooted DAG.
-pub struct DdagAdapter {
-    engine: DdagEngine,
-    plans: HashMap<TxId, (Vec<DdagAction>, usize)>,
-}
-
-impl DdagAdapter {
-    /// An adapter over an initial rooted DAG.
-    pub fn new(universe: Universe, graph: DiGraph) -> Self {
-        DdagAdapter {
-            engine: DdagEngine::new(universe, graph),
-            plans: HashMap::new(),
-        }
-    }
-
-    /// An adapter with a mutant rule configuration (ablations).
-    pub fn with_config(
-        universe: Universe,
-        graph: DiGraph,
-        config: slp_policies::ddag::DdagConfig,
-    ) -> Self {
-        DdagAdapter {
-            engine: DdagEngine::with_config(universe, graph, config),
-            plans: HashMap::new(),
-        }
-    }
-
-    /// Interns a fresh entity (for insert jobs).
-    pub fn intern(&mut self, name: &str) -> EntityId {
-        self.engine.intern(name)
-    }
-
-    /// The current graph.
-    pub fn graph(&self) -> &DiGraph {
-        self.engine.graph()
-    }
-
-    /// The initial structural state: all current nodes and edge entities.
-    /// Call before running jobs.
-    pub fn initial_state(&self) -> StructuralState {
-        let mut s = StructuralState::from_entities(self.engine.graph().nodes());
-        for (a, b) in self.engine.graph().edges() {
-            if let Some(e) = self.engine.edge_entity(a, b) {
-                s.insert(e);
-            }
-        }
-        s
-    }
-
+impl DdagPlanner {
     /// Plans a traversal: the dominator-closed region covering `targets`,
     /// locked in topological order with crawling release. Planned against
     /// the *current* graph — concurrent structural changes surface later
     /// as policy violations (abort + replan), as in Fig. 3.
-    fn plan_traversal(&self, targets: &[EntityId]) -> Result<Vec<DdagAction>, String> {
-        let g = self.engine.graph();
-        let root = rooted::root(g).ok_or("graph is not rooted")?;
+    fn plan_traversal(
+        g: &DiGraph,
+        targets: &[EntityId],
+    ) -> Result<Vec<PolicyAction>, PolicyViolation> {
+        if targets.is_empty() {
+            return Err(PlanViolation::EmptyJob.into());
+        }
+        let root = rooted::root(g).ok_or(PlanViolation::NotRooted)?;
         for &t in targets {
             if !g.has_node(t) {
-                return Err(format!("target {t} not in graph"));
+                return Err(PlanViolation::TargetMissing(t).into());
             }
         }
         // Lowest common dominator: intersect dominator sets, take the one
@@ -266,17 +148,17 @@ impl DdagAdapter {
         let sets = dominators::dominator_sets(g, root);
         let mut common: BTreeSet<EntityId> = sets
             .get(&targets[0])
-            .ok_or("target unreachable from root")?
+            .ok_or(PlanViolation::UnreachableFromRoot(targets[0]))?
             .clone();
-        for t in &targets[1..] {
-            let s = sets.get(t).ok_or("target unreachable from root")?;
+        for &t in &targets[1..] {
+            let s = sets.get(&t).ok_or(PlanViolation::UnreachableFromRoot(t))?;
             common = common.intersection(s).copied().collect();
         }
         let start = common
             .iter()
             .copied()
             .max_by_key(|d| sets[d].len())
-            .ok_or("no common dominator")?;
+            .ok_or(PlanViolation::NoCommonDominator)?;
         // Region: predecessor closure from the targets up to `start`.
         let mut region: BTreeSet<EntityId> = targets.iter().copied().collect();
         region.insert(start);
@@ -291,7 +173,7 @@ impl DdagAdapter {
             // so the closure terminates at `start` without passing it.
         }
         // Lock order: global topological order restricted to the region.
-        let topo = dag::topological_sort(g).ok_or("graph has a cycle")?;
+        let topo = dag::topological_sort(g).ok_or(PlanViolation::CyclicGraph)?;
         let order: Vec<EntityId> = topo.into_iter().filter(|n| region.contains(n)).collect();
         // Release point of n: after the last region-successor of n is
         // locked (so L5's "presently holding a predecessor" always holds).
@@ -310,13 +192,13 @@ impl DdagAdapter {
         let target_set: BTreeSet<EntityId> = targets.iter().copied().collect();
         let mut plan = Vec::new();
         for (i, &n) in order.iter().enumerate() {
-            plan.push(DdagAction::Lock(n));
+            plan.push(PolicyAction::Lock(n));
             if target_set.contains(&n) {
-                plan.push(DdagAction::Access(n));
+                plan.push(PolicyAction::Access(n));
             }
             if let Some(done) = release_after.get(&i) {
                 for &m in done {
-                    plan.push(DdagAction::Unlock(m));
+                    plan.push(PolicyAction::Unlock(m));
                 }
             }
         }
@@ -324,70 +206,189 @@ impl DdagAdapter {
     }
 }
 
-impl PolicyAdapter for DdagAdapter {
-    fn name(&self) -> &'static str {
-        "DDAG"
+impl ActionPlanner for DdagPlanner {
+    fn intent(&self, _job: &Job) -> AccessIntent {
+        AccessIntent::empty()
     }
 
-    fn begin(&mut self, tx: TxId, job: &Job) -> Result<(), String> {
-        let plan = if let Some(ins) = job.insert_under {
-            let mut p = vec![
-                DdagAction::Lock(ins.parent),
-                DdagAction::Lock(ins.node),
-                DdagAction::InsertNode(ins.node),
-                DdagAction::InsertEdge(ins.parent, ins.node),
-                DdagAction::Unlock(ins.parent),
-                DdagAction::Unlock(ins.node),
-            ];
-            for &t in &job.targets {
-                let _ = t; // insert jobs carry no extra targets
+    fn plan(
+        &mut self,
+        engine: &mut dyn PolicyEngine,
+        job: &Job,
+    ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
+        if let Some(ins) = job.insert_under {
+            // Insert a fresh node under an existing parent: lock both (the
+            // fresh node per L2), mutate, release.
+            return Ok(Some(vec![
+                PolicyAction::Lock(ins.parent),
+                PolicyAction::Lock(ins.node),
+                PolicyAction::InsertNode(ins.node),
+                PolicyAction::InsertEdge(ins.parent, ins.node),
+                PolicyAction::Unlock(ins.parent),
+                PolicyAction::Unlock(ins.node),
+            ]));
+        }
+        let g = engine.graph().ok_or(PlanViolation::NoGraph)?;
+        Self::plan_traversal(g, &job.targets).map(Some)
+    }
+}
+
+// ---------------------------------------------------------------------
+// DTR planner
+// ---------------------------------------------------------------------
+
+/// Dynamic tree policy: declares the access set and defers planning to the
+/// engine, which joins/extends the forest and precomputes the tree-locked
+/// plan (rule DT2).
+pub struct DtrPlanner;
+
+impl ActionPlanner for DtrPlanner {
+    fn intent(&self, job: &Job) -> AccessIntent {
+        AccessIntent::access(job.targets.iter().copied())
+    }
+
+    fn plan(
+        &mut self,
+        _engine: &mut dyn PolicyEngine,
+        _job: &Job,
+    ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The generic adapter
+// ---------------------------------------------------------------------
+
+/// The one simulator adapter: any [`PolicyEngine`] plus the matching
+/// [`ActionPlanner`], with per-transaction plan cursors.
+pub struct EngineAdapter<P: PolicyEngine + 'static> {
+    engine: P,
+    planner: Box<dyn ActionPlanner>,
+    plans: FxHashMap<TxId, (Vec<PolicyAction>, usize)>,
+    pool: Vec<EntityId>,
+}
+
+/// The adapter shape the [`PolicyRegistry`] produces: a boxed engine
+/// behind the generic adapter.
+pub type PolicyInstance = EngineAdapter<Box<dyn PolicyEngine>>;
+
+/// The planner matching a [`PolicyKind`] (mutants share their base
+/// policy's planner — the ablated *engine* is what differs).
+pub fn planner_for(kind: PolicyKind) -> Box<dyn ActionPlanner> {
+    match kind.base() {
+        PolicyKind::TwoPhase => Box::new(TwoPhasePlanner),
+        PolicyKind::Altruistic => Box::new(AltruisticPlanner),
+        PolicyKind::Ddag => Box::new(DdagPlanner),
+        PolicyKind::Dtr => Box::new(DtrPlanner),
+        mutant => unreachable!("PolicyKind::base returns safe kinds, got {mutant}"),
+    }
+}
+
+/// Builds the simulator adapter for `kind` through `registry`: the engine
+/// from the registry, the matching planner, and the initial pool from
+/// `config` (for the initial structural state of flat-pool policies).
+pub fn build_adapter(
+    registry: &PolicyRegistry,
+    kind: PolicyKind,
+    config: &PolicyConfig,
+) -> Result<PolicyInstance, RegistryError> {
+    let engine = registry.build(kind, config)?;
+    Ok(EngineAdapter::new(
+        engine,
+        planner_for(kind),
+        config.pool.clone(),
+    ))
+}
+
+impl<P: PolicyEngine + 'static> EngineAdapter<P> {
+    /// An adapter over `engine` driven by `planner`. `pool` is the set of
+    /// initially existing entities for policies that do not track
+    /// existence themselves (see [`EngineAdapter::initial_state`]).
+    pub fn new(engine: P, planner: Box<dyn ActionPlanner>, pool: Vec<EntityId>) -> Self {
+        EngineAdapter {
+            engine,
+            planner,
+            plans: FxHashMap::default(),
+            pool,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &P {
+        &self.engine
+    }
+
+    /// The wrapped engine, mutably (for policy-specific introspection).
+    pub fn engine_mut(&mut self) -> &mut P {
+        &mut self.engine
+    }
+
+    /// Interns a fresh entity name through the engine (DDAG insert
+    /// workloads); `None` if the policy has no growing universe.
+    pub fn intern(&mut self, name: &str) -> Option<EntityId> {
+        self.engine.intern_entity(name)
+    }
+
+    /// The engine's shared graph, if it maintains one.
+    pub fn graph(&self) -> Option<&DiGraph> {
+        self.engine.graph()
+    }
+
+    /// The initial structural state for properness checks: the engine's
+    /// own existence tracking when present (DDAG: nodes + edge entities),
+    /// else the flat pool. Capture *before* running jobs.
+    pub fn initial_state(&self) -> StructuralState {
+        match self.engine.structural_entities() {
+            Some(entities) => StructuralState::from_entities(entities),
+            None => StructuralState::from_entities(self.pool.iter().copied()),
+        }
+    }
+}
+
+impl<P: PolicyEngine + 'static> PolicyAdapter for EngineAdapter<P> {
+    fn name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    fn begin(&mut self, tx: TxId, job: &Job) -> Result<(), PolicyViolation> {
+        // Plan first: a malformed job must not leave begun-but-planless
+        // transaction state in the engine.
+        let planned = self.planner.plan(&mut self.engine, job)?;
+        let intent = self.planner.intent(job);
+        let engine_plan = self.engine.begin(tx, &intent)?;
+        let plan = match planned.or(engine_plan) {
+            Some(plan) => plan,
+            None => {
+                // Misconfigured pairing (neither planner nor engine
+                // produced a plan): retire the just-begun transaction so
+                // the engine holds no planless state.
+                self.engine.abort(tx);
+                return Err(PolicyViolation::NoPlan(tx));
             }
-            p.shrink_to_fit();
-            p
-        } else {
-            self.plan_traversal(&job.targets)?
         };
-        self.engine.begin(tx).map_err(|e| e.to_string())?;
         self.plans.insert(tx, (plan, 0));
         Ok(())
     }
 
     fn advance(&mut self, tx: TxId) -> Advance {
         let Some((plan, cursor)) = self.plans.get_mut(&tx) else {
-            return Advance::Violation(format!("{tx} has no plan"));
+            return Advance::Violation(PolicyViolation::NoPlan(tx));
         };
         let Some(&action) = plan.get(*cursor) else {
             self.plans.remove(&tx);
             return match self.engine.finish(tx) {
                 Ok(steps) => Advance::Done(steps),
-                Err(e) => Advance::Violation(e.to_string()),
+                Err(v) => Advance::Violation(v),
             };
         };
-        let result = match action {
-            DdagAction::Lock(n) => match self.engine.check_lock(tx, n) {
-                Ok(()) => Ok(vec![self.engine.lock(tx, n).expect("checked")]),
-                Err(DdagViolation::LockConflict(entity, holder)) => {
-                    return Advance::Blocked { entity, holder };
-                }
-                Err(other) => Err(other.to_string()),
-            },
-            DdagAction::Access(n) => self.engine.access(tx, n).map_err(|e| e.to_string()),
-            DdagAction::Unlock(n) => self
-                .engine
-                .unlock(tx, n)
-                .map(|s| vec![s])
-                .map_err(|e| e.to_string()),
-            DdagAction::InsertNode(n) => self.engine.insert_node(tx, n).map_err(|e| e.to_string()),
-            DdagAction::InsertEdge(a, b) => {
-                self.engine.insert_edge(tx, a, b).map_err(|e| e.to_string())
-            }
-        };
-        match result {
-            Ok(steps) => {
+        match self.engine.request(tx, action) {
+            PolicyResponse::Granted(steps) => {
                 *cursor += 1;
                 Advance::Progress(steps)
             }
-            Err(msg) => Advance::Violation(msg),
+            PolicyResponse::Conflict { entity, holder } => Advance::Blocked { entity, holder },
+            PolicyResponse::Violation(v) => Advance::Violation(v),
         }
     }
 
@@ -397,79 +398,11 @@ impl PolicyAdapter for DdagAdapter {
     }
 }
 
-// ---------------------------------------------------------------------
-// DTR
-// ---------------------------------------------------------------------
-
-/// Dynamic tree policy transactions; the engine owns the database forest
-/// and precomputes each transaction's plan (rule DT2).
-pub struct DtrAdapter {
-    engine: DtrEngine,
-    pool: Vec<EntityId>,
-}
-
-impl DtrAdapter {
-    /// An adapter over a pool of initially existing entities (the forest
-    /// starts empty, per DT0, and grows as transactions arrive).
-    pub fn new(pool: Vec<EntityId>) -> Self {
-        DtrAdapter {
-            engine: DtrEngine::new(),
-            pool,
-        }
-    }
-
-    /// The initial structural state (the whole pool exists; the forest is
-    /// concurrency-control metadata, not database state).
-    pub fn initial_state(&self) -> StructuralState {
-        StructuralState::from_entities(self.pool.iter().copied())
-    }
-
-    /// The engine (for forest inspection in examples/tests).
-    pub fn engine(&self) -> &DtrEngine {
-        &self.engine
-    }
-}
-
-impl PolicyAdapter for DtrAdapter {
-    fn name(&self) -> &'static str {
-        "DTR"
-    }
-
-    fn begin(&mut self, tx: TxId, job: &Job) -> Result<(), String> {
-        let ops: BTreeMap<EntityId, Vec<slp_core::DataOp>> = job
-            .targets
-            .iter()
-            .map(|&t| (t, vec![slp_core::DataOp::Read, slp_core::DataOp::Write]))
-            .collect();
-        self.engine.begin(tx, &ops).map_err(|e| e.to_string())?;
-        Ok(())
-    }
-
-    fn advance(&mut self, tx: TxId) -> Advance {
-        if self.engine.is_done(tx) {
-            return match self.engine.finish(tx) {
-                Ok(steps) => Advance::Done(steps),
-                Err(e) => Advance::Violation(e.to_string()),
-            };
-        }
-        match self.engine.check_step(tx) {
-            Ok(()) => match self.engine.step(tx) {
-                Ok(step) => Advance::Progress(vec![step]),
-                Err(e) => Advance::Violation(e.to_string()),
-            },
-            Err(DtrViolation::LockConflict(entity, holder)) => Advance::Blocked { entity, holder },
-            Err(e) => Advance::Violation(e.to_string()),
-        }
-    }
-
-    fn abort(&mut self, tx: TxId) -> Vec<Step> {
-        self.engine.finish(tx).unwrap_or_default()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slp_core::Universe;
+    use slp_policies::DtrEngine;
 
     fn pool(n: u32) -> Vec<EntityId> {
         (0..n).map(EntityId).collect()
@@ -477,6 +410,10 @@ mod tests {
 
     fn t(i: u32) -> TxId {
         TxId(i)
+    }
+
+    fn flat(kind: PolicyKind, n: u32) -> PolicyInstance {
+        build_adapter(&PolicyRegistry::new(), kind, &PolicyConfig::flat(pool(n))).unwrap()
     }
 
     fn drain(adapter: &mut dyn PolicyAdapter, tx: TxId) -> Vec<Step> {
@@ -495,7 +432,8 @@ mod tests {
 
     #[test]
     fn two_phase_adapter_runs_a_job() {
-        let mut a = TwoPhaseAdapter::new(pool(4));
+        let mut a = flat(PolicyKind::TwoPhase, 4);
+        assert_eq!(a.name(), "2PL");
         a.begin(t(1), &Job::access(vec![EntityId(0), EntityId(2)]))
             .unwrap();
         let steps = drain(&mut a, t(1));
@@ -508,7 +446,7 @@ mod tests {
 
     #[test]
     fn two_phase_adapter_blocks_on_conflict() {
-        let mut a = TwoPhaseAdapter::new(pool(2));
+        let mut a = flat(PolicyKind::TwoPhase, 2);
         a.begin(t(1), &Job::access(vec![EntityId(0)])).unwrap();
         a.begin(t(2), &Job::access(vec![EntityId(0)])).unwrap();
         assert!(matches!(a.advance(t(1)), Advance::Progress(_))); // T1 locks 0
@@ -524,7 +462,7 @@ mod tests {
 
     #[test]
     fn altruistic_adapter_donates_early() {
-        let mut a = AltruisticAdapter::new(pool(4));
+        let mut a = flat(PolicyKind::Altruistic, 4);
         a.begin(
             t(1),
             &Job::access(vec![EntityId(0), EntityId(1), EntityId(2)]),
@@ -549,7 +487,7 @@ mod tests {
         assert!(pos_unlock0 < pos_access2);
     }
 
-    fn diamond_adapter() -> (DdagAdapter, Vec<EntityId>) {
+    fn diamond_adapter() -> (PolicyInstance, Vec<EntityId>) {
         // Diamond r -> {a, b} -> j.
         let mut u = Universe::new();
         let ids = u.entities(["r", "a", "b", "j"]);
@@ -561,7 +499,13 @@ mod tests {
         g.add_edge(ids[0], ids[2]).unwrap();
         g.add_edge(ids[1], ids[3]).unwrap();
         g.add_edge(ids[2], ids[3]).unwrap();
-        (DdagAdapter::new(u, g), ids)
+        let adapter = build_adapter(
+            &PolicyRegistry::new(),
+            PolicyKind::Ddag,
+            &PolicyConfig::dag(u, g),
+        )
+        .unwrap();
+        (adapter, ids)
     }
 
     #[test]
@@ -619,37 +563,93 @@ mod tests {
         g.add_node(ids[0]).unwrap();
         g.add_node(ids[1]).unwrap();
         g.add_edge(ids[0], ids[1]).unwrap();
-        let mut a = DdagAdapter::new(u, g);
-        let fresh = a.intern("new-node");
+        let mut a = build_adapter(
+            &PolicyRegistry::new(),
+            PolicyKind::Ddag,
+            &PolicyConfig::dag(u, g),
+        )
+        .unwrap();
+        let fresh = a.intern("new-node").expect("DDAG interns");
         a.begin(t(1), &Job::insert(ids[1], fresh)).unwrap();
         let steps = drain(&mut a, t(1));
-        assert!(a.graph().has_node(fresh));
-        assert!(a.graph().has_edge(ids[1], fresh));
+        let g = a.graph().expect("DDAG has a graph");
+        assert!(g.has_node(fresh));
+        assert!(g.has_edge(ids[1], fresh));
         let lt = slp_core::LockedTransaction::new(t(1), steps);
         assert!(lt.validate().is_ok());
-        // The trace is proper from the adapter's initial state... state
-        // captured *now* includes the new node; capture order matters.
+    }
+
+    #[test]
+    fn ddag_malformed_jobs_surface_typed_plan_errors() {
+        let (mut a, _) = diamond_adapter();
+        let err = a
+            .begin(t(1), &Job::access(vec![EntityId(999)]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PolicyViolation::Plan(PlanViolation::TargetMissing(EntityId(999)))
+        );
+        assert!(
+            !err.is_fatal(),
+            "graph-shape plan failures are transient under churn"
+        );
+        let err = a.begin(t(1), &Job::access(vec![])).unwrap_err();
+        assert_eq!(err, PolicyViolation::Plan(PlanViolation::EmptyJob));
+        assert!(err.is_fatal(), "an empty job can never commit work");
     }
 
     #[test]
     fn dtr_adapter_runs_jobs_and_grows_forest() {
-        let mut a = DtrAdapter::new(pool(5));
+        let mut a = flat(PolicyKind::Dtr, 5);
         a.begin(t(1), &Job::access(vec![EntityId(0), EntityId(1)]))
             .unwrap();
         let steps = drain(&mut a, t(1));
         assert!(!steps.is_empty());
-        assert_eq!(a.engine().forest().len(), 2);
+        let dtr: &DtrEngine = a
+            .engine()
+            .as_any()
+            .downcast_ref()
+            .expect("registry builds a DtrEngine for PolicyKind::Dtr");
+        assert_eq!(dtr.forest().len(), 2);
         let lt = slp_core::LockedTransaction::new(t(1), steps);
         assert!(lt.validate().is_ok());
     }
 
     #[test]
     fn dtr_adapter_blocks_on_contention() {
-        let mut a = DtrAdapter::new(pool(3));
+        let mut a = flat(PolicyKind::Dtr, 3);
         a.begin(t(1), &Job::access(vec![EntityId(0)])).unwrap();
         assert!(matches!(a.advance(t(1)), Advance::Progress(_))); // lock 0
         a.begin(t(2), &Job::access(vec![EntityId(0)])).unwrap();
         assert!(matches!(a.advance(t(2)), Advance::Blocked { .. }));
         let _ = a.abort(t(2));
+    }
+
+    #[test]
+    fn mutant_kinds_build_and_report_their_names() {
+        for kind in PolicyKind::MUTANTS {
+            let config = if kind.needs_graph() {
+                let mut u = Universe::new();
+                let ids = u.entities(["r", "x"]);
+                let mut g = DiGraph::new();
+                g.add_node(ids[0]).unwrap();
+                g.add_node(ids[1]).unwrap();
+                g.add_edge(ids[0], ids[1]).unwrap();
+                PolicyConfig::dag(u, g)
+            } else {
+                PolicyConfig::flat(pool(4))
+            };
+            let a = build_adapter(&PolicyRegistry::new(), kind, &config).unwrap();
+            assert_eq!(a.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn advancing_an_unknown_transaction_is_a_fatal_no_plan() {
+        let mut a = flat(PolicyKind::TwoPhase, 2);
+        match a.advance(t(9)) {
+            Advance::Violation(v) => assert!(v.is_fatal()),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

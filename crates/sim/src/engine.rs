@@ -69,8 +69,14 @@ pub struct SimReport {
     pub policy: &'static str,
     /// Jobs committed.
     pub committed: usize,
-    /// Aborts due to policy rule violations.
+    /// Aborts due to *retryable* policy rule violations (the job restarts
+    /// as a fresh transaction after backoff).
     pub policy_aborts: usize,
+    /// Jobs dropped on a **fatal** violation ([`slp_policies::PolicyViolation::is_fatal`]):
+    /// the request itself is malformed (bad plan, unsupported action), so
+    /// retrying can never succeed. Classified by matching the violation
+    /// enum, never by message text.
+    pub rejected: usize,
     /// Aborts due to deadlock resolution.
     pub deadlock_aborts: usize,
     /// Number of times a transaction found its lock request blocked.
@@ -79,7 +85,7 @@ pub struct SimReport {
     pub makespan: u64,
     /// Sum of job response times (first dispatch to commit).
     pub total_response: u64,
-    /// Total attempts (= committed + aborts).
+    /// Total attempts (= committed + policy/deadlock aborts + rejected).
     pub attempts: usize,
     /// The complete interleaved step trace.
     pub schedule: Schedule,
@@ -134,6 +140,7 @@ pub fn run_sim(adapter: &mut dyn PolicyAdapter, jobs: &[Job], config: &SimConfig
         policy: adapter.name(),
         committed: 0,
         policy_aborts: 0,
+        rejected: 0,
         deadlock_aborts: 0,
         lock_waits: 0,
         makespan: 0,
@@ -235,8 +242,14 @@ pub fn run_sim(adapter: &mut dyn PolicyAdapter, jobs: &[Job], config: &SimConfig
                         parked_on: None,
                     });
                 }
+                // Fatal violations (malformed plan, unsupported action —
+                // see `PolicyViolation::is_fatal`) can never succeed on
+                // retry: drop the job. Transient rule violations restart
+                // it with backoff.
+                Err(v) if v.is_fatal() => {
+                    report.rejected += 1;
+                }
                 Err(_) => {
-                    // Treat begin failures as policy aborts with backoff.
                     report.policy_aborts += 1;
                     let n = attempts_of.entry(job_idx).or_insert(0);
                     *n += 1;
@@ -375,8 +388,7 @@ pub fn run_sim(adapter: &mut dyn PolicyAdapter, jobs: &[Job], config: &SimConfig
                     run.ready_at = u64::MAX;
                 }
             }
-            Advance::Violation(_) => {
-                report.policy_aborts += 1;
+            Advance::Violation(v) => {
                 waits_for.remove(&tx);
                 let unlocks = adapter.abort(tx);
                 for s in &unlocks {
@@ -384,14 +396,23 @@ pub fn run_sim(adapter: &mut dyn PolicyAdapter, jobs: &[Job], config: &SimConfig
                 }
                 let job_idx = run.job_idx;
                 let dispatched = run.dispatched_at;
-                let n = attempts_of.entry(job_idx).or_insert(0);
-                *n += 1;
-                retry_queue.push((
-                    job_idx,
-                    now + config.latency.restart_backoff * *n,
-                    dispatched,
-                ));
-                dispatch_times.insert(job_idx, dispatched);
+                // Classification keys off the violation enum: fatal
+                // violations drop the job; retryable rule violations
+                // (e.g. a Fig. 3 plan invalidation) restart it as a
+                // fresh transaction after backoff.
+                if v.is_fatal() {
+                    report.rejected += 1;
+                } else {
+                    report.policy_aborts += 1;
+                    let n = attempts_of.entry(job_idx).or_insert(0);
+                    *n += 1;
+                    retry_queue.push((
+                        job_idx,
+                        now + config.latency.restart_backoff * *n,
+                        dispatched,
+                    ));
+                    dispatch_times.insert(job_idx, dispatched);
+                }
                 workers[wi] = None;
                 wake_parked(&mut workers, &unlocks, now);
             }
@@ -404,16 +425,26 @@ pub fn run_sim(adapter: &mut dyn PolicyAdapter, jobs: &[Job], config: &SimConfig
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adapters::TwoPhaseAdapter;
+    use crate::adapters::{build_adapter, PolicyInstance};
     use slp_core::EntityId;
+    use slp_policies::{PolicyConfig, PolicyKind, PolicyRegistry};
 
     fn pool(n: u32) -> Vec<EntityId> {
         (0..n).map(EntityId).collect()
     }
 
+    fn two_phase(n: u32) -> PolicyInstance {
+        build_adapter(
+            &PolicyRegistry::new(),
+            PolicyKind::TwoPhase,
+            &PolicyConfig::flat(pool(n)),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn disjoint_jobs_all_commit_without_waits() {
-        let mut adapter = TwoPhaseAdapter::new(pool(8));
+        let mut adapter = two_phase(8);
         let jobs: Vec<Job> = (0..4)
             .map(|i| Job::access(vec![EntityId(i * 2), EntityId(i * 2 + 1)]))
             .collect();
@@ -427,7 +458,7 @@ mod tests {
 
     #[test]
     fn contended_jobs_wait_but_commit() {
-        let mut adapter = TwoPhaseAdapter::new(pool(1));
+        let mut adapter = two_phase(1);
         let jobs: Vec<Job> = (0..3).map(|_| Job::access(vec![EntityId(0)])).collect();
         let report = run_sim(&mut adapter, &jobs, &SimConfig::default());
         assert_eq!(report.committed, 3);
@@ -437,7 +468,7 @@ mod tests {
 
     #[test]
     fn opposite_order_jobs_deadlock_and_recover() {
-        let mut adapter = TwoPhaseAdapter::new(pool(2));
+        let mut adapter = two_phase(2);
         // T1: 0 then 1. T2: 1 then 0 — classic deadlock under 2PL.
         let jobs = vec![
             Job::access(vec![EntityId(0), EntityId(1)]),
@@ -455,7 +486,7 @@ mod tests {
 
     #[test]
     fn single_worker_serializes_everything() {
-        let mut adapter = TwoPhaseAdapter::new(pool(2));
+        let mut adapter = two_phase(2);
         let jobs = vec![
             Job::access(vec![EntityId(0), EntityId(1)]),
             Job::access(vec![EntityId(1), EntityId(0)]),
@@ -472,7 +503,7 @@ mod tests {
 
     #[test]
     fn report_metrics_are_consistent() {
-        let mut adapter = TwoPhaseAdapter::new(pool(4));
+        let mut adapter = two_phase(4);
         let jobs: Vec<Job> = (0..6).map(|i| Job::access(vec![EntityId(i % 4)])).collect();
         let report = run_sim(&mut adapter, &jobs, &SimConfig::default());
         assert_eq!(report.committed, 6);

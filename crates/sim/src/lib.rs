@@ -9,11 +9,15 @@
 //! serializability).
 //!
 //! * [`job`] — the policy-agnostic unit of work;
-//! * [`adapter`] — the simulator ↔ policy-engine interface;
-//! * [`adapters`] — 2PL, altruistic, DDAG, and DTR adapters;
+//! * [`adapter`] — the simulator ↔ policy interface ([`Advance`] carries
+//!   typed [`slp_policies::PolicyViolation`]s, never strings);
+//! * [`adapters`] — the one generic [`EngineAdapter`] over any
+//!   [`slp_policies::PolicyEngine`], per-policy [`ActionPlanner`]s, and
+//!   [`build_adapter`] for registry-driven construction by
+//!   [`slp_policies::PolicyKind`];
 //! * [`engine`] — the simulation loop and [`SimReport`] metrics;
 //! * [`workload`] — seeded generators (layered DAGs, uniform/long-short
-//!   jobs, traversal/insert mixes).
+//!   jobs, traversal/insert mixes, hot-set contention).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,9 +29,13 @@ pub mod job;
 pub mod workload;
 
 pub use adapter::{Advance, PolicyAdapter};
-pub use adapters::{AltruisticAdapter, DdagAdapter, DtrAdapter, TwoPhaseAdapter};
+pub use adapters::{
+    build_adapter, planner_for, ActionPlanner, AltruisticPlanner, DdagPlanner, DtrPlanner,
+    EngineAdapter, PolicyInstance, TwoPhasePlanner,
+};
 pub use engine::{run_sim, LatencyModel, SimConfig, SimReport};
 pub use job::{InsertUnder, Job};
 pub use workload::{
-    dag_access_jobs, dag_mixed_jobs, layered_dag, long_short_jobs, uniform_jobs, LayeredDag,
+    dag_access_jobs, dag_mixed_jobs, deep_dag_jobs, hot_cold_jobs, layered_dag, long_short_jobs,
+    uniform_jobs, LayeredDag,
 };

@@ -156,6 +156,78 @@ pub fn dag_mixed_jobs(
         .collect()
 }
 
+/// Large-contention jobs over a flat pool: each target is drawn from the
+/// first `hot` entities of `pool` with probability `hot_prob`, else
+/// uniformly from the whole pool. With a small hot set and high
+/// `hot_prob`, most jobs collide on the hot entities — the E9-style
+/// "many transactions, few hot objects" regime that stresses lock queues,
+/// wakes, and abort/restart paths.
+pub fn hot_cold_jobs(
+    pool: &[EntityId],
+    count: usize,
+    per_job: usize,
+    hot: usize,
+    hot_prob: f64,
+    seed: u64,
+) -> Vec<Job> {
+    assert!(hot >= 1 && hot <= pool.len(), "hot set must be within pool");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let k = per_job.min(pool.len());
+            let mut targets: Vec<EntityId> = Vec::with_capacity(k);
+            for _ in 0..k {
+                let from_hot = rng.random_bool(hot_prob);
+                let source = if from_hot { &pool[..hot] } else { pool };
+                let fresh: Vec<EntityId> = source
+                    .iter()
+                    .copied()
+                    .filter(|e| !targets.contains(e))
+                    .collect();
+                let fresh = if fresh.is_empty() {
+                    // Hot set exhausted: fall back to the whole pool so the
+                    // job still reaches `per_job` distinct targets.
+                    pool.iter()
+                        .copied()
+                        .filter(|e| !targets.contains(e))
+                        .collect()
+                } else {
+                    fresh
+                };
+                targets.push(fresh[rng.random_range(0..fresh.len())]);
+            }
+            Job::access(targets)
+        })
+        .collect()
+}
+
+/// Deep-traversal DAG jobs: every target is drawn from the *deepest* layer
+/// of the DAG, so the DDAG planner's dominator closure pulls in long
+/// predecessor chains back to the common dominator — the traversals lock
+/// large, heavily overlapping regions (the large-contention counterpart of
+/// [`dag_access_jobs`]).
+pub fn deep_dag_jobs(
+    dag: &LayeredDag,
+    count: usize,
+    targets_per_job: usize,
+    seed: u64,
+) -> Vec<Job> {
+    let deepest: &[EntityId] = dag.nodes.last().expect("at least the root layer");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let k = targets_per_job.min(deepest.len());
+            let mut remaining: Vec<EntityId> = deepest.to_vec();
+            let mut targets = Vec::with_capacity(k);
+            for _ in 0..k {
+                let i = rng.random_range(0..remaining.len());
+                targets.push(remaining.swap_remove(i));
+            }
+            Job::access(targets)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +272,56 @@ mod tests {
         assert_eq!(jobs.len(), 6);
         assert_eq!(jobs[0].targets.len(), 10);
         assert!(jobs[1..].iter().all(|j| j.targets.len() == 2));
+    }
+
+    #[test]
+    fn hot_cold_jobs_concentrate_on_the_hot_set() {
+        let pool: Vec<EntityId> = (0..64).map(EntityId).collect();
+        let jobs = hot_cold_jobs(&pool, 100, 3, 4, 0.9, 11);
+        assert_eq!(jobs.len(), 100);
+        let mut hot_touches = 0usize;
+        let mut total = 0usize;
+        for j in &jobs {
+            let mut t = j.targets.clone();
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(t.len(), 3, "targets must be distinct");
+            total += j.targets.len();
+            hot_touches += j.targets.iter().filter(|e| e.0 < 4).count();
+        }
+        assert!(
+            hot_touches * 2 > total,
+            "most touches must land on the hot set ({hot_touches}/{total})"
+        );
+        // Determinism.
+        assert_eq!(jobs, hot_cold_jobs(&pool, 100, 3, 4, 0.9, 11));
+    }
+
+    #[test]
+    fn hot_cold_jobs_survive_tiny_hot_sets() {
+        // per_job > hot: the fallback draw must keep targets distinct.
+        let pool: Vec<EntityId> = (0..8).map(EntityId).collect();
+        for j in hot_cold_jobs(&pool, 50, 4, 1, 1.0, 3) {
+            let mut t = j.targets.clone();
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(t.len(), 4);
+        }
+    }
+
+    #[test]
+    fn deep_dag_jobs_target_the_deepest_layer() {
+        let d = layered_dag(5, 4, 2, 2);
+        let deepest: Vec<EntityId> = d.nodes.last().unwrap().clone();
+        let jobs = deep_dag_jobs(&d, 30, 2, 9);
+        assert_eq!(jobs.len(), 30);
+        for j in &jobs {
+            assert_eq!(j.targets.len(), 2);
+            for t in &j.targets {
+                assert!(deepest.contains(t), "{t} not in the deepest layer");
+            }
+        }
+        assert_eq!(jobs, deep_dag_jobs(&d, 30, 2, 9));
     }
 
     #[test]

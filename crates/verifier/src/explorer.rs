@@ -152,6 +152,47 @@ impl Verdict {
     }
 }
 
+/// Interns values behind dense `u32` ids so compound memo keys stay
+/// fixed-size. The payoff is on the *probe* path: [`Interner::get`]
+/// borrows the probe value (`FxHashMap::get` with a borrowed key), so
+/// looking up an already-seen `EdgeSet` or position vector allocates
+/// nothing — a value is cloned exactly once, on first insertion. This is
+/// what makes k > 11 memo probes allocation-free (ROADMAP wide-key item).
+pub(crate) struct Interner<K> {
+    ids: rustc_hash::FxHashMap<K, u32>,
+}
+
+impl<K: std::hash::Hash + Eq> Interner<K> {
+    pub(crate) fn new() -> Self {
+        Interner {
+            ids: rustc_hash::FxHashMap::default(),
+        }
+    }
+
+    /// The id of `value` if it was ever interned. Allocation-free.
+    pub(crate) fn get<Q>(&self, value: &Q) -> Option<u32>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: std::hash::Hash + Eq + ?Sized,
+    {
+        self.ids.get(value).copied()
+    }
+
+    /// Interns `value`, cloning it only on first sight.
+    pub(crate) fn intern<Q>(&mut self, value: &Q) -> u32
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: std::hash::Hash + Eq + ToOwned<Owned = K> + ?Sized,
+    {
+        if let Some(&id) = self.ids.get(value) {
+            return id;
+        }
+        let id = u32::try_from(self.ids.len()).expect("fewer than 2^32 interned values");
+        self.ids.insert(value.to_owned(), id);
+        id
+    }
+}
+
 /// The visited-state set, keyed on (positions, `D(S)` edges). Three key
 /// shapes, from fast to fallback:
 ///
@@ -160,13 +201,22 @@ impl Verdict {
 ///   allocation. This is every system exhaustive search can realistically
 ///   cover.
 /// * `PackedEdges` — positions still pack (k ≤ 16, steps ≤ 255) but edges
-///   are words (k > 11): keys clone the `EdgeSet` per probe.
-/// * `Wide` — positions exceed the pack bound too: `Vec<u16>` position
-///   keys. Allocates per probe; correctness fallback only.
+///   are words (k > 11): edge sets are interned, so keys are `(u128, u32)`
+///   and probes are allocation-free (an `EdgeSet` is cloned once, when
+///   first inserted).
+/// * `Wide` — positions exceed the pack bound too: both halves interned,
+///   `(u32, u32)` keys, allocation-free probes.
 enum Memo {
     Packed(FxHashSet<(u128, u128)>),
-    PackedEdges(FxHashSet<(u128, EdgeSet)>),
-    Wide(FxHashSet<(Vec<u16>, EdgeSet)>),
+    PackedEdges {
+        set: FxHashSet<(u128, u32)>,
+        edges: Interner<EdgeSet>,
+    },
+    Wide {
+        set: FxHashSet<(u32, u32)>,
+        positions: Interner<Vec<u16>>,
+        edges: Interner<EdgeSet>,
+    },
 }
 
 impl Memo {
@@ -176,8 +226,15 @@ impl Memo {
     fn for_system(packable: bool, small_edges: bool) -> Memo {
         match (packable, small_edges) {
             (true, true) => Memo::Packed(FxHashSet::default()),
-            (true, false) => Memo::PackedEdges(FxHashSet::default()),
-            (false, _) => Memo::Wide(FxHashSet::default()),
+            (true, false) => Memo::PackedEdges {
+                set: FxHashSet::default(),
+                edges: Interner::new(),
+            },
+            (false, _) => Memo::Wide {
+                set: FxHashSet::default(),
+                positions: Interner::new(),
+                edges: Interner::new(),
+            },
         }
     }
 
@@ -186,8 +243,19 @@ impl Memo {
             Memo::Packed(set) => {
                 set.contains(&(packed, edges.as_small_mask().expect("small edges")))
             }
-            Memo::PackedEdges(set) => set.contains(&(packed, edges.clone())),
-            Memo::Wide(set) => set.contains(&(positions.to_vec(), edges.clone())),
+            // An un-interned value was never part of an inserted key, so
+            // the memo cannot contain the state: answer without cloning.
+            Memo::PackedEdges { set, edges: ids } => {
+                ids.get(edges).is_some_and(|e| set.contains(&(packed, e)))
+            }
+            Memo::Wide {
+                set,
+                positions: pos_ids,
+                edges: edge_ids,
+            } => match (pos_ids.get(positions), edge_ids.get(edges)) {
+                (Some(p), Some(e)) => set.contains(&(p, e)),
+                _ => false,
+            },
         }
     }
 
@@ -196,11 +264,18 @@ impl Memo {
             Memo::Packed(set) => {
                 set.insert((packed, edges.as_small_mask().expect("small edges")));
             }
-            Memo::PackedEdges(set) => {
-                set.insert((packed, edges.clone()));
+            Memo::PackedEdges { set, edges: ids } => {
+                let e = ids.intern(edges);
+                set.insert((packed, e));
             }
-            Memo::Wide(set) => {
-                set.insert((positions.to_vec(), edges.clone()));
+            Memo::Wide {
+                set,
+                positions: pos_ids,
+                edges: edge_ids,
+            } => {
+                let p = pos_ids.intern(positions);
+                let e = edge_ids.intern(edges);
+                set.insert((p, e));
             }
         }
     }

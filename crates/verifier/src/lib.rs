@@ -20,7 +20,7 @@
 //! verdicts to the sequential explorer's differentially.
 //!
 //! Supporting modules: [`minimize`] (witness shrinking), [`gen`] (seeded
-//! random system generation), and [`reference`] — the retained
+//! random system generation), and [`mod@reference`] — the retained
 //! clone-per-node explorer, kept as the agreement oracle for the
 //! optimized apply/undo DFS.
 

@@ -17,7 +17,7 @@
 //!   the root and the frontier fans out on demand, so no static
 //!   partitioning is needed and skewed subtrees rebalance automatically.
 //! * **A sharded memo table.** The visited-state set is split across
-//!   [`MEMO_SHARDS`] `Mutex<FxHashSet>` shards keyed by key hash, so
+//!   `MEMO_SHARDS` `Mutex<FxHashSet>` shards keyed by key hash, so
 //!   concurrent probes rarely contend. Sharing it across workers preserves
 //!   the sequential search's pruning: a state fully explored by *any*
 //!   worker is skipped by all. Soundness is unchanged — entries are only
@@ -99,23 +99,96 @@ impl<K: Hash + Eq> Sharded<K> {
     }
 }
 
+/// A hash-sharded concurrent interner: same value → same `u64` id across
+/// all workers (the id is assigned under the value's shard lock, and ids
+/// from different shards never collide — shard index is folded into the
+/// id). [`ShardedInterner::get`] borrows the probe value, so probing an
+/// already-seen `EdgeSet` or position vector allocates nothing; a value
+/// is cloned exactly once, by the first worker to insert it.
+struct ShardedInterner<K> {
+    shards: Vec<Mutex<rustc_hash::FxHashMap<K, u64>>>,
+}
+
+impl<K: Hash + Eq> ShardedInterner<K> {
+    fn new() -> Self {
+        ShardedInterner {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(rustc_hash::FxHashMap::default()))
+                .collect(),
+        }
+    }
+
+    fn shard_of<Q: Hash + ?Sized>(&self, value: &Q) -> usize {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        (h.finish() >> 58) as usize % MEMO_SHARDS
+    }
+
+    /// The id of `value` if any worker ever interned it. Allocation-free.
+    fn get<Q>(&self, value: &Q) -> Option<u64>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let i = self.shard_of(value);
+        self.shards[i]
+            .lock()
+            .expect("interner shard")
+            .get(value)
+            .copied()
+    }
+
+    /// Interns `value`, cloning it only on first sight (across workers).
+    fn intern<Q>(&self, value: &Q) -> u64
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ToOwned<Owned = K> + ?Sized,
+    {
+        let i = self.shard_of(value);
+        let mut shard = self.shards[i].lock().expect("interner shard");
+        if let Some(&id) = shard.get(value) {
+            return id;
+        }
+        // Globally unique: the per-shard sequence number composed with the
+        // shard index (ids from distinct shards occupy distinct residues).
+        let id = (shard.len() as u64) * MEMO_SHARDS as u64 + i as u64;
+        shard.insert(value.to_owned(), id);
+        id
+    }
+}
+
 /// The shared visited-state set, with the same three key shapes as the
 /// sequential [`crate::explorer`] memo (see its `Memo` docs). The shape
 /// selection and key construction deliberately mirror that type — change
 /// them in lockstep, or the two searches' pruning (and the differential
-/// tests comparing them) will diverge.
+/// tests comparing them) will diverge. Wide keys intern their `EdgeSet` /
+/// position-vector halves, so probes are allocation-free here too.
 enum SharedMemo {
     Packed(Sharded<(u128, u128)>),
-    PackedEdges(Sharded<(u128, EdgeSet)>),
-    Wide(Sharded<(Vec<u16>, EdgeSet)>),
+    PackedEdges {
+        set: Sharded<(u128, u64)>,
+        edges: ShardedInterner<EdgeSet>,
+    },
+    Wide {
+        set: Sharded<(u64, u64)>,
+        positions: ShardedInterner<Vec<u16>>,
+        edges: ShardedInterner<EdgeSet>,
+    },
 }
 
 impl SharedMemo {
     fn for_system(packable: bool, small_edges: bool) -> SharedMemo {
         match (packable, small_edges) {
             (true, true) => SharedMemo::Packed(Sharded::new()),
-            (true, false) => SharedMemo::PackedEdges(Sharded::new()),
-            (false, _) => SharedMemo::Wide(Sharded::new()),
+            (true, false) => SharedMemo::PackedEdges {
+                set: Sharded::new(),
+                edges: ShardedInterner::new(),
+            },
+            (false, _) => SharedMemo::Wide {
+                set: Sharded::new(),
+                positions: ShardedInterner::new(),
+                edges: ShardedInterner::new(),
+            },
         }
     }
 
@@ -124,8 +197,22 @@ impl SharedMemo {
             SharedMemo::Packed(s) => {
                 s.contains(&(packed, edges.as_small_mask().expect("small edges")))
             }
-            SharedMemo::PackedEdges(s) => s.contains(&(packed, edges.clone())),
-            SharedMemo::Wide(s) => s.contains(&(positions.to_vec(), edges.clone())),
+            // An un-interned value was never part of an inserted key, so
+            // the memo cannot contain the state: answer without cloning.
+            // (A racing insert between the interner probe and the set
+            // probe only turns a hit into a miss — duplicated work, never
+            // missed pruning soundness.)
+            SharedMemo::PackedEdges { set, edges: ids } => {
+                ids.get(edges).is_some_and(|e| set.contains(&(packed, e)))
+            }
+            SharedMemo::Wide {
+                set,
+                positions: pos_ids,
+                edges: edge_ids,
+            } => match (pos_ids.get(positions), edge_ids.get(edges)) {
+                (Some(p), Some(e)) => set.contains(&(p, e)),
+                _ => false,
+            },
         }
     }
 
@@ -134,8 +221,19 @@ impl SharedMemo {
             SharedMemo::Packed(s) => {
                 s.insert((packed, edges.as_small_mask().expect("small edges")));
             }
-            SharedMemo::PackedEdges(s) => s.insert((packed, edges.clone())),
-            SharedMemo::Wide(s) => s.insert((positions.to_vec(), edges.clone())),
+            SharedMemo::PackedEdges { set, edges: ids } => {
+                let e = ids.intern(edges);
+                set.insert((packed, e));
+            }
+            SharedMemo::Wide {
+                set,
+                positions: pos_ids,
+                edges: edge_ids,
+            } => {
+                let p = pos_ids.intern(positions);
+                let e = edge_ids.intern(edges);
+                set.insert((p, e));
+            }
         }
     }
 }

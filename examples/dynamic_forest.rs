@@ -4,21 +4,24 @@
 //! Reproduces the Fig. 5 walkthrough — the forest grows as transactions
 //! declare their access sets (rules DT0–DT2) and shrinks again once nodes
 //! are no longer needed (rule DT3) — then runs a simulated workload and
-//! verifies serializability (Theorem 4).
+//! verifies serializability (Theorem 4). The policy is built through the
+//! [`PolicyRegistry`] and driven through the unified [`PolicyEngine`]
+//! trait: `begin` hands back the precomputed tree-locked plan (DT2), the
+//! forest is read through the trait's introspection, and the DT3
+//! garbage-collection check reaches the concrete engine through the
+//! downcast hatch.
 //!
 //! Run with: `cargo run --example dynamic_forest`
 
-use safe_locking::core::{is_serializable, DataOp, EntityId, TxId};
+use safe_locking::core::{is_serializable, EntityId, TxId};
+use safe_locking::graph::Forest;
 use safe_locking::policies::dtr::DtrEngine;
-use safe_locking::sim::{run_sim, uniform_jobs, DtrAdapter, SimConfig};
-use std::collections::BTreeMap;
+use safe_locking::policies::{
+    AccessIntent, PolicyAction, PolicyConfig, PolicyEngine, PolicyKind, PolicyRegistry,
+};
+use safe_locking::sim::{build_adapter, run_sim, uniform_jobs, SimConfig};
 
-fn access() -> Vec<DataOp> {
-    vec![DataOp::Read, DataOp::Write]
-}
-
-fn show_forest(eng: &DtrEngine) {
-    let f = eng.forest();
+fn show_forest(f: &Forest) {
     print!("forest:");
     for root in f.roots() {
         print!(" tree(root {root}): {{");
@@ -38,46 +41,68 @@ fn show_forest(eng: &DtrEngine) {
     println!();
 }
 
+/// Drives `tx` through its remaining precomputed plan actions.
+fn run_plan(eng: &mut Box<dyn PolicyEngine>, tx: TxId, actions: &[PolicyAction]) {
+    for &a in actions {
+        eng.request(tx, a).expect_granted();
+    }
+}
+
 fn main() {
+    let registry = PolicyRegistry::new();
+
     // ------------------------------------------------------------------
     // 1. The Fig. 5 walkthrough.
     // ------------------------------------------------------------------
     println!("== Fig. 5: the database forest under DT0–DT3 ==\n");
-    let mut eng = DtrEngine::new();
+    let mut eng = registry
+        .build(PolicyKind::Dtr, &PolicyConfig::default())
+        .expect("flat kind");
     println!("DT0: the forest starts empty");
-    show_forest(&eng);
+    show_forest(eng.forest().expect("DTR maintains a forest"));
 
     // T1 arrives accessing {1, 2, 3}: they are connected into one tree.
     let (e1, e2, e3, e4) = (EntityId(1), EntityId(2), EntityId(3), EntityId(4));
-    let ops1 = BTreeMap::from([(e1, access()), (e2, access()), (e3, access())]);
-    let plan1 = eng.begin(TxId(1), &ops1).unwrap();
+    let plan1 = eng
+        .begin(TxId(1), &AccessIntent::access([e1, e2, e3]))
+        .unwrap()
+        .expect("DT2 precomputes the plan");
     println!("\nDT2: T1 declares A(T1) = {{e1, e2, e3}}; forest becomes (Fig. 5a):");
-    show_forest(&eng);
-    println!("T1's precomputed tree-locked plan: {} steps", plan1.len());
-    eng.step(TxId(1)).unwrap(); // T1 takes its first lock.
+    let forest = eng.forest().expect("DTR maintains a forest");
+    show_forest(forest);
+    assert_eq!(forest.roots().len(), 1);
+    println!("T1's precomputed tree-locked plan: {} actions", plan1.len());
+    eng.request(TxId(1), plan1[0]).expect_granted(); // T1 takes its first lock.
 
     // T2 arrives accessing {3, 4}: node 4 is added and joined (Fig. 5b).
-    let ops2 = BTreeMap::from([(e3, access()), (e4, access())]);
-    eng.begin(TxId(2), &ops2).unwrap();
+    let plan2 = eng
+        .begin(TxId(2), &AccessIntent::access([e3, e4]))
+        .unwrap()
+        .expect("DT2 precomputes the plan");
     println!("\nDT1+DT2: T2 declares A(T2) = {{e3, e4}}; node e4 joined (Fig. 5b):");
-    show_forest(&eng);
+    let forest = eng.forest().expect("DTR maintains a forest");
+    show_forest(forest);
+    assert_eq!(forest.roots().len(), 1, "one tree after joining");
 
-    // While transactions are active, e4 cannot be garbage collected.
+    // While transactions are active, e4 cannot be garbage collected. The
+    // DT3 check is DTR-specific introspection: downcast to the engine.
+    let dtr: &DtrEngine = eng.as_any().downcast_ref().expect("DTR engine");
     println!(
         "\nDT3 check while T2 is active: delete(e4) -> {:?}",
-        eng.check_delete(e4).unwrap_err()
+        dtr.check_delete(e4).unwrap_err()
     );
 
     // Run both to completion (T1 first — it holds the root).
-    eng.run_to_end(TxId(1)).unwrap();
+    run_plan(&mut eng, TxId(1), &plan1[1..]);
     eng.finish(TxId(1)).unwrap();
-    eng.run_to_end(TxId(2)).unwrap();
+    run_plan(&mut eng, TxId(2), &plan2);
     eng.finish(TxId(2)).unwrap();
 
     // Now e4 may go: every remaining (zero) transaction stays tree-locked.
-    eng.delete(e4).unwrap();
+    let dtr: &mut DtrEngine = eng.as_any_mut().downcast_mut().expect("DTR engine");
+    dtr.delete(e4).unwrap();
     println!("\nDT3 after T2 finished: e4 deleted from the forest:");
-    show_forest(&eng);
+    show_forest(eng.forest().expect("DTR maintains a forest"));
 
     // ------------------------------------------------------------------
     // 2. Simulation under the DTR policy.
@@ -85,7 +110,8 @@ fn main() {
     println!("\n== Simulated workload under DTR ==\n");
     let pool: Vec<EntityId> = (0..16).map(EntityId).collect();
     let jobs = uniform_jobs(&pool, 30, 3, 21);
-    let mut adapter = DtrAdapter::new(pool);
+    let mut adapter =
+        build_adapter(&registry, PolicyKind::Dtr, &PolicyConfig::flat(pool)).expect("flat kind");
     let initial = adapter.initial_state();
     let report = run_sim(
         &mut adapter,
@@ -105,7 +131,7 @@ fn main() {
     );
     println!(
         "forest size now  : {} nodes",
-        adapter.engine().forest().len()
+        adapter.engine().forest().expect("DTR").len()
     );
 
     assert!(report.schedule.is_legal());

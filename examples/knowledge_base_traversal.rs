@@ -6,14 +6,23 @@
 //! concurrent edge insertion must abort and restart — and then runs a
 //! full simulated workload, verifying the resulting trace is serializable.
 //!
+//! The DDAG policy is constructed through the [`PolicyRegistry`] and
+//! driven entirely through the unified [`PolicyEngine`] API.
+//!
 //! Run with: `cargo run --example knowledge_base_traversal`
 
 use safe_locking::core::{is_serializable, TxId, Universe};
 use safe_locking::graph::DiGraph;
-use safe_locking::policies::ddag::{DdagEngine, DdagViolation};
-use safe_locking::sim::{dag_mixed_jobs, layered_dag, run_sim, DdagAdapter, SimConfig};
+use safe_locking::policies::ddag::DdagViolation;
+use safe_locking::policies::{
+    AccessIntent, PolicyAction, PolicyConfig, PolicyKind, PolicyRegistry, PolicyResponse,
+    PolicyViolation,
+};
+use safe_locking::sim::{build_adapter, dag_mixed_jobs, layered_dag, run_sim, SimConfig};
 
 fn main() {
+    let registry = PolicyRegistry::new();
+
     // ------------------------------------------------------------------
     // 1. The Fig. 3 walkthrough, on the chain 1 -> 2 -> 3 -> 4.
     // ------------------------------------------------------------------
@@ -28,28 +37,33 @@ fn main() {
     g.add_edge(n1, n2).unwrap();
     g.add_edge(n2, n3).unwrap();
     g.add_edge(n3, n4).unwrap();
-    let mut eng = DdagEngine::new(u, g);
+    let mut eng = registry
+        .build(PolicyKind::Ddag, &PolicyConfig::dag(u, g))
+        .expect("DAG provided");
 
     let t1 = TxId(1);
     let t2 = TxId(2);
-    eng.begin(t1).unwrap();
-    eng.lock(t1, n2).unwrap();
+    eng.begin(t1, &AccessIntent::empty()).unwrap();
+    eng.request(t1, PolicyAction::Lock(n2)).expect_granted();
     println!("T1 locks node 2 (rule L4: first lock may be any node)");
-    eng.lock(t1, n3).unwrap();
-    eng.lock(t1, n4).unwrap();
+    eng.request(t1, PolicyAction::Lock(n3)).expect_granted();
+    eng.request(t1, PolicyAction::Lock(n4)).expect_granted();
     println!("T1 locks nodes 3 and 4 (rule L5: predecessors locked & one held)");
-    eng.unlock(t1, n3).unwrap();
+    eng.request(t1, PolicyAction::Unlock(n3)).expect_granted();
     println!("T1 releases node 3 early (crawling)");
-    eng.insert_edge(t1, n2, n4).unwrap();
+    eng.request(t1, PolicyAction::InsertEdge(n2, n4))
+        .expect_granted();
     println!("T1 inserts edge (2, 4) while holding both endpoints (rule L1)");
 
-    eng.begin(t2).unwrap();
-    eng.lock(t2, n3).unwrap();
+    eng.begin(t2, &AccessIntent::empty()).unwrap();
+    eng.request(t2, PolicyAction::Lock(n3)).expect_granted();
     println!("T2 begins by locking node 3");
-    eng.unlock(t1, n4).unwrap();
+    eng.request(t1, PolicyAction::Unlock(n4)).expect_granted();
     println!("T1 releases node 4");
-    match eng.check_lock(t2, n4) {
-        Err(DdagViolation::PredecessorsNotLocked(..)) => println!(
+    match eng.request(t2, PolicyAction::Lock(n4)) {
+        PolicyResponse::Violation(PolicyViolation::Ddag(DdagViolation::PredecessorsNotLocked(
+            ..,
+        ))) => println!(
             "T2 cannot lock node 4: node 2 is now a predecessor of 4 in the \
              current graph and T2 never locked it -> T2 must abort and \
              restart from node 2 (exactly the paper's scenario)"
@@ -64,10 +78,15 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\n== Simulated part–subpart workload ==\n");
     let dag = layered_dag(4, 4, 2, 7);
-    let mut adapter = DdagAdapter::new(dag.universe.clone(), dag.graph.clone());
+    let mut adapter = build_adapter(
+        &registry,
+        PolicyKind::Ddag,
+        &PolicyConfig::dag(dag.universe.clone(), dag.graph.clone()),
+    )
+    .expect("DAG provided");
     let jobs = {
         // Fresh node names are interned through the adapter's universe.
-        let mut intern = |name: &str| adapter.intern(name);
+        let mut intern = |name: &str| adapter.intern(name).expect("DDAG interns");
         dag_mixed_jobs(&dag, 40, 2, 0.25, &mut intern, 11)
     };
     let initial = adapter.initial_state();

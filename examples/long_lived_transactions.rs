@@ -3,46 +3,66 @@
 //! The scenario altruistic locking was designed for \[SGMS94\]: one long
 //! scan holds up a stream of short transactions under 2PL, while under
 //! altruistic locking the short transactions run *in the wake* of the scan
-//! on the items it has already donated. Reproduces the Fig. 4 walkthrough,
-//! then compares 2PL vs altruistic response times in simulation.
+//! on the items it has already donated. Reproduces the Fig. 4 walkthrough
+//! through the unified [`PolicyEngine`] API, then compares 2PL vs
+//! altruistic response times in simulation — both policies selected by
+//! [`PolicyKind`] and built through the [`PolicyRegistry`].
 //!
 //! Run with: `cargo run --example long_lived_transactions`
 
 use safe_locking::core::{is_serializable, EntityId, TxId};
 use safe_locking::policies::altruistic::{AltruisticEngine, AltruisticViolation};
-use safe_locking::sim::{long_short_jobs, run_sim, AltruisticAdapter, SimConfig, TwoPhaseAdapter};
+use safe_locking::policies::{
+    AccessIntent, PolicyAction, PolicyConfig, PolicyKind, PolicyRegistry, PolicyResponse,
+    PolicyViolation,
+};
+use safe_locking::sim::{build_adapter, long_short_jobs, run_sim, SimConfig};
 
 fn main() {
+    let registry = PolicyRegistry::new();
+
     // ------------------------------------------------------------------
     // 1. The Fig. 4 walkthrough.
     // ------------------------------------------------------------------
     println!("== Fig. 4: entering and leaving a wake ==\n");
-    let mut eng = AltruisticEngine::new();
+    let mut eng = registry
+        .build(PolicyKind::Altruistic, &PolicyConfig::default())
+        .expect("flat kind");
     let (t1, t2) = (TxId(1), TxId(2));
     let (i1, i2, i3, i4) = (EntityId(1), EntityId(2), EntityId(3), EntityId(4));
+    // Wake membership is altruistic-specific introspection: reach the
+    // concrete engine through the trait's downcast hatch.
+    let in_wake = |eng: &dyn safe_locking::policies::PolicyEngine, ti: TxId, tj: TxId| {
+        eng.as_any()
+            .downcast_ref::<AltruisticEngine>()
+            .expect("altruistic engine")
+            .in_wake_of(ti, tj)
+    };
 
-    eng.begin(t1).unwrap();
-    eng.begin(t2).unwrap();
-    eng.lock(t1, i1).unwrap();
-    eng.access(t1, i1).unwrap();
-    eng.lock(t1, i2).unwrap();
-    eng.unlock(t1, i1).unwrap();
+    eng.begin(t1, &AccessIntent::empty()).unwrap();
+    eng.begin(t2, &AccessIntent::empty()).unwrap();
+    eng.request(t1, PolicyAction::Lock(i1)).expect_granted();
+    eng.request(t1, PolicyAction::Access(i1)).expect_granted();
+    eng.request(t1, PolicyAction::Lock(i2)).expect_granted();
+    eng.request(t1, PolicyAction::Unlock(i1)).expect_granted();
     println!("T1 donates item 1 before reaching its locked point");
-    eng.lock(t2, i1).unwrap();
+    eng.request(t2, PolicyAction::Lock(i1)).expect_granted();
     println!("T2 locks item 1 -> T2 is now in the wake of T1");
-    assert!(eng.in_wake_of(t2, t1));
-    match eng.check_lock(t2, i4) {
-        Err(AltruisticViolation::OutsideWake { .. }) => println!(
+    assert!(in_wake(&eng, t2, t1));
+    match eng.request(t2, PolicyAction::Lock(i4)) {
+        PolicyResponse::Violation(PolicyViolation::Altruistic(
+            AltruisticViolation::OutsideWake { .. },
+        )) => println!(
             "T2 may not lock item 4: while in T1's wake it may only lock \
              items T1 has donated (rule AL2)"
         ),
         other => println!("unexpected: {other:?}"),
     }
-    eng.lock(t1, i3).unwrap();
-    eng.declare_locked_point(t1).unwrap();
+    eng.request(t1, PolicyAction::Lock(i3)).expect_granted();
+    eng.request(t1, PolicyAction::LockedPoint).expect_granted();
     println!("T1 reaches its locked point (locks item 3): the wake dissolves");
-    assert!(!eng.in_wake_of(t2, t1));
-    eng.lock(t2, i4).unwrap();
+    assert!(!in_wake(&eng, t2, t1));
+    eng.request(t2, PolicyAction::Lock(i4)).expect_granted();
     println!("T2 locks item 4 freely now");
     eng.finish(t1).unwrap();
     eng.finish(t2).unwrap();
@@ -62,19 +82,11 @@ fn main() {
         "{:<12} {:>9} {:>10} {:>12} {:>10} {:>8}",
         "policy", "committed", "waits", "mean resp", "makespan", "aborts"
     );
-    for policy in ["2PL", "altruistic"] {
-        let (report, initial) = match policy {
-            "2PL" => {
-                let mut a = TwoPhaseAdapter::new(pool.clone());
-                let init = a.initial_state();
-                (run_sim(&mut a, &jobs, &config), init)
-            }
-            _ => {
-                let mut a = AltruisticAdapter::new(pool.clone());
-                let init = a.initial_state();
-                (run_sim(&mut a, &jobs, &config), init)
-            }
-        };
+    for kind in [PolicyKind::TwoPhase, PolicyKind::Altruistic] {
+        let mut adapter =
+            build_adapter(&registry, kind, &PolicyConfig::flat(pool.clone())).expect("flat kind");
+        let initial = adapter.initial_state();
+        let report = run_sim(&mut adapter, &jobs, &config);
         println!(
             "{:<12} {:>9} {:>10} {:>12.1} {:>10} {:>8}",
             report.policy,

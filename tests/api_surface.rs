@@ -163,17 +163,122 @@ fn interaction_graph_queries() {
 
 #[test]
 fn sim_report_accounting() {
-    use safe_locking::sim::{run_sim, uniform_jobs, SimConfig, TwoPhaseAdapter};
+    use safe_locking::policies::{PolicyConfig, PolicyKind, PolicyRegistry};
+    use safe_locking::sim::{build_adapter, run_sim, uniform_jobs, SimConfig};
     let pool: Vec<EntityId> = (0..4).map(EntityId).collect();
     let jobs = uniform_jobs(&pool, 8, 2, 1);
-    let mut a = TwoPhaseAdapter::new(pool);
+    let mut a = build_adapter(
+        &PolicyRegistry::new(),
+        PolicyKind::TwoPhase,
+        &PolicyConfig::flat(pool),
+    )
+    .unwrap();
     let report = run_sim(&mut a, &jobs, &SimConfig::default());
     assert!(report.abort_rate() >= 0.0 && report.abort_rate() <= 1.0);
     assert!(report.throughput() > 0.0);
     assert_eq!(
         report.attempts,
-        report.committed + report.policy_aborts + report.deadlock_aborts
+        report.committed + report.policy_aborts + report.deadlock_aborts + report.rejected
     );
+    assert_eq!(report.rejected, 0);
+}
+
+#[test]
+fn policy_engine_api_surface() {
+    // Pins the unified policy API: PolicyKind taxonomy, registry
+    // construction (by kind and by name, custom builders included), the
+    // object-safe PolicyEngine trait, typed responses and violations.
+    use safe_locking::policies::{
+        AccessIntent, PlanViolation, PolicyAction, PolicyConfig, PolicyEngine, PolicyKind,
+        PolicyRegistry, PolicyResponse, PolicyViolation, RegistryError, TwoPhaseEngine,
+    };
+
+    // Kind taxonomy: names round-trip, safety partition is exact.
+    assert_eq!(PolicyKind::ALL.len(), 7);
+    assert_eq!(PolicyKind::SAFE.len(), 4);
+    assert_eq!(PolicyKind::MUTANTS.len(), 3);
+    for kind in PolicyKind::ALL {
+        assert_eq!(PolicyKind::from_name(kind.name()), Some(kind));
+        assert_eq!(kind.is_safe(), !kind.is_mutant());
+        assert!(kind.base().is_safe());
+        assert_eq!(kind.to_string(), kind.name());
+    }
+    assert_eq!(PolicyKind::from_name("2pl"), Some(PolicyKind::TwoPhase));
+
+    // Registry: builds every kind as Box<dyn PolicyEngine>; engine names
+    // match kind names; graphless DDAG is a typed error.
+    let registry = PolicyRegistry::new();
+    assert_eq!(registry.kinds().len(), 7);
+    let flat = PolicyConfig::flat((0..4).map(EntityId).collect());
+    for kind in PolicyKind::ALL {
+        if kind.needs_graph() {
+            assert!(matches!(
+                registry.build(kind, &flat).err(),
+                Some(RegistryError::NeedsGraph(k)) if k == kind
+            ));
+        } else {
+            let engine: Box<dyn PolicyEngine> = registry.build(kind, &flat).unwrap();
+            assert_eq!(engine.name(), kind.name());
+        }
+    }
+
+    // The trait lifecycle: begin / request / finish, typed responses.
+    let mut engine = registry.build(PolicyKind::TwoPhase, &flat).unwrap();
+    assert!(engine
+        .begin(TxId(1), &AccessIntent::empty())
+        .unwrap()
+        .is_none());
+    let steps = engine
+        .request(TxId(1), PolicyAction::Lock(EntityId(0)))
+        .expect_granted();
+    assert_eq!(steps, vec![Step::lock_exclusive(EntityId(0))]);
+    engine.begin(TxId(2), &AccessIntent::empty()).unwrap();
+    assert_eq!(
+        engine.request(TxId(2), PolicyAction::Lock(EntityId(0))),
+        PolicyResponse::Conflict {
+            entity: EntityId(0),
+            holder: TxId(1)
+        }
+    );
+    // Actions outside the vocabulary are typed, fatal violations.
+    let v = engine
+        .request(TxId(1), PolicyAction::InsertEdge(EntityId(0), EntityId(1)))
+        .violation()
+        .unwrap();
+    assert!(matches!(
+        v,
+        PolicyViolation::Unsupported { policy: "2PL", .. }
+    ));
+    assert!(v.is_fatal());
+    assert!(!engine.finish(TxId(1)).unwrap().is_empty());
+    assert!(engine.abort(TxId(2)).is_empty(), "T2 held nothing");
+
+    // DTR returns its DT2-precomputed plan from begin.
+    let mut dtr = registry.build(PolicyKind::Dtr, &flat).unwrap();
+    let plan = dtr
+        .begin(TxId(1), &AccessIntent::access([EntityId(0)]))
+        .unwrap()
+        .expect("DT2 plans at begin");
+    assert_eq!(plan[0], PolicyAction::Lock(EntityId(0)));
+    // Off-plan requests are typed violations.
+    let v = dtr
+        .request(TxId(1), PolicyAction::Lock(EntityId(3)))
+        .violation()
+        .unwrap();
+    assert!(matches!(v, PolicyViolation::OffPlan(..)));
+
+    // Violation classification is structural, not string-typed.
+    assert!(PolicyViolation::Plan(PlanViolation::EmptyJob).is_fatal());
+    assert!(!PolicyViolation::Plan(PlanViolation::NotRooted).is_fatal());
+
+    // Custom builders extend the registry by name.
+    let mut registry = PolicyRegistry::new();
+    registry.register("custom", |_| Ok(Box::new(TwoPhaseEngine::new())));
+    assert!(registry.build_named("custom", &flat).is_ok());
+    assert!(matches!(
+        registry.build_named("missing", &flat).err(),
+        Some(RegistryError::UnknownPolicy(_))
+    ));
 }
 
 #[test]

@@ -1,13 +1,24 @@
 //! Cross-crate policy-safety integration: every trace the simulator
 //! produces under a sound policy — across seeds, workloads,
 //! multiprogramming levels, with waits, deadlock aborts, and policy
-//! aborts — must be legal, proper, and serializable.
+//! aborts — must be legal, proper, and serializable. All policies are
+//! selected by [`PolicyKind`] and built through the [`PolicyRegistry`].
 
 use safe_locking::core::{is_serializable, EntityId};
+use safe_locking::policies::{PolicyConfig, PolicyKind, PolicyRegistry};
 use safe_locking::sim::{
-    dag_access_jobs, dag_mixed_jobs, layered_dag, long_short_jobs, run_sim, uniform_jobs,
-    AltruisticAdapter, DdagAdapter, DtrAdapter, SimConfig, TwoPhaseAdapter,
+    build_adapter, dag_access_jobs, dag_mixed_jobs, layered_dag, long_short_jobs, run_sim,
+    uniform_jobs, PolicyInstance, SimConfig,
 };
+
+fn flat(kind: PolicyKind, pool: &[EntityId]) -> PolicyInstance {
+    build_adapter(
+        &PolicyRegistry::new(),
+        kind,
+        &PolicyConfig::flat(pool.to_vec()),
+    )
+    .expect("flat kind")
+}
 
 fn assert_trace_ok(
     report: &safe_locking::sim::SimReport,
@@ -37,7 +48,7 @@ fn two_phase_traces_serializable_across_seeds_and_mpls() {
         for workers in [1, 3, 8] {
             let pool: Vec<EntityId> = (0..10).map(EntityId).collect();
             let jobs = uniform_jobs(&pool, 25, 4, seed);
-            let mut a = TwoPhaseAdapter::new(pool);
+            let mut a = flat(PolicyKind::TwoPhase, &pool);
             let initial = a.initial_state();
             let report = run_sim(
                 &mut a,
@@ -60,7 +71,7 @@ fn altruistic_traces_serializable_with_wake_churn() {
         // A long scan plus short transactions guarantees wake activity and
         // AL2 aborts (restarts are part of the trace).
         let jobs = long_short_jobs(&pool, 14, 20, 2, seed);
-        let mut a = AltruisticAdapter::new(pool);
+        let mut a = flat(PolicyKind::Altruistic, &pool);
         let initial = a.initial_state();
         let report = run_sim(
             &mut a,
@@ -79,9 +90,14 @@ fn altruistic_traces_serializable_with_wake_churn() {
 fn ddag_traces_serializable_under_structural_churn() {
     for seed in 0..6 {
         let dag = layered_dag(4, 4, 2, seed);
-        let mut a = DdagAdapter::new(dag.universe.clone(), dag.graph.clone());
+        let mut a = build_adapter(
+            &PolicyRegistry::new(),
+            PolicyKind::Ddag,
+            &PolicyConfig::dag(dag.universe.clone(), dag.graph.clone()),
+        )
+        .expect("DAG provided");
         let jobs = {
-            let mut intern = |name: &str| a.intern(name);
+            let mut intern = |name: &str| a.intern(name).expect("DDAG interns");
             dag_mixed_jobs(&dag, 25, 2, 0.3, &mut intern, seed + 100)
         };
         let initial = a.initial_state();
@@ -96,7 +112,9 @@ fn ddag_traces_serializable_under_structural_churn() {
         assert_eq!(report.committed, 25);
         assert_trace_ok(&report, &initial);
         // The graph must remain a rooted DAG after all the churn.
-        assert!(safe_locking::graph::dag::is_acyclic(a.graph()));
+        assert!(safe_locking::graph::dag::is_acyclic(
+            a.graph().expect("DDAG has a graph")
+        ));
     }
 }
 
@@ -106,7 +124,12 @@ fn ddag_pure_traversals_have_no_policy_aborts() {
     for seed in 0..4 {
         let dag = layered_dag(4, 4, 2, seed);
         let jobs = dag_access_jobs(&dag, 25, 2, seed);
-        let mut a = DdagAdapter::new(dag.universe.clone(), dag.graph.clone());
+        let mut a = build_adapter(
+            &PolicyRegistry::new(),
+            PolicyKind::Ddag,
+            &PolicyConfig::dag(dag.universe.clone(), dag.graph.clone()),
+        )
+        .expect("DAG provided");
         let initial = a.initial_state();
         let report = run_sim(
             &mut a,
@@ -130,7 +153,7 @@ fn dtr_traces_serializable_and_deadlock_free() {
     for seed in 0..6 {
         let pool: Vec<EntityId> = (0..14).map(EntityId).collect();
         let jobs = uniform_jobs(&pool, 25, 3, seed);
-        let mut a = DtrAdapter::new(pool);
+        let mut a = flat(PolicyKind::Dtr, &pool);
         let initial = a.initial_state();
         let report = run_sim(
             &mut a,
@@ -152,28 +175,18 @@ fn single_worker_runs_are_serial_and_waitless() {
     for seed in 0..3 {
         let pool: Vec<EntityId> = (0..8).map(EntityId).collect();
         let jobs = uniform_jobs(&pool, 10, 3, seed);
-        for mk in 0..3 {
+        for kind in [
+            PolicyKind::TwoPhase,
+            PolicyKind::Altruistic,
+            PolicyKind::Dtr,
+        ] {
             let config = SimConfig {
                 workers: 1,
                 ..Default::default()
             };
-            let (report, initial) = match mk {
-                0 => {
-                    let mut a = TwoPhaseAdapter::new(pool.clone());
-                    let i = a.initial_state();
-                    (run_sim(&mut a, &jobs, &config), i)
-                }
-                1 => {
-                    let mut a = AltruisticAdapter::new(pool.clone());
-                    let i = a.initial_state();
-                    (run_sim(&mut a, &jobs, &config), i)
-                }
-                _ => {
-                    let mut a = DtrAdapter::new(pool.clone());
-                    let i = a.initial_state();
-                    (run_sim(&mut a, &jobs, &config), i)
-                }
-            };
+            let mut a = flat(kind, &pool);
+            let initial = a.initial_state();
+            let report = run_sim(&mut a, &jobs, &config);
             assert_eq!(report.lock_waits, 0, "MPL 1 never waits");
             assert_eq!(report.deadlock_aborts, 0);
             assert_trace_ok(&report, &initial);
@@ -198,7 +211,7 @@ fn deadlocks_are_detected_and_resolved_under_2pl() {
             ]));
         }
     }
-    let mut a = TwoPhaseAdapter::new(pool);
+    let mut a = flat(PolicyKind::TwoPhase, &pool);
     let initial = a.initial_state();
     let report = run_sim(
         &mut a,

@@ -1,13 +1,14 @@
 //! Property-based end-to-end simulation tests: for arbitrary seeded
 //! workloads, MPLs, and latency models, every sound policy's trace is
 //! legal, proper, and serializable, and the engine's accounting is
-//! consistent.
+//! consistent. Every adapter is constructed through the policy registry.
 
 use proptest::prelude::*;
 use safe_locking::core::{is_serializable, EntityId};
+use safe_locking::policies::{PolicyConfig, PolicyKind, PolicyRegistry};
 use safe_locking::sim::{
-    dag_access_jobs, layered_dag, run_sim, uniform_jobs, AltruisticAdapter, DdagAdapter,
-    DtrAdapter, LatencyModel, SimConfig, TwoPhaseAdapter,
+    build_adapter, dag_access_jobs, layered_dag, run_sim, uniform_jobs, LatencyModel,
+    PolicyInstance, SimConfig,
 };
 
 fn arb_config() -> impl Strategy<Value = SimConfig> {
@@ -23,6 +24,15 @@ fn arb_config() -> impl Strategy<Value = SimConfig> {
     })
 }
 
+fn flat(kind: PolicyKind, pool: &[EntityId]) -> PolicyInstance {
+    build_adapter(
+        &PolicyRegistry::new(),
+        kind,
+        &PolicyConfig::flat(pool.to_vec()),
+    )
+    .expect("flat kind")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -36,7 +46,7 @@ proptest! {
         let pool: Vec<EntityId> = (0..pool_size).map(EntityId).collect();
         let jobs = uniform_jobs(&pool, 12, per_job, seed);
 
-        let mut a = TwoPhaseAdapter::new(pool.clone());
+        let mut a = flat(PolicyKind::TwoPhase, &pool);
         let initial = a.initial_state();
         let report = run_sim(&mut a, &jobs, &config);
         prop_assert!(!report.timed_out);
@@ -46,10 +56,11 @@ proptest! {
         prop_assert!(is_serializable(&report.schedule));
         prop_assert_eq!(
             report.attempts,
-            report.committed + report.policy_aborts + report.deadlock_aborts
+            report.committed + report.policy_aborts + report.deadlock_aborts + report.rejected
         );
+        prop_assert_eq!(report.rejected, 0, "well-formed jobs are never rejected");
 
-        let mut a = AltruisticAdapter::new(pool.clone());
+        let mut a = flat(PolicyKind::Altruistic, &pool);
         let initial = a.initial_state();
         let report = run_sim(&mut a, &jobs, &config);
         prop_assert!(!report.timed_out);
@@ -67,7 +78,7 @@ proptest! {
     ) {
         let pool: Vec<EntityId> = (0..pool_size).map(EntityId).collect();
         let jobs = uniform_jobs(&pool, 12, 3, seed);
-        let mut a = DtrAdapter::new(pool);
+        let mut a = flat(PolicyKind::Dtr, &pool);
         let initial = a.initial_state();
         let report = run_sim(&mut a, &jobs, &config);
         prop_assert!(!report.timed_out);
@@ -87,7 +98,12 @@ proptest! {
     ) {
         let dag = layered_dag(layers, width, 2, seed);
         let jobs = dag_access_jobs(&dag, 12, 2, seed);
-        let mut a = DdagAdapter::new(dag.universe.clone(), dag.graph.clone());
+        let mut a = build_adapter(
+            &PolicyRegistry::new(),
+            PolicyKind::Ddag,
+            &PolicyConfig::dag(dag.universe.clone(), dag.graph.clone()),
+        )
+        .expect("DAG provided");
         let initial = a.initial_state();
         let report = run_sim(&mut a, &jobs, &config);
         prop_assert!(!report.timed_out);
@@ -106,7 +122,7 @@ proptest! {
         let jobs = uniform_jobs(&pool, 10, 3, seed);
         let config = SimConfig { workers, ..Default::default() };
         let run = |jobs: &[safe_locking::sim::Job]| {
-            let mut a = TwoPhaseAdapter::new(pool.clone());
+            let mut a = flat(PolicyKind::TwoPhase, &pool);
             run_sim(&mut a, jobs, &config)
         };
         let r1 = run(&jobs);
