@@ -147,16 +147,20 @@ fn bench_dfs_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-/// Work-stealing parallel DFS against the sequential apply/undo DFS, on
-/// full-coverage (safe) systems where parallelism can pay. The
-/// `ParallelVerifier` is constructed once per row, so the measurement is
-/// dispatch + search, not thread-spawn latency. The wide row runs a
-/// `k = 13` system through the words-backed `EdgeSet` path end-to-end.
+/// Work-stealing parallel DFS (lock-free memo core + batched donation)
+/// against the sequential apply/undo DFS, on full-coverage (safe) systems
+/// where parallelism can pay. Same systems as PR 2's `parallel_dfs` rows,
+/// so the group is directly comparable against the sharded-mutex numbers
+/// recorded in BENCH_verifier.json. The `ParallelVerifier` is constructed
+/// once per row, so the measurement is dispatch + search, not thread-spawn
+/// latency. The wide row runs a `k = 13` system through the words-backed
+/// `EdgeSet` path end-to-end — one synchronized probe-or-intern per wide
+/// key.
 ///
 /// NOTE: speedups only manifest with real cores; on a single-CPU host the
 /// parallel rows measure coordination overhead (see BENCH_verifier.json).
 fn bench_parallel_dfs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parallel_dfs");
+    let mut group = c.benchmark_group("parallel_dfs_lockfree");
     group.sample_size(10);
     for k in [4u32, 5] {
         let safe = safe_system(k);
@@ -193,6 +197,134 @@ fn bench_parallel_dfs(c: &mut Criterion) {
     group.bench_function("parallel/wide/13/threads/4", |b| {
         b.iter(|| black_box(verifier.verify(&wide, SearchBudget::default())));
     });
+    group.finish();
+}
+
+/// PR-2's sharded-mutex shared memo, reconstructed locally as the
+/// baseline arm of the `memo_contention` ablation (the live verifier no
+/// longer contains it): 64 `Mutex<FxHashSet>` shards keyed by the high
+/// hash bits, `contains`/`insert` locking the key's shard.
+mod mutex_sharded {
+    use criterion::black_box;
+    use rustc_hash::{FxHashSet, FxHasher};
+    use std::hash::{Hash, Hasher};
+    use std::sync::Mutex;
+
+    const SHARDS: usize = 64;
+
+    pub struct MutexShardedSet {
+        shards: Vec<Mutex<FxHashSet<(u128, u128)>>>,
+    }
+
+    impl MutexShardedSet {
+        pub fn new() -> Self {
+            MutexShardedSet {
+                shards: (0..SHARDS)
+                    .map(|_| Mutex::new(FxHashSet::default()))
+                    .collect(),
+            }
+        }
+
+        fn shard(&self, key: &(u128, u128)) -> &Mutex<FxHashSet<(u128, u128)>> {
+            let mut h = FxHasher::default();
+            key.hash(&mut h);
+            &self.shards[(h.finish() >> 58) as usize % SHARDS]
+        }
+
+        pub fn contains(&self, key: &(u128, u128)) -> bool {
+            self.shard(key).lock().expect("shard").contains(key)
+        }
+
+        pub fn insert(&self, key: (u128, u128)) {
+            self.shard(&key).lock().expect("shard").insert(key);
+        }
+    }
+
+    /// One worker's share of the storm: a probe-miss/insert pass over
+    /// every key, then a probe-hit pass — the memo's two access patterns.
+    pub fn hammer(set: &MutexShardedSet, keys: &[(u128, u128)]) {
+        for k in keys {
+            if !set.contains(k) {
+                set.insert(*k);
+            }
+        }
+        for k in keys {
+            black_box(set.contains(k));
+        }
+    }
+}
+
+/// Pure probe/insert throughput of the retired sharded-mutex memo against
+/// the lock-free `AtomicWordTable`, at 1/2/4/8 threads all hammering the
+/// same overlapping key set (every thread walks every key: a miss/insert
+/// pass, then a hit pass). Both arms use the packed four-word key shape.
+/// Reported time is per full storm (threads × 2 × KEYS operations, plus
+/// thread spawn); compare arms at equal thread count. On a single-CPU
+/// host the >1-thread rows still exercise lock/CAS traffic under
+/// preemption, but true cache-line contention needs real cores.
+fn bench_memo_contention(c: &mut Criterion) {
+    use slp_verifier::memo::AtomicWordTable;
+    let mut group = c.benchmark_group("memo_contention");
+    group.sample_size(10);
+    const KEYS: usize = 4096;
+    let keys: Vec<(u128, u128)> = (0..KEYS as u128)
+        .map(|i| (i.wrapping_mul(0x9e37_79b9_7f4a_7c15), (i << 7) | 1))
+        .collect();
+    let word_keys: Vec<[u64; 4]> = keys
+        .iter()
+        .map(|&(p, e)| [p as u64, (p >> 64) as u64, e as u64, (e >> 64) as u64])
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("mutex_sharded/threads", threads),
+            &threads,
+            |b, &t| {
+                b.iter_batched(
+                    mutex_sharded::MutexShardedSet::new,
+                    |set| {
+                        std::thread::scope(|s| {
+                            for _ in 0..t {
+                                let set = &set;
+                                let keys = &keys;
+                                s.spawn(move || mutex_sharded::hammer(set, keys));
+                            }
+                        });
+                        set
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lockfree/threads", threads),
+            &threads,
+            |b, &t| {
+                b.iter_batched(
+                    || AtomicWordTable::new(4),
+                    |table| {
+                        std::thread::scope(|s| {
+                            for _ in 0..t {
+                                let table = &table;
+                                let word_keys = &word_keys;
+                                s.spawn(move || {
+                                    for k in word_keys {
+                                        if !table.contains(k) {
+                                            table.insert(k);
+                                        }
+                                    }
+                                    for k in word_keys {
+                                        black_box(table.contains(k));
+                                    }
+                                });
+                            }
+                        });
+                        table
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
     group.finish();
 }
 
@@ -240,6 +372,7 @@ criterion_group!(
     bench_memo_ablation,
     bench_dfs_throughput,
     bench_parallel_dfs,
+    bench_memo_contention,
     bench_canonical,
     bench_random_agreement_pair
 );

@@ -611,6 +611,36 @@ impl EdgeSet {
         }
     }
 
+    /// Number of `u64` words [`EdgeSet::store_words`] emits for a set over
+    /// `k` nodes: 2 for the small (`u128`) representation, `stride * k` for
+    /// the words one. Memo tables size their fixed-width keys off this.
+    pub fn encoded_len(k: usize) -> usize {
+        if k <= Self::MAX_SMALL_TXS {
+            2
+        } else {
+            k.div_ceil(64) * k
+        }
+    }
+
+    /// Writes this set's canonical `u64`-word encoding into `out` (whose
+    /// length must be exactly [`EdgeSet::encoded_len`] for this set's
+    /// width): the `u128` mask as (low, high) for the small
+    /// representation, the raw row words for the wide one. Injective per
+    /// representation — the verifier's memo tables hash and compare these
+    /// words instead of the `EdgeSet` itself, so one codec serves every
+    /// memo-key shape. Taking a slice (not a `Vec`) keeps the verifier's
+    /// per-probe encode free of length bookkeeping and capacity checks.
+    #[inline]
+    pub fn store_words(&self, out: &mut [u64]) {
+        match &self.repr {
+            Repr::Small { mask, .. } => {
+                out[0] = *mask as u64;
+                out[1] = (*mask >> 64) as u64;
+            }
+            Repr::Wide { words, .. } => out.copy_from_slice(words),
+        }
+    }
+
     /// The raw `u128` mask, if this is the small representation — the
     /// verifier packs it into its fast-path memo keys.
     pub fn as_small_mask(&self) -> Option<u128> {

@@ -34,17 +34,20 @@
 //!   mask in an `FxHashSet<(u128, u128)>` — no allocation per probe.
 //!   Systems exceeding a bound degrade gracefully instead of failing:
 //!   positions beyond the pack bound (more than 16 transactions or a
-//!   transaction longer than 255 steps) fall back to `Vec<u16>` key halves,
-//!   and edge sets beyond [`slp_core::ConflictIndex::MAX_TXS`] (11)
-//!   transactions fall back to [`slp_core::EdgeSet`]'s words
-//!   representation. Those fallbacks allocate per probe — but they turn
-//!   the old hard `k <= 11` panic into "any `k` verifies; the state space
-//!   is the only limit".
+//!   transaction longer than 255 steps) fall back to interned `Vec<u16>`
+//!   key halves, and edge sets beyond
+//!   [`slp_core::ConflictIndex::MAX_TXS`] (11) transactions fall back to
+//!   interned [`slp_core::EdgeSet`] words (`crate::memo::Interner`, the
+//!   sequential twin of the parallel table's probe-or-intern). Probes
+//!   stay allocation-free — a value is cloned once, on first insertion —
+//!   and the old hard `k <= 11` panic became "any `k` verifies; the
+//!   state space is the only limit".
 //!
 //! The pre-optimization clone-per-node DFS is retained verbatim in
 //! [`crate::reference`] as the agreement baseline; `verifier_bench`'s
 //! `dfs_throughput` group tracks the speedup. [`crate::parallel`] runs this
-//! same search as a work-stealing fleet over a shared sharded memo;
+//! same search as a work-stealing fleet over per-worker L1 memos and a
+//! shared lock-free word table;
 //! `verifier/tests/parallel_agreement.rs` locks the two to identical
 //! verdicts.
 //!
@@ -52,6 +55,7 @@
 //! shuffles the candidate order at each node, which allocates the shuffled
 //! order vector; only that mode pays the allocation.
 
+use crate::memo::Interner;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -152,61 +156,27 @@ impl Verdict {
     }
 }
 
-/// Interns values behind dense `u32` ids so compound memo keys stay
-/// fixed-size. The payoff is on the *probe* path: [`Interner::get`]
-/// borrows the probe value (`FxHashMap::get` with a borrowed key), so
-/// looking up an already-seen `EdgeSet` or position vector allocates
-/// nothing — a value is cloned exactly once, on first insertion. This is
-/// what makes k > 11 memo probes allocation-free (ROADMAP wide-key item).
-pub(crate) struct Interner<K> {
-    ids: rustc_hash::FxHashMap<K, u32>,
-}
-
-impl<K: std::hash::Hash + Eq> Interner<K> {
-    pub(crate) fn new() -> Self {
-        Interner {
-            ids: rustc_hash::FxHashMap::default(),
-        }
-    }
-
-    /// The id of `value` if it was ever interned. Allocation-free.
-    pub(crate) fn get<Q>(&self, value: &Q) -> Option<u32>
-    where
-        K: std::borrow::Borrow<Q>,
-        Q: std::hash::Hash + Eq + ?Sized,
-    {
-        self.ids.get(value).copied()
-    }
-
-    /// Interns `value`, cloning it only on first sight.
-    pub(crate) fn intern<Q>(&mut self, value: &Q) -> u32
-    where
-        K: std::borrow::Borrow<Q>,
-        Q: std::hash::Hash + Eq + ToOwned<Owned = K> + ?Sized,
-    {
-        if let Some(&id) = self.ids.get(value) {
-            return id;
-        }
-        let id = u32::try_from(self.ids.len()).expect("fewer than 2^32 interned values");
-        self.ids.insert(value.to_owned(), id);
-        id
-    }
-}
-
-/// The visited-state set, keyed on (positions, `D(S)` edges). Three key
-/// shapes, from fast to fallback:
+/// The visited-state set, keyed on (positions, `D(S)` edges). Two key
+/// shapes:
 ///
 /// * `Packed` — positions bit-packed into a `u128` **and** edges in
 ///   [`EdgeSet`]'s `u128` representation: one `(u128, u128)` probe, no
 ///   allocation. This is every system exhaustive search can realistically
 ///   cover.
 /// * `PackedEdges` — positions still pack (k ≤ 16, steps ≤ 255) but edges
-///   are words (k > 11): edge sets are interned, so keys are `(u128, u32)`
-///   and probes are allocation-free (an `EdgeSet` is cloned once, when
-///   first inserted).
+///   are words (k > 11): edge sets are interned through the shared
+///   [`Interner`] (the sequential twin of the parallel table's
+///   probe-or-intern — one key-interning API across explorers), so keys
+///   are small `(u128, u32)` pairs, probes are allocation-free, and the
+///   hit-heavy memo set never compares 100+-byte word strings.
 /// * `Wide` — positions exceed the pack bound too: both halves interned,
 ///   `(u32, u32)` keys, allocation-free probes.
-enum Memo {
+///
+/// The parallel explorer's *shared* memo instead encodes whole keys into
+/// the lock-free word table (one synchronized op per probe); this enum
+/// doubles as the parallel workers' private L1 memo, which is what
+/// guarantees the L1's per-probe cost equals the sequential explorer's.
+pub(crate) enum Memo {
     Packed(FxHashSet<(u128, u128)>),
     PackedEdges {
         set: FxHashSet<(u128, u32)>,
@@ -223,7 +193,7 @@ impl Memo {
     /// Picks the key shape for a system of `k` transactions whose
     /// positions do (not) pack, with `small_edges` saying whether edge
     /// sets use the `u128` representation.
-    fn for_system(packable: bool, small_edges: bool) -> Memo {
+    pub(crate) fn for_system(packable: bool, small_edges: bool) -> Memo {
         match (packable, small_edges) {
             (true, true) => Memo::Packed(FxHashSet::default()),
             (true, false) => Memo::PackedEdges {
@@ -238,7 +208,7 @@ impl Memo {
         }
     }
 
-    fn contains(&self, packed: u128, positions: &[u16], edges: &EdgeSet) -> bool {
+    pub(crate) fn contains(&mut self, packed: u128, positions: &[u16], edges: &EdgeSet) -> bool {
         match self {
             Memo::Packed(set) => {
                 set.contains(&(packed, edges.as_small_mask().expect("small edges")))
@@ -259,13 +229,13 @@ impl Memo {
         }
     }
 
-    fn insert(&mut self, packed: u128, positions: &[u16], edges: &EdgeSet) {
+    pub(crate) fn insert(&mut self, packed: u128, positions: &[u16], edges: &EdgeSet) {
         match self {
             Memo::Packed(set) => {
                 set.insert((packed, edges.as_small_mask().expect("small edges")));
             }
             Memo::PackedEdges { set, edges: ids } => {
-                let e = ids.intern(edges);
+                let e = ids.probe_or_intern(edges);
                 set.insert((packed, e));
             }
             Memo::Wide {
@@ -273,8 +243,8 @@ impl Memo {
                 positions: pos_ids,
                 edges: edge_ids,
             } => {
-                let p = pos_ids.intern(positions);
-                let e = edge_ids.intern(edges);
+                let p = pos_ids.probe_or_intern(positions);
+                let e = edge_ids.probe_or_intern(edges);
                 set.insert((p, e));
             }
         }

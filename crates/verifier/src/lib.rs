@@ -15,9 +15,12 @@
 //!
 //! The exhaustive decider also runs **in parallel**:
 //! [`parallel::verify_safety_parallel`] spreads the same apply/undo DFS
-//! over a work-stealing thread pool with a shared sharded memo table and
-//! early cancellation; `verifier/tests/parallel_agreement.rs` pins its
-//! verdicts to the sequential explorer's differentially.
+//! over a work-stealing thread pool with batched work donation,
+//! per-worker L1 memos (the sequential explorer's own memo shape), a
+//! **lock-free** shared memo table ([`memo::AtomicWordTable`] keyed
+//! through the [`memo::KeyShape`] codec), and early cancellation;
+//! `verifier/tests/parallel_agreement.rs` pins its verdicts to the
+//! sequential explorer's differentially.
 //!
 //! Supporting modules: [`minimize`] (witness shrinking), [`gen`] (seeded
 //! random system generation), and [`mod@reference`] — the retained
@@ -30,6 +33,7 @@
 pub mod canonical_search;
 pub mod explorer;
 pub mod gen;
+pub mod memo;
 pub mod minimize;
 pub mod parallel;
 pub mod reference;

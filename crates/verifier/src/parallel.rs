@@ -1,4 +1,4 @@
-//! Work-stealing parallel safety verification.
+//! Work-stealing parallel safety verification on a lock-free memo core.
 //!
 //! [`verify_safety_parallel`] decides the same question as
 //! [`crate::explorer::verify_safety`] — *does a legal, proper,
@@ -7,26 +7,52 @@
 //! [`workpool`] shim; no crates.io access) that cooperate through three
 //! pieces of shared state:
 //!
-//! * **A task queue of subtree roots.** A task is the *path* (dense
-//!   transaction indices) from the empty schedule to a search node; the
-//!   receiving worker replays it through its private simulator /
-//!   [`ConflictIndex`] / [`EdgeSet`] and explores the subtree. Work
-//!   *stealing* is donation-based: whenever a worker is about to descend
-//!   into a sibling subtree while other workers sit idle, it pushes the
-//!   sibling as a task instead of recursing — the first worker starts at
-//!   the root and the frontier fans out on demand, so no static
-//!   partitioning is needed and skewed subtrees rebalance automatically.
-//! * **A sharded memo table.** The visited-state set is split across
-//!   `MEMO_SHARDS` `Mutex<FxHashSet>` shards keyed by key hash, so
-//!   concurrent probes rarely contend. Sharing it across workers preserves
-//!   the sequential search's pruning: a state fully explored by *any*
-//!   worker is skipped by all. Soundness is unchanged — entries are only
-//!   inserted for subtrees explored to exhaustion with no witness, and a
-//!   frame whose children were donated or truncated (cancel/budget)
-//!   inserts nothing, so a memo hit always means "no witness below".
-//! * **An early-cancel flag.** The first worker to reach a
-//!   nonserializable completion records it and flips an `AtomicBool`;
-//!   every worker polls the flag once per node and unwinds.
+//! * **A task queue of subtree roots** ([`workpool::DonationQueue`]). A
+//!   task is the *path* (dense transaction indices) from the empty
+//!   schedule to a search node; the receiving worker replays it through
+//!   its private simulator / [`ConflictIndex`] / [`EdgeSet`] and explores
+//!   the subtree. Work *stealing* is donation-based: whenever a worker is
+//!   about to descend into sibling subtrees while other workers sit idle,
+//!   it donates the siblings as tasks instead of recursing. Donations are
+//!   **batched**: viable siblings of one node accumulate in a private
+//!   buffer and are pushed in chunks (`DONATE_BATCH`, plus a flush
+//!   before any local descent and at node end) — one queue lock and one
+//!   wakeup per chunk instead of one per subtree.
+//! * **A lock-free shared memo.** The visited-state set is a single
+//!   [`crate::memo::AtomicWordTable`]: every memo key — packed or wide
+//!   positions, `u128`-mask or words edges — is encoded by the shared
+//!   [`crate::memo::KeyShape`] codec into a fixed-width `[u64]` word
+//!   string and probed/inserted with atomic loads and a CAS. There are
+//!   **no mutexes on the search hot path**, and a wide (`k > 11`) key
+//!   performs exactly **one** synchronized probe-or-intern operation —
+//!   the previous design sharded `Mutex<FxHashSet>` tables and interned
+//!   each wide key half behind its own shard lock, so a wide probe took
+//!   two locks and every probe paid lock traffic. Sharing the table
+//!   across workers preserves the sequential search's pruning: a state
+//!   fully explored by *any* worker is skipped by all. Soundness is
+//!   unchanged — entries are only inserted for subtrees explored to
+//!   exhaustion with no witness, and a frame whose children were donated
+//!   or truncated (cancel/budget) inserts nothing, so a memo hit always
+//!   means "no witness below".
+//! * **An early-cancel flag** (inside the queue). The first worker to
+//!   reach a nonserializable completion records it and cancels; every
+//!   worker polls the flag once per node and unwinds.
+//!
+//! In front of the shared table, each worker keeps a **private L1
+//! memo** — literally the sequential explorer's `Memo` shape
+//! (`FxHashSet`-backed, identical per-probe cost), built fresh per
+//! verify run and dropped with it (memo entries are system-specific, so
+//! nothing could soundly carry over; a per-run local also pins no memory
+//! in pool threads between runs).
+//! The L1 is the worker's *primary* memo: states this worker explored or
+//! already confirmed shared-hits are answered with zero synchronization,
+//! so only first-sight probes and inserts ever reach the shared table.
+//! The L1 only caches *positive* facts (state fully explored), which are
+//! immutable, so it can never un-soundly prune. A single-worker pool's L1
+//! is total — every probe its search could repeat is answered privately —
+//! so the shared table is not even built at `threads == 1`: the memo path
+//! degenerates to exactly the sequential explorer's, and the measured
+//! single-thread pool overhead is dispatch + task-loop cost alone.
 //!
 //! # What is (and is not) deterministic
 //!
@@ -38,22 +64,19 @@
 //! is a race, and memo-race duplication can revisit states. When the
 //! budget trips, `Exhausted` frontiers are likewise race-dependent.
 //! `verifier/tests/parallel_agreement.rs` locks the verdict guarantees
-//! down differentially, across seeds, thread counts, and repeated runs.
+//! down differentially (155+ systems, thread counts 1–8, repeated runs),
+//! and its memo-storm stress hammers the table's probe-or-intern from
+//! many threads to pin id stability and lost-insert freedom.
 
-use crate::explorer::{PositionBook, SearchBudget, SearchStats, Verdict};
-use rustc_hash::{FxHashSet, FxHasher};
+use crate::explorer::{Memo, PositionBook, SearchBudget, SearchStats, Verdict};
+use crate::memo::{AtomicWordTable, KeyShape};
 use slp_core::{
     pack_positions, ConflictIndex, EdgeSet, LockedTransaction, Schedule, ScheduleSimulator,
     ScheduledStep, TransactionSystem, TxId,
 };
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use workpool::{PoolJob, ThreadPool};
-
-/// Shards of the shared memo table. A power of two well above any sane
-/// worker count, so concurrent probes mostly land on distinct mutexes.
-const MEMO_SHARDS: usize = 64;
+use std::sync::{Arc, Mutex};
+use workpool::{DonationQueue, PoolJob, ThreadPool};
 
 /// Workers flush their *consumed* state counts into the shared total (and
 /// check it against the budget) every this many nodes — one atomic RMW
@@ -65,176 +88,27 @@ const MEMO_SHARDS: usize = 64;
 /// budget granularity, keeping tiny-budget exhaustion prompt.
 const STATE_CHUNK: usize = 256;
 
-/// A hash-sharded concurrent set: `contains`/`insert` lock only the shard
-/// the key hashes to.
-struct Sharded<K> {
-    shards: Vec<Mutex<FxHashSet<K>>>,
-}
+/// Donated sibling subtrees accumulate in a worker-private buffer and are
+/// flushed to the queue in chunks of this size (and, regardless of fill,
+/// before the worker descends locally and at node end) — batching the
+/// lock/notify cost of donation.
+const DONATE_BATCH: usize = 8;
 
-impl<K: Hash + Eq> Sharded<K> {
-    fn new() -> Self {
-        Sharded {
-            shards: (0..MEMO_SHARDS)
-                .map(|_| Mutex::new(FxHashSet::default()))
-                .collect(),
-        }
-    }
-
-    fn shard(&self, key: &K) -> &Mutex<FxHashSet<K>> {
-        let mut h = FxHasher::default();
-        key.hash(&mut h);
-        // Shard on the HIGH hash bits: the inner hash table derives its
-        // bucket index from the low bits, so sharding on those would give
-        // every key in a shard the same low 6 bits and cluster them onto
-        // every 64th bucket.
-        &self.shards[(h.finish() >> 58) as usize % MEMO_SHARDS]
-    }
-
-    fn contains(&self, key: &K) -> bool {
-        self.shard(key).lock().expect("memo shard").contains(key)
-    }
-
-    fn insert(&self, key: K) {
-        self.shard(&key).lock().expect("memo shard").insert(key);
-    }
-}
-
-/// A hash-sharded concurrent interner: same value → same `u64` id across
-/// all workers (the id is assigned under the value's shard lock, and ids
-/// from different shards never collide — shard index is folded into the
-/// id). [`ShardedInterner::get`] borrows the probe value, so probing an
-/// already-seen `EdgeSet` or position vector allocates nothing; a value
-/// is cloned exactly once, by the first worker to insert it.
-struct ShardedInterner<K> {
-    shards: Vec<Mutex<rustc_hash::FxHashMap<K, u64>>>,
-}
-
-impl<K: Hash + Eq> ShardedInterner<K> {
-    fn new() -> Self {
-        ShardedInterner {
-            shards: (0..MEMO_SHARDS)
-                .map(|_| Mutex::new(rustc_hash::FxHashMap::default()))
-                .collect(),
-        }
-    }
-
-    fn shard_of<Q: Hash + ?Sized>(&self, value: &Q) -> usize {
-        let mut h = FxHasher::default();
-        value.hash(&mut h);
-        (h.finish() >> 58) as usize % MEMO_SHARDS
-    }
-
-    /// The id of `value` if any worker ever interned it. Allocation-free.
-    fn get<Q>(&self, value: &Q) -> Option<u64>
-    where
-        K: std::borrow::Borrow<Q>,
-        Q: Hash + Eq + ?Sized,
-    {
-        let i = self.shard_of(value);
-        self.shards[i]
-            .lock()
-            .expect("interner shard")
-            .get(value)
-            .copied()
-    }
-
-    /// Interns `value`, cloning it only on first sight (across workers).
-    fn intern<Q>(&self, value: &Q) -> u64
-    where
-        K: std::borrow::Borrow<Q>,
-        Q: Hash + Eq + ToOwned<Owned = K> + ?Sized,
-    {
-        let i = self.shard_of(value);
-        let mut shard = self.shards[i].lock().expect("interner shard");
-        if let Some(&id) = shard.get(value) {
-            return id;
-        }
-        // Globally unique: the per-shard sequence number composed with the
-        // shard index (ids from distinct shards occupy distinct residues).
-        let id = (shard.len() as u64) * MEMO_SHARDS as u64 + i as u64;
-        shard.insert(value.to_owned(), id);
-        id
-    }
-}
-
-/// The shared visited-state set, with the same three key shapes as the
-/// sequential [`crate::explorer`] memo (see its `Memo` docs). The shape
-/// selection and key construction deliberately mirror that type — change
-/// them in lockstep, or the two searches' pruning (and the differential
-/// tests comparing them) will diverge. Wide keys intern their `EdgeSet` /
-/// position-vector halves, so probes are allocation-free here too.
-enum SharedMemo {
-    Packed(Sharded<(u128, u128)>),
-    PackedEdges {
-        set: Sharded<(u128, u64)>,
-        edges: ShardedInterner<EdgeSet>,
-    },
-    Wide {
-        set: Sharded<(u64, u64)>,
-        positions: ShardedInterner<Vec<u16>>,
-        edges: ShardedInterner<EdgeSet>,
-    },
+/// The shared visited-state set: the [`KeyShape`] codec (shared with the
+/// sequential explorer, so the two searches' keys cannot drift apart)
+/// over one lock-free [`AtomicWordTable`]. Only built for pools of more
+/// than one worker — a single worker's L1 memo is already total, so the
+/// shared table would have no reader.
+struct SharedMemo {
+    shape: KeyShape,
+    table: Option<AtomicWordTable>,
 }
 
 impl SharedMemo {
-    fn for_system(packable: bool, small_edges: bool) -> SharedMemo {
-        match (packable, small_edges) {
-            (true, true) => SharedMemo::Packed(Sharded::new()),
-            (true, false) => SharedMemo::PackedEdges {
-                set: Sharded::new(),
-                edges: ShardedInterner::new(),
-            },
-            (false, _) => SharedMemo::Wide {
-                set: Sharded::new(),
-                positions: ShardedInterner::new(),
-                edges: ShardedInterner::new(),
-            },
-        }
-    }
-
-    fn contains(&self, packed: u128, positions: &[u16], edges: &EdgeSet) -> bool {
-        match self {
-            SharedMemo::Packed(s) => {
-                s.contains(&(packed, edges.as_small_mask().expect("small edges")))
-            }
-            // An un-interned value was never part of an inserted key, so
-            // the memo cannot contain the state: answer without cloning.
-            // (A racing insert between the interner probe and the set
-            // probe only turns a hit into a miss — duplicated work, never
-            // missed pruning soundness.)
-            SharedMemo::PackedEdges { set, edges: ids } => {
-                ids.get(edges).is_some_and(|e| set.contains(&(packed, e)))
-            }
-            SharedMemo::Wide {
-                set,
-                positions: pos_ids,
-                edges: edge_ids,
-            } => match (pos_ids.get(positions), edge_ids.get(edges)) {
-                (Some(p), Some(e)) => set.contains(&(p, e)),
-                _ => false,
-            },
-        }
-    }
-
-    fn insert(&self, packed: u128, positions: &[u16], edges: &EdgeSet) {
-        match self {
-            SharedMemo::Packed(s) => {
-                s.insert((packed, edges.as_small_mask().expect("small edges")));
-            }
-            SharedMemo::PackedEdges { set, edges: ids } => {
-                let e = ids.intern(edges);
-                set.insert((packed, e));
-            }
-            SharedMemo::Wide {
-                set,
-                positions: pos_ids,
-                edges: edge_ids,
-            } => {
-                let p = pos_ids.intern(positions);
-                let e = edge_ids.intern(edges);
-                set.insert((p, e));
-            }
-        }
+    fn for_system(packable: bool, k: usize, small_edges: bool, share: bool) -> SharedMemo {
+        let shape = KeyShape::new(packable, k, small_edges);
+        let table = share.then(|| AtomicWordTable::new(shape.width().max(1)));
+        SharedMemo { shape, table }
     }
 }
 
@@ -243,13 +117,6 @@ impl SharedMemo {
 /// (`O(path)` step applications).
 struct Task {
     path: Vec<u32>,
-}
-
-struct TaskQueue {
-    tasks: Vec<Task>,
-    /// Tasks enqueued or currently being executed; the search space is
-    /// covered exactly when this reaches zero.
-    pending: usize,
 }
 
 /// All state shared by the workers of one verification run.
@@ -261,15 +128,12 @@ struct VerifyJob {
     /// place, `PositionBook::new`, for both explorers.
     book: PositionBook,
     k: usize,
+    /// Whether edge sets use the `u128` representation (cached for the
+    /// workers' L1 memo construction).
+    small_edges: bool,
     budget: SearchBudget,
     memo: SharedMemo,
-    queue: Mutex<TaskQueue>,
-    task_cv: Condvar,
-    /// Workers currently parked waiting for a task — the donation signal.
-    idle: AtomicUsize,
-    /// Set when the run should stop — witness found or budget exhausted
-    /// (never cleared): all workers unwind and drain.
-    cancel: AtomicBool,
+    queue: DonationQueue<Task>,
     budget_hit: AtomicBool,
     /// Search states consumed across all workers, flushed in chunks (see
     /// [`STATE_CHUNK`]); compared against `budget.max_states`.
@@ -283,7 +147,7 @@ struct VerifyJob {
 }
 
 impl VerifyJob {
-    fn new(system: TransactionSystem, budget: SearchBudget) -> Self {
+    fn new(system: TransactionSystem, budget: SearchBudget, share: bool) -> Self {
         let ids = system.ids();
         let lens: Vec<u16> = ids
             .iter()
@@ -292,21 +156,18 @@ impl VerifyJob {
         let k = ids.len();
         let book = PositionBook::new(lens);
         let small_edges = k <= ConflictIndex::MAX_TXS;
-        let memo = SharedMemo::for_system(book.packable, small_edges);
+        let memo = SharedMemo::for_system(book.packable, k, small_edges, share);
+        let queue = DonationQueue::new();
+        queue.push_batch(&mut vec![Task { path: Vec::new() }]);
         VerifyJob {
             system,
             ids,
             book,
             k,
+            small_edges,
             budget,
             memo,
-            queue: Mutex::new(TaskQueue {
-                tasks: vec![Task { path: Vec::new() }],
-                pending: 1,
-            }),
-            task_cv: Condvar::new(),
-            idle: AtomicUsize::new(0),
-            cancel: AtomicBool::new(false),
+            queue,
             budget_hit: AtomicBool::new(false),
             states_counted: AtomicUsize::new(0),
             witness: Mutex::new(None),
@@ -329,7 +190,12 @@ impl VerifyJob {
 
 impl PoolJob for VerifyJob {
     fn run(&self, _worker: usize) {
-        Worker::new(self).run();
+        // One fresh L1 per worker per run, dropped when the run ends: a
+        // worker's run is the L1's only consumer (states are
+        // system-specific, so nothing could soundly survive into another
+        // verify), and a plain local keeps no memory pinned afterwards.
+        let mut l1 = Memo::for_system(self.book.packable, self.small_edges);
+        Worker::new(self, &mut l1).run();
     }
 }
 
@@ -361,13 +227,23 @@ struct Worker<'j> {
     schedule: Schedule,
     index: ConflictIndex,
     edges: EdgeSet,
+    /// Reusable encode buffer for shared-table keys (no allocation per
+    /// probe).
+    scratch: Box<[u64]>,
+    /// Sibling subtrees awaiting a batched donation flush.
+    donate_buf: Vec<Task>,
+    /// This worker's private L1 memo — the worker's *primary* memo, in
+    /// the sequential explorer's own shape, fresh per run.
+    l1: &'j mut Memo,
     stats: SearchStats,
     /// States visited since the last flush into `VerifyJob::states_counted`.
     unflushed: usize,
+    /// Precomputed flush granularity (`STATE_CHUNK` capped by the budget).
+    flush_chunk: usize,
 }
 
 impl<'j> Worker<'j> {
-    fn new(job: &'j VerifyJob) -> Self {
+    fn new(job: &'j VerifyJob, l1: &'j mut Memo) -> Self {
         let txs = job
             .ids
             .iter()
@@ -383,8 +259,12 @@ impl<'j> Worker<'j> {
             schedule: Schedule::empty(),
             index: ConflictIndex::new(job.k),
             edges: EdgeSet::empty(job.k),
+            scratch: job.memo.shape.scratch(),
+            donate_buf: Vec::new(),
+            l1,
             stats: SearchStats::default(),
             unflushed: 0,
+            flush_chunk: STATE_CHUNK.min(job.budget.max_states.max(1)),
         }
     }
 
@@ -400,28 +280,70 @@ impl<'j> Worker<'j> {
         total
     }
 
+    /// Probes the current (positions, edges) state: the private L1 first
+    /// (sequential-explorer cost, no synchronization), then — only when a
+    /// shared table exists, i.e. the pool has >1 worker — one synchronized
+    /// probe of the lock-free table, recording shared hits into the L1 so
+    /// repeat probes never reach the table again.
     fn memo_contains(&mut self) -> bool {
-        self.job
-            .memo
+        if self
+            .l1
             .contains(self.book.packed, &self.positions, &self.edges)
+        {
+            return true;
+        }
+        let Some(table) = &self.job.memo.table else {
+            return false;
+        };
+        self.job.memo.shape.encode(
+            &mut self.scratch,
+            self.book.packed,
+            &self.positions,
+            &self.edges,
+        );
+        let hit = table.contains(&self.scratch);
+        if hit {
+            self.l1
+                .insert(self.book.packed, &self.positions, &self.edges);
+        }
+        hit
     }
 
+    /// Records the current state as fully explored: into the private L1,
+    /// and — when the pool shares — via exactly one synchronized
+    /// probe-or-intern on the lock-free table so every other worker can
+    /// prune it.
     fn memo_insert(&mut self) {
-        self.job
-            .memo
+        self.l1
             .insert(self.book.packed, &self.positions, &self.edges);
+        if let Some(table) = &self.job.memo.table {
+            self.job.memo.shape.encode(
+                &mut self.scratch,
+                self.book.packed,
+                &self.positions,
+                &self.edges,
+            );
+            table.probe_or_intern(&self.scratch);
+        }
+    }
+
+    /// Pushes the buffered donated subtrees in one queue operation.
+    #[inline]
+    fn flush_donations(&mut self) {
+        if !self.donate_buf.is_empty() {
+            self.job.queue.push_batch(&mut self.donate_buf);
+        }
     }
 
     fn run(&mut self) {
-        while let Some(task) = self.next_task() {
+        while let Some(task) = self.job.queue.pop() {
             self.run_task(task);
+            debug_assert!(
+                self.donate_buf.is_empty(),
+                "donations must flush by node end"
+            );
             self.flush_states();
-            let mut q = self.job.queue.lock().expect("task queue");
-            q.pending -= 1;
-            if q.pending == 0 {
-                drop(q);
-                self.job.task_cv.notify_all();
-            }
+            self.job.queue.complete();
         }
         // Flush private statistics into the shared totals.
         self.job
@@ -436,27 +358,6 @@ impl<'j> Worker<'j> {
         self.job
             .undo_ops
             .fetch_add(self.stats.undo_ops, Ordering::SeqCst);
-    }
-
-    /// Pops a task, parking on the condvar while the queue is empty but
-    /// other workers still hold pending tasks (which they may split).
-    /// Returns `None` when the space is covered or the run is cancelled.
-    fn next_task(&self) -> Option<Task> {
-        let mut q = self.job.queue.lock().expect("task queue");
-        loop {
-            if self.job.cancel.load(Ordering::Relaxed) {
-                return None;
-            }
-            if let Some(t) = q.tasks.pop() {
-                return Some(t);
-            }
-            if q.pending == 0 {
-                return None;
-            }
-            self.job.idle.fetch_add(1, Ordering::Relaxed);
-            q = self.job.task_cv.wait(q).expect("task queue");
-            self.job.idle.fetch_sub(1, Ordering::Relaxed);
-        }
     }
 
     /// Replays `task`'s path from the empty schedule, then explores the
@@ -511,34 +412,17 @@ impl<'j> Worker<'j> {
                 *w = Some(self.schedule.clone());
             }
         }
-        self.cancel_all();
-    }
-
-    /// Stops the whole search: used on witness discovery and on budget
-    /// exhaustion (the verdict is picked from the witness slot and the
-    /// `budget_hit` flag, not from `cancel`).
-    ///
-    /// The cancel flag is published and broadcast **while holding the
-    /// queue mutex**: `next_task` checks the flag under that same mutex
-    /// before parking, so publishing outside it could slot a store +
-    /// `notify_all` into the window between a worker's flag check and its
-    /// `wait` — a lost wakeup that would park the worker forever (queued
-    /// tasks orphaned by cancellation keep `pending > 0`, so no later
-    /// notification would come).
-    fn cancel_all(&self) {
-        let _q = self.job.queue.lock().expect("task queue");
-        self.job.cancel.store(true, Ordering::SeqCst);
-        self.job.task_cv.notify_all();
+        self.job.queue.cancel();
     }
 
     fn dfs(&mut self) -> Dfs {
         let job = self.job;
-        if job.cancel.load(Ordering::Relaxed) {
+        if job.queue.is_cancelled() {
             return Dfs::Pruned;
         }
         self.stats.states += 1;
         self.unflushed += 1;
-        if self.unflushed >= STATE_CHUNK.min(job.budget.max_states.max(1)) {
+        if self.unflushed >= self.flush_chunk {
             // Strictly greater: a search space of exactly `max_states`
             // states completes (the sequential explorer only exhausts when
             // it attempts state `max_states + 1`).
@@ -547,7 +431,7 @@ impl<'j> Worker<'j> {
                 // Cancel the whole run so queued tasks are abandoned
                 // instead of each being explored up to its own flush
                 // boundary, keeping post-exhaustion overshoot bounded.
-                self.cancel_all();
+                job.queue.cancel();
                 return Dfs::Pruned;
             }
         }
@@ -589,21 +473,19 @@ impl<'j> Worker<'j> {
                 continue;
             }
             // Donation ("stealing" from the donor's side): once this node
-            // has one locally explored child, viable siblings go to idle
-            // workers instead of being explored here.
-            if explored_locally
-                && job.idle.load(Ordering::Relaxed) > 0
-                && self.sim.check(id, &step).is_ok()
+            // has one locally explored child, viable siblings go to the
+            // batch buffer for idle workers instead of being explored
+            // here; the buffer flushes in chunks, before any local
+            // descent, and at node end.
+            if explored_locally && job.queue.idle_workers() > 0 && self.sim.check(id, &step).is_ok()
             {
                 let mut child = self.path.clone();
                 child.push(i as u32);
-                {
-                    let mut q = job.queue.lock().expect("task queue");
-                    q.pending += 1;
-                    q.tasks.push(Task { path: child });
-                }
-                job.task_cv.notify_one();
+                self.donate_buf.push(Task { path: child });
                 donated_any = true;
+                if self.donate_buf.len() >= DONATE_BATCH {
+                    self.flush_donations();
+                }
                 self.book.untake(&mut self.positions, i);
                 if let Some(a) = &added {
                     self.edges.undo(a);
@@ -617,6 +499,10 @@ impl<'j> Worker<'j> {
                 }
                 continue;
             };
+            // About to explore locally: donated siblings must reach the
+            // queue first, or idle workers would starve for the whole
+            // descent.
+            self.flush_donations();
             self.schedule.push(ScheduledStep::new(id, step));
             self.path.push(i as u32);
             self.index.push(i, step);
@@ -656,6 +542,7 @@ impl<'j> Worker<'j> {
                 break;
             }
         }
+        self.flush_donations();
         if pruned {
             Dfs::Pruned
         } else if donated_any {
@@ -693,7 +580,8 @@ impl ParallelVerifier {
     /// identical to the sequential explorer's whenever neither run trips
     /// the budget; see the module docs for the determinism contract.
     pub fn verify(&self, system: &TransactionSystem, budget: SearchBudget) -> Verdict {
-        let job = Arc::new(VerifyJob::new(system.clone(), budget));
+        let share = self.pool.threads() > 1;
+        let job = Arc::new(VerifyJob::new(system.clone(), budget, share));
         self.pool.run(job.clone());
         let stats = job.stats();
         let witness = job.witness.lock().expect("witness slot").take();
@@ -861,5 +749,21 @@ mod tests {
             par.stats().states,
             seq.stats().states
         );
+    }
+
+    #[test]
+    fn l1_memo_state_does_not_leak_across_runs() {
+        // Back-to-back verifies on the same pooled threads with different
+        // systems of the same key width: stale L1 entries from run 1 must
+        // not prune run 2 (each run builds its workers fresh L1s).
+        let verifier = ParallelVerifier::new(2);
+        for _ in 0..10 {
+            assert!(verifier
+                .verify(&two_phase_system(), SearchBudget::default())
+                .is_safe());
+            assert!(verifier
+                .verify(&short_lock_system(), SearchBudget::default())
+                .is_unsafe());
+        }
     }
 }

@@ -30,6 +30,43 @@ fn measure_budget() -> Duration {
     Duration::from_millis(ms)
 }
 
+/// Substring filter on the full `group/id` benchmark label, mirroring real
+/// criterion's CLI filtering: the first non-flag command-line argument
+/// (`cargo bench --bench foo -- some_group`), or the
+/// `CRITERION_SHIM_FILTER` environment variable. Benchmarks whose label
+/// does not contain the filter are skipped entirely (not run, not
+/// reported) — CI smoke steps use this to exercise one group cheaply.
+fn name_filter() -> Option<String> {
+    if let Ok(f) = std::env::var("CRITERION_SHIM_FILTER") {
+        return Some(f);
+    }
+    // First positional argument, like real criterion — but never the
+    // value of a value-taking flag (`--sample-size 100` must not turn
+    // "100" into a filter that silently skips everything). Only flags
+    // known to take no value may directly precede the filter; `--flag=x`
+    // forms are self-contained and skipped as flags.
+    const BARE_FLAGS: [&str; 5] = ["--bench", "--test", "--nocapture", "--quiet", "-q"];
+    let mut prev_is_valued_flag = false;
+    for arg in std::env::args().skip(1) {
+        if arg.starts_with('-') {
+            prev_is_valued_flag = !BARE_FLAGS.contains(&arg.as_str()) && !arg.contains('=');
+        } else if prev_is_valued_flag {
+            prev_is_valued_flag = false;
+        } else {
+            return Some(arg);
+        }
+    }
+    None
+}
+
+/// Whether `label` survives [`name_filter`].
+fn label_selected(label: &str) -> bool {
+    match name_filter() {
+        Some(f) => label.contains(&f),
+        None => true,
+    }
+}
+
 /// How a batched routine's setup cost is amortized. The shim runs every
 /// variant one setup per routine call, which matches `PerIteration` and is
 /// a sound upper bound for the others.
@@ -166,19 +203,24 @@ impl BenchmarkGroup {
         self
     }
 
-    /// Runs one benchmark in the group.
+    /// Runs one benchmark in the group (skipped if filtered out).
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        if !label_selected(&label) {
+            return self;
+        }
         let mut b = Bencher::new();
         f(&mut b);
-        b.report(&format!("{}/{}", self.name, id.id));
+        b.report(&label);
         self
     }
 
-    /// Runs one parameterized benchmark in the group.
+    /// Runs one parameterized benchmark in the group (skipped if filtered
+    /// out).
     pub fn bench_with_input<I: ?Sized, F>(
         &mut self,
         id: impl Into<BenchmarkId>,
@@ -189,9 +231,13 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        if !label_selected(&label) {
+            return self;
+        }
         let mut b = Bencher::new();
         f(&mut b, input);
-        b.report(&format!("{}/{}", self.name, id.id));
+        b.report(&label);
         self
     }
 
@@ -209,12 +255,15 @@ impl Criterion {
         BenchmarkGroup { name: name.into() }
     }
 
-    /// Runs one stand-alone benchmark.
+    /// Runs one stand-alone benchmark (skipped if filtered out).
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        if !label_selected(&id.id) {
+            return self;
+        }
         let mut b = Bencher::new();
         f(&mut b);
         b.report(&id.id);

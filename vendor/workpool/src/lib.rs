@@ -19,8 +19,142 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// A shared LIFO task queue for donation-based work stealing, with
+/// **batched** donation: a worker that decides to hand off several sibling
+/// subtrees pushes them in one [`push_batch`](DonationQueue::push_batch) —
+/// one lock acquisition and one wakeup per chunk instead of one per task.
+///
+/// The queue tracks *pending* work (tasks queued **or** currently
+/// executing): [`pop`](DonationQueue::pop) blocks while the queue is empty
+/// but other workers still hold pending tasks (they may donate more), and
+/// returns `None` once the space is drained (`pending == 0`) or the run is
+/// [`cancel`](DonationQueue::cancel)led. Every popped task must be matched
+/// by exactly one [`complete`](DonationQueue::complete) call.
+///
+/// [`idle_workers`](DonationQueue::idle_workers) exposes how many workers
+/// are parked in `pop` — the donation signal: donating is only worth the
+/// replay cost when someone is waiting to take the work.
+///
+/// The cancel flag is published and broadcast **while holding the queue
+/// mutex**: `pop` re-checks the flag under that same mutex before parking,
+/// so a store outside the lock could slot between a worker's flag check
+/// and its wait — a lost wakeup that would park the worker forever (tasks
+/// orphaned by cancellation keep `pending > 0`, so no later notification
+/// would come).
+pub struct DonationQueue<T> {
+    state: Mutex<QueueState<T>>,
+    cv: Condvar,
+    idle: AtomicUsize,
+    cancelled: AtomicBool,
+}
+
+struct QueueState<T> {
+    tasks: Vec<T>,
+    /// Tasks queued or currently executing; the work space is covered
+    /// exactly when this reaches zero.
+    pending: usize,
+}
+
+impl<T> Default for DonationQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> DonationQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        DonationQueue {
+            state: Mutex::new(QueueState {
+                tasks: Vec::new(),
+                pending: 0,
+            }),
+            cv: Condvar::new(),
+            idle: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// Workers currently parked in [`pop`](DonationQueue::pop). Donors
+    /// read this (one relaxed load) to decide whether splitting off work
+    /// is worth it.
+    pub fn idle_workers(&self) -> usize {
+        self.idle.load(Ordering::Relaxed)
+    }
+
+    /// Whether [`cancel`](DonationQueue::cancel) was called. One relaxed
+    /// load — cheap enough to poll per search node.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Stops the run: parked workers wake and return `None` from `pop`;
+    /// queued tasks are abandoned. Idempotent, never cleared.
+    pub fn cancel(&self) {
+        let _state = self.state.lock().expect("donation queue");
+        self.cancelled.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Donates every task in `batch` (drained, retaining its capacity for
+    /// reuse) in one lock acquisition, waking as many workers as there are
+    /// new tasks. No-op on an empty batch.
+    pub fn push_batch(&self, batch: &mut Vec<T>) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len();
+        {
+            let mut state = self.state.lock().expect("donation queue");
+            state.pending += n;
+            state.tasks.append(batch);
+        }
+        if n == 1 {
+            self.cv.notify_one();
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Pops a task, parking while the queue is empty but pending work
+    /// remains (a running worker may donate). Returns `None` when the
+    /// space is covered or the queue is cancelled.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("donation queue");
+        loop {
+            if self.cancelled.load(Ordering::Relaxed) {
+                return None;
+            }
+            if let Some(t) = state.tasks.pop() {
+                return Some(t);
+            }
+            if state.pending == 0 {
+                return None;
+            }
+            self.idle.fetch_add(1, Ordering::Relaxed);
+            state = self.cv.wait(state).expect("donation queue");
+            self.idle.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks one popped task finished; the last completion wakes every
+    /// parked worker so they can observe `pending == 0` and drain.
+    pub fn complete(&self) {
+        let mut state = self.state.lock().expect("donation queue");
+        state.pending = state
+            .pending
+            .checked_sub(1)
+            .expect("complete without a matching pop");
+        if state.pending == 0 {
+            drop(state);
+            self.cv.notify_all();
+        }
+    }
+}
 
 /// A unit of work executed cooperatively by every worker of a pool.
 ///
@@ -195,6 +329,63 @@ mod tests {
             pool.run(job.clone());
         }
         assert_eq!(job.hits.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn donation_queue_drains_batches_across_threads() {
+        let queue = Arc::new(DonationQueue::new());
+        queue.push_batch(&mut vec![0u32]);
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let consumed = Arc::clone(&consumed);
+                std::thread::spawn(move || {
+                    while let Some(task) = queue.pop() {
+                        // The root task fans out two batches of children;
+                        // everything else is a leaf.
+                        if task == 0 {
+                            queue.push_batch(&mut (1..=8u32).collect());
+                            queue.push_batch(&mut (9..=16u32).collect());
+                        }
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                        queue.complete();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::SeqCst), 17);
+        assert_eq!(queue.idle_workers(), 0);
+        assert!(!queue.is_cancelled());
+    }
+
+    #[test]
+    fn donation_queue_cancel_releases_parked_workers() {
+        let queue = Arc::new(DonationQueue::<u32>::new());
+        // One pending task that is never completed keeps poppers parked.
+        queue.push_batch(&mut vec![1]);
+        assert_eq!(queue.pop(), Some(1));
+        let parked = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        while queue.idle_workers() == 0 {
+            std::thread::yield_now();
+        }
+        queue.cancel();
+        assert_eq!(parked.join().unwrap(), None);
+        assert!(queue.is_cancelled());
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn donation_queue_empty_batch_is_a_no_op() {
+        let queue = DonationQueue::<u32>::new();
+        queue.push_batch(&mut Vec::new());
+        assert_eq!(queue.pop(), None);
     }
 
     #[test]
