@@ -141,6 +141,49 @@ impl Schedule {
         Ok(Schedule { steps })
     }
 
+    /// Reconstructs a schedule from sequence-stamped steps, e.g. the
+    /// per-worker trace buffers of a concurrent runtime: each granted step
+    /// carries the globally unique sequence number it was stamped with at
+    /// grant time, and sorting by that stamp recovers the one total order
+    /// the lock service actually executed. Sequence numbers must be
+    /// distinct; ties would make the reconstruction ambiguous, so they are
+    /// rejected loudly (duplicate stamps mean the recorder is broken).
+    pub fn from_sequenced(mut entries: Vec<(u64, ScheduledStep)>) -> Result<Schedule, u64> {
+        entries.sort_unstable_by_key(|&(seq, _)| seq);
+        if let Some(w) = entries.windows(2).find(|w| w[0].0 == w[1].0) {
+            return Err(w[0].0);
+        }
+        Ok(Schedule {
+            steps: entries.into_iter().map(|(_, s)| s).collect(),
+        })
+    }
+
+    /// The locks still held after the last step: `(entity, holder, mode)`
+    /// per outstanding grant, in acquisition order. Empty iff every lock
+    /// acquired in the schedule was released — the trace-level statement
+    /// that a runtime's lock table reached quiescence. Assumes the
+    /// schedule is legal (release steps are matched textually against
+    /// grants, the way [`check_legal`](Schedule::check_legal)'s table
+    /// does).
+    pub fn locks_held_at_end(&self) -> Vec<(EntityId, TxId, LockMode)> {
+        let mut held: Vec<(EntityId, TxId, LockMode)> = Vec::new();
+        for s in &self.steps {
+            match s.step.op {
+                Operation::Lock(mode) => held.push((s.step.entity, s.tx, mode)),
+                Operation::Unlock(mode) => {
+                    if let Some(i) = held
+                        .iter()
+                        .position(|&(e, t, m)| e == s.step.entity && t == s.tx && m == mode)
+                    {
+                        held.remove(i);
+                    }
+                }
+                Operation::Data(_) => {}
+            }
+        }
+        held
+    }
+
     /// The steps, in schedule order.
     pub fn steps(&self) -> &[ScheduledStep] {
         &self.steps
@@ -703,6 +746,46 @@ mod tests {
             ),
             LockedTransaction::new(t(2), vec![Step::read(a), Step::delete(b), Step::insert(c)]),
         ]
+    }
+
+    #[test]
+    fn from_sequenced_recovers_grant_order() {
+        // Buffers arrive per-worker (out of global order); the stamps
+        // recover the interleaving.
+        let entries = vec![
+            (2, ScheduledStep::new(t(1), Step::write(e(0)))),
+            (0, ScheduledStep::new(t(1), Step::lock_exclusive(e(0)))),
+            (3, ScheduledStep::new(t(2), Step::lock_exclusive(e(1)))),
+            (1, ScheduledStep::new(t(1), Step::read(e(0)))),
+        ];
+        let s = Schedule::from_sequenced(entries).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.steps()[0].step, Step::lock_exclusive(e(0)));
+        assert_eq!(s.steps()[3].tx, t(2));
+        // Duplicate stamps are a recorder bug, rejected loudly.
+        let dup = vec![
+            (7, ScheduledStep::new(t(1), Step::read(e(0)))),
+            (7, ScheduledStep::new(t(2), Step::read(e(0)))),
+        ];
+        assert_eq!(Schedule::from_sequenced(dup), Err(7));
+    }
+
+    #[test]
+    fn locks_held_at_end_tracks_outstanding_grants() {
+        let mut s = Schedule::empty();
+        s.push(ScheduledStep::new(t(1), Step::lock_exclusive(e(0))));
+        s.push(ScheduledStep::new(t(2), Step::lock_shared(e(1))));
+        s.push(ScheduledStep::new(t(1), Step::lock_shared(e(1))));
+        assert_eq!(s.locks_held_at_end().len(), 3);
+        s.push(ScheduledStep::new(t(1), Step::unlock_exclusive(e(0))));
+        s.push(ScheduledStep::new(t(1), Step::unlock_shared(e(1))));
+        assert_eq!(
+            s.locks_held_at_end(),
+            vec![(e(1), t(2), LockMode::Shared)],
+            "only T2's shared lock remains"
+        );
+        s.push(ScheduledStep::new(t(2), Step::unlock_shared(e(1))));
+        assert!(s.locks_held_at_end().is_empty(), "quiescent");
     }
 
     #[test]

@@ -323,7 +323,12 @@ impl AccessIntent {
 /// `finish` (or `abort` at any point). `begin` returns `Some(plan)` when
 /// the policy precomputes the transaction's whole action sequence (DTR);
 /// callers then drive `request` with exactly those actions in order.
-pub trait PolicyEngine {
+///
+/// `Send + Sync` is a supertrait so one engine can sit behind a lock and
+/// serve requests from many worker threads (the `slp-runtime` service).
+/// Engines have no interior mutability — all mutation goes through `&mut
+/// self` — so every in-tree engine satisfies the bounds automatically.
+pub trait PolicyEngine: Send + Sync {
     /// Display name of the policy (rows of the E9 tables; mutants carry a
     /// distinguishing suffix).
     fn name(&self) -> &'static str;

@@ -1,0 +1,50 @@
+//! # slp-runtime — a concurrent transaction runtime over the policy API
+//!
+//! The paper's safety theorems are statements about *executions*: any
+//! legal, proper schedule a safe policy admits is serializable. The
+//! discrete-event simulator (`slp-sim`) produces such executions one
+//! deterministic interleaving at a time; this crate produces them the way
+//! a database would — N worker threads submitting [`slp_sim::Job`]s
+//! against one shared [`slp_policies::PolicyEngine`], with real blocking,
+//! real wakeups, and real races — and captures a lossless total order of
+//! every granted step so each run can be re-verified offline against the
+//! formal model.
+//!
+//! * [`Runtime`] — build a service for any [`slp_policies::PolicyKind`]
+//!   (or custom engine + planner factory) and [`Runtime::run`] a job
+//!   queue;
+//! * [`RuntimeConfig`] — worker count (`SLP_RUNTIME_THREADS` override via
+//!   [`RuntimeConfig::workers_from_env`]), grant batching, parking and
+//!   backoff tuning, wall-clock guard;
+//! * [`RuntimeReport`] — the simulator's accounting shape (committed /
+//!   policy aborts / deadlock aborts / rejected; attempts always balance)
+//!   plus wall-clock throughput, commit-latency percentiles, and the
+//!   merged [`slp_core::Schedule`] trace with its initial structural
+//!   state, ready for legality / properness / serializability replay;
+//! * [`probes`] — plan shapes that exercise the DDAG mutants' ablated
+//!   rules (the trace-replay conformance suite's negative controls).
+//!
+//! ## Architecture
+//!
+//! The engine is the one unavoidable serialization point (every grant
+//! decision mutates shared policy state); everything around it is sharded:
+//! planning runs under the engine's *read* lock, conflicting transactions
+//! park on entity-striped condvars and are woken only by releases hashing
+//! to their stripe, trace recording is per-worker with one atomic sequence
+//! stamp taken inside the grant, and deadlocks are caught by a waits-for
+//! walk at conflict time (requester-victim rule, as in the simulator) with
+//! a park-timeout backstop. The lost-wakeup argument lives in the
+//! `service` module docs (source).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod service;
+
+pub mod probes;
+pub mod report;
+pub mod runner;
+
+pub use probes::{CrawlProbePlanner, ShoulderProbePlanner};
+pub use report::{LatencySummary, RuntimeReport};
+pub use runner::{PlannerFactory, Runtime, RuntimeConfig};

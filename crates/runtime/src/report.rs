@@ -1,0 +1,171 @@
+//! Run accounting: the same shape as [`slp_sim::SimReport`] plus
+//! wall-clock throughput and latency percentiles.
+
+use slp_core::{Schedule, StructuralState};
+use std::time::Duration;
+
+/// Commit-latency summary over a run (microseconds; wall clock from a
+/// job's first dispatch to its commit, across however many abort/restart
+/// attempts it took).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LatencySummary {
+    /// Number of committed jobs the summary covers.
+    pub count: usize,
+    /// Mean latency.
+    pub mean_us: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes raw per-job latencies (consumed: sorted in place).
+    pub fn from_micros(mut us: Vec<u64>) -> Self {
+        if us.is_empty() {
+            return LatencySummary::default();
+        }
+        us.sort_unstable();
+        // Nearest-rank with ceiling: round the fractional rank *up* so a
+        // percentile never understates the tail (with floor, 2 samples
+        // would report the fastest job as p99).
+        let pct = |q: f64| us[((us.len() - 1) as f64 * q).ceil() as usize];
+        LatencySummary {
+            count: us.len(),
+            mean_us: us.iter().sum::<u64>() / us.len() as u64,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: *us.last().expect("non-empty"),
+        }
+    }
+}
+
+/// The result of a [`crate::Runtime::run`].
+///
+/// Accounting mirrors the simulator's [`slp_sim::SimReport`]: every
+/// attempt (a `begin`ed — or planned-then-refused — fresh transaction)
+/// ends in exactly one of committed / policy abort / deadlock abort /
+/// rejected / abandoned, so
+/// `attempts == committed + policy_aborts + deadlock_aborts + rejected +
+/// abandoned` always holds ([`RuntimeReport::accounting_balances`]).
+/// `abandoned` is only nonzero when the run [`timed
+/// out`](RuntimeReport::timed_out).
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Worker threads the run used.
+    pub workers: usize,
+    /// Jobs committed.
+    pub committed: usize,
+    /// Aborts on *retryable* policy rule violations (the job restarted as
+    /// a fresh transaction after backoff).
+    pub policy_aborts: usize,
+    /// Aborts chosen to break waits-for deadlocks (the requester that
+    /// closed the cycle, as in the simulator).
+    pub deadlock_aborts: usize,
+    /// Jobs dropped on a fatal violation (malformed request — retrying
+    /// can never succeed; the shared [`slp_sim::Disposition`] rule).
+    pub rejected: usize,
+    /// Attempts cut short by the wall-clock guard (their jobs neither
+    /// committed nor were rejected; nonzero only on timeout).
+    pub abandoned: usize,
+    /// Total fresh-transaction attempts.
+    pub attempts: usize,
+    /// Number of times a request found its lock held (one per conflict
+    /// observation, as in the simulator).
+    pub lock_waits: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Whether the wall-clock guard expired before the job queue drained.
+    pub timed_out: bool,
+    /// The total-ordered trace of every granted step, reconstructed from
+    /// the per-worker sequence-stamped buffers. Replay it through
+    /// `slp_core` (legal / proper / serializable) to verify the run.
+    pub schedule: Schedule,
+    /// The structural state when the run started (for properness replay).
+    pub initial: StructuralState,
+    /// Commit-latency percentiles.
+    pub latency: LatencySummary,
+}
+
+impl RuntimeReport {
+    /// Committed jobs per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / secs
+        }
+    }
+
+    /// Abort rate over all attempts.
+    pub fn abort_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            (self.policy_aborts + self.deadlock_aborts) as f64 / self.attempts as f64
+        }
+    }
+
+    /// Whether every attempt is accounted for:
+    /// `attempts == committed + policy_aborts + deadlock_aborts + rejected
+    /// + abandoned`.
+    pub fn accounting_balances(&self) -> bool {
+        self.attempts
+            == self.committed
+                + self.policy_aborts
+                + self.deadlock_aborts
+                + self.rejected
+                + self.abandoned
+    }
+
+    /// Whether the trace shows every acquired lock released — the
+    /// trace-level statement that the engine's lock table reached
+    /// quiescence when the workers drained.
+    pub fn lock_table_quiescent(&self) -> bool {
+        self.schedule.locks_held_at_end().is_empty()
+    }
+
+    /// The deterministic accounting fingerprint of a run: which jobs
+    /// finished how. Abort *counts* are timing-dependent under real
+    /// threads (two runs of the same seed interleave differently), but
+    /// job *outcomes* under a safe policy are not: every well-formed job
+    /// commits and every malformed one is rejected, regardless of
+    /// interleaving. The determinism matrix compares this fingerprint
+    /// across repeated runs.
+    pub fn outcome_fingerprint(&self) -> (usize, usize, bool) {
+        (self.committed, self.rejected, self.timed_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let s = LatencySummary::from_micros((1..=100).collect());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 51);
+        assert_eq!(s.p95_us, 96);
+        assert_eq!(s.p99_us, 100);
+        assert_eq!(s.max_us, 100);
+        assert_eq!(s.mean_us, 50);
+        // Tiny samples must surface the tail, not hide it: with two
+        // latencies the upper percentiles are the slower one.
+        let s = LatencySummary::from_micros(vec![10, 1000]);
+        assert_eq!(s.p50_us, 1000);
+        assert_eq!(s.p99_us, 1000);
+        assert_eq!(
+            LatencySummary::from_micros(vec![]),
+            LatencySummary::default()
+        );
+    }
+}

@@ -1,0 +1,482 @@
+//! The runtime proper: worker threads draining a job queue through the
+//! sharded lock service (`service.rs`).
+//!
+//! Each worker claims jobs off one atomic cursor, plans them with its own
+//! (thread-local) [`ActionPlanner`], and drives the plan action-by-action
+//! through the service. Conflicts park on the contended entity's stripe;
+//! waits-for cycles abort the requester that closed the cycle (the
+//! simulator's victim rule) and restart the job as a fresh transaction
+//! after a growing backoff; policy violations abort and are classified by
+//! the shared [`Disposition`] rule — fatal violations drop the job,
+//! transient ones restart it. A wall-clock guard bounds mutant livelocks.
+
+use crate::report::{LatencySummary, RuntimeReport};
+use crate::service::{BatchOutcome, LockService};
+use slp_core::{Schedule, ScheduledStep, StructuralState, TxId};
+use slp_policies::{
+    PolicyAction, PolicyConfig, PolicyEngine, PolicyKind, PolicyRegistry, PolicyViolation,
+    RegistryError,
+};
+use slp_sim::{planner_for, ActionPlanner, Disposition, Job};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Builds one worker's planner. Workers construct their planner inside
+/// their own thread, so the planner itself need not be `Send`; the factory
+/// is shared and must be. The worker index parameter lets probe planners
+/// decorrelate their choices across workers (see [`crate::probes`]).
+pub type PlannerFactory = Arc<dyn Fn(usize) -> Box<dyn ActionPlanner> + Send + Sync>;
+
+/// Tuning knobs for a run.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Parking stripes (clamped to 1..=64 by the service).
+    pub stripes: usize,
+    /// Max actions granted per engine-lock acquisition. `1` maximizes
+    /// interleaving (conformance suites); larger values amortize the
+    /// serialization point (throughput benches).
+    pub grant_batch: usize,
+    /// Park timeout: the backstop against stale waits-for edges — a parked
+    /// worker re-requests (and re-runs deadlock detection) at least this
+    /// often even if no wakeup arrives.
+    pub park_timeout: Duration,
+    /// Base backoff after an abort; attempt `n` waits `min(base · 2ⁿ,
+    /// cap)` (growing backoff breaks symmetric restart livelocks, as in
+    /// the simulator).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Wall-clock guard: past this deadline workers abandon their jobs and
+    /// drain (guards against livelock in mutant policies, the threaded
+    /// analogue of the simulator's `max_ticks`).
+    pub max_wall: Duration,
+    /// Yield the OS scheduler after each granted batch. Costs throughput,
+    /// buys interleaving diversity — on by default because the runtime's
+    /// first duty here is producing adversarial traces to verify.
+    pub step_yield: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 4,
+            stripes: 16,
+            grant_batch: 1,
+            park_timeout: Duration::from_millis(1),
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_millis(2),
+            max_wall: Duration::from_secs(30),
+            step_yield: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A default config with `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        RuntimeConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// The worker count the environment requests, if any:
+    /// `SLP_RUNTIME_THREADS` (the CI matrix convention, mirroring
+    /// `SLP_VERIFIER_THREADS`). `None` when unset; panics on a value that
+    /// is not a positive integer — a typo'd override must not silently
+    /// fall back. This is the single definition of the override's
+    /// parse/validate rule (the stress matrix keys off set-vs-unset).
+    pub fn env_workers() -> Option<usize> {
+        std::env::var("SLP_RUNTIME_THREADS").ok().map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .expect("SLP_RUNTIME_THREADS must be a positive integer")
+        })
+    }
+
+    /// [`env_workers`](RuntimeConfig::env_workers) with a fallback.
+    pub fn workers_from_env(default: usize) -> usize {
+        Self::env_workers().unwrap_or(default)
+    }
+}
+
+/// A concurrent transaction service over one policy engine.
+///
+/// ```
+/// use slp_core::EntityId;
+/// use slp_policies::{PolicyConfig, PolicyKind};
+/// use slp_runtime::{Runtime, RuntimeConfig};
+/// use slp_sim::uniform_jobs;
+///
+/// let pool: Vec<EntityId> = (0..8).map(EntityId).collect();
+/// let jobs = uniform_jobs(&pool, 12, 2, 7);
+/// let mut rt = Runtime::new(PolicyKind::TwoPhase, &PolicyConfig::flat(pool)).unwrap();
+/// let report = rt.run(&jobs, &RuntimeConfig::with_workers(2));
+/// assert_eq!(report.committed, 12);
+/// assert!(report.schedule.is_legal());
+/// assert!(slp_core::is_serializable(&report.schedule));
+/// ```
+pub struct Runtime {
+    engine: Option<Box<dyn PolicyEngine>>,
+    name: &'static str,
+    pool: Vec<slp_core::EntityId>,
+    planner_factory: PlannerFactory,
+}
+
+impl Runtime {
+    /// A runtime for `kind`, with the engine from the default registry and
+    /// the policy's standard planner.
+    pub fn new(kind: PolicyKind, config: &PolicyConfig) -> Result<Runtime, RegistryError> {
+        Self::with_registry(&PolicyRegistry::new(), kind, config)
+    }
+
+    /// A runtime for `kind` built through `registry`.
+    pub fn with_registry(
+        registry: &PolicyRegistry,
+        kind: PolicyKind,
+        config: &PolicyConfig,
+    ) -> Result<Runtime, RegistryError> {
+        let engine = registry.build(kind, config)?;
+        Ok(Self::from_engine(
+            engine,
+            Arc::new(move |_worker| planner_for(kind)),
+            config.pool.clone(),
+        ))
+    }
+
+    /// A runtime over an arbitrary engine and planner factory. `pool` is
+    /// the initially existing entities for policies that do not track
+    /// existence themselves (mirrors [`slp_sim::EngineAdapter::new`]).
+    pub fn from_engine(
+        engine: Box<dyn PolicyEngine>,
+        planner_factory: PlannerFactory,
+        pool: Vec<slp_core::EntityId>,
+    ) -> Runtime {
+        let name = engine.name();
+        Runtime {
+            engine: Some(engine),
+            name,
+            pool,
+            planner_factory,
+        }
+    }
+
+    /// Replaces the planner factory (probe planners for the mutant
+    /// negative controls).
+    pub fn set_planner_factory(&mut self, factory: PlannerFactory) {
+        self.planner_factory = factory;
+    }
+
+    /// The wrapped engine (between runs).
+    pub fn engine(&self) -> &dyn PolicyEngine {
+        self.engine.as_deref().expect("engine present between runs")
+    }
+
+    /// Interns a fresh entity name through the engine (DDAG insert
+    /// workloads); `None` if the policy has no growing universe.
+    pub fn intern(&mut self, name: &str) -> Option<slp_core::EntityId> {
+        self.engine
+            .as_mut()
+            .expect("engine present between runs")
+            .intern_entity(name)
+    }
+
+    /// The initial structural state for properness replay: the engine's
+    /// own existence tracking when present, else the flat pool. Captured
+    /// automatically at the start of every [`run`](Runtime::run).
+    pub fn initial_state(&self) -> StructuralState {
+        match self.engine().structural_entities() {
+            Some(entities) => StructuralState::from_entities(entities),
+            None => StructuralState::from_entities(self.pool.iter().copied()),
+        }
+    }
+
+    /// Runs `jobs` to completion on `config.workers` threads and returns
+    /// the report with the merged, totally ordered trace.
+    pub fn run(&mut self, jobs: &[Job], config: &RuntimeConfig) -> RuntimeReport {
+        let initial = self.initial_state();
+        let engine = self.engine.take().expect("engine present between runs");
+        let service = LockService::new(engine, config.stripes);
+        let next_job = AtomicUsize::new(0);
+        let next_tx = AtomicU32::new(1);
+        let start = Instant::now();
+        let deadline = start + config.max_wall;
+        let workers = config.workers.max(1);
+
+        let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let service = &service;
+                    let next_job = &next_job;
+                    let next_tx = &next_tx;
+                    let factory = Arc::clone(&self.planner_factory);
+                    scope.spawn(move || {
+                        worker_loop(
+                            w, service, jobs, next_job, next_tx, config, deadline, factory,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let elapsed = start.elapsed();
+
+        let mut entries: Vec<(u64, ScheduledStep)> = Vec::new();
+        let mut latencies: Vec<u64> = Vec::new();
+        for out in outputs {
+            entries.extend(out.trace);
+            latencies.extend(out.latencies_us);
+        }
+        let schedule =
+            Schedule::from_sequenced(entries).expect("sequence stamps are unique by construction");
+        let c = &service.counters;
+        let report = RuntimeReport {
+            policy: self.name,
+            workers,
+            committed: c.committed.load(Ordering::Relaxed),
+            policy_aborts: c.policy_aborts.load(Ordering::Relaxed),
+            deadlock_aborts: c.deadlock_aborts.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            abandoned: c.abandoned.load(Ordering::Relaxed),
+            attempts: c.attempts.load(Ordering::Relaxed),
+            lock_waits: c.lock_waits.load(Ordering::Relaxed),
+            elapsed,
+            timed_out: c.timed_out.load(Ordering::Relaxed),
+            schedule,
+            initial,
+            latency: LatencySummary::from_micros(latencies),
+        };
+        self.engine = Some(service.into_engine());
+        report
+    }
+}
+
+/// What one worker brings home: its slice of the sequence-stamped trace
+/// and the latencies of the jobs it committed.
+struct WorkerOutput {
+    trace: Vec<(u64, ScheduledStep)>,
+    latencies_us: Vec<u64>,
+}
+
+/// How one attempt ended (the worker decides what happens to the job).
+enum AttemptEnd {
+    Committed,
+    Retry,
+    Dropped,
+    Abandoned,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    worker: usize,
+    service: &LockService,
+    jobs: &[Job],
+    next_job: &AtomicUsize,
+    next_tx: &AtomicU32,
+    config: &RuntimeConfig,
+    deadline: Instant,
+    factory: PlannerFactory,
+) -> WorkerOutput {
+    let mut planner = factory(worker);
+    let mut out = WorkerOutput {
+        trace: Vec::new(),
+        latencies_us: Vec::new(),
+    };
+    loop {
+        let ji = next_job.fetch_add(1, Ordering::Relaxed);
+        let Some(job) = jobs.get(ji) else { break };
+        let dispatched = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let end = run_attempt(
+                service,
+                planner.as_mut(),
+                job,
+                next_tx,
+                config,
+                deadline,
+                &mut out.trace,
+            );
+            match end {
+                AttemptEnd::Committed => {
+                    out.latencies_us
+                        .push(dispatched.elapsed().as_micros() as u64);
+                    break;
+                }
+                AttemptEnd::Dropped => break,
+                AttemptEnd::Abandoned => {
+                    service.counters.timed_out.store(true, Ordering::Relaxed);
+                    service.counters.abandoned.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                AttemptEnd::Retry => backoff(attempt, config),
+            }
+        }
+    }
+    out
+}
+
+/// One fresh-transaction attempt at `job`. Exactly one accounting counter
+/// is bumped per call (the invariant behind
+/// [`RuntimeReport::accounting_balances`]); `Abandoned` is the exception —
+/// its counter is bumped by the caller, which also flags the timeout.
+fn run_attempt(
+    service: &LockService,
+    planner: &mut dyn ActionPlanner,
+    job: &Job,
+    next_tx: &AtomicU32,
+    config: &RuntimeConfig,
+    deadline: Instant,
+    trace: &mut Vec<(u64, ScheduledStep)>,
+) -> AttemptEnd {
+    let c = &service.counters;
+    // Count the attempt before anything can cut it short, so every exit
+    // path (commit, abort, reject, abandon) balances against it.
+    c.attempts.fetch_add(1, Ordering::Relaxed);
+    if Instant::now() > deadline {
+        return AttemptEnd::Abandoned;
+    }
+    let tx = TxId(next_tx.fetch_add(1, Ordering::Relaxed));
+
+    // Plan under the read lock; a malformed job must not touch the engine.
+    let planned = match service.plan(planner, job) {
+        Ok(p) => p,
+        Err(v) => return classify(c, &v),
+    };
+    let intent = planner.intent(job);
+    let plan: Vec<PolicyAction> = match service.begin(tx, &intent) {
+        Ok(engine_plan) => match planned.or(engine_plan) {
+            Some(plan) => plan,
+            None => {
+                // Misconfigured pairing: retire the just-begun transaction
+                // so the engine holds no planless state (adapter rule).
+                service.abort(tx, trace);
+                return classify(c, &PolicyViolation::NoPlan(tx));
+            }
+        },
+        Err(v) => return classify(c, &v),
+    };
+
+    let mut cursor = 0usize;
+    while cursor < plan.len() {
+        if Instant::now() > deadline {
+            service.abort(tx, trace);
+            service.clear_wait(tx);
+            return AttemptEnd::Abandoned;
+        }
+        match service.request_batch(tx, &plan[cursor..], config.grant_batch, trace) {
+            BatchOutcome::Granted { granted } => {
+                cursor += granted;
+                if config.step_yield {
+                    std::thread::yield_now();
+                }
+            }
+            BatchOutcome::Violation { violation } => {
+                service.abort(tx, trace);
+                service.clear_wait(tx);
+                return classify(c, &violation);
+            }
+            BatchOutcome::Conflict {
+                granted,
+                mut entity,
+                mut holder,
+            } => {
+                cursor += granted;
+                // Park-and-retry: read the stripe generation *before*
+                // re-requesting, so a release racing the failed request
+                // bumps the generation we are about to wait on.
+                loop {
+                    c.lock_waits.fetch_add(1, Ordering::Relaxed);
+                    if service.note_wait(tx, holder) {
+                        // This request closed a waits-for cycle: the
+                        // requester is the victim (simulator rule).
+                        service.abort(tx, trace);
+                        service.clear_wait(tx);
+                        c.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
+                        return AttemptEnd::Retry;
+                    }
+                    if Instant::now() > deadline {
+                        service.abort(tx, trace);
+                        service.clear_wait(tx);
+                        return AttemptEnd::Abandoned;
+                    }
+                    let seen = service.stripe_gen(entity);
+                    match service.request_batch(tx, &plan[cursor..], 1, trace) {
+                        BatchOutcome::Granted { granted } => {
+                            service.clear_wait(tx);
+                            cursor += granted;
+                            break;
+                        }
+                        BatchOutcome::Violation { violation } => {
+                            service.abort(tx, trace);
+                            service.clear_wait(tx);
+                            return classify(c, &violation);
+                        }
+                        BatchOutcome::Conflict {
+                            entity: e2,
+                            holder: h2,
+                            ..
+                        } => {
+                            holder = h2;
+                            if e2 == entity {
+                                service.park(entity, seen, config.park_timeout);
+                            } else {
+                                // The contention moved (a batched action
+                                // earlier in the plan was granted by a
+                                // racing release): track the new entity.
+                                entity = e2;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    match service.finish(tx, trace) {
+        Ok(()) => {
+            c.committed.fetch_add(1, Ordering::Relaxed);
+            AttemptEnd::Committed
+        }
+        Err(v) => {
+            service.abort(tx, trace);
+            classify(c, &v)
+        }
+    }
+}
+
+/// Applies the shared fatal/transient rule and bumps the matching counter.
+fn classify(c: &crate::service::Counters, v: &PolicyViolation) -> AttemptEnd {
+    match Disposition::of(v) {
+        Disposition::Reject => {
+            c.rejected.fetch_add(1, Ordering::Relaxed);
+            AttemptEnd::Dropped
+        }
+        Disposition::Retry => {
+            c.policy_aborts.fetch_add(1, Ordering::Relaxed);
+            AttemptEnd::Retry
+        }
+    }
+}
+
+/// Exponential backoff with a ceiling: attempt `n` sleeps
+/// `min(base · 2ⁿ⁻¹, cap)` (yields instead of sleeping when base is zero).
+fn backoff(attempt: u32, config: &RuntimeConfig) {
+    if config.backoff_base.is_zero() {
+        std::thread::yield_now();
+        return;
+    }
+    let exp = attempt.saturating_sub(1).min(16);
+    let wait = config
+        .backoff_base
+        .saturating_mul(1u32 << exp)
+        .min(config.backoff_cap);
+    std::thread::sleep(wait);
+}

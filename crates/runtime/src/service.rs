@@ -1,0 +1,294 @@
+//! The sharded lock service: one [`PolicyEngine`] serving many worker
+//! threads.
+//!
+//! The engine itself is the unavoidable serialization point — every
+//! grant/refuse decision mutates shared policy state (lock table, wakes,
+//! graph), so those decisions run under one write lock. Everything *around*
+//! that point is sharded or lock-free:
+//!
+//! * **planning** takes the engine's read lock (planners only read — the
+//!   DDAG planner's dominator-region layout, the expensive part of a
+//!   traversal, runs concurrently with other planners and never blocks on
+//!   a writer queueing behind it only for the duration of one request);
+//! * **parking** is entity-striped: a conflicting transaction parks on the
+//!   stripe of the contended entity and only unlocks of entities hashing
+//!   to that stripe wake it — uncontended stripes never touch a parked
+//!   worker's condvar;
+//! * **trace recording** is per-worker: granted steps are stamped from one
+//!   global atomic sequence counter *while the engine lock is held* (so
+//!   the stamp order is exactly the engine's serialization order) and
+//!   buffered locally; [`slp_core::Schedule::from_sequenced`] merges the
+//!   buffers afterwards without any runtime coordination;
+//! * **accounting** is plain atomics.
+//!
+//! Lost wakeups are impossible by construction: a worker reads the
+//! stripe's generation *before* re-requesting, and parks only if the
+//! generation is still unchanged under the stripe lock — any release in
+//! between bumps the generation first (releases bump under the stripe
+//! lock, before `notify_all`). A park timeout backstops the protocol
+//! against stale waits-for edges (see [`LockService::note_wait`]).
+
+use rustc_hash::FxHashMap;
+use slp_core::{EntityId, ScheduledStep, Step, TxId};
+use slp_policies::{AccessIntent, PolicyAction, PolicyEngine, PolicyResponse, PolicyViolation};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+/// One parking stripe: a generation counter advanced on every unlock of an
+/// entity hashing here, plus the condvar parked workers wait on.
+struct Stripe {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+/// The outcome of [`LockService::request_batch`].
+pub(crate) enum BatchOutcome {
+    /// All attempted actions were granted.
+    Granted { granted: usize },
+    /// `granted` actions ran, then the next conflicted.
+    Conflict {
+        granted: usize,
+        entity: EntityId,
+        holder: TxId,
+    },
+    /// Some actions may have run, then the policy refused the next
+    /// outright (the requester aborts, so the count doesn't matter).
+    Violation { violation: PolicyViolation },
+}
+
+/// Shared accounting, all atomics (no lock on the hot path).
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub attempts: AtomicUsize,
+    pub committed: AtomicUsize,
+    pub policy_aborts: AtomicUsize,
+    pub deadlock_aborts: AtomicUsize,
+    pub rejected: AtomicUsize,
+    pub abandoned: AtomicUsize,
+    pub lock_waits: AtomicU64,
+    pub timed_out: AtomicBool,
+}
+
+/// The shared front-end the worker threads drive.
+pub(crate) struct LockService {
+    engine: RwLock<Box<dyn PolicyEngine>>,
+    stripes: Vec<Stripe>,
+    waits_for: Mutex<FxHashMap<TxId, TxId>>,
+    seq: AtomicU64,
+    pub counters: Counters,
+}
+
+impl LockService {
+    /// `stripes` is clamped to 1..=64 (the wake path dedupes released
+    /// stripes in a fixed bitmap).
+    pub fn new(engine: Box<dyn PolicyEngine>, stripes: usize) -> Self {
+        LockService {
+            engine: RwLock::new(engine),
+            stripes: (0..stripes.clamp(1, 64))
+                .map(|_| Stripe {
+                    gen: Mutex::new(0),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            waits_for: Mutex::new(FxHashMap::default()),
+            seq: AtomicU64::new(0),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Recovers the engine after the run (all workers joined).
+    pub fn into_engine(self) -> Box<dyn PolicyEngine> {
+        self.engine.into_inner().expect("engine lock poisoned")
+    }
+
+    fn stripe(&self, e: EntityId) -> &Stripe {
+        &self.stripes[e.0 as usize % self.stripes.len()]
+    }
+
+    /// Current generation of the entity's stripe. Read *before*
+    /// (re-)requesting; pass to [`park`](LockService::park) so a release
+    /// racing the failed request cannot be missed.
+    pub fn stripe_gen(&self, e: EntityId) -> u64 {
+        *self.stripe(e).gen.lock().expect("stripe lock")
+    }
+
+    /// Parks until the entity's stripe generation moves past `seen` or the
+    /// timeout elapses (spurious wakeups and timeouts are safe — callers
+    /// re-request in a loop).
+    pub fn park(&self, e: EntityId, seen: u64, timeout: Duration) {
+        let stripe = self.stripe(e);
+        let mut gen = stripe.gen.lock().expect("stripe lock");
+        while *gen == seen {
+            let (g, res) = stripe
+                .cv
+                .wait_timeout(gen, timeout)
+                .expect("stripe lock poisoned");
+            gen = g;
+            if res.timed_out() {
+                break;
+            }
+        }
+    }
+
+    /// Bumps the stripe generation of every entity released in
+    /// `trace[from..]` — the steps the current call recorded — and wakes
+    /// their parked workers. The one wake rule, shared by the grant,
+    /// finish, and abort paths: callers snapshot `trace.len()` before
+    /// taking the engine lock and call this after dropping it, so woken
+    /// workers contend on the engine, not on us.
+    fn wake_recorded(&self, trace: &[(u64, ScheduledStep)], from: usize) {
+        // Dedupe stripes per batch: one bump + notify per stripe.
+        let mut bumped = [false; 64];
+        debug_assert!(self.stripes.len() <= 64);
+        for (_, s) in &trace[from..] {
+            if !s.step.is_unlock() {
+                continue;
+            }
+            let idx = s.step.entity.0 as usize % self.stripes.len();
+            if bumped[idx] {
+                continue;
+            }
+            bumped[idx] = true;
+            let stripe = &self.stripes[idx];
+            *stripe.gen.lock().expect("stripe lock") += 1;
+            stripe.cv.notify_all();
+        }
+    }
+
+    /// Stamps `steps` for `tx` into `trace` with consecutive global
+    /// sequence numbers. Must be called while the engine write lock is
+    /// held: the stamp order is then exactly the engine's serialization
+    /// order, which is what makes the merged trace a faithful schedule.
+    fn record(&self, tx: TxId, steps: Vec<Step>, trace: &mut Vec<(u64, ScheduledStep)>) {
+        let base = self.seq.fetch_add(steps.len() as u64, Ordering::Relaxed);
+        for (i, s) in steps.into_iter().enumerate() {
+            trace.push((base + i as u64, ScheduledStep::new(tx, s)));
+        }
+    }
+
+    /// Plans `job` under the engine's *read* lock (planners only read).
+    pub fn plan(
+        &self,
+        planner: &mut dyn slp_sim::ActionPlanner,
+        job: &slp_sim::Job,
+    ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
+        let engine = self.engine.read().expect("engine lock poisoned");
+        planner.plan(&**engine, job)
+    }
+
+    /// Begins `tx`; returns the engine's precomputed plan if any.
+    pub fn begin(
+        &self,
+        tx: TxId,
+        intent: &AccessIntent,
+    ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
+        let mut engine = self.engine.write().expect("engine lock poisoned");
+        engine.begin(tx, intent)
+    }
+
+    /// Requests up to `max` consecutive actions of `plan` for `tx` under
+    /// ONE engine-lock acquisition, recording granted steps into `trace`.
+    /// Stops early at the first conflict or violation. Batching amortizes
+    /// the serialization point; `max == 1` maximizes interleaving (the
+    /// conformance suites run there).
+    pub fn request_batch(
+        &self,
+        tx: TxId,
+        plan: &[PolicyAction],
+        max: usize,
+        trace: &mut Vec<(u64, ScheduledStep)>,
+    ) -> BatchOutcome {
+        let mut granted = 0usize;
+        let from = trace.len();
+        let outcome = {
+            let mut engine = self.engine.write().expect("engine lock poisoned");
+            loop {
+                if granted >= max.max(1) || granted >= plan.len() {
+                    break BatchOutcome::Granted { granted };
+                }
+                match engine.request(tx, plan[granted]) {
+                    PolicyResponse::Granted(steps) => {
+                        self.record(tx, steps, trace);
+                        granted += 1;
+                    }
+                    PolicyResponse::Conflict { entity, holder } => {
+                        break BatchOutcome::Conflict {
+                            granted,
+                            entity,
+                            holder,
+                        };
+                    }
+                    PolicyResponse::Violation(violation) => {
+                        break BatchOutcome::Violation { violation };
+                    }
+                }
+            }
+        };
+        self.wake_recorded(trace, from);
+        outcome
+    }
+
+    /// Finishes `tx`, recording its final unlocks.
+    pub fn finish(
+        &self,
+        tx: TxId,
+        trace: &mut Vec<(u64, ScheduledStep)>,
+    ) -> Result<(), PolicyViolation> {
+        let from = trace.len();
+        {
+            let mut engine = self.engine.write().expect("engine lock poisoned");
+            let steps = engine.finish(tx)?;
+            self.record(tx, steps, trace);
+        }
+        self.wake_recorded(trace, from);
+        Ok(())
+    }
+
+    /// Aborts `tx`, recording the unlocks it still held.
+    pub fn abort(&self, tx: TxId, trace: &mut Vec<(u64, ScheduledStep)>) {
+        let from = trace.len();
+        {
+            let mut engine = self.engine.write().expect("engine lock poisoned");
+            let steps = engine.abort(tx);
+            self.record(tx, steps, trace);
+        }
+        self.wake_recorded(trace, from);
+    }
+
+    /// Records that `tx` waits for `holder` and walks the waits-for chain:
+    /// `true` iff the chain leads back to `tx` (a deadlock this request
+    /// closed — the requester aborts, as in the simulator).
+    ///
+    /// Edges can go stale (a holder may commit before its waiters re-check)
+    /// — stale edges are refreshed on every conflict and at worst cause a
+    /// spurious victim abort, never a missed deadlock: a real cycle's edges
+    /// are all live, each re-conflict re-runs this check, and the park
+    /// timeout guarantees re-conflicts keep happening.
+    pub fn note_wait(&self, tx: TxId, holder: TxId) -> bool {
+        let mut wf = self.waits_for.lock().expect("waits_for lock");
+        wf.insert(tx, holder);
+        let mut cur = holder;
+        let mut hops = 0usize;
+        loop {
+            if cur == tx {
+                return true;
+            }
+            match wf.get(&cur) {
+                Some(&next) => cur = next,
+                None => return false,
+            }
+            hops += 1;
+            if hops > wf.len() {
+                // A cycle among *other* transactions: they resolve it.
+                return false;
+            }
+        }
+    }
+
+    /// Clears `tx`'s waits-for edge (its blocked request was granted, or
+    /// it aborted).
+    pub fn clear_wait(&self, tx: TxId) {
+        self.waits_for.lock().expect("waits_for lock").remove(&tx);
+    }
+}

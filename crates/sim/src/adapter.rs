@@ -33,6 +33,33 @@ pub enum Advance {
     Done(Vec<Step>),
 }
 
+/// How a scheduler disposes of an attempt that ended in a
+/// [`PolicyViolation`]. This is the one shared abort-classification rule:
+/// the discrete-event simulator ([`crate::run_sim`]) and the threaded
+/// runtime (`slp-runtime`) both key off it, so "fatal → drop the job,
+/// transient → abort and restart as a fresh transaction" cannot drift
+/// between the two schedulers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Disposition {
+    /// The request itself is malformed ([`PolicyViolation::is_fatal`]):
+    /// retrying can never succeed, drop the job and count it rejected.
+    Reject,
+    /// Transient rule state (e.g. a Fig. 3 plan invalidation): abort and
+    /// restart the job as a fresh transaction after backoff.
+    Retry,
+}
+
+impl Disposition {
+    /// Classifies a violation. Matches on the enum, never on message text.
+    pub fn of(v: &PolicyViolation) -> Disposition {
+        if v.is_fatal() {
+            Disposition::Reject
+        } else {
+            Disposition::Retry
+        }
+    }
+}
+
 /// A locking policy as seen by the simulator.
 pub trait PolicyAdapter {
     /// Human-readable policy name (rows of the E9 tables).

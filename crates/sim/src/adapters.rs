@@ -52,9 +52,14 @@ pub trait ActionPlanner {
 
     /// Plans the actions realizing `job`, or `Ok(None)` to use the
     /// engine's own precomputed plan.
+    ///
+    /// The engine is borrowed shared: planners only *read* engine state
+    /// (the DDAG planner lays regions over [`PolicyEngine::graph`]), which
+    /// lets the threaded runtime plan under a read lock while other
+    /// workers' grant decisions proceed.
     fn plan(
         &mut self,
-        engine: &mut dyn PolicyEngine,
+        engine: &dyn PolicyEngine,
         job: &Job,
     ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation>;
 }
@@ -74,7 +79,7 @@ impl ActionPlanner for TwoPhasePlanner {
 
     fn plan(
         &mut self,
-        _engine: &mut dyn PolicyEngine,
+        _engine: &dyn PolicyEngine,
         job: &Job,
     ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
         let mut plan = Vec::with_capacity(job.targets.len() * 2);
@@ -98,7 +103,7 @@ impl ActionPlanner for AltruisticPlanner {
 
     fn plan(
         &mut self,
-        _engine: &mut dyn PolicyEngine,
+        _engine: &dyn PolicyEngine,
         job: &Job,
     ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
         let mut plan = Vec::new();
@@ -213,7 +218,7 @@ impl ActionPlanner for DdagPlanner {
 
     fn plan(
         &mut self,
-        engine: &mut dyn PolicyEngine,
+        engine: &dyn PolicyEngine,
         job: &Job,
     ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
         if let Some(ins) = job.insert_under {
@@ -249,7 +254,7 @@ impl ActionPlanner for DtrPlanner {
 
     fn plan(
         &mut self,
-        _engine: &mut dyn PolicyEngine,
+        _engine: &dyn PolicyEngine,
         _job: &Job,
     ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
         Ok(None)
@@ -354,7 +359,7 @@ impl<P: PolicyEngine + 'static> PolicyAdapter for EngineAdapter<P> {
     fn begin(&mut self, tx: TxId, job: &Job) -> Result<(), PolicyViolation> {
         // Plan first: a malformed job must not leave begun-but-planless
         // transaction state in the engine.
-        let planned = self.planner.plan(&mut self.engine, job)?;
+        let planned = self.planner.plan(&self.engine, job)?;
         let intent = self.planner.intent(job);
         let engine_plan = self.engine.begin(tx, &intent)?;
         let plan = match planned.or(engine_plan) {

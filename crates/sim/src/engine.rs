@@ -10,7 +10,7 @@
 //! from node 2" behavior). The complete interleaved step trace is recorded
 //! for post-hoc verification (legality, properness, serializability).
 
-use crate::adapter::{Advance, PolicyAdapter};
+use crate::adapter::{Advance, Disposition, PolicyAdapter};
 use crate::job::Job;
 use rustc_hash::FxHashMap;
 use slp_core::{Schedule, ScheduledStep, Step, TxId};
@@ -243,10 +243,10 @@ pub fn run_sim(adapter: &mut dyn PolicyAdapter, jobs: &[Job], config: &SimConfig
                     });
                 }
                 // Fatal violations (malformed plan, unsupported action —
-                // see `PolicyViolation::is_fatal`) can never succeed on
-                // retry: drop the job. Transient rule violations restart
-                // it with backoff.
-                Err(v) if v.is_fatal() => {
+                // see `Disposition::of`) can never succeed on retry: drop
+                // the job. Transient rule violations restart it with
+                // backoff.
+                Err(v) if Disposition::of(&v) == Disposition::Reject => {
                     report.rejected += 1;
                 }
                 Err(_) => {
@@ -396,11 +396,12 @@ pub fn run_sim(adapter: &mut dyn PolicyAdapter, jobs: &[Job], config: &SimConfig
                 }
                 let job_idx = run.job_idx;
                 let dispatched = run.dispatched_at;
-                // Classification keys off the violation enum: fatal
-                // violations drop the job; retryable rule violations
-                // (e.g. a Fig. 3 plan invalidation) restart it as a
-                // fresh transaction after backoff.
-                if v.is_fatal() {
+                // Classification keys off the violation enum (the shared
+                // `Disposition` rule): fatal violations drop the job;
+                // retryable rule violations (e.g. a Fig. 3 plan
+                // invalidation) restart it as a fresh transaction after
+                // backoff.
+                if Disposition::of(&v) == Disposition::Reject {
                     report.rejected += 1;
                 } else {
                     report.policy_aborts += 1;

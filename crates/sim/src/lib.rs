@@ -28,7 +28,7 @@ pub mod engine;
 pub mod job;
 pub mod workload;
 
-pub use adapter::{Advance, PolicyAdapter};
+pub use adapter::{Advance, Disposition, PolicyAdapter};
 pub use adapters::{
     build_adapter, planner_for, ActionPlanner, AltruisticPlanner, DdagPlanner, DtrPlanner,
     EngineAdapter, PolicyInstance, TwoPhasePlanner,

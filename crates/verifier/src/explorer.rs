@@ -208,7 +208,7 @@ impl Memo {
         }
     }
 
-    pub(crate) fn contains(&mut self, packed: u128, positions: &[u16], edges: &EdgeSet) -> bool {
+    pub(crate) fn contains(&self, packed: u128, positions: &[u16], edges: &EdgeSet) -> bool {
         match self {
             Memo::Packed(set) => {
                 set.contains(&(packed, edges.as_small_mask().expect("small edges")))

@@ -15,7 +15,9 @@
 //! * [`graph`] (`slp-graph`) — rooted DAGs, dominators, forests;
 //! * [`policies`] (`slp-policies`) — 2PL, tree, DDAG, altruistic, DTR;
 //! * [`verifier`] (`slp-verifier`) — exhaustive & canonical safety search;
-//! * [`sim`] (`slp-sim`) — discrete-event simulator and workloads.
+//! * [`sim`] (`slp-sim`) — discrete-event simulator and workloads;
+//! * [`runtime`] (`slp-runtime`) — multi-threaded transaction service with
+//!   trace capture for offline re-verification.
 //!
 //! ## Quick start
 //!
@@ -42,5 +44,6 @@
 pub use slp_core as core;
 pub use slp_graph as graph;
 pub use slp_policies as policies;
+pub use slp_runtime as runtime;
 pub use slp_sim as sim;
 pub use slp_verifier as verifier;
