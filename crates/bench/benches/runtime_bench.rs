@@ -10,9 +10,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slp_core::EntityId;
 use slp_policies::{PolicyConfig, PolicyKind};
-use slp_runtime::{Runtime, RuntimeConfig};
+use slp_runtime::{
+    recover, DirStore, RecoveryMode, Runtime, RuntimeConfig, SharedMemStore, Store, WalConfig,
+};
 use slp_sim::{deep_dag_jobs, hot_cold_jobs, layered_dag, Job};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn pool(n: u32) -> Vec<EntityId> {
@@ -117,10 +121,96 @@ fn bench_trace_replay(c: &mut Criterion) {
     group.finish();
 }
 
+/// One durable run of `jobs` against `store`; returns the committed count
+/// (and asserts the log never failed — a dead log would make the row
+/// measure nothing).
+fn run_durable(
+    jobs: &[Job],
+    pool: &[EntityId],
+    store: Box<dyn Store>,
+    group_commit: usize,
+    config: &RuntimeConfig,
+) -> usize {
+    let mut rt =
+        Runtime::new(PolicyKind::TwoPhase, &PolicyConfig::flat(pool.to_vec())).expect("2PL builds");
+    let wal = Arc::new(
+        rt.create_wal(
+            store,
+            WalConfig {
+                group_commit,
+                ..WalConfig::default()
+            },
+        )
+        .expect("fresh store"),
+    );
+    let report = rt.run_durable(jobs, config, wal);
+    assert!(!report.timed_out);
+    assert!(!report.wal.as_ref().expect("durable").failed);
+    report.committed
+}
+
+/// Group-commit latency vs batch size: the durability tentpole's headline
+/// knob. `wal_mem` rows isolate framing + checksum + watermark overhead
+/// (no real I/O); `wal_dir` rows add real files and `sync_data`, so the
+/// group-commit amortization shows up as fewer fsyncs per job. The
+/// recovery row prices the replay path on the clean log.
+fn bench_durability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_durability");
+    let p = pool(32);
+    let jobs = hot_cold_jobs(&p, 160, 3, 4, 0.8, 42);
+    let config = bench_config(4);
+    for batch in [1usize, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("wal_mem_group", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let store = Box::new(SharedMemStore::new());
+                    black_box(run_durable(&jobs, &p, store, batch, &config))
+                });
+            },
+        );
+    }
+    // Real files: fresh directory per iteration (the log insists on an
+    // empty store), cleaned up as we go.
+    let scratch = std::env::temp_dir().join(format!("slp-bench-wal-{}", std::process::id()));
+    let serial = AtomicU64::new(0);
+    for batch in [1usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("wal_dir_group", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let dir =
+                        scratch.join(format!("run-{}", serial.fetch_add(1, Ordering::Relaxed)));
+                    let store = Box::new(DirStore::open(&dir).expect("scratch dir"));
+                    let committed = run_durable(&jobs, &p, store, batch, &config);
+                    std::fs::remove_dir_all(&dir).expect("scratch cleanup");
+                    black_box(committed)
+                });
+            },
+        );
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    // Recovery replay: rebuild state + committed set from the flushed log
+    // of one representative run.
+    let handle = SharedMemStore::new();
+    run_durable(&jobs, &p, Box::new(handle.clone()), 4, &config);
+    let full = handle.snapshot();
+    group.bench_with_input(BenchmarkId::new("recover", "oldest"), &(), |b, _| {
+        b.iter(|| {
+            let r = recover(&full, RecoveryMode::Oldest).expect("clean log recovers");
+            black_box(r.watermark)
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_worker_scaling,
     bench_grant_batching,
-    bench_trace_replay
+    bench_trace_replay,
+    bench_durability
 );
 criterion_main!(benches);

@@ -66,6 +66,7 @@ pub mod step;
 pub mod system;
 pub mod transform;
 pub mod txn;
+pub mod wire;
 
 pub use canonical::{CanonicalViolation, CanonicalWitness};
 pub use entity::{EntityId, Universe};
@@ -74,7 +75,7 @@ pub use interaction::InteractionGraph;
 pub use ops::{DataOp, LockMode, Operation};
 pub use schedule::{
     pack_positions, LegalViolation, LockTable, ProperViolation, Schedule, ScheduleSimulator,
-    ScheduledStep, StepError, UndoToken,
+    ScheduledStep, SequenceError, StepError, UndoToken,
 };
 pub use serializability::{are_conflict_equivalent, equivalent_serial_schedule, is_serializable};
 pub use sgraph::{mask_has_cycle, ConflictEdge, ConflictIndex, EdgeSet, SerializationGraph};

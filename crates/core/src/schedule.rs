@@ -83,6 +83,47 @@ impl fmt::Display for LegalViolation {
 
 impl std::error::Error for LegalViolation {}
 
+/// Why [`Schedule::from_sequenced`] rejected its input.
+///
+/// A sequence-stamped trace is only an unambiguous total order when the
+/// stamps are **distinct** and **contiguous**: the runtime stamps every
+/// granted step from one atomic counter, so a duplicate means the recorder
+/// double-stamped and a gap means recorded steps were lost (e.g. a torn
+/// write-ahead-log tail) — either way the reconstruction would silently
+/// misorder or skip execution history, so both are rejected loudly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SequenceError {
+    /// The input was empty. An empty trace is not an ordering problem, but
+    /// accepting it here would let callers conflate "nothing recorded"
+    /// with "nothing happened"; callers that know the trace is legitimately
+    /// empty use [`Schedule::empty`] directly.
+    Empty,
+    /// Two entries carried the same stamp.
+    Duplicate(u64),
+    /// Stamps are not contiguous: after `after`, the next stamp present
+    /// was `found` (> `after + 1`).
+    Gap {
+        /// The last stamp before the hole.
+        after: u64,
+        /// The next stamp actually present.
+        found: u64,
+    },
+}
+
+impl fmt::Display for SequenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequenceError::Empty => write!(f, "no sequence-stamped entries"),
+            SequenceError::Duplicate(s) => write!(f, "duplicate sequence stamp {s}"),
+            SequenceError::Gap { after, found } => {
+                write!(f, "sequence gap: stamp {after} is followed by {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SequenceError {}
+
 /// A schedule: an ordering of steps of some transactions that preserves each
 /// transaction's program order.
 ///
@@ -145,13 +186,32 @@ impl Schedule {
     /// per-worker trace buffers of a concurrent runtime: each granted step
     /// carries the globally unique sequence number it was stamped with at
     /// grant time, and sorting by that stamp recovers the one total order
-    /// the lock service actually executed. Sequence numbers must be
-    /// distinct; ties would make the reconstruction ambiguous, so they are
-    /// rejected loudly (duplicate stamps mean the recorder is broken).
-    pub fn from_sequenced(mut entries: Vec<(u64, ScheduledStep)>) -> Result<Schedule, u64> {
+    /// the lock service actually executed.
+    ///
+    /// The stamps must be **distinct** and **contiguous** (the base is
+    /// arbitrary — a recovered write-ahead-log tail starts at its
+    /// checkpoint watermark, not at zero). Duplicates, gaps, and empty
+    /// input each return the matching [`SequenceError`]; none of them
+    /// panic. A duplicate means the recorder double-stamped; a gap means
+    /// recorded history was lost in between; both would make the
+    /// reconstruction a lie, so they are rejected rather than papered
+    /// over.
+    pub fn from_sequenced(
+        mut entries: Vec<(u64, ScheduledStep)>,
+    ) -> Result<Schedule, SequenceError> {
+        if entries.is_empty() {
+            return Err(SequenceError::Empty);
+        }
         entries.sort_unstable_by_key(|&(seq, _)| seq);
-        if let Some(w) = entries.windows(2).find(|w| w[0].0 == w[1].0) {
-            return Err(w[0].0);
+        if let Some(w) = entries.windows(2).find(|w| w[0].0 >= w[1].0) {
+            // sort_unstable guarantees w[0].0 <= w[1].0, so >= means ==.
+            return Err(SequenceError::Duplicate(w[0].0));
+        }
+        if let Some(w) = entries.windows(2).find(|w| w[0].0 + 1 != w[1].0) {
+            return Err(SequenceError::Gap {
+                after: w[0].0,
+                found: w[1].0,
+            });
         }
         Ok(Schedule {
             steps: entries.into_iter().map(|(_, s)| s).collect(),
@@ -762,12 +822,51 @@ mod tests {
         assert_eq!(s.len(), 4);
         assert_eq!(s.steps()[0].step, Step::lock_exclusive(e(0)));
         assert_eq!(s.steps()[3].tx, t(2));
+    }
+
+    #[test]
+    fn from_sequenced_rejects_duplicate_stamps() {
         // Duplicate stamps are a recorder bug, rejected loudly.
         let dup = vec![
             (7, ScheduledStep::new(t(1), Step::read(e(0)))),
             (7, ScheduledStep::new(t(2), Step::read(e(0)))),
         ];
-        assert_eq!(Schedule::from_sequenced(dup), Err(7));
+        assert_eq!(
+            Schedule::from_sequenced(dup),
+            Err(SequenceError::Duplicate(7))
+        );
+    }
+
+    #[test]
+    fn from_sequenced_rejects_gapped_stamps() {
+        // A hole in the stamp sequence means recorded history was lost
+        // (e.g. a torn log tail) — the reconstruction must refuse, not
+        // silently splice the two sides together.
+        let gapped = vec![
+            (3, ScheduledStep::new(t(1), Step::read(e(0)))),
+            (4, ScheduledStep::new(t(1), Step::write(e(0)))),
+            (6, ScheduledStep::new(t(2), Step::read(e(0)))),
+        ];
+        assert_eq!(
+            Schedule::from_sequenced(gapped),
+            Err(SequenceError::Gap { after: 4, found: 6 })
+        );
+        // The base is arbitrary: a contiguous run starting past zero (a
+        // recovered log tail) is fine.
+        let tail = vec![
+            (41, ScheduledStep::new(t(1), Step::read(e(0)))),
+            (40, ScheduledStep::new(t(1), Step::lock_shared(e(0)))),
+            (42, ScheduledStep::new(t(1), Step::unlock_shared(e(0)))),
+        ];
+        assert_eq!(Schedule::from_sequenced(tail).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn from_sequenced_rejects_empty_input() {
+        assert_eq!(
+            Schedule::from_sequenced(Vec::new()),
+            Err(SequenceError::Empty)
+        );
     }
 
     #[test]

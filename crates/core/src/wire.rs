@@ -1,0 +1,301 @@
+//! Binary codecs for the model types that cross a durability boundary:
+//! sequence-stamped [`ScheduledStep`]s, [`StructuralState`] snapshots, and
+//! lock-table entries.
+//!
+//! These are the *payload* codecs of the write-ahead log (`slp-durability`
+//! frames them with length + checksum); they live in `slp-core` because the
+//! encoding is part of the model types' contract — a recovered step must be
+//! bit-for-bit the step that executed, and the round-trip tests here pin
+//! that without dragging log machinery into the core crate.
+//!
+//! Encoding conventions: all integers little-endian, no padding, no
+//! self-description — framing, versioning, and integrity are the log's job.
+//! Every decoder is total: malformed bytes return a [`WireError`], never
+//! panic, because the decoders' one production caller is crash recovery,
+//! where the input is by definition untrusted.
+
+use crate::entity::EntityId;
+use crate::ops::{DataOp, LockMode, Operation};
+use crate::schedule::ScheduledStep;
+use crate::state::StructuralState;
+use crate::step::Step;
+use crate::txn::TxId;
+use std::fmt;
+
+/// Why a decode failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes the buffer still had.
+        have: usize,
+    },
+    /// An operation byte outside the eight known tags.
+    BadOpTag(u8),
+    /// A lock-mode byte outside the two known tags.
+    BadModeTag(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated: needed {needed} bytes, have {have}")
+            }
+            WireError::BadOpTag(t) => write!(f, "unknown operation tag {t:#04x}"),
+            WireError::BadModeTag(t) => write!(f, "unknown lock-mode tag {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encoded size of one stamped step: stamp (8) + tx (4) + entity (4) + op (1).
+pub const STAMPED_STEP_BYTES: usize = 17;
+
+/// Encoded size of one lock-table entry: entity (4) + tx (4) + mode (1).
+pub const LOCK_ENTRY_BYTES: usize = 9;
+
+/// One lock-table entry as it crosses the durability boundary.
+pub type LockEntry = (EntityId, TxId, LockMode);
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u32` little-endian, returning the remaining buffer.
+pub fn get_u32(buf: &[u8]) -> Result<(u32, &[u8]), WireError> {
+    let (head, rest) = split(buf, 4)?;
+    Ok((u32::from_le_bytes(head.try_into().expect("4 bytes")), rest))
+}
+
+/// Reads a `u64` little-endian, returning the remaining buffer.
+pub fn get_u64(buf: &[u8]) -> Result<(u64, &[u8]), WireError> {
+    let (head, rest) = split(buf, 8)?;
+    Ok((u64::from_le_bytes(head.try_into().expect("8 bytes")), rest))
+}
+
+fn split(buf: &[u8], n: usize) -> Result<(&[u8], &[u8]), WireError> {
+    if buf.len() < n {
+        return Err(WireError::Truncated {
+            needed: n,
+            have: buf.len(),
+        });
+    }
+    Ok(buf.split_at(n))
+}
+
+/// The one-byte operation tag (stable across versions; new operations get
+/// new tags, existing tags are never reused).
+pub fn op_tag(op: Operation) -> u8 {
+    match op {
+        Operation::Data(DataOp::Read) => 0,
+        Operation::Data(DataOp::Write) => 1,
+        Operation::Data(DataOp::Insert) => 2,
+        Operation::Data(DataOp::Delete) => 3,
+        Operation::Lock(LockMode::Shared) => 4,
+        Operation::Lock(LockMode::Exclusive) => 5,
+        Operation::Unlock(LockMode::Shared) => 6,
+        Operation::Unlock(LockMode::Exclusive) => 7,
+    }
+}
+
+/// Decodes an operation tag.
+pub fn op_from_tag(tag: u8) -> Result<Operation, WireError> {
+    Ok(match tag {
+        0 => Operation::Data(DataOp::Read),
+        1 => Operation::Data(DataOp::Write),
+        2 => Operation::Data(DataOp::Insert),
+        3 => Operation::Data(DataOp::Delete),
+        4 => Operation::Lock(LockMode::Shared),
+        5 => Operation::Lock(LockMode::Exclusive),
+        6 => Operation::Unlock(LockMode::Shared),
+        7 => Operation::Unlock(LockMode::Exclusive),
+        t => return Err(WireError::BadOpTag(t)),
+    })
+}
+
+/// Encodes one sequence-stamped scheduled step ([`STAMPED_STEP_BYTES`]).
+pub fn put_stamped_step(out: &mut Vec<u8>, stamp: u64, s: &ScheduledStep) {
+    put_u64(out, stamp);
+    put_u32(out, s.tx.0);
+    put_u32(out, s.step.entity.0);
+    out.push(op_tag(s.step.op));
+}
+
+/// Decodes one sequence-stamped scheduled step.
+pub fn get_stamped_step(buf: &[u8]) -> Result<((u64, ScheduledStep), &[u8]), WireError> {
+    let (stamp, buf) = get_u64(buf)?;
+    let (tx, buf) = get_u32(buf)?;
+    let (entity, buf) = get_u32(buf)?;
+    let (&tag, buf) = buf
+        .split_first()
+        .ok_or(WireError::Truncated { needed: 1, have: 0 })?;
+    let op = op_from_tag(tag)?;
+    Ok((
+        (
+            stamp,
+            ScheduledStep::new(TxId(tx), Step::new(op, EntityId(entity))),
+        ),
+        buf,
+    ))
+}
+
+/// Encodes a structural state as an id-sorted entity list (count + ids).
+/// The sorted order makes the encoding canonical: equal states encode to
+/// equal bytes, which is what lets recovery compare snapshots bitwise.
+pub fn put_state(out: &mut Vec<u8>, state: &StructuralState) {
+    put_u32(out, state.len() as u32);
+    for e in state.iter() {
+        put_u32(out, e.0);
+    }
+}
+
+/// Decodes a structural state.
+pub fn get_state(buf: &[u8]) -> Result<(StructuralState, &[u8]), WireError> {
+    let (count, mut buf) = get_u32(buf)?;
+    let mut state = StructuralState::empty();
+    for _ in 0..count {
+        let (id, rest) = get_u32(buf)?;
+        state.insert(EntityId(id));
+        buf = rest;
+    }
+    Ok((state, buf))
+}
+
+/// Encodes one lock-table entry ([`LOCK_ENTRY_BYTES`]).
+pub fn put_lock_entry(out: &mut Vec<u8>, entry: &LockEntry) {
+    put_u32(out, entry.0 .0);
+    put_u32(out, entry.1 .0);
+    out.push(match entry.2 {
+        LockMode::Shared => 0,
+        LockMode::Exclusive => 1,
+    });
+}
+
+/// Decodes one lock-table entry.
+pub fn get_lock_entry(buf: &[u8]) -> Result<(LockEntry, &[u8]), WireError> {
+    let (entity, buf) = get_u32(buf)?;
+    let (tx, buf) = get_u32(buf)?;
+    let (&tag, buf) = buf
+        .split_first()
+        .ok_or(WireError::Truncated { needed: 1, have: 0 })?;
+    let mode = match tag {
+        0 => LockMode::Shared,
+        1 => LockMode::Exclusive,
+        t => return Err(WireError::BadModeTag(t)),
+    };
+    Ok(((EntityId(entity), TxId(tx), mode), buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    fn t(i: u32) -> TxId {
+        TxId(i)
+    }
+
+    #[test]
+    fn op_tags_round_trip_and_are_dense() {
+        let ops = [
+            Operation::Data(DataOp::Read),
+            Operation::Data(DataOp::Write),
+            Operation::Data(DataOp::Insert),
+            Operation::Data(DataOp::Delete),
+            Operation::Lock(LockMode::Shared),
+            Operation::Lock(LockMode::Exclusive),
+            Operation::Unlock(LockMode::Shared),
+            Operation::Unlock(LockMode::Exclusive),
+        ];
+        for (i, op) in ops.into_iter().enumerate() {
+            assert_eq!(op_tag(op) as usize, i);
+            assert_eq!(op_from_tag(op_tag(op)), Ok(op));
+        }
+        assert_eq!(op_from_tag(8), Err(WireError::BadOpTag(8)));
+        assert_eq!(op_from_tag(255), Err(WireError::BadOpTag(255)));
+    }
+
+    #[test]
+    fn stamped_step_round_trips_at_fixed_width() {
+        let cases = [
+            (0u64, ScheduledStep::new(t(1), Step::lock_exclusive(e(0)))),
+            (u64::MAX, ScheduledStep::new(t(u32::MAX), Step::read(e(7)))),
+            (42, ScheduledStep::new(t(9), Step::insert(e(u32::MAX)))),
+        ];
+        for (stamp, step) in cases {
+            let mut out = Vec::new();
+            put_stamped_step(&mut out, stamp, &step);
+            assert_eq!(out.len(), STAMPED_STEP_BYTES);
+            let ((s2, step2), rest) = get_stamped_step(&out).unwrap();
+            assert_eq!((s2, step2), (stamp, step));
+            assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_report_not_panic() {
+        let mut out = Vec::new();
+        put_stamped_step(&mut out, 5, &ScheduledStep::new(t(1), Step::write(e(2))));
+        for cut in 0..out.len() {
+            assert!(
+                get_stamped_step(&out[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        assert!(get_u32(&[1, 2]).is_err());
+        assert!(get_u64(&[1, 2, 3, 4, 5, 6, 7]).is_err());
+        assert!(get_state(&[2, 0, 0, 0, 9]).is_err()); // claims 2 ids, has 1 byte
+    }
+
+    #[test]
+    fn state_codec_is_canonical_and_round_trips() {
+        let state = StructuralState::from_entities([e(64), e(3), e(0), e(127)]);
+        let mut a = Vec::new();
+        put_state(&mut a, &state);
+        // Same set inserted in a different order encodes identically.
+        let mut b = Vec::new();
+        put_state(
+            &mut b,
+            &StructuralState::from_entities([e(0), e(127), e(3), e(64)]),
+        );
+        assert_eq!(a, b);
+        let (decoded, rest) = get_state(&a).unwrap();
+        assert_eq!(decoded, state);
+        assert!(rest.is_empty());
+        // Empty state is 4 bytes of zero count.
+        let mut empty = Vec::new();
+        put_state(&mut empty, &StructuralState::empty());
+        assert_eq!(empty, vec![0, 0, 0, 0]);
+        assert_eq!(get_state(&empty).unwrap().0, StructuralState::empty());
+    }
+
+    #[test]
+    fn lock_entry_round_trips() {
+        for entry in [
+            (e(0), t(1), LockMode::Shared),
+            (e(u32::MAX), t(u32::MAX), LockMode::Exclusive),
+        ] {
+            let mut out = Vec::new();
+            put_lock_entry(&mut out, &entry);
+            assert_eq!(out.len(), LOCK_ENTRY_BYTES);
+            let (decoded, rest) = get_lock_entry(&out).unwrap();
+            assert_eq!(decoded, entry);
+            assert!(rest.is_empty());
+        }
+        let bad = [0, 0, 0, 0, 0, 0, 0, 0, 9];
+        assert_eq!(get_lock_entry(&bad), Err(WireError::BadModeTag(9)));
+    }
+}

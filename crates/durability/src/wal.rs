@@ -1,0 +1,699 @@
+//! The write-ahead log: group-committed appends, segment rotation, and
+//! automatic fuzzy checkpoints.
+//!
+//! One [`Wal`] records one runtime run. Appends land in the current
+//! segment immediately; [`Store::sync`] is called every
+//! [`WalConfig::group_commit`] records (and on [`Wal::flush`]), so the
+//! fsync cost is amortised across a group. Before rotating to a new
+//! segment the old one is synced — the *sync-before-rotate* invariant —
+//! so only the newest segment can lose a suffix in a crash.
+//!
+//! The log maintains its own replica of the replayed state: stamped steps
+//! pass through [`Wal::append_steps`] anyway, so once the contiguous
+//! watermark advances past them they are folded into an in-log
+//! [`StructuralState`] + held-locks replica. When
+//! [`WalConfig::checkpoint_every`] steps have been folded since the last
+//! checkpoint, the log emits a [`Checkpoint`] record by itself — callers
+//! never compute checkpoint state.
+//!
+//! Any store error marks the log failed: every later call returns
+//! [`WalError::Crashed`] without touching the store, and the runtime
+//! finishes the run in memory, reporting the failure in its summary.
+
+use crate::frame::{encode_frame, Checkpoint, Record};
+use crate::recover::replay_step;
+use crate::store::Store;
+use crate::{WalError, SEGMENT_MAGIC};
+use slp_core::{EntityId, LockMode, ScheduledStep, StructuralState, TxId};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs for the log.
+#[derive(Clone, Copy, Debug)]
+pub struct WalConfig {
+    /// Rotate to a fresh segment once the current one reaches this many
+    /// bytes (the final frame may overshoot; rotation happens after it).
+    pub segment_bytes: usize,
+    /// Sync after this many appended records — the group-commit boundary.
+    /// `1` syncs every record; larger groups amortise the fsync.
+    pub group_commit: usize,
+    /// Emit a checkpoint after this many steps have been folded into the
+    /// watermark since the previous checkpoint. `0` disables automatic
+    /// checkpoints (the creation-time base checkpoint is still written).
+    pub checkpoint_every: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_bytes: 64 * 1024,
+            group_commit: 8,
+            checkpoint_every: 256,
+        }
+    }
+}
+
+/// Counters describing what a [`Wal`] has written, for run reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WalSummary {
+    /// Records appended (step batches + commits + checkpoints).
+    pub records: u64,
+    /// Frame bytes appended (excludes segment magic).
+    pub bytes: u64,
+    /// Store syncs issued.
+    pub syncs: u64,
+    /// Segments opened.
+    pub segments: u64,
+    /// Checkpoint records written (including the creation-time base).
+    pub checkpoints: u64,
+    /// Contiguous-stamp watermark reached.
+    pub watermark: u64,
+    /// Whether a store error stopped logging before the run ended.
+    pub failed: bool,
+}
+
+/// Tracks the contiguous-stamp watermark over an out-of-order stamp feed.
+///
+/// Workers append their batches after dropping the engine lock, so the
+/// byte order of batches across workers is arbitrary even though stamps
+/// are dense. The watermark is the first stamp not yet seen: everything
+/// below it is in the log with no gaps.
+#[derive(Clone, Debug)]
+pub struct WatermarkTracker {
+    next: u64,
+    parked: BinaryHeap<Reverse<u64>>,
+}
+
+impl WatermarkTracker {
+    /// A tracker whose watermark starts at `base` (first expected stamp).
+    pub fn new(base: u64) -> Self {
+        WatermarkTracker {
+            next: base,
+            parked: BinaryHeap::new(),
+        }
+    }
+
+    /// Records `stamp` as seen; stamps below the watermark are ignored.
+    pub fn record(&mut self, stamp: u64) {
+        if stamp < self.next {
+            return;
+        }
+        self.parked.push(Reverse(stamp));
+        while self.parked.peek() == Some(&Reverse(self.next)) {
+            self.parked.pop();
+            self.next += 1;
+        }
+    }
+
+    /// One past the largest stamp below which every stamp has been seen.
+    pub fn watermark(&self) -> u64 {
+        self.next
+    }
+}
+
+struct WalCore {
+    store: Box<dyn Store>,
+    config: WalConfig,
+    current_segment: u64,
+    current_len: usize,
+    /// Records appended since the last sync (group-commit counter).
+    unsynced: usize,
+    tracker: WatermarkTracker,
+    /// Stamped steps at or above the watermark, not yet folded into the
+    /// checkpoint replica. Bounded by the out-of-order overhang.
+    retained: BTreeMap<u64, ScheduledStep>,
+    /// Replica of the replayed run at the watermark.
+    state: StructuralState,
+    locks: Vec<(EntityId, TxId, LockMode)>,
+    /// Commit records whose `required_watermark` is still ahead.
+    pending_commits: BinaryHeap<Reverse<(u64, TxId)>>,
+    /// Commit records durable at the current watermark.
+    durable_commits: u64,
+    steps_since_checkpoint: u64,
+    /// Segment holding the newest checkpoint (pruning keeps it and later).
+    checkpoint_segment: u64,
+    stats: WalSummary,
+}
+
+/// A live write-ahead log. Shared across worker threads by reference;
+/// all appends serialise on an internal mutex (they are off the hot path:
+/// the runtime appends after releasing the engine lock).
+pub struct Wal {
+    core: Mutex<WalCore>,
+    failed: AtomicBool,
+}
+
+impl Wal {
+    /// Creates a log in an empty `store`, writing and syncing the segment
+    /// magic and a base checkpoint of the initial state `g0` — recovery
+    /// needs at least that much to exist. Fails with
+    /// [`WalError::LogNotEmpty`] if the store already holds segments.
+    pub fn create(
+        store: Box<dyn Store>,
+        config: WalConfig,
+        g0: &StructuralState,
+    ) -> Result<Wal, WalError> {
+        let mut core = WalCore {
+            store,
+            config,
+            current_segment: 0,
+            current_len: 0,
+            unsynced: 0,
+            tracker: WatermarkTracker::new(0),
+            retained: BTreeMap::new(),
+            state: g0.clone(),
+            locks: Vec::new(),
+            pending_commits: BinaryHeap::new(),
+            durable_commits: 0,
+            steps_since_checkpoint: 0,
+            checkpoint_segment: 0,
+            stats: WalSummary::default(),
+        };
+        if !core.store.list()?.is_empty() {
+            return Err(WalError::LogNotEmpty);
+        }
+        core.store.open_segment(0)?;
+        core.stats.segments = 1;
+        core.store.append(SEGMENT_MAGIC)?;
+        core.current_len = SEGMENT_MAGIC.len();
+        core.write_checkpoint()?;
+        Ok(Wal {
+            core: Mutex::new(core),
+            failed: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether a store error has permanently stopped this log.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// The contiguous-stamp watermark: every step below it is appended.
+    pub fn watermark(&self) -> u64 {
+        self.core.lock().expect("wal lock").tracker.watermark()
+    }
+
+    /// Counters for the run report (watermark and failure flag included).
+    pub fn summary(&self) -> WalSummary {
+        let core = self.core.lock().expect("wal lock");
+        let mut s = core.stats;
+        s.watermark = core.tracker.watermark();
+        s.failed = self.is_failed();
+        s
+    }
+
+    /// Appends a batch of stamped steps (one group-commit unit), folding
+    /// newly contiguous steps into the checkpoint replica and emitting an
+    /// automatic checkpoint when one is due.
+    pub fn append_steps(&self, entries: &[(u64, ScheduledStep)]) -> Result<(), WalError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        self.with_core(|core| {
+            core.append_record(&Record::Steps(entries.to_vec()))?;
+            for &(stamp, step) in entries {
+                core.tracker.record(stamp);
+                core.retained.insert(stamp, step);
+            }
+            core.fold_to_watermark();
+            core.maybe_sync()?;
+            core.maybe_checkpoint()
+        })
+    }
+
+    /// Appends a commit record for `tx`, durable once the watermark
+    /// reaches `required_watermark`.
+    pub fn append_commit(&self, tx: TxId, required_watermark: u64) -> Result<(), WalError> {
+        self.with_core(|core| {
+            core.append_record(&Record::Commit {
+                tx,
+                required_watermark,
+            })?;
+            core.pending_commits.push(Reverse((required_watermark, tx)));
+            core.drain_durable_commits();
+            core.maybe_sync()
+        })
+    }
+
+    /// Syncs any unsynced records — the end-of-run barrier that makes the
+    /// final group durable.
+    pub fn flush(&self) -> Result<(), WalError> {
+        self.with_core(|core| {
+            if core.unsynced > 0 {
+                core.sync()?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Forces a checkpoint now (regardless of `checkpoint_every`).
+    pub fn checkpoint(&self) -> Result<(), WalError> {
+        self.with_core(|core| core.write_checkpoint())
+    }
+
+    /// Removes segments wholly before the newest checkpoint's segment;
+    /// returns how many were deleted. Recovery only needs the checkpoint
+    /// and the tail after it.
+    pub fn prune(&self) -> Result<u64, WalError> {
+        self.with_core(|core| {
+            let boundary = core.checkpoint_segment;
+            let mut removed = 0;
+            for index in core.store.list()? {
+                if index < boundary {
+                    core.store.remove(index)?;
+                    removed += 1;
+                }
+            }
+            Ok(removed)
+        })
+    }
+
+    fn with_core<R>(
+        &self,
+        f: impl FnOnce(&mut WalCore) -> Result<R, WalError>,
+    ) -> Result<R, WalError> {
+        if self.is_failed() {
+            return Err(WalError::Crashed);
+        }
+        let mut core = self.core.lock().expect("wal lock");
+        let result = f(&mut core);
+        if result.is_err() {
+            self.failed.store(true, Ordering::Relaxed);
+        }
+        result
+    }
+}
+
+impl WalCore {
+    fn append_record(&mut self, record: &Record) -> Result<(), WalError> {
+        let mut buf = Vec::new();
+        let len = encode_frame(&mut buf, record);
+        self.store.append(&buf)?;
+        self.current_len += len;
+        self.unsynced += 1;
+        self.stats.records += 1;
+        self.stats.bytes += len as u64;
+        if self.current_len >= self.config.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Sync-before-rotate: the outgoing segment is made fully durable
+    /// before the next one exists, so non-current segments never tear.
+    fn rotate(&mut self) -> Result<(), WalError> {
+        self.sync()?;
+        self.current_segment += 1;
+        self.store.open_segment(self.current_segment)?;
+        self.stats.segments += 1;
+        self.store.append(SEGMENT_MAGIC)?;
+        self.current_len = SEGMENT_MAGIC.len();
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        self.store.sync()?;
+        self.unsynced = 0;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    fn maybe_sync(&mut self) -> Result<(), WalError> {
+        if self.unsynced >= self.config.group_commit.max(1) {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Folds retained steps below the watermark into the state replica.
+    fn fold_to_watermark(&mut self) {
+        let watermark = self.tracker.watermark();
+        while let Some(entry) = self.retained.first_entry() {
+            if *entry.key() >= watermark {
+                break;
+            }
+            let step = entry.remove();
+            replay_step(&mut self.state, &mut self.locks, &step);
+            self.steps_since_checkpoint += 1;
+        }
+        self.drain_durable_commits();
+    }
+
+    fn drain_durable_commits(&mut self) {
+        let watermark = self.tracker.watermark();
+        while let Some(&Reverse((required, _))) = self.pending_commits.peek() {
+            if required > watermark {
+                break;
+            }
+            self.pending_commits.pop();
+            self.durable_commits += 1;
+        }
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<(), WalError> {
+        if self.config.checkpoint_every > 0
+            && self.steps_since_checkpoint >= self.config.checkpoint_every
+        {
+            self.write_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Writes and syncs a checkpoint of the replica at the watermark.
+    fn write_checkpoint(&mut self) -> Result<(), WalError> {
+        let record = Record::Checkpoint(Checkpoint {
+            watermark: self.tracker.watermark(),
+            committed: self.durable_commits,
+            state: self.state.clone(),
+            locks: self.locks.clone(),
+        });
+        // The record lands in the segment current *now*; appending it may
+        // rotate afterwards, and pruning must keep the segment that holds
+        // the checkpoint, not the fresh one.
+        let segment_holding_checkpoint = self.current_segment;
+        self.append_record(&record)?;
+        self.sync()?;
+        self.stats.checkpoints += 1;
+        self.steps_since_checkpoint = 0;
+        self.checkpoint_segment = segment_holding_checkpoint;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{decode_frame, FrameOutcome};
+    use crate::store::{FaultyStore, MemStore, SharedMemStore};
+    use slp_core::Step;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    fn t(i: u32) -> TxId {
+        TxId(i)
+    }
+
+    fn step(tx: u32, s: Step) -> ScheduledStep {
+        ScheduledStep::new(TxId(tx), s)
+    }
+
+    /// Decodes all records in a store's concatenated segments.
+    fn records_in(store: &MemStore) -> Vec<Record> {
+        let mut out = Vec::new();
+        for index in store.list().unwrap() {
+            let data = store.read(index).unwrap();
+            assert_eq!(&data[..8], SEGMENT_MAGIC, "segment {index} magic");
+            let mut rest = &data[8..];
+            loop {
+                match decode_frame(rest) {
+                    FrameOutcome::Record(r, tail) => {
+                        out.push(r);
+                        rest = tail;
+                    }
+                    FrameOutcome::End => break,
+                    FrameOutcome::Torn(reason) => panic!("torn log: {reason}"),
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn create_writes_a_synced_base_checkpoint() {
+        let handle = SharedMemStore::new();
+        let g0 = StructuralState::from_entities([e(1), e(2)]);
+        let wal = Wal::create(Box::new(handle.clone()), WalConfig::default(), &g0).unwrap();
+        // Even an immediate crash (nothing volatile survives) leaves a
+        // well-formed log holding the base checkpoint.
+        let crashed = handle.snapshot().crashed(false);
+        let records = records_in(&crashed);
+        assert_eq!(records.len(), 1);
+        let Record::Checkpoint(cp) = &records[0] else {
+            panic!("expected checkpoint, got {:?}", records[0]);
+        };
+        assert_eq!(cp.watermark, 0);
+        assert_eq!(cp.committed, 0);
+        assert_eq!(cp.state, g0);
+        assert!(cp.locks.is_empty());
+        let summary = wal.summary();
+        assert_eq!(summary.checkpoints, 1);
+        assert_eq!(summary.segments, 1);
+        assert!(!summary.failed);
+    }
+
+    #[test]
+    fn create_refuses_a_nonempty_store() {
+        let mut store = MemStore::new();
+        store.open_segment(0).unwrap();
+        assert_eq!(
+            Wal::create(
+                Box::new(store),
+                WalConfig::default(),
+                &StructuralState::empty()
+            )
+            .err(),
+            Some(WalError::LogNotEmpty)
+        );
+    }
+
+    #[test]
+    fn group_commit_syncs_every_n_records() {
+        let handle = SharedMemStore::new();
+        let config = WalConfig {
+            group_commit: 2,
+            checkpoint_every: 0,
+            ..WalConfig::default()
+        };
+        let wal = Wal::create(Box::new(handle.clone()), config, &StructuralState::empty()).unwrap();
+        let synced_at_create = wal.summary().syncs;
+        wal.append_steps(&[(0, step(1, Step::lock_exclusive(e(0))))])
+            .unwrap();
+        assert_eq!(
+            wal.summary().syncs,
+            synced_at_create,
+            "first record unsynced"
+        );
+        // The unsynced record is volatile until the group boundary.
+        assert_eq!(records_in(&handle.snapshot().crashed(false)).len(), 1);
+        wal.append_steps(&[(1, step(1, Step::insert(e(0))))])
+            .unwrap();
+        assert_eq!(
+            wal.summary().syncs,
+            synced_at_create + 1,
+            "group of 2 syncs"
+        );
+        assert_eq!(records_in(&handle.snapshot().crashed(false)).len(), 3);
+        // flush() syncs a partial group.
+        wal.append_steps(&[(2, step(1, Step::unlock_exclusive(e(0))))])
+            .unwrap();
+        wal.flush().unwrap();
+        assert_eq!(records_in(&handle.snapshot().crashed(false)).len(), 4);
+    }
+
+    #[test]
+    fn rotation_syncs_the_outgoing_segment() {
+        let handle = SharedMemStore::new();
+        let config = WalConfig {
+            segment_bytes: 64,
+            group_commit: 1000, // group commit never triggers a sync here
+            checkpoint_every: 0,
+        };
+        let wal = Wal::create(Box::new(handle.clone()), config, &StructuralState::empty()).unwrap();
+        for i in 0..40u64 {
+            wal.append_steps(&[(i, step(1, Step::lock_shared(e(i as u32))))])
+                .unwrap();
+        }
+        let summary = wal.summary();
+        assert!(summary.segments >= 2, "expected rotation, got {summary:?}");
+        // Every non-current segment survives a crash in full.
+        let snapshot = handle.snapshot();
+        let crashed = snapshot.crashed(false);
+        let segments = snapshot.list().unwrap();
+        for &index in &segments[..segments.len() - 1] {
+            assert_eq!(
+                crashed.read(index).unwrap(),
+                snapshot.read(index).unwrap(),
+                "segment {index} must be fully durable before rotation"
+            );
+        }
+    }
+
+    #[test]
+    fn watermark_tracks_contiguity_across_out_of_order_batches() {
+        let tracker = {
+            let mut t = WatermarkTracker::new(0);
+            t.record(0);
+            t.record(2);
+            t.record(3);
+            assert_eq!(t.watermark(), 1, "gap at 1 holds the watermark");
+            t.record(1);
+            t
+        };
+        assert_eq!(tracker.watermark(), 4);
+
+        let wal = Wal::create(
+            Box::new(MemStore::new()),
+            WalConfig {
+                checkpoint_every: 0,
+                ..WalConfig::default()
+            },
+            &StructuralState::empty(),
+        )
+        .unwrap();
+        // Worker B's batch (stamps 2,3) lands before worker A's (0,1).
+        wal.append_steps(&[
+            (2, step(2, Step::insert(e(2)))),
+            (3, step(2, Step::read(e(2)))),
+        ])
+        .unwrap();
+        assert_eq!(wal.watermark(), 0);
+        wal.append_steps(&[
+            (0, step(1, Step::insert(e(1)))),
+            (1, step(1, Step::read(e(1)))),
+        ])
+        .unwrap();
+        assert_eq!(wal.watermark(), 4);
+    }
+
+    #[test]
+    fn automatic_checkpoint_captures_replayed_state_and_locks() {
+        let handle = SharedMemStore::new();
+        let config = WalConfig {
+            group_commit: 1,
+            checkpoint_every: 3,
+            ..WalConfig::default()
+        };
+        let wal = Wal::create(Box::new(handle.clone()), config, &StructuralState::empty()).unwrap();
+        wal.append_steps(&[
+            (0, step(1, Step::lock_exclusive(e(7)))),
+            (1, step(1, Step::insert(e(7)))),
+            (2, step(1, Step::lock_shared(e(9)))),
+        ])
+        .unwrap();
+        wal.append_commit(t(1), 3).unwrap();
+        let records = records_in(&handle.snapshot());
+        let checkpoints: Vec<&Checkpoint> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Checkpoint(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(checkpoints.len(), 2, "base + one automatic");
+        let cp = checkpoints[1];
+        assert_eq!(cp.watermark, 3);
+        assert_eq!(cp.state, StructuralState::from_entities([e(7)]));
+        assert_eq!(
+            cp.locks,
+            vec![
+                (e(7), t(1), LockMode::Exclusive),
+                (e(9), t(1), LockMode::Shared)
+            ]
+        );
+        // The commit landed after the checkpoint; its durability is
+        // tracked for the *next* checkpoint.
+        assert_eq!(cp.committed, 0);
+        wal.append_steps(&[
+            (3, step(1, Step::unlock_exclusive(e(7)))),
+            (4, step(1, Step::unlock_shared(e(9)))),
+            (5, step(2, Step::read(e(7)))),
+        ])
+        .unwrap();
+        let records = records_in(&handle.snapshot());
+        let last = records
+            .iter()
+            .rev()
+            .find_map(|r| match r {
+                Record::Checkpoint(c) => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(last.watermark, 6);
+        assert_eq!(last.committed, 1);
+        assert!(last.locks.is_empty());
+    }
+
+    #[test]
+    fn prune_drops_segments_before_the_newest_checkpoint() {
+        let handle = SharedMemStore::new();
+        let config = WalConfig {
+            segment_bytes: 96,
+            group_commit: 1,
+            checkpoint_every: 0,
+        };
+        let wal = Wal::create(Box::new(handle.clone()), config, &StructuralState::empty()).unwrap();
+        for i in 0..40u64 {
+            wal.append_steps(&[(i, step(1, Step::lock_shared(e(i as u32))))])
+                .unwrap();
+        }
+        assert!(handle.snapshot().list().unwrap().len() > 2);
+        wal.checkpoint().unwrap();
+        // Writing the checkpoint may itself rotate; count segments after.
+        let segments_before = handle.snapshot().list().unwrap().len();
+        let removed = wal.prune().unwrap();
+        assert!(removed > 0);
+        let remaining = handle.snapshot().list().unwrap();
+        assert_eq!(remaining.len(), segments_before - removed as usize);
+        // The newest checkpoint's segment survives.
+        assert!(records_in_tail_has_checkpoint(
+            &handle.snapshot(),
+            &remaining
+        ));
+    }
+
+    fn records_in_tail_has_checkpoint(store: &MemStore, segments: &[u64]) -> bool {
+        segments.iter().any(|&index| {
+            let data = store.read(index).unwrap();
+            let mut rest = &data[8..];
+            loop {
+                match decode_frame(rest) {
+                    FrameOutcome::Record(Record::Checkpoint(_), _) => return true,
+                    FrameOutcome::Record(_, tail) => rest = tail,
+                    _ => return false,
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn store_failure_latches_and_later_calls_are_rejected_cheaply() {
+        let handle = SharedMemStore::new();
+        let faulty = FaultyStore::new(handle.clone()).fail_on_sync(1);
+        let config = WalConfig {
+            group_commit: 1,
+            checkpoint_every: 0,
+            ..WalConfig::default()
+        };
+        let wal = Wal::create(Box::new(faulty), config, &StructuralState::empty()).unwrap();
+        assert_eq!(
+            wal.append_steps(&[(0, step(1, Step::read(e(0))))]),
+            Err(WalError::Crashed)
+        );
+        assert!(wal.is_failed());
+        assert!(wal.summary().failed);
+        assert_eq!(
+            wal.append_commit(t(1), 0),
+            Err(WalError::Crashed),
+            "failed log rejects everything"
+        );
+        assert_eq!(wal.flush(), Err(WalError::Crashed));
+    }
+
+    #[test]
+    fn empty_step_batches_are_not_framed() {
+        let handle = SharedMemStore::new();
+        let wal = Wal::create(
+            Box::new(handle.clone()),
+            WalConfig::default(),
+            &StructuralState::empty(),
+        )
+        .unwrap();
+        let before = wal.summary().records;
+        wal.append_steps(&[]).unwrap();
+        assert_eq!(wal.summary().records, before);
+    }
+}

@@ -15,7 +15,14 @@
 //!   queue;
 //! * [`RuntimeConfig`] — worker count (`SLP_RUNTIME_THREADS` override via
 //!   [`RuntimeConfig::workers_from_env`]), grant batching, parking and
-//!   backoff tuning, wall-clock guard;
+//!   backoff tuning (`SLP_RUNTIME_PARK_TIMEOUT_US` /
+//!   `SLP_RUNTIME_BACKOFF_CAP_US` overrides via
+//!   [`RuntimeConfig::with_env_overrides`]), wall-clock guard;
+//! * **durability** — [`Runtime::run_durable`] mirrors every granted step
+//!   and commit into a `slp-durability` write-ahead log (group-committed,
+//!   checkpointed); after a crash, [`recover`] replays the surviving
+//!   prefix into a certified execution. Key log types are re-exported
+//!   here so durable runs need no direct `slp-durability` dependency;
 //! * [`RuntimeReport`] — the simulator's accounting shape (committed /
 //!   policy aborts / deadlock aborts / rejected; attempts always balance)
 //!   plus wall-clock throughput, commit-latency percentiles, and the
@@ -48,3 +55,11 @@ pub mod runner;
 pub use probes::{CrawlProbePlanner, ShoulderProbePlanner};
 pub use report::{LatencySummary, RuntimeReport};
 pub use runner::{PlannerFactory, Runtime, RuntimeConfig};
+
+// The durability surface a durable run touches: create a log, run against
+// it, recover after a crash. (The fault-injection stores and frame-level
+// API stay in `slp_durability`.)
+pub use slp_durability::{
+    recover, DirStore, MemStore, Recovered, RecoveryMode, SharedMemStore, Store, Wal, WalConfig,
+    WalError, WalSummary,
+};

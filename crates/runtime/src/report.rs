@@ -2,6 +2,7 @@
 //! wall-clock throughput and latency percentiles.
 
 use slp_core::{Schedule, StructuralState};
+use slp_durability::WalSummary;
 use std::time::Duration;
 
 /// Commit-latency summary over a run (microseconds; wall clock from a
@@ -80,6 +81,14 @@ pub struct RuntimeReport {
     /// Number of times a request found its lock held (one per conflict
     /// observation, as in the simulator).
     pub lock_waits: u64,
+    /// Times a parked worker's timeout backstop fired instead of a
+    /// wakeup. The wake protocol makes lost wakeups impossible by
+    /// construction, so with a timeout comfortably above scheduler jitter
+    /// this is zero on every healthy run — the stress matrix asserts
+    /// exactly that. (With the default 1 ms timeout, a preempted lock
+    /// holder can legitimately out-sleep a waiter, so small counts there
+    /// are noise, not lost wakeups.)
+    pub park_timeouts: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Whether the wall-clock guard expired before the job queue drained.
@@ -92,6 +101,12 @@ pub struct RuntimeReport {
     pub initial: StructuralState,
     /// Commit-latency percentiles.
     pub latency: LatencySummary,
+    /// Write-ahead log counters when the run was durable
+    /// ([`crate::Runtime::run_durable`]), `None` for in-memory runs. A
+    /// summary with [`failed`](WalSummary::failed) set means the log
+    /// store died mid-run: the in-memory result is complete, but only a
+    /// prefix of it is durable.
+    pub wal: Option<WalSummary>,
 }
 
 impl RuntimeReport {

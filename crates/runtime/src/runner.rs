@@ -13,6 +13,7 @@
 use crate::report::{LatencySummary, RuntimeReport};
 use crate::service::{BatchOutcome, LockService};
 use slp_core::{Schedule, ScheduledStep, StructuralState, TxId};
+use slp_durability::{Store, Wal, WalConfig, WalError};
 use slp_policies::{
     PolicyAction, PolicyConfig, PolicyEngine, PolicyKind, PolicyRegistry, PolicyViolation,
     RegistryError,
@@ -41,13 +42,19 @@ pub struct RuntimeConfig {
     pub grant_batch: usize,
     /// Park timeout: the backstop against stale waits-for edges — a parked
     /// worker re-requests (and re-runs deadlock detection) at least this
-    /// often even if no wakeup arrives.
+    /// often even if no wakeup arrives. Default **1 ms**; overridable via
+    /// `SLP_RUNTIME_PARK_TIMEOUT_US`
+    /// ([`env_park_timeout`](RuntimeConfig::env_park_timeout)). Timeout
+    /// firings are counted in [`RuntimeReport::park_timeouts`].
     pub park_timeout: Duration,
     /// Base backoff after an abort; attempt `n` waits `min(base · 2ⁿ,
     /// cap)` (growing backoff breaks symmetric restart livelocks, as in
-    /// the simulator).
+    /// the simulator). Default **50 µs**.
     pub backoff_base: Duration,
-    /// Backoff ceiling.
+    /// Backoff ceiling (caps the exponential growth after deadlock and
+    /// policy aborts). Default **2 ms**; overridable via
+    /// `SLP_RUNTIME_BACKOFF_CAP_US`
+    /// ([`env_backoff_cap`](RuntimeConfig::env_backoff_cap)).
     pub backoff_cap: Duration,
     /// Wall-clock guard: past this deadline workers abandon their jobs and
     /// drain (guards against livelock in mutant policies, the threaded
@@ -101,6 +108,50 @@ impl RuntimeConfig {
     /// [`env_workers`](RuntimeConfig::env_workers) with a fallback.
     pub fn workers_from_env(default: usize) -> usize {
         Self::env_workers().unwrap_or(default)
+    }
+
+    /// The park timeout the environment requests, if any:
+    /// `SLP_RUNTIME_PARK_TIMEOUT_US`, in microseconds. Same contract as
+    /// [`env_workers`](RuntimeConfig::env_workers): `None` when unset,
+    /// panic on a value that is not a positive integer.
+    pub fn env_park_timeout() -> Option<Duration> {
+        Self::env_micros("SLP_RUNTIME_PARK_TIMEOUT_US")
+    }
+
+    /// The backoff ceiling the environment requests, if any:
+    /// `SLP_RUNTIME_BACKOFF_CAP_US`, in microseconds. Same contract as
+    /// [`env_workers`](RuntimeConfig::env_workers).
+    pub fn env_backoff_cap() -> Option<Duration> {
+        Self::env_micros("SLP_RUNTIME_BACKOFF_CAP_US")
+    }
+
+    fn env_micros(var: &str) -> Option<Duration> {
+        std::env::var(var).ok().map(|v| {
+            let us = v
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| panic!("{var} must be a positive integer (microseconds)"));
+            Duration::from_micros(us)
+        })
+    }
+
+    /// This config with every environment override applied
+    /// (`SLP_RUNTIME_THREADS`, `SLP_RUNTIME_PARK_TIMEOUT_US`,
+    /// `SLP_RUNTIME_BACKOFF_CAP_US`). The examples and stress suites run
+    /// their configs through this so a CI matrix can retune the runtime
+    /// without touching code.
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(workers) = Self::env_workers() {
+            self.workers = workers;
+        }
+        if let Some(park) = Self::env_park_timeout() {
+            self.park_timeout = park;
+        }
+        if let Some(cap) = Self::env_backoff_cap() {
+            self.backoff_cap = cap;
+        }
+        self
     }
 }
 
@@ -198,9 +249,47 @@ impl Runtime {
     /// Runs `jobs` to completion on `config.workers` threads and returns
     /// the report with the merged, totally ordered trace.
     pub fn run(&mut self, jobs: &[Job], config: &RuntimeConfig) -> RuntimeReport {
+        self.run_inner(jobs, config, None)
+    }
+
+    /// A write-ahead log over `store` seeded with this runtime's current
+    /// initial state: the base checkpoint recovery replays from is exactly
+    /// the state [`run_durable`](Runtime::run_durable) will start in. The
+    /// store must be empty — one log records one run.
+    pub fn create_wal(&self, store: Box<dyn Store>, config: WalConfig) -> Result<Wal, WalError> {
+        Wal::create(store, config, &self.initial_state())
+    }
+
+    /// [`run`](Runtime::run), with every granted step and commit mirrored
+    /// into `wal` (created by [`create_wal`](Runtime::create_wal) on the
+    /// same runtime). Appends ride behind the engine lock and are group
+    /// committed, checkpoints are automatic, and the log is flushed when
+    /// the workers drain; [`RuntimeReport::wal`] carries the counters.
+    /// After a crash, rebuild the durable prefix with
+    /// [`slp_durability::recover`] — the crash-recovery suites and
+    /// `examples/crash_recovery.rs` walk the full cycle.
+    ///
+    /// A log failure mid-run does not stop the run: logging is abandoned,
+    /// the in-memory result is complete, and the summary reports
+    /// [`failed`](slp_durability::WalSummary::failed).
+    pub fn run_durable(
+        &mut self,
+        jobs: &[Job],
+        config: &RuntimeConfig,
+        wal: Arc<Wal>,
+    ) -> RuntimeReport {
+        self.run_inner(jobs, config, Some(wal))
+    }
+
+    fn run_inner(
+        &mut self,
+        jobs: &[Job],
+        config: &RuntimeConfig,
+        wal: Option<Arc<Wal>>,
+    ) -> RuntimeReport {
         let initial = self.initial_state();
         let engine = self.engine.take().expect("engine present between runs");
-        let service = LockService::new(engine, config.stripes);
+        let service = LockService::new(engine, config.stripes, wal.clone());
         let next_job = AtomicUsize::new(0);
         let next_tx = AtomicU32::new(1);
         let start = Instant::now();
@@ -228,14 +317,29 @@ impl Runtime {
         });
         let elapsed = start.elapsed();
 
+        // End-of-run barrier: push the final (partial) group to disk and
+        // capture the log's counters. A store that died mid-run reports
+        // `failed` here; the in-memory result below is still complete.
+        let wal_summary = wal.map(|wal| {
+            let _ = wal.flush();
+            wal.summary()
+        });
+
         let mut entries: Vec<(u64, ScheduledStep)> = Vec::new();
         let mut latencies: Vec<u64> = Vec::new();
         for out in outputs {
             entries.extend(out.trace);
             latencies.extend(out.latencies_us);
         }
-        let schedule =
-            Schedule::from_sequenced(entries).expect("sequence stamps are unique by construction");
+        let schedule = if entries.is_empty() {
+            // No step was ever granted (e.g. an already-expired deadline):
+            // `from_sequenced` treats empty input as an error, but here it
+            // just means an empty trace.
+            Schedule::empty()
+        } else {
+            Schedule::from_sequenced(entries)
+                .expect("worker stamps are dense and unique by construction")
+        };
         let c = &service.counters;
         let report = RuntimeReport {
             policy: self.name,
@@ -247,11 +351,13 @@ impl Runtime {
             abandoned: c.abandoned.load(Ordering::Relaxed),
             attempts: c.attempts.load(Ordering::Relaxed),
             lock_waits: c.lock_waits.load(Ordering::Relaxed),
+            park_timeouts: c.park_timeouts.load(Ordering::Relaxed),
             elapsed,
             timed_out: c.timed_out.load(Ordering::Relaxed),
             schedule,
             initial,
             latency: LatencySummary::from_micros(latencies),
+            wal: wal_summary,
         };
         self.engine = Some(service.into_engine());
         report
@@ -368,8 +474,8 @@ fn run_attempt(
     let mut cursor = 0usize;
     while cursor < plan.len() {
         if Instant::now() > deadline {
-            service.abort(tx, trace);
             service.clear_wait(tx);
+            service.abort(tx, trace);
             return AttemptEnd::Abandoned;
         }
         match service.request_batch(tx, &plan[cursor..], config.grant_batch, trace) {
@@ -381,43 +487,53 @@ fn run_attempt(
             }
             BatchOutcome::Violation { violation } => {
                 service.abort(tx, trace);
-                service.clear_wait(tx);
                 return classify(c, &violation);
             }
             BatchOutcome::Conflict {
                 granted,
                 mut entity,
-                mut holder,
+                holder,
             } => {
                 cursor += granted;
-                // Park-and-retry: read the stripe generation *before*
-                // re-requesting, so a release racing the failed request
-                // bumps the generation we are about to wait on.
+                // Waits-for edge discipline: publish the edge (and walk
+                // for a cycle) at every conflict *observation*, retract
+                // it before every re-request. The edge is live exactly
+                // while this worker may be parked — a published edge
+                // through a transaction that is awake (its request was
+                // granted, or it is mid-abort with its locks already
+                // released) manufactures phantom cycles for every other
+                // walker, and each needless victim feeds the churn that
+                // creates the next one. Publishing before every park with
+                // the *current* holder keeps detection complete: insert
+                // and walk are atomic, so whichever transaction inserts
+                // the edge that closes a real cycle sees it.
+                c.lock_waits.fetch_add(1, Ordering::Relaxed);
+                if service.note_wait(tx, holder) {
+                    // This request closed a waits-for cycle: the
+                    // requester is the victim (simulator rule).
+                    service.clear_wait(tx);
+                    service.abort(tx, trace);
+                    c.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
+                    return AttemptEnd::Retry;
+                }
                 loop {
-                    c.lock_waits.fetch_add(1, Ordering::Relaxed);
-                    if service.note_wait(tx, holder) {
-                        // This request closed a waits-for cycle: the
-                        // requester is the victim (simulator rule).
-                        service.abort(tx, trace);
-                        service.clear_wait(tx);
-                        c.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
-                        return AttemptEnd::Retry;
-                    }
                     if Instant::now() > deadline {
-                        service.abort(tx, trace);
                         service.clear_wait(tx);
+                        service.abort(tx, trace);
                         return AttemptEnd::Abandoned;
                     }
+                    // Read the stripe generation *before* re-requesting,
+                    // so a release racing the failed request bumps the
+                    // generation we are about to wait on.
                     let seen = service.stripe_gen(entity);
+                    service.clear_wait(tx);
                     match service.request_batch(tx, &plan[cursor..], 1, trace) {
                         BatchOutcome::Granted { granted } => {
-                            service.clear_wait(tx);
                             cursor += granted;
                             break;
                         }
                         BatchOutcome::Violation { violation } => {
                             service.abort(tx, trace);
-                            service.clear_wait(tx);
                             return classify(c, &violation);
                         }
                         BatchOutcome::Conflict {
@@ -425,7 +541,13 @@ fn run_attempt(
                             holder: h2,
                             ..
                         } => {
-                            holder = h2;
+                            c.lock_waits.fetch_add(1, Ordering::Relaxed);
+                            if service.note_wait(tx, h2) {
+                                service.clear_wait(tx);
+                                service.abort(tx, trace);
+                                c.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
+                                return AttemptEnd::Retry;
+                            }
                             if e2 == entity {
                                 service.park(entity, seen, config.park_timeout);
                             } else {

@@ -25,14 +25,19 @@
 //! stripe's generation *before* re-requesting, and parks only if the
 //! generation is still unchanged under the stripe lock — any release in
 //! between bumps the generation first (releases bump under the stripe
-//! lock, before `notify_all`). A park timeout backstops the protocol
-//! against stale waits-for edges (see [`LockService::note_wait`]).
+//! lock, before `notify_all`). Deadlock detection is complete because a
+//! waiter refreshes its waits-for edge to the current holder before every
+//! park (see [`LockService::note_wait`]), so with a generous timeout the
+//! park-timeout backstop never fires on a healthy run — firings are
+//! counted ([`Counters::park_timeouts`]) and surfaced in the report as
+//! lost-wakeup evidence.
 
 use rustc_hash::FxHashMap;
 use slp_core::{EntityId, ScheduledStep, Step, TxId};
+use slp_durability::Wal;
 use slp_policies::{AccessIntent, PolicyAction, PolicyEngine, PolicyResponse, PolicyViolation};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
 /// One parking stripe: a generation counter advanced on every unlock of an
@@ -67,6 +72,7 @@ pub(crate) struct Counters {
     pub rejected: AtomicUsize,
     pub abandoned: AtomicUsize,
     pub lock_waits: AtomicU64,
+    pub park_timeouts: AtomicU64,
     pub timed_out: AtomicBool,
 }
 
@@ -76,13 +82,19 @@ pub(crate) struct LockService {
     stripes: Vec<Stripe>,
     waits_for: Mutex<FxHashMap<TxId, TxId>>,
     seq: AtomicU64,
+    /// Write-ahead log, when the run is durable. Appends happen *after*
+    /// the engine lock is dropped (same position as the wake pass) so the
+    /// fsync cost never sits on the serialization point; stamps — taken
+    /// inside the lock — arbitrate the cross-worker byte order on replay.
+    wal: Option<Arc<Wal>>,
     pub counters: Counters,
 }
 
 impl LockService {
     /// `stripes` is clamped to 1..=64 (the wake path dedupes released
-    /// stripes in a fixed bitmap).
-    pub fn new(engine: Box<dyn PolicyEngine>, stripes: usize) -> Self {
+    /// stripes in a fixed bitmap). `wal`, when present, receives every
+    /// recorded step batch and commit.
+    pub fn new(engine: Box<dyn PolicyEngine>, stripes: usize, wal: Option<Arc<Wal>>) -> Self {
         LockService {
             engine: RwLock::new(engine),
             stripes: (0..stripes.clamp(1, 64))
@@ -93,6 +105,7 @@ impl LockService {
                 .collect(),
             waits_for: Mutex::new(FxHashMap::default()),
             seq: AtomicU64::new(0),
+            wal,
             counters: Counters::default(),
         }
     }
@@ -126,6 +139,10 @@ impl LockService {
                 .expect("stripe lock poisoned");
             gen = g;
             if res.timed_out() {
+                // The backstop fired instead of a wakeup. Counted and
+                // surfaced in the report: with a generous timeout, any
+                // nonzero count is evidence of a lost wakeup.
+                self.counters.park_timeouts.fetch_add(1, Ordering::Relaxed);
                 break;
             }
         }
@@ -153,6 +170,37 @@ impl LockService {
             let stripe = &self.stripes[idx];
             *stripe.gen.lock().expect("stripe lock") += 1;
             stripe.cv.notify_all();
+        }
+    }
+
+    /// Appends the steps this call recorded (`trace[from..]`) to the
+    /// write-ahead log, if the run is durable. Called after the engine
+    /// lock is dropped. A failed log is skipped silently here — the run
+    /// completes in memory and the failure surfaces in the report's
+    /// [`slp_durability::WalSummary`].
+    fn log_recorded(&self, trace: &[(u64, ScheduledStep)], from: usize) {
+        if let Some(wal) = &self.wal {
+            if !wal.is_failed() {
+                let _ = wal.append_steps(&trace[from..]);
+            }
+        }
+    }
+
+    /// Appends `tx`'s commit record: it is durably committed once the
+    /// contiguous-stamp watermark covers its last step. The worker's own
+    /// trace holds every step of its transaction, so the requirement is
+    /// one past the newest stamp attributed to `tx` (0 if it never took a
+    /// step — such a commit is durable from the start).
+    fn log_commit(&self, tx: TxId, trace: &[(u64, ScheduledStep)]) {
+        if let Some(wal) = &self.wal {
+            if !wal.is_failed() {
+                let required = trace
+                    .iter()
+                    .rev()
+                    .find(|(_, s)| s.tx == tx)
+                    .map_or(0, |&(stamp, _)| stamp + 1);
+                let _ = wal.append_commit(tx, required);
+            }
         }
     }
 
@@ -226,6 +274,7 @@ impl LockService {
             }
         };
         self.wake_recorded(trace, from);
+        self.log_recorded(trace, from);
         outcome
     }
 
@@ -242,6 +291,8 @@ impl LockService {
             self.record(tx, steps, trace);
         }
         self.wake_recorded(trace, from);
+        self.log_recorded(trace, from);
+        self.log_commit(tx, trace);
         Ok(())
     }
 
@@ -254,17 +305,28 @@ impl LockService {
             self.record(tx, steps, trace);
         }
         self.wake_recorded(trace, from);
+        // Aborted transactions log their unlock steps (the trace replica
+        // must stay lossless) but never a commit record.
+        self.log_recorded(trace, from);
     }
 
     /// Records that `tx` waits for `holder` and walks the waits-for chain:
     /// `true` iff the chain leads back to `tx` (a deadlock this request
     /// closed — the requester aborts, as in the simulator).
     ///
-    /// Edges can go stale (a holder may commit before its waiters re-check)
-    /// — stale edges are refreshed on every conflict and at worst cause a
-    /// spurious victim abort, never a missed deadlock: a real cycle's edges
-    /// are all live, each re-conflict re-runs this check, and the park
-    /// timeout guarantees re-conflicts keep happening.
+    /// Detection is complete as long as every *parked* waiter's edge
+    /// points at the entity's current holder: insert + walk are atomic
+    /// under the map's mutex, so whichever transaction inserts the edge
+    /// that closes a cycle sees the whole cycle and aborts. The runtime
+    /// upholds that invariant by re-running `note_wait` with the fresh
+    /// holder at every conflict observation, before any park (the holder
+    /// can change across a re-request). The converse discipline matters
+    /// just as much: a worker retracts its edge
+    /// ([`clear_wait`](LockService::clear_wait)) before re-requesting and
+    /// before aborting, so walkers never chase a transaction that is no
+    /// longer blocked — a stale edge through an awake transaction
+    /// manufactures phantom cycles, and under contention the needless
+    /// victims feed an abort storm.
     pub fn note_wait(&self, tx: TxId, holder: TxId) -> bool {
         let mut wf = self.waits_for.lock().expect("waits_for lock");
         wf.insert(tx, holder);

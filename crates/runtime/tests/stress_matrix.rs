@@ -33,7 +33,16 @@ fn run_once(
     workers: usize,
 ) -> RuntimeReport {
     let mut rt = Runtime::new(kind, config).expect("buildable kind");
-    rt.run(jobs, &RuntimeConfig::with_workers(workers))
+    // A park timeout far above scheduler jitter: with the wake protocol
+    // correct it never fires (a parked worker is always woken by the
+    // release that unblocks it), so `check_invariants` can assert the
+    // counter stays zero. The default 1 ms timeout would race OS
+    // preemption of lock holders and make that assertion meaningless.
+    let config = RuntimeConfig {
+        park_timeout: std::time::Duration::from_secs(10),
+        ..RuntimeConfig::with_workers(workers)
+    };
+    rt.run(jobs, &config)
 }
 
 /// The per-run invariants every stress cell must satisfy.
@@ -69,6 +78,12 @@ fn check_invariants(report: &RuntimeReport, jobs: usize, ctx: &str) {
     assert_eq!(
         report.latency.count, report.committed,
         "{ctx}: latency sample per committed job"
+    );
+    // Happy paths run with a generous park timeout, so a firing backstop
+    // means a worker parked and was never woken — a lost wakeup.
+    assert_eq!(
+        report.park_timeouts, 0,
+        "{ctx}: park-timeout backstop fired on a healthy run"
     );
 }
 

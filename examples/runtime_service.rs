@@ -15,7 +15,7 @@ use safe_locking::policies::{PolicyConfig, PolicyKind};
 use safe_locking::runtime::{Runtime, RuntimeConfig, RuntimeReport};
 use safe_locking::sim::{deep_dag_jobs, hot_cold_jobs, layered_dag};
 
-fn describe(report: &RuntimeReport) {
+fn describe(report: &RuntimeReport) -> bool {
     println!(
         "  {:<12} {} workers: {} committed, {} policy aborts, {} deadlock aborts, \
          {} lock waits",
@@ -47,10 +47,13 @@ fn describe(report: &RuntimeReport) {
             "VIOLATION (file a bug!)"
         }
     );
-    assert!(ok, "safe policies must emit serializable traces");
+    ok
 }
 
+// Exits nonzero when any trace fails certification, so the example
+// doubles as a smoke check in CI.
 fn main() {
+    let mut all_certified = true;
     println!("== slp-runtime: concurrent transactions over the policy API ==\n");
 
     // 2PL over a hot/cold contention mix: 120 jobs, 3 targets each, 80%
@@ -61,8 +64,9 @@ fn main() {
     for workers in [1usize, 4] {
         let mut rt = Runtime::new(PolicyKind::TwoPhase, &PolicyConfig::flat(pool.clone()))
             .expect("2PL builds");
-        let report = rt.run(&jobs, &RuntimeConfig::with_workers(workers));
-        describe(&report);
+        let config = RuntimeConfig::with_workers(workers).with_env_overrides();
+        let report = rt.run(&jobs, &config);
+        all_certified &= describe(&report);
     }
 
     // The DDAG policy over deep dominator traversals: every job targets
@@ -73,9 +77,16 @@ fn main() {
     println!("\ndeep dominator traversals, {} jobs:", dag_jobs.len());
     let config = PolicyConfig::dag(dag.universe.clone(), dag.graph.clone());
     let mut rt = Runtime::new(PolicyKind::Ddag, &config).expect("DDAG builds");
-    let report = rt.run(&dag_jobs, &RuntimeConfig::with_workers(4));
-    describe(&report);
+    let report = rt.run(
+        &dag_jobs,
+        &RuntimeConfig::with_workers(4).with_env_overrides(),
+    );
+    all_certified &= describe(&report);
 
+    if !all_certified {
+        eprintln!("\nFAILED: a safe policy emitted a trace that did not certify.");
+        std::process::exit(1);
+    }
     println!("\nEvery trace above was re-verified offline — the runtime is the");
     println!("paper's theorems exercised under real threads.");
 }

@@ -17,7 +17,9 @@
 //! * [`verifier`] (`slp-verifier`) — exhaustive & canonical safety search;
 //! * [`sim`] (`slp-sim`) — discrete-event simulator and workloads;
 //! * [`runtime`] (`slp-runtime`) — multi-threaded transaction service with
-//!   trace capture for offline re-verification.
+//!   trace capture for offline re-verification;
+//! * [`durability`] (`slp-durability`) — segmented write-ahead log,
+//!   checkpoints, and crash recovery for the runtime's traces.
 //!
 //! ## Quick start
 //!
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub use slp_core as core;
+pub use slp_durability as durability;
 pub use slp_graph as graph;
 pub use slp_policies as policies;
 pub use slp_runtime as runtime;
