@@ -11,7 +11,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slp_core::EntityId;
 use slp_policies::{PolicyConfig, PolicyKind};
 use slp_runtime::{
-    recover, DirStore, RecoveryMode, Runtime, RuntimeConfig, SharedMemStore, Store, WalConfig,
+    recover, CertifyMode, DirStore, IncrementalCertifier, RecoveryMode, Runtime, RuntimeConfig,
+    SharedMemStore, Store, WalConfig,
 };
 use slp_sim::{deep_dag_jobs, hot_cold_jobs, layered_dag, Job};
 use std::hint::black_box;
@@ -121,6 +122,88 @@ fn bench_trace_replay(c: &mut Criterion) {
     group.finish();
 }
 
+/// Online-certification overhead: the same hot/cold run with the
+/// incremental serialization-graph certifier off vs monitoring. The
+/// certifier runs outside the engine lock (one mutex around the graph,
+/// fed once per attempt at finish/abort), so the acceptance bar is
+/// ≤ 10% over the certifier-off row at grant_batch = 4.
+fn bench_certification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_certification");
+    let p = pool(32);
+    let jobs = hot_cold_jobs(&p, 160, 3, 4, 0.8, 42);
+    for (name, mode) in [
+        ("certify_off", CertifyMode::Off),
+        ("certify_monitor", CertifyMode::Monitor),
+    ] {
+        for workers in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("2pl_hot_cold_160/{workers}w")),
+                &mode,
+                |b, &mode| {
+                    let config = RuntimeConfig {
+                        certify_online: mode,
+                        ..bench_config(workers)
+                    };
+                    b.iter(|| black_box(run_flat(PolicyKind::TwoPhase, &p, &jobs, &config)));
+                },
+            );
+        }
+    }
+    // The certifier's own feeding cost, isolated from the runtime: replay
+    // a deterministic 1-worker capture of the same workload through the
+    // incremental machinery (observe + seal + truncation, no mutex).
+    let mut rt =
+        Runtime::new(PolicyKind::TwoPhase, &PolicyConfig::flat(p.clone())).expect("2PL builds");
+    let report = rt.run(&jobs, &bench_config(1));
+    let steps = report.schedule.len();
+    group.bench_with_input(
+        BenchmarkId::new("incremental_replay", format!("{steps}steps")),
+        &steps,
+        |b, _| {
+            b.iter(|| black_box(IncrementalCertifier::certify_schedule(&report.schedule)));
+        },
+    );
+    // The same capture fed the way the runtime feeds it: one batch per
+    // maximal same-transaction run (= one attempt at 1 worker), sealed at
+    // the transaction's last batch. The gap between this row and the
+    // per-step row above is the batching win; the gap between this row
+    // and the off/monitor pair is the runtime-side plumbing.
+    let scheduled = report.schedule.steps();
+    let mut batches: Vec<(Vec<(u64, slp_core::ScheduledStep)>, bool)> = Vec::new();
+    let mut last_batch_of_tx = std::collections::HashMap::new();
+    for (i, s) in scheduled.iter().enumerate() {
+        match batches.last_mut() {
+            Some((b, _)) if b.last().map(|(_, p)| p.tx) == Some(s.tx) => b.push((i as u64, *s)),
+            _ => batches.push((vec![(i as u64, *s)], false)),
+        }
+        last_batch_of_tx.insert(s.tx, batches.len() - 1);
+    }
+    for (tx, &i) in &last_batch_of_tx {
+        let _ = tx;
+        batches[i].1 = true;
+    }
+    group.bench_with_input(
+        BenchmarkId::new(
+            "incremental_replay_batched",
+            format!("{}batches", batches.len()),
+        ),
+        &steps,
+        |b, _| {
+            b.iter(|| {
+                let mut cert = IncrementalCertifier::new();
+                for (batch, seals) in &batches {
+                    cert.observe_trace(batch);
+                    if *seals {
+                        cert.seal(batch.last().expect("nonempty batch").1.tx);
+                    }
+                }
+                black_box(cert.violation().is_none())
+            });
+        },
+    );
+    group.finish();
+}
+
 /// One durable run of `jobs` against `store`; returns the committed count
 /// (and asserts the log never failed — a dead log would make the row
 /// measure nothing).
@@ -211,6 +294,7 @@ criterion_group!(
     bench_worker_scaling,
     bench_grant_batching,
     bench_trace_replay,
+    bench_certification,
     bench_durability
 );
 criterion_main!(benches);

@@ -78,7 +78,10 @@ pub use schedule::{
     ScheduledStep, SequenceError, StepError, UndoToken,
 };
 pub use serializability::{are_conflict_equivalent, equivalent_serial_schedule, is_serializable};
-pub use sgraph::{mask_has_cycle, ConflictEdge, ConflictIndex, EdgeSet, SerializationGraph};
+pub use sgraph::{
+    mask_has_cycle, CertStats, CertViolation, ConflictEdge, ConflictIndex, EdgeSet,
+    IncrementalCertifier, SerializationGraph,
+};
 pub use state::{StructuralState, UndefinedStep, ValueState};
 pub use step::Step;
 pub use system::{SystemBuilder, TransactionSystem, TxBuilder};

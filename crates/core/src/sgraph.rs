@@ -20,11 +20,12 @@
 //!   exhaustive safety search was hard-capped at 11 transactions.
 
 use crate::entity::EntityId;
-use crate::schedule::Schedule;
+use crate::schedule::{Schedule, ScheduledStep};
 use crate::step::Step;
 use crate::txn::TxId;
-use rustc_hash::FxHashMap;
-use std::collections::BTreeMap;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 /// An edge of the serializability graph, with its witnessing conflict.
@@ -765,6 +766,675 @@ impl ConflictIndex {
     }
 }
 
+/// A serialization-graph cycle caught by the [`IncrementalCertifier`]:
+/// the closing edge's stamp plus the full cycle it completed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CertViolation {
+    /// The cycle as a transaction sequence `v0 -> v1 -> … -> v0` (first
+    /// node repeated at the end, matching
+    /// [`SerializationGraph::find_cycle`]).
+    pub cycle: Vec<TxId>,
+    /// Sequence stamp of the step whose edge closed the cycle — "the run
+    /// stopped being serializable *here*".
+    pub stamp: u64,
+}
+
+impl fmt::Display for CertViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle at stamp {}: ", self.stamp)?;
+        for (i, tx) in self.cycle.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{tx}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Counters describing an [`IncrementalCertifier`]'s work and footprint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CertStats {
+    /// Steps observed.
+    pub steps: u64,
+    /// Distinct serialization-graph edges inserted (each one paid an
+    /// incremental cycle check).
+    pub edges: u64,
+    /// Nodes removed by committed-prefix truncation.
+    pub truncations: u64,
+    /// Transactions currently resident in the graph.
+    pub live_nodes: usize,
+    /// High-water mark of resident transactions — the certifier's actual
+    /// memory bound over the run.
+    pub peak_nodes: usize,
+}
+
+/// Per-(entity, transaction) access summary: the stamp extremes of the
+/// transaction's benign (`{R, LS, US}`) and non-benign steps on the
+/// entity. Edge direction against a newly observed step only asks "does a
+/// conflicting access exist with a stamp below (above) the new stamp",
+/// which min/max per conflict class answers exactly — so a hot entity's
+/// history compresses from one entry per step to one per live
+/// transaction, and the per-step scan is `O(live accessors)`, not
+/// `O(steps ever taken on the entity)`.
+#[derive(Clone, Copy, Debug)]
+struct Accessor {
+    slot: u32,
+    /// `(min, max)` stamps of benign steps; [`NO_STAMPS`] when none.
+    benign: (u64, u64),
+    /// `(min, max)` stamps of non-benign steps; [`NO_STAMPS`] when none.
+    strong: (u64, u64),
+}
+
+/// The empty stamp range: `min > max`, so `min < s` and `max > s` are both
+/// false for every real stamp `s`.
+const NO_STAMPS: (u64, u64) = (u64::MAX, 0);
+
+/// Sentinel in the transaction-id → slot table: id not live.
+const NO_SLOT: u32 = u32::MAX;
+
+/// One batch's stamp extremes for a single entity: `(entity, benign
+/// (min, max), strong (min, max))`.
+type EntityGroup = (u32, (u64, u64), (u64, u64));
+
+/// Packs an ordered slot pair into the edge-set key.
+#[inline]
+fn edge_key(from: u32, into: u32) -> u64 {
+    (u64::from(from) << 32) | u64::from(into)
+}
+
+/// A resident transaction in the incremental serialization graph.
+#[derive(Clone, Debug)]
+struct CertNode {
+    tx: TxId,
+    live: bool,
+    /// No more steps will ever arrive for this transaction (it committed
+    /// or aborted).
+    sealed: bool,
+    /// Newest stamp attributed to this transaction.
+    last_stamp: u64,
+    /// Live predecessor slots (edges into this node).
+    preds: Vec<u32>,
+    /// Live successor slots (edges out of this node).
+    succs: Vec<u32>,
+    /// Topological level: every edge `u -> v` maintains
+    /// `level(u) < level(v)` (restored by lifting `v` and its descendants
+    /// after each insert, à la Pearce–Kelly). An edge that lands forward
+    /// in level order — the common case under stamp-ordered feeding —
+    /// provably closes no cycle and skips the reachability search.
+    level: u64,
+    /// Entities this node has accessor entries under (for eager purge on
+    /// truncation).
+    touched: Vec<u32>,
+}
+
+impl CertNode {
+    fn fresh(tx: TxId) -> Self {
+        CertNode {
+            tx,
+            live: true,
+            sealed: false,
+            last_stamp: 0,
+            preds: Vec::new(),
+            succs: Vec::new(),
+            level: 0,
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// An **online** serializability certifier: maintains `D(S)` incrementally
+/// as sequence-stamped steps stream in, catching the first cycle at the
+/// edge that closes it — no offline replay required.
+///
+/// Built for the runtime's feeding discipline:
+///
+/// * **Out-of-order arrival.** Workers publish their stamped batches after
+///   dropping the engine lock, so steps arrive in arbitrary order across
+///   workers even though stamps are dense. Edge *direction* is decided by
+///   stamp comparison against each prior accessor of the entity, not by
+///   arrival order, so the maintained graph is exactly `D(S)` of the
+///   stamp-ordered schedule at every point.
+/// * **Incremental cycle check.** Nodes carry topological levels (every
+///   edge strictly increases level, maintained Pearce–Kelly style), so an
+///   edge landing forward in level order — the common case under
+///   stamp-ordered feeding — pays nothing; a backward edge pays one
+///   level-bounded DFS asking whether `u` is reachable from `v`. The
+///   first hit latches a [`CertViolation`] carrying the full cycle and
+///   the closing stamp. No work is repeated for duplicate edges, and once latched the
+///   certifier goes quiescent (the graph is kept for the autopsy).
+/// * **Committed-prefix truncation.** A sealed transaction (committed or
+///   aborted — both take no further steps) whose entire footprint lies
+///   below the contiguous-stamp **watermark** can gain no new *incoming*
+///   edge: any future arrival carries a stamp at or above the watermark,
+///   hence after every step of the sealed transaction, so conflicts only
+///   produce edges *out* of it. Once such a node also has no incoming
+///   edges left, no cycle can ever include it, and it is removed — graph
+///   *and* accessor entries — so graph state is bounded by the live
+///   transaction window, not the run length ([`CertStats::peak_nodes`]).
+///   The only per-run residue is the flat id → slot table (four bytes per
+///   transaction ever started — dwarfed by any recorded trace).
+///
+/// Sequential sanity check: [`IncrementalCertifier::certify_schedule`]
+/// replays a finished [`Schedule`] through the same machinery; the
+/// differential suite pins its verdict to
+/// [`is_serializable`](crate::serializability::is_serializable).
+#[derive(Clone, Debug)]
+pub struct IncrementalCertifier {
+    slots: Vec<CertNode>,
+    free: Vec<u32>,
+    /// Live transactions' slots, indexed directly by transaction id
+    /// (`NO_SLOT` when absent): the runtime allocates ids densely from a
+    /// counter, so a flat table replaces a hash map on the per-attempt
+    /// path. Four bytes per id ever seen — dwarfed by the recorded trace;
+    /// the *graph* (nodes, edges, accessor lists) is what truncation
+    /// bounds.
+    by_tx: Vec<u32>,
+    /// Per-entity accessor lists (live slots only — truncation purges),
+    /// indexed directly by entity id: entities are interned dense, so a
+    /// flat table replaces a hash map on the per-step hot path.
+    accessors: Vec<Vec<Accessor>>,
+    /// Present edges as `from << 32 | into` slot pairs: O(1) duplicate
+    /// rejection regardless of node degree.
+    edge_set: FxHashSet<u64>,
+    /// Reused buffer for the edge candidates (with their witnessing
+    /// stamps) of one observed access.
+    scratch_edges: Vec<(u32, u32, u64)>,
+    /// Reused buffer for one batch's per-(entity, class) stamp extremes.
+    scratch_groups: Vec<EntityGroup>,
+    /// Reused work list for truncation passes.
+    scratch_work: Vec<u32>,
+    /// Sealed nodes not yet removed: the only truncation candidates, so a
+    /// pass walks this list instead of every slot. Entries go stale when
+    /// their slot is recycled; passes drop them on sight.
+    sealed_pending: Vec<u32>,
+    /// Reused work list for level-raise cascades.
+    scratch_raise: Vec<(u32, u64)>,
+    /// Reused DFS stack for the incremental cycle check.
+    scratch_dfs: Vec<(u32, usize)>,
+    /// Contiguous-stamp watermark: every stamp `< next` has been observed.
+    next_stamp: u64,
+    /// Observed stamp ranges `[start, end)` at or above `next_stamp`,
+    /// pending contiguity. Batches arrive with consecutive stamps, so a
+    /// whole batch is one heap entry, not one per step.
+    pending: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Epoch-stamped visited marks for the cycle-check DFS (no per-check
+    /// allocation).
+    visit_mark: Vec<u32>,
+    visit_epoch: u32,
+    violation: Option<CertViolation>,
+    stats: CertStats,
+}
+
+impl Default for IncrementalCertifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IncrementalCertifier {
+    /// An empty certifier expecting stamps from 0.
+    pub fn new() -> Self {
+        IncrementalCertifier {
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_tx: Vec::new(),
+            accessors: Vec::new(),
+            edge_set: FxHashSet::default(),
+            scratch_edges: Vec::new(),
+            scratch_groups: Vec::new(),
+            scratch_work: Vec::new(),
+            sealed_pending: Vec::new(),
+            scratch_raise: Vec::new(),
+            scratch_dfs: Vec::new(),
+            next_stamp: 0,
+            pending: BinaryHeap::new(),
+            visit_mark: Vec::new(),
+            visit_epoch: 0,
+            violation: None,
+            stats: CertStats::default(),
+        }
+    }
+
+    /// The first cycle caught, if any. Latched: once set it never clears,
+    /// and subsequent observations are no-ops beyond stamp tracking.
+    pub fn violation(&self) -> Option<&CertViolation> {
+        self.violation.as_ref()
+    }
+
+    /// Work and footprint counters (live/peak node counts, edges,
+    /// truncations).
+    pub fn stats(&self) -> CertStats {
+        self.stats
+    }
+
+    /// The contiguous-stamp watermark: every stamp below it has been
+    /// observed, so the committed prefix up to here is truncatable.
+    pub fn watermark(&mut self) -> u64 {
+        self.advance_watermark();
+        self.next_stamp
+    }
+
+    /// Feeds one stamped step. Stamps must be globally unique and dense
+    /// over the whole run (the runtime's atomic sequence counter
+    /// guarantees this); arrival order is free.
+    pub fn observe(&mut self, stamp: u64, tx: TxId, step: Step) {
+        self.observe_trace(&[(stamp, ScheduledStep::new(tx, step))]);
+    }
+
+    /// Feeds a stamped batch — the runtime's unit of arrival (one
+    /// worker's recorded steps, stamps strictly ascending within the
+    /// batch). Maximal consecutive stamp runs are tracked as single
+    /// ranges, and each run of same-transaction steps is collapsed to
+    /// per-(entity, class) stamp extremes before it touches the graph:
+    /// serialization edges are pairwise stamp comparisons, so the
+    /// extremes derive exactly the edge set per-step feeding would, at a
+    /// fraction of the accessor scans.
+    pub fn observe_trace(&mut self, batch: &[(u64, ScheduledStep)]) {
+        let Some(&(first, _)) = batch.first() else {
+            return;
+        };
+        // Record observed stamps as maximal consecutive ranges.
+        let (mut start, mut prev) = (first, first);
+        for &(s, _) in &batch[1..] {
+            debug_assert!(s > prev, "batch stamps must be ascending");
+            if s == prev + 1 {
+                prev = s;
+            } else {
+                self.pending.push(Reverse((start, prev + 1)));
+                (start, prev) = (s, s);
+            }
+        }
+        self.pending.push(Reverse((start, prev + 1)));
+        self.stats.steps += batch.len() as u64;
+        if self.violation.is_some() {
+            return; // latched: keep the graph frozen for the autopsy
+        }
+        let mut i = 0;
+        while i < batch.len() {
+            let tx = batch[i].1.tx;
+            let to = self.slot_of(tx);
+            debug_assert!(
+                !self.slots[to as usize].sealed,
+                "step for sealed transaction {}",
+                self.slots[to as usize].tx
+            );
+            // Summarize this transaction's run of steps: per entity, the
+            // (min, max) stamps of its benign and strong accesses.
+            let mut groups = std::mem::take(&mut self.scratch_groups);
+            groups.clear();
+            let mut j = i;
+            let mut run_last = first;
+            while j < batch.len() && batch[j].1.tx == tx {
+                let (stamp, s) = batch[j];
+                run_last = stamp;
+                let entity = s.step.entity.0;
+                let g = match groups.iter_mut().find(|g| g.0 == entity) {
+                    Some(g) => g,
+                    None => {
+                        groups.push((entity, NO_STAMPS, NO_STAMPS));
+                        groups.last_mut().expect("just pushed")
+                    }
+                };
+                let class = if s.step.op.is_benign() {
+                    &mut g.1
+                } else {
+                    &mut g.2
+                };
+                class.0 = class.0.min(stamp);
+                class.1 = class.1.max(stamp);
+                j += 1;
+            }
+            let node = &mut self.slots[to as usize];
+            node.last_stamp = node.last_stamp.max(run_last);
+            for &(entity, benign, strong) in &groups {
+                self.observe_access(to, entity, benign, strong);
+                if self.violation.is_some() {
+                    break;
+                }
+            }
+            self.scratch_groups = groups;
+            if self.violation.is_some() {
+                return;
+            }
+            i = j;
+        }
+    }
+
+    /// Graph maintenance for one transaction's access summary on one
+    /// entity: edge deltas against the entity's other accessor summaries,
+    /// then the summary folded into this transaction's own. `my_benign` /
+    /// `my_strong` are the (min, max) stamps of the new accesses per
+    /// conflict class ([`NO_STAMPS`] when the class is empty).
+    fn observe_access(
+        &mut self,
+        to: u32,
+        entity: u32,
+        my_benign: (u64, u64),
+        my_strong: (u64, u64),
+    ) {
+        if entity as usize >= self.accessors.len() {
+            self.accessors.resize_with(entity as usize + 1, Vec::new);
+        }
+        // Edges against every other transaction that touched the entity,
+        // directed by stamp order (collected first: edge insertion needs
+        // `&mut self`). A prior access conflicts with my strong stamps
+        // whatever its class, and with my benign stamps only when it is
+        // strong; an edge exists iff a conflicting stamp lies on the
+        // matching side of mine, which the class extremes answer exactly.
+        // Already-present edges are rejected here, before they cost an
+        // insertion attempt. Each candidate carries the stamp of mine
+        // that witnessed it (for the violation report).
+        let mut new_edges = std::mem::take(&mut self.scratch_edges);
+        new_edges.clear();
+        for a in &self.accessors[entity as usize] {
+            if a.slot == to {
+                continue;
+            }
+            let fwd_strong = a.strong.0.min(a.benign.0) < my_strong.1;
+            if (fwd_strong || a.strong.0 < my_benign.1)
+                && !self.edge_set.contains(&edge_key(a.slot, to))
+            {
+                let w = if fwd_strong { my_strong.1 } else { my_benign.1 };
+                new_edges.push((a.slot, to, w));
+            }
+            let rev_strong = a.strong.1.max(a.benign.1) > my_strong.0;
+            if (rev_strong || a.strong.1 > my_benign.0)
+                && !self.edge_set.contains(&edge_key(to, a.slot))
+            {
+                let w = if rev_strong { my_strong.0 } else { my_benign.0 };
+                new_edges.push((to, a.slot, w));
+            }
+        }
+        for &(from, into, stamp) in &new_edges {
+            self.add_edge(from, into, stamp);
+            if self.violation.is_some() {
+                break;
+            }
+        }
+        self.scratch_edges = new_edges;
+        if self.violation.is_some() {
+            return;
+        }
+        // Fold the summary into the transaction's accessor entry.
+        let list = &mut self.accessors[entity as usize];
+        match list.iter_mut().find(|a| a.slot == to) {
+            Some(a) => {
+                a.benign = (a.benign.0.min(my_benign.0), a.benign.1.max(my_benign.1));
+                a.strong = (a.strong.0.min(my_strong.0), a.strong.1.max(my_strong.1));
+            }
+            None => {
+                list.push(Accessor {
+                    slot: to,
+                    benign: my_benign,
+                    strong: my_strong,
+                });
+                self.slots[to as usize].touched.push(entity);
+            }
+        }
+    }
+
+    /// Declares that `tx` will take no more steps (it committed *or*
+    /// aborted — aborted transactions' recorded unlocks are part of the
+    /// trace and its graph, they just stop growing). Triggers a
+    /// truncation pass.
+    pub fn seal(&mut self, tx: TxId) {
+        match self.by_tx.get(tx.0 as usize) {
+            Some(&slot) if slot != NO_SLOT => {
+                self.slots[slot as usize].sealed = true;
+                self.sealed_pending.push(slot);
+            }
+            _ => {}
+        }
+        self.truncate();
+    }
+
+    /// Removes every sealed transaction whose footprint lies wholly below
+    /// the contiguous-stamp watermark and which has no incoming edges —
+    /// provably cycle-free forever (see the type docs). Runs automatically
+    /// on every [`seal`](IncrementalCertifier::seal); exposed so tests can
+    /// force truncation at arbitrary points and check the verdict is
+    /// unaffected. A no-op after a violation latched.
+    pub fn truncate(&mut self) {
+        if self.violation.is_some() {
+            return;
+        }
+        self.advance_watermark();
+        // Only sealed nodes can be prunable, so the candidate set is the
+        // sealed-pending list; `remove` feeds cascade candidates (preds
+        // freed by a removal) back into the same work list.
+        let mut work = std::mem::take(&mut self.sealed_pending);
+        let mut keep = std::mem::take(&mut self.scratch_work);
+        keep.clear();
+        while let Some(s) = work.pop() {
+            if self.prunable(s) {
+                self.remove(s, &mut work);
+            } else {
+                let n = &self.slots[s as usize];
+                if n.live && n.sealed {
+                    keep.push(s); // still waiting on preds or the watermark
+                }
+                // Anything else is a stale or duplicate entry — drop it.
+            }
+        }
+        self.sealed_pending = keep;
+        self.scratch_work = work;
+    }
+
+    fn advance_watermark(&mut self) {
+        while let Some(&Reverse((s, e))) = self.pending.peek() {
+            if s > self.next_stamp {
+                break;
+            }
+            self.pending.pop();
+            self.next_stamp = self.next_stamp.max(e);
+        }
+    }
+
+    fn prunable(&self, s: u32) -> bool {
+        let n = &self.slots[s as usize];
+        n.live && n.sealed && n.preds.is_empty() && n.last_stamp < self.next_stamp
+    }
+
+    /// Removes node `s`, cleaning both edge directions and its accessor
+    /// entries, and queues successors that just became prunable.
+    fn remove(&mut self, s: u32, work: &mut Vec<u32>) {
+        let mut i = 0;
+        while let Some(&t) = self.slots[s as usize].succs.get(i) {
+            self.edge_set.remove(&edge_key(s, t));
+            let preds = &mut self.slots[t as usize].preds;
+            let pos = preds
+                .iter()
+                .position(|&p| p == s)
+                .expect("edge recorded in both directions");
+            preds.swap_remove(pos);
+            if self.prunable(t) {
+                work.push(t);
+            }
+            i += 1;
+        }
+        let mut i = 0;
+        while let Some(&e) = self.slots[s as usize].touched.get(i) {
+            self.accessors[e as usize].retain(|a| a.slot != s);
+            i += 1;
+        }
+        let node = &mut self.slots[s as usize];
+        node.live = false;
+        self.by_tx[node.tx.0 as usize] = NO_SLOT;
+        self.free.push(s);
+        self.stats.truncations += 1;
+        self.stats.live_nodes -= 1;
+    }
+
+    fn slot_of(&mut self, tx: TxId) -> u32 {
+        if tx.0 as usize >= self.by_tx.len() {
+            self.by_tx.resize(tx.0 as usize + 1, NO_SLOT);
+        } else if self.by_tx[tx.0 as usize] != NO_SLOT {
+            return self.by_tx[tx.0 as usize];
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                // Reset in place: the recycled node's edge and footprint
+                // vectors keep their capacity, so steady-state slot churn
+                // does not touch the allocator.
+                let node = &mut self.slots[s as usize];
+                node.tx = tx;
+                node.sealed = false;
+                node.live = true;
+                node.last_stamp = 0;
+                node.level = 0;
+                node.succs.clear();
+                node.preds.clear();
+                node.touched.clear();
+                s
+            }
+            None => {
+                assert!(
+                    self.slots.len() < u32::MAX as usize,
+                    "certifier slot space exhausted"
+                );
+                self.slots.push(CertNode::fresh(tx));
+                self.visit_mark.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.by_tx[tx.0 as usize] = slot;
+        self.stats.live_nodes += 1;
+        self.stats.peak_nodes = self.stats.peak_nodes.max(self.stats.live_nodes);
+        slot
+    }
+
+    /// Inserts edge `from -> into` (dedup against existing edges) and runs
+    /// the incremental cycle check: is `from` reachable back from `into`?
+    ///
+    /// The level invariant (every edge strictly increases `level`) makes
+    /// the check cheap: an edge landing forward in level order cannot
+    /// close a cycle and pays nothing; a backward edge pays one DFS
+    /// bounded to levels below `from`'s, after which `into` and its
+    /// descendants are lifted to restore the invariant.
+    fn add_edge(&mut self, from: u32, into: u32, stamp: u64) {
+        if !self.edge_set.insert(edge_key(from, into)) {
+            return;
+        }
+        self.slots[from as usize].succs.push(into);
+        self.slots[into as usize].preds.push(from);
+        self.stats.edges += 1;
+        let (from_level, into_level) = (
+            self.slots[from as usize].level,
+            self.slots[into as usize].level,
+        );
+        if from_level < into_level {
+            return; // level order already holds — no cycle possible
+        }
+        // A cycle needs a pre-existing path into -> … -> from, along which
+        // levels strictly increase — possible only from a strictly lower
+        // starting level.
+        if into_level < from_level {
+            if let Some(path) = self.path(into, from) {
+                // path = into -> … -> from; the new edge closes
+                // from -> into.
+                let mut cycle: Vec<TxId> = Vec::with_capacity(path.len() + 1);
+                cycle.push(self.slots[from as usize].tx);
+                cycle.extend(path.iter().map(|&s| self.slots[s as usize].tx));
+                // `path` ends at `from`, so the closing repeat is already
+                // there.
+                self.violation = Some(CertViolation { cycle, stamp });
+                return;
+            }
+        }
+        // No cycle: lift `into` above `from`, cascading along successors
+        // whose levels the lift overtakes.
+        let mut raise = std::mem::take(&mut self.scratch_raise);
+        raise.clear();
+        raise.push((into, from_level + 1));
+        while let Some((n, min)) = raise.pop() {
+            if self.slots[n as usize].level >= min {
+                continue;
+            }
+            self.slots[n as usize].level = min;
+            let mut i = 0;
+            while let Some(&m) = self.slots[n as usize].succs.get(i) {
+                raise.push((m, min + 1));
+                i += 1;
+            }
+        }
+        self.scratch_raise = raise;
+    }
+
+    /// DFS for a path `start -> … -> target` along successor edges;
+    /// epoch-marked visited set, no allocation beyond the reused stack.
+    /// Pruned by the level invariant: intermediates on any such path have
+    /// levels strictly below `target`'s.
+    fn path(&mut self, start: u32, target: u32) -> Option<Vec<u32>> {
+        self.visit_epoch = self.visit_epoch.wrapping_add(1);
+        if self.visit_epoch == 0 {
+            self.visit_mark.iter_mut().for_each(|m| *m = 0);
+            self.visit_epoch = 1;
+        }
+        let epoch = self.visit_epoch;
+        let bound = self.slots[target as usize].level;
+        // Stack of (node, next successor index to try); the node column is
+        // the current path.
+        let mut stack = std::mem::take(&mut self.scratch_dfs);
+        stack.clear();
+        stack.push((start, 0));
+        self.visit_mark[start as usize] = epoch;
+        if start == target {
+            self.scratch_dfs = stack;
+            return Some(vec![start]);
+        }
+        let mut found = None;
+        'dfs: while let Some(&(n, i)) = stack.last() {
+            match self.slots[n as usize].succs.get(i) {
+                None => {
+                    stack.pop();
+                }
+                Some(&m) => {
+                    stack.last_mut().expect("nonempty").1 += 1;
+                    if m == target {
+                        let mut path: Vec<u32> = stack.iter().map(|&(s, _)| s).collect();
+                        path.push(target);
+                        found = Some(path);
+                        break 'dfs;
+                    }
+                    if self.visit_mark[m as usize] != epoch && self.slots[m as usize].level < bound
+                    {
+                        self.visit_mark[m as usize] = epoch;
+                        stack.push((m, 0));
+                    }
+                }
+            }
+        }
+        self.scratch_dfs = stack;
+        found
+    }
+
+    /// Replays a finished schedule through the incremental machinery:
+    /// steps observed in order (stamp = position), each transaction sealed
+    /// at its last step so truncation runs exactly as it would online.
+    /// Returns the first caught cycle, or `None` — by construction the
+    /// same verdict as
+    /// [`is_serializable`](crate::serializability::is_serializable).
+    pub fn certify_schedule(schedule: &Schedule) -> Option<CertViolation> {
+        let steps = schedule.steps();
+        let mut last: FxHashMap<TxId, usize> = FxHashMap::default();
+        for (i, s) in steps.iter().enumerate() {
+            last.insert(s.tx, i);
+        }
+        let mut cert = IncrementalCertifier::new();
+        for (i, s) in steps.iter().enumerate() {
+            cert.observe(i as u64, s.tx, s.step);
+            if cert.violation().is_some() {
+                break;
+            }
+            if last[&s.tx] == i {
+                cert.seal(s.tx);
+            }
+        }
+        cert.violation.take()
+    }
+}
+
 impl fmt::Display for SerializationGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "D(S): nodes {{")?;
@@ -1090,6 +1760,126 @@ mod tests {
         set.insert(5, 0);
         assert!(set.has_cycle());
         assert_eq!(set.edges(), vec![(0, 69), (5, 0), (69, 5)]);
+    }
+
+    /// Replaying whole schedules through the incremental certifier must
+    /// agree with the batch checker, and flag the cycle at the position
+    /// where the prefix first becomes nonserializable.
+    #[test]
+    fn certifier_agrees_with_batch_checker() {
+        use crate::serializability::is_serializable;
+        let serializable = sched(vec![
+            (1, Step::write(e(0))),
+            (1, Step::write(e(1))),
+            (2, Step::write(e(0))),
+            (2, Step::write(e(1))),
+        ]);
+        assert!(is_serializable(&serializable));
+        assert_eq!(IncrementalCertifier::certify_schedule(&serializable), None);
+
+        let crossed = sched(vec![
+            (1, Step::write(e(0))),
+            (2, Step::write(e(1))),
+            (1, Step::write(e(1))), // 2 -> 1
+            (2, Step::write(e(0))), // 1 -> 2: closes the cycle HERE
+        ]);
+        assert!(!is_serializable(&crossed));
+        let v = IncrementalCertifier::certify_schedule(&crossed).expect("cycle");
+        assert_eq!(v.stamp, 3, "flagged at the closing edge");
+        assert_eq!(v.cycle.first(), v.cycle.last());
+        assert!(v.cycle.contains(&t(1)) && v.cycle.contains(&t(2)));
+    }
+
+    /// Out-of-order arrival (the runtime's feeding reality) must build the
+    /// same graph: edge direction follows stamps, not arrival order.
+    #[test]
+    fn certifier_handles_out_of_order_stamps() {
+        let steps = [
+            (0u64, 1u32, Step::write(e(0))),
+            (1, 2, Step::write(e(1))),
+            (2, 1, Step::write(e(1))),
+            (3, 2, Step::write(e(0))),
+        ];
+        // Feed in a scrambled order; verdict must match in-order feeding.
+        for order in [[3usize, 0, 2, 1], [1, 3, 0, 2], [0, 1, 2, 3]] {
+            let mut cert = IncrementalCertifier::new();
+            for &i in &order {
+                let (stamp, tx, step) = steps[i];
+                cert.observe(stamp, t(tx), step);
+            }
+            let v = cert.violation().expect("crossed writes cycle");
+            assert!(v.cycle.contains(&t(1)) && v.cycle.contains(&t(2)));
+        }
+    }
+
+    /// Truncation must not change any verdict, and must actually bound the
+    /// resident graph: a long chain of disjoint committed transactions
+    /// stays at O(1) live nodes.
+    #[test]
+    fn certifier_truncation_bounds_memory_and_keeps_verdicts() {
+        let mut cert = IncrementalCertifier::new();
+        let mut stamp = 0u64;
+        for i in 0..1000u32 {
+            let tx = t(i + 1);
+            // Every transaction conflicts with the previous one on a
+            // shared entity: a 1000-node path in D(S) without truncation.
+            cert.observe(stamp, tx, Step::write(e(i)));
+            stamp += 1;
+            cert.observe(stamp, tx, Step::write(e(i + 1)));
+            stamp += 1;
+            cert.seal(tx);
+        }
+        assert!(cert.violation().is_none());
+        let stats = cert.stats();
+        assert_eq!(stats.steps, 2000);
+        assert!(
+            stats.peak_nodes <= 3,
+            "chain must truncate as it commits, peak was {}",
+            stats.peak_nodes
+        );
+        assert_eq!(stats.truncations, 1000);
+        assert_eq!(stats.live_nodes, 0);
+        assert_eq!(cert.watermark(), 2000);
+    }
+
+    /// A sealed transaction must NOT be pruned while a straggler below the
+    /// watermark could still add an incoming edge — and once the straggler
+    /// arrives, the cycle it closes is still caught.
+    #[test]
+    fn certifier_holds_unwatermarked_nodes_for_stragglers() {
+        let mut cert = IncrementalCertifier::new();
+        // Stamps 1..=2: T2 writes e0 then e1, commits. Stamp 0 (T1's
+        // write of e1 that *precedes* T2's) is still in flight.
+        cert.observe(1, t(2), Step::write(e(1)));
+        cert.observe(2, t(2), Step::write(e(0)));
+        cert.seal(t(2));
+        cert.truncate();
+        assert_eq!(
+            cert.stats().truncations,
+            0,
+            "stamp 0 unseen: T2 must stay resident"
+        );
+        // The straggler: T1 wrote e1 before T2 (edge 1 -> 2) …
+        cert.observe(0, t(1), Step::write(e(1)));
+        // … and now writes e0 after T2 (edge 2 -> 1): cycle.
+        cert.observe(3, t(1), Step::write(e(0)));
+        let v = cert.violation().expect("straggler closes the cycle");
+        assert_eq!(v.stamp, 3);
+    }
+
+    /// Sealing is what makes nodes eligible — an unsealed (still running)
+    /// transaction is never pruned even when fully below the watermark.
+    #[test]
+    fn certifier_never_prunes_unsealed_nodes() {
+        let mut cert = IncrementalCertifier::new();
+        cert.observe(0, t(1), Step::write(e(0)));
+        cert.observe(1, t(2), Step::write(e(1)));
+        cert.seal(t(2));
+        cert.truncate();
+        let stats = cert.stats();
+        // T2 (sealed, watermarked, no preds) goes; T1 stays.
+        assert_eq!(stats.truncations, 1);
+        assert_eq!(stats.live_nodes, 1);
     }
 
     #[test]

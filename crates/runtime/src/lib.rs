@@ -20,7 +20,7 @@
 //!   [`RuntimeConfig::with_env_overrides`]), wall-clock guard;
 //! * **durability** — [`Runtime::run_durable`] mirrors every granted step
 //!   and commit into a `slp-durability` write-ahead log (group-committed,
-//!   checkpointed); after a crash, [`recover`] replays the surviving
+//!   checkpointed); after a crash, [`fn@recover`] replays the surviving
 //!   prefix into a certified execution. Key log types are re-exported
 //!   here so durable runs need no direct `slp-durability` dependency;
 //! * [`RuntimeReport`] — the simulator's accounting shape (committed /
@@ -28,6 +28,16 @@
 //!   plus wall-clock throughput, commit-latency percentiles, and the
 //!   merged [`slp_core::Schedule`] trace with its initial structural
 //!   state, ready for legality / properness / serializability replay;
+//! * **online certification** — [`RuntimeConfig::certify_online`] feeds
+//!   every stamped step batch to an incremental serialization-graph
+//!   certifier ([`slp_core::IncrementalCertifier`]) as the run executes:
+//!   cycles are detected at the closing edge and surfaced in
+//!   [`RuntimeReport::certification`] ([`CertifyMode::Monitor`]) or halt
+//!   the run ([`CertifyMode::Strict`]), with committed-prefix truncation
+//!   keeping graph memory bounded on million-job runs;
+//! * [`Metrics`] — a lock-free registry (atomic counters + fixed-bucket
+//!   latency histograms) every run folds into, rendered as a text
+//!   snapshot by [`Metrics::render`] (see `examples/load_service.rs`);
 //! * [`probes`] — plan shapes that exercise the DDAG mutants' ablated
 //!   rules (the trace-replay conformance suite's negative controls).
 //!
@@ -48,13 +58,18 @@
 
 mod service;
 
+pub mod metrics;
 pub mod probes;
 pub mod report;
 pub mod runner;
 
+pub use metrics::{Counter, Histogram, Metrics};
 pub use probes::{CrawlProbePlanner, ShoulderProbePlanner};
-pub use report::{LatencySummary, RuntimeReport};
-pub use runner::{PlannerFactory, Runtime, RuntimeConfig};
+pub use report::{Certification, LatencySummary, RuntimeReport};
+pub use runner::{CertifyMode, PlannerFactory, Runtime, RuntimeConfig};
+
+// The certifier types a certification verdict exposes.
+pub use slp_core::{CertStats, CertViolation, IncrementalCertifier};
 
 // The durability surface a durable run touches: create a log, run against
 // it, recover after a crash. (The fault-injection stores and frame-level

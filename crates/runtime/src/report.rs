@@ -1,7 +1,7 @@
 //! Run accounting: the same shape as [`slp_sim::SimReport`] plus
 //! wall-clock throughput and latency percentiles.
 
-use slp_core::{Schedule, StructuralState};
+use slp_core::{CertStats, CertViolation, Schedule, StructuralState};
 use slp_durability::WalSummary;
 use std::time::Duration;
 
@@ -35,15 +35,35 @@ impl LatencySummary {
         // percentile never understates the tail (with floor, 2 samples
         // would report the fastest job as p99).
         let pct = |q: f64| us[((us.len() - 1) as f64 * q).ceil() as usize];
+        let n = us.len() as u64;
         LatencySummary {
             count: us.len(),
-            mean_us: us.iter().sum::<u64>() / us.len() as u64,
+            // Round half-up: truncating division understates the mean by
+            // up to a microsecond (1..=100 averages 50.5, not 50).
+            mean_us: (us.iter().sum::<u64>() + n / 2) / n,
             p50_us: pct(0.50),
             p95_us: pct(0.95),
             p99_us: pct(0.99),
             max_us: *us.last().expect("non-empty"),
         }
     }
+}
+
+/// The online certifier's verdict on a run
+/// ([`RuntimeReport::certification`], present when
+/// [`crate::RuntimeConfig::certify_online`] was not
+/// [`Off`](crate::CertifyMode::Off)).
+#[derive(Clone, Debug)]
+pub struct Certification {
+    /// Whether the run was configured to halt on the first violation
+    /// ([`Strict`](crate::CertifyMode::Strict) mode).
+    pub strict: bool,
+    /// The first serialization-graph cycle the certifier latched, `None`
+    /// on a certified-serializable run.
+    pub violation: Option<CertViolation>,
+    /// Certifier counters at end of run (steps observed, edges inserted,
+    /// committed-prefix truncations, live/peak graph size).
+    pub stats: CertStats,
 }
 
 /// The result of a [`crate::Runtime::run`].
@@ -81,6 +101,11 @@ pub struct RuntimeReport {
     /// Number of times a request found its lock held (one per conflict
     /// observation, as in the simulator).
     pub lock_waits: u64,
+    /// Actions granted by the engine (across every batch).
+    pub grants: u64,
+    /// Times a conflicting worker actually blocked on its stripe's
+    /// condvar (a park whose generation check found no racing release).
+    pub parks: u64,
     /// Times a parked worker's timeout backstop fired instead of a
     /// wakeup. The wake protocol makes lost wakeups impossible by
     /// construction, so with a timeout comfortably above scheduler jitter
@@ -107,6 +132,10 @@ pub struct RuntimeReport {
     /// store died mid-run: the in-memory result is complete, but only a
     /// prefix of it is durable.
     pub wal: Option<WalSummary>,
+    /// Online certification verdict, `None` when the run did not certify
+    /// ([`crate::RuntimeConfig::certify_online`] was
+    /// [`Off`](crate::CertifyMode::Off)).
+    pub certification: Option<Certification>,
 }
 
 impl RuntimeReport {
@@ -141,6 +170,12 @@ impl RuntimeReport {
                 + self.abandoned
     }
 
+    /// `Some(true)` when the online certifier saw no cycle, `Some(false)`
+    /// when it latched one, `None` when the run did not certify online.
+    pub fn certified_serializable(&self) -> Option<bool> {
+        self.certification.as_ref().map(|c| c.violation.is_none())
+    }
+
     /// Whether the trace shows every acquired lock released — the
     /// trace-level statement that the engine's lock table reached
     /// quiescence when the workers drained.
@@ -172,7 +207,9 @@ mod tests {
         assert_eq!(s.p95_us, 96);
         assert_eq!(s.p99_us, 100);
         assert_eq!(s.max_us, 100);
-        assert_eq!(s.mean_us, 50);
+        // 1..=100 averages 50.5; half-up rounding reports 51 (truncation
+        // used to report 50).
+        assert_eq!(s.mean_us, 51);
         // Tiny samples must surface the tail, not hide it: with two
         // latencies the upper percentiles are the slower one.
         let s = LatencySummary::from_micros(vec![10, 1000]);

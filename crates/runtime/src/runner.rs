@@ -10,7 +10,8 @@
 //! the shared [`Disposition`] rule — fatal violations drop the job,
 //! transient ones restart it. A wall-clock guard bounds mutant livelocks.
 
-use crate::report::{LatencySummary, RuntimeReport};
+use crate::metrics::Metrics;
+use crate::report::{Certification, LatencySummary, RuntimeReport};
 use crate::service::{BatchOutcome, LockService};
 use slp_core::{Schedule, ScheduledStep, StructuralState, TxId};
 use slp_durability::{Store, Wal, WalConfig, WalError};
@@ -28,6 +29,29 @@ use std::time::{Duration, Instant};
 /// is shared and must be. The worker index parameter lets probe planners
 /// decorrelate their choices across workers (see [`crate::probes`]).
 pub type PlannerFactory = Arc<dyn Fn(usize) -> Box<dyn ActionPlanner> + Send + Sync>;
+
+/// Online serializability certification mode
+/// ([`RuntimeConfig::certify_online`]).
+///
+/// The certifier maintains the serialization graph `D(S)` incrementally
+/// as grants stream in (edge insert + cycle check, committed-prefix
+/// truncation for bounded memory) — the live counterpart of replaying
+/// [`RuntimeReport::schedule`] through [`slp_core::is_serializable`]
+/// after the run. The verdict lands in [`RuntimeReport::certification`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CertifyMode {
+    /// No certifier: zero overhead (the default).
+    #[default]
+    Off,
+    /// Certify and report: a detected cycle is latched into the report
+    /// but the run completes normally.
+    Monitor,
+    /// Certify and halt: the first detected cycle stops the run (workers
+    /// drain as if the wall-clock guard expired; unfinished jobs count as
+    /// abandoned). For policies that must never emit one, running on is
+    /// pointless; for mutants, halting bounds the damage.
+    Strict,
+}
 
 /// Tuning knobs for a run.
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +88,10 @@ pub struct RuntimeConfig {
     /// buys interleaving diversity — on by default because the runtime's
     /// first duty here is producing adversarial traces to verify.
     pub step_yield: bool,
+    /// Online serializability certification ([`CertifyMode::Off`] by
+    /// default; overridable via `SLP_RUNTIME_CERTIFY`
+    /// ([`env_certify`](RuntimeConfig::env_certify))).
+    pub certify_online: CertifyMode,
 }
 
 impl Default for RuntimeConfig {
@@ -77,6 +105,7 @@ impl Default for RuntimeConfig {
             backoff_cap: Duration::from_millis(2),
             max_wall: Duration::from_secs(30),
             step_yield: true,
+            certify_online: CertifyMode::Off,
         }
     }
 }
@@ -125,6 +154,22 @@ impl RuntimeConfig {
         Self::env_micros("SLP_RUNTIME_BACKOFF_CAP_US")
     }
 
+    /// The certification mode the environment requests, if any:
+    /// `SLP_RUNTIME_CERTIFY` ∈ {`off`, `monitor`, `strict`}. Same
+    /// contract as [`env_workers`](RuntimeConfig::env_workers): `None`
+    /// when unset, panic on anything else — a typo'd override must not
+    /// silently fall back.
+    pub fn env_certify() -> Option<CertifyMode> {
+        std::env::var("SLP_RUNTIME_CERTIFY")
+            .ok()
+            .map(|v| match v.as_str() {
+                "off" => CertifyMode::Off,
+                "monitor" => CertifyMode::Monitor,
+                "strict" => CertifyMode::Strict,
+                other => panic!("SLP_RUNTIME_CERTIFY must be off|monitor|strict, got {other:?}"),
+            })
+    }
+
     fn env_micros(var: &str) -> Option<Duration> {
         std::env::var(var).ok().map(|v| {
             let us = v
@@ -138,9 +183,9 @@ impl RuntimeConfig {
 
     /// This config with every environment override applied
     /// (`SLP_RUNTIME_THREADS`, `SLP_RUNTIME_PARK_TIMEOUT_US`,
-    /// `SLP_RUNTIME_BACKOFF_CAP_US`). The examples and stress suites run
-    /// their configs through this so a CI matrix can retune the runtime
-    /// without touching code.
+    /// `SLP_RUNTIME_BACKOFF_CAP_US`, `SLP_RUNTIME_CERTIFY`). The examples
+    /// and stress suites run their configs through this so a CI matrix
+    /// can retune the runtime without touching code.
     pub fn with_env_overrides(mut self) -> Self {
         if let Some(workers) = Self::env_workers() {
             self.workers = workers;
@@ -150,6 +195,9 @@ impl RuntimeConfig {
         }
         if let Some(cap) = Self::env_backoff_cap() {
             self.backoff_cap = cap;
+        }
+        if let Some(certify) = Self::env_certify() {
+            self.certify_online = certify;
         }
         self
     }
@@ -176,6 +224,7 @@ pub struct Runtime {
     name: &'static str,
     pool: Vec<slp_core::EntityId>,
     planner_factory: PlannerFactory,
+    metrics: Metrics,
 }
 
 impl Runtime {
@@ -213,7 +262,14 @@ impl Runtime {
             name,
             pool,
             planner_factory,
+            metrics: Metrics::new(),
         }
+    }
+
+    /// The metrics registry, accumulated across every run this runtime
+    /// has executed ([`Metrics::render`] for the text snapshot).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Replaces the planner factory (probe planners for the mutant
@@ -266,7 +322,7 @@ impl Runtime {
     /// committed, checkpoints are automatic, and the log is flushed when
     /// the workers drain; [`RuntimeReport::wal`] carries the counters.
     /// After a crash, rebuild the durable prefix with
-    /// [`slp_durability::recover`] — the crash-recovery suites and
+    /// [`fn@slp_durability::recover`] — the crash-recovery suites and
     /// `examples/crash_recovery.rs` walk the full cycle.
     ///
     /// A log failure mid-run does not stop the run: logging is abandoned,
@@ -289,7 +345,7 @@ impl Runtime {
     ) -> RuntimeReport {
         let initial = self.initial_state();
         let engine = self.engine.take().expect("engine present between runs");
-        let service = LockService::new(engine, config.stripes, wal.clone());
+        let service = LockService::new(engine, config.stripes, wal.clone(), config.certify_online);
         let next_job = AtomicUsize::new(0);
         let next_tx = AtomicU32::new(1);
         let start = Instant::now();
@@ -340,8 +396,9 @@ impl Runtime {
             Schedule::from_sequenced(entries)
                 .expect("worker stamps are dense and unique by construction")
         };
+        self.metrics.observe_latencies(&latencies);
         let c = &service.counters;
-        let report = RuntimeReport {
+        let mut report = RuntimeReport {
             policy: self.name,
             workers,
             committed: c.committed.load(Ordering::Relaxed),
@@ -351,6 +408,8 @@ impl Runtime {
             abandoned: c.abandoned.load(Ordering::Relaxed),
             attempts: c.attempts.load(Ordering::Relaxed),
             lock_waits: c.lock_waits.load(Ordering::Relaxed),
+            grants: c.grants.load(Ordering::Relaxed),
+            parks: c.parks.load(Ordering::Relaxed),
             park_timeouts: c.park_timeouts.load(Ordering::Relaxed),
             elapsed,
             timed_out: c.timed_out.load(Ordering::Relaxed),
@@ -358,8 +417,16 @@ impl Runtime {
             initial,
             latency: LatencySummary::from_micros(latencies),
             wal: wal_summary,
+            certification: None,
         };
-        self.engine = Some(service.into_engine());
+        let (engine, certifier) = service.into_parts();
+        self.engine = Some(engine);
+        report.certification = certifier.map(|cert| Certification {
+            strict: config.certify_online == CertifyMode::Strict,
+            violation: cert.violation().cloned(),
+            stats: cert.stats(),
+        });
+        self.metrics.record_run(&report);
         report
     }
 }
@@ -419,7 +486,12 @@ fn worker_loop(
                 }
                 AttemptEnd::Dropped => break,
                 AttemptEnd::Abandoned => {
-                    service.counters.timed_out.store(true, Ordering::Relaxed);
+                    // An attempt abandons on the wall-clock guard or a
+                    // strict-mode certification halt; only the former is
+                    // a timeout.
+                    if Instant::now() > deadline {
+                        service.counters.timed_out.store(true, Ordering::Relaxed);
+                    }
                     service.counters.abandoned.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
@@ -447,10 +519,14 @@ fn run_attempt(
     // Count the attempt before anything can cut it short, so every exit
     // path (commit, abort, reject, abandon) balances against it.
     c.attempts.fetch_add(1, Ordering::Relaxed);
-    if Instant::now() > deadline {
+    let halted = || c.halted.load(Ordering::Relaxed);
+    if Instant::now() > deadline || halted() {
         return AttemptEnd::Abandoned;
     }
     let tx = TxId(next_tx.fetch_add(1, Ordering::Relaxed));
+    // Everything this attempt records lands at or after this index; the
+    // whole range feeds the online certifier in one batch at finish/abort.
+    let cert_from = trace.len();
 
     // Plan under the read lock; a malformed job must not touch the engine.
     let planned = match service.plan(planner, job) {
@@ -464,7 +540,7 @@ fn run_attempt(
             None => {
                 // Misconfigured pairing: retire the just-begun transaction
                 // so the engine holds no planless state (adapter rule).
-                service.abort(tx, trace);
+                service.abort(tx, trace, cert_from);
                 return classify(c, &PolicyViolation::NoPlan(tx));
             }
         },
@@ -473,9 +549,9 @@ fn run_attempt(
 
     let mut cursor = 0usize;
     while cursor < plan.len() {
-        if Instant::now() > deadline {
+        if Instant::now() > deadline || halted() {
             service.clear_wait(tx);
-            service.abort(tx, trace);
+            service.abort(tx, trace, cert_from);
             return AttemptEnd::Abandoned;
         }
         match service.request_batch(tx, &plan[cursor..], config.grant_batch, trace) {
@@ -486,46 +562,55 @@ fn run_attempt(
                 }
             }
             BatchOutcome::Violation { violation } => {
-                service.abort(tx, trace);
+                service.abort(tx, trace, cert_from);
                 return classify(c, &violation);
             }
             BatchOutcome::Conflict {
                 granted,
                 mut entity,
-                holder,
+                mut holder,
+                mut gen,
             } => {
                 cursor += granted;
-                // Waits-for edge discipline: publish the edge (and walk
-                // for a cycle) at every conflict *observation*, retract
-                // it before every re-request. The edge is live exactly
-                // while this worker may be parked — a published edge
-                // through a transaction that is awake (its request was
-                // granted, or it is mid-abort with its locks already
-                // released) manufactures phantom cycles for every other
-                // walker, and each needless victim feeds the churn that
-                // creates the next one. Publishing before every park with
-                // the *current* holder keeps detection complete: insert
-                // and walk are atomic, so whichever transaction inserts
-                // the edge that closes a real cycle sees it.
-                c.lock_waits.fetch_add(1, Ordering::Relaxed);
-                if service.note_wait(tx, holder) {
-                    // This request closed a waits-for cycle: the
-                    // requester is the victim (simulator rule).
-                    service.clear_wait(tx);
-                    service.abort(tx, trace);
-                    c.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
-                    return AttemptEnd::Retry;
-                }
+                // One iteration per conflict observation: publish the
+                // waits-for edge, park on the contended entity's stripe,
+                // retract the edge, re-request. `gen` was read inside the
+                // engine section that observed the conflict, so any
+                // release that could have invalidated it bumps the
+                // generation after that read and the park falls through —
+                // this holds equally when a re-request moves the
+                // contention to a *new* entity, which used to re-request
+                // immediately without parking and degenerated to spinning
+                // on a hot plan tail.
                 loop {
-                    if Instant::now() > deadline {
+                    // Waits-for edge discipline: publish the edge (and
+                    // walk for a cycle) at every conflict *observation*,
+                    // retract it before every re-request. The edge is
+                    // live exactly while this worker may be parked — a
+                    // published edge through a transaction that is awake
+                    // (its request was granted, or it is mid-abort with
+                    // its locks already released) manufactures phantom
+                    // cycles for every other walker, and each needless
+                    // victim feeds the churn that creates the next one.
+                    // Publishing before every park with the *current*
+                    // holder keeps detection complete: insert and walk
+                    // are atomic, so whichever transaction inserts the
+                    // edge that closes a real cycle sees it.
+                    c.lock_waits.fetch_add(1, Ordering::Relaxed);
+                    if service.note_wait(tx, holder) {
+                        // This request closed a waits-for cycle: the
+                        // requester is the victim (simulator rule).
                         service.clear_wait(tx);
-                        service.abort(tx, trace);
+                        service.abort(tx, trace, cert_from);
+                        c.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
+                        return AttemptEnd::Retry;
+                    }
+                    if Instant::now() > deadline || halted() {
+                        service.clear_wait(tx);
+                        service.abort(tx, trace, cert_from);
                         return AttemptEnd::Abandoned;
                     }
-                    // Read the stripe generation *before* re-requesting,
-                    // so a release racing the failed request bumps the
-                    // generation we are about to wait on.
-                    let seen = service.stripe_gen(entity);
+                    service.park(entity, gen, config.park_timeout);
                     service.clear_wait(tx);
                     match service.request_batch(tx, &plan[cursor..], 1, trace) {
                         BatchOutcome::Granted { granted } => {
@@ -533,42 +618,32 @@ fn run_attempt(
                             break;
                         }
                         BatchOutcome::Violation { violation } => {
-                            service.abort(tx, trace);
+                            service.abort(tx, trace, cert_from);
                             return classify(c, &violation);
                         }
                         BatchOutcome::Conflict {
+                            granted,
                             entity: e2,
                             holder: h2,
-                            ..
+                            gen: g2,
                         } => {
-                            c.lock_waits.fetch_add(1, Ordering::Relaxed);
-                            if service.note_wait(tx, h2) {
-                                service.clear_wait(tx);
-                                service.abort(tx, trace);
-                                c.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
-                                return AttemptEnd::Retry;
-                            }
-                            if e2 == entity {
-                                service.park(entity, seen, config.park_timeout);
-                            } else {
-                                // The contention moved (a batched action
-                                // earlier in the plan was granted by a
-                                // racing release): track the new entity.
-                                entity = e2;
-                            }
+                            cursor += granted;
+                            entity = e2;
+                            holder = h2;
+                            gen = g2;
                         }
                     }
                 }
             }
         }
     }
-    match service.finish(tx, trace) {
+    match service.finish(tx, trace, cert_from) {
         Ok(()) => {
             c.committed.fetch_add(1, Ordering::Relaxed);
             AttemptEnd::Committed
         }
         Err(v) => {
-            service.abort(tx, trace);
+            service.abort(tx, trace, cert_from);
             classify(c, &v)
         }
     }

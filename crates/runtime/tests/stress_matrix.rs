@@ -85,6 +85,35 @@ fn check_invariants(report: &RuntimeReport, jobs: usize, ctx: &str) {
         report.park_timeouts, 0,
         "{ctx}: park-timeout backstop fired on a healthy run"
     );
+    // Anti-spin regression (race-free by construction): every conflict
+    // observation is chargeable to the attempt or grant whose request
+    // observed it, or — after the first in a conflict loop — to the park
+    // return that preceded it, and a park only returns on a stripe
+    // generation bump (one per released entity, waking at most `workers`
+    // waiters) or a counted timeout. The old conflict loop re-requested
+    // immediately when contention moved to a new entity, and that spin
+    // inflates lock_waits past this budget on a hot plan tail.
+    let unlock_bumps = report
+        .schedule
+        .steps()
+        .iter()
+        .filter(|s| s.step.is_unlock())
+        .count() as u64;
+    let budget = report.attempts as u64
+        + report.grants
+        + unlock_bumps * report.workers as u64
+        + report.park_timeouts;
+    assert!(
+        report.lock_waits <= budget,
+        "{ctx}: lock_waits ({}) exceeds the park/wake budget ({budget}: {} attempts + {} \
+         grants + {unlock_bumps} unlock bumps x {} workers + {} timeouts) — a conflict loop \
+         is spinning without parking",
+        report.lock_waits,
+        report.attempts,
+        report.grants,
+        report.workers,
+        report.park_timeouts
+    );
 }
 
 #[test]
