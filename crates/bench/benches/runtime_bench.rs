@@ -14,7 +14,7 @@ use slp_runtime::{
     recover, CertifyMode, DirStore, IncrementalCertifier, RecoveryMode, Runtime, RuntimeConfig,
     SharedMemStore, Store, WalConfig,
 };
-use slp_sim::{deep_dag_jobs, hot_cold_jobs, layered_dag, Job};
+use slp_sim::{deep_dag_jobs, hot_cold_jobs, layered_dag, read_heavy_jobs, Job};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -204,6 +204,36 @@ fn bench_certification(c: &mut Criterion) {
     group.finish();
 }
 
+/// The MVCC read path vs locked reads: the same read-heavy workload (90%
+/// read-only jobs over a hot/cold mix) with `snapshot_reads` off — every
+/// read planned through the lock service like any other job — and on —
+/// read-only jobs capture a snapshot and walk version chains, zero lock
+/// requests. The gap is the tentpole's headline: the snapshot rows must
+/// beat the locked rows at every width, and the win grows with workers
+/// because readers leave the sharded front-end entirely to the writer
+/// minority.
+fn bench_read_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_read_path");
+    let p = pool(64);
+    let jobs = read_heavy_jobs(&p, 160, 3, 4, 0.9, 42);
+    for (name, snapshots) in [("locked_reads", false), ("snapshot_reads", true)] {
+        for workers in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{workers}w")),
+                &snapshots,
+                |b, &snapshots| {
+                    let config = RuntimeConfig {
+                        snapshot_reads: snapshots,
+                        ..bench_config(workers)
+                    };
+                    b.iter(|| black_box(run_flat(PolicyKind::TwoPhase, &p, &jobs, &config)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 /// One durable run of `jobs` against `store`; returns the committed count
 /// (and asserts the log never failed — a dead log would make the row
 /// measure nothing).
@@ -295,6 +325,7 @@ criterion_group!(
     bench_grant_batching,
     bench_trace_replay,
     bench_certification,
+    bench_read_path,
     bench_durability
 );
 criterion_main!(benches);

@@ -74,13 +74,16 @@ pub use explain::{explain, explain_nonserializable, Explanation};
 pub use interaction::InteractionGraph;
 pub use ops::{DataOp, LockMode, Operation};
 pub use schedule::{
-    pack_positions, LegalViolation, LockTable, ProperViolation, Schedule, ScheduleSimulator,
-    ScheduledStep, SequenceError, StepError, UndoToken,
+    pack_positions, Access, LegalViolation, LockTable, ProperViolation, Schedule,
+    ScheduleSimulator, ScheduledStep, SequenceError, StepError, UndoToken,
 };
-pub use serializability::{are_conflict_equivalent, equivalent_serial_schedule, is_serializable};
+pub use serializability::{
+    are_conflict_equivalent, equivalent_serial_schedule, is_serializable,
+    is_serializable_with_aborts,
+};
 pub use sgraph::{
     mask_has_cycle, CertStats, CertViolation, ConflictEdge, ConflictIndex, EdgeSet,
-    IncrementalCertifier, SerializationGraph,
+    IncrementalCertifier, SerializationGraph, VersionedRead,
 };
 pub use state::{StructuralState, UndefinedStep, ValueState};
 pub use step::Step;

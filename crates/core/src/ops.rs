@@ -129,6 +129,16 @@ impl Operation {
         )
     }
 
+    /// Whether this operation *mutates* the entity — changes its value
+    /// (`W`) or structural (`I`, `D`) state, i.e. installs a version in an
+    /// MVCC store. Exclusive lock traffic is non-benign but not a
+    /// mutation: a transaction that merely locks through an entity leaves
+    /// nothing for a snapshot read to miss.
+    #[inline]
+    pub fn is_mutation(self) -> bool {
+        matches!(self, Operation::Data(d) if d != DataOp::Read)
+    }
+
     /// The data operation, if this is one.
     #[inline]
     pub fn data(self) -> Option<DataOp> {

@@ -12,6 +12,27 @@ use crate::txn::{LockedTransaction, TxId};
 use std::collections::HashMap;
 use std::fmt;
 
+/// How a scheduled step reached the database: through the lock service
+/// (the paper's model — every access covered by a lock), or as an MVCC
+/// snapshot read that bypassed locking entirely and observed a specific
+/// committed version.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Access {
+    /// The step executed under the policy engine's locks (the default; the
+    /// legality predicate governs it).
+    #[default]
+    Locked,
+    /// The step is a read against a versioned store: it took no lock and
+    /// observed the version installed by `observed` — `None` when it
+    /// observed the initial, never-written value. Serializability for
+    /// these steps is judged *against the version they observed*, not
+    /// against lock coverage (see `slp_core::sgraph`).
+    Snapshot {
+        /// The writer whose version the read observed (`None` = initial).
+        observed: Option<TxId>,
+    },
+}
+
 /// A step attributed to the transaction that issued it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ScheduledStep {
@@ -19,18 +40,48 @@ pub struct ScheduledStep {
     pub tx: TxId,
     /// The step itself.
     pub step: Step,
+    /// How the step reached the database ([`Access::Locked`] unless the
+    /// step came through an MVCC snapshot).
+    pub via: Access,
 }
 
 impl ScheduledStep {
-    /// Creates a scheduled step.
+    /// Creates a scheduled step (locked access, the paper's model).
     pub fn new(tx: TxId, step: Step) -> Self {
-        ScheduledStep { tx, step }
+        ScheduledStep {
+            tx,
+            step,
+            via: Access::Locked,
+        }
+    }
+
+    /// Creates a lock-free snapshot read of `entity` by `tx` that observed
+    /// the version installed by `observed` (`None` = the initial value).
+    pub fn snapshot_read(tx: TxId, entity: EntityId, observed: Option<TxId>) -> Self {
+        ScheduledStep {
+            tx,
+            step: Step::read(entity),
+            via: Access::Snapshot { observed },
+        }
+    }
+
+    /// Whether this step is a lock-free snapshot read.
+    pub fn is_snapshot(&self) -> bool {
+        matches!(self.via, Access::Snapshot { .. })
     }
 }
 
 impl fmt::Display for ScheduledStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.tx, self.step)
+        match self.via {
+            Access::Locked => write!(f, "{}:{}", self.tx, self.step),
+            Access::Snapshot { observed: Some(w) } => {
+                write!(f, "{}:{}@snap[{}]", self.tx, self.step, w)
+            }
+            Access::Snapshot { observed: None } => {
+                write!(f, "{}:{}@snap[init]", self.tx, self.step)
+            }
+        }
     }
 }
 

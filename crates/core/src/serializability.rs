@@ -10,8 +10,20 @@ use crate::txn::TxId;
 use std::collections::HashMap;
 
 /// Whether `schedule` is conflict serializable.
+///
+/// Snapshot reads in the schedule, if any, are judged against the version
+/// they observed assuming every writer committed; traces from a runtime
+/// that aborts transactions should use [`is_serializable_with_aborts`].
 pub fn is_serializable(schedule: &Schedule) -> bool {
     SerializationGraph::of(schedule).is_acyclic()
+}
+
+/// [`is_serializable`] for a mixed snapshot-read + locked-write trace from
+/// an aborting runtime: snapshot reads take no edge against `aborted`
+/// writers (their versions are invisible phantoms — see
+/// [`SerializationGraph::of_with_aborts`]).
+pub fn is_serializable_with_aborts(schedule: &Schedule, aborted: &[TxId]) -> bool {
+    SerializationGraph::of_with_aborts(schedule, aborted).is_acyclic()
 }
 
 /// An equivalent serial order of the schedule's transactions, if one exists.

@@ -20,7 +20,7 @@
 //!   exhaustive safety search was hard-capped at 11 transactions.
 
 use crate::entity::EntityId;
-use crate::schedule::{Schedule, ScheduledStep};
+use crate::schedule::{Access, Schedule, ScheduledStep};
 use crate::step::Step;
 use crate::txn::TxId;
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -83,8 +83,43 @@ impl SerializationGraph {
     /// Builds `D(S)` for a schedule.
     ///
     /// Steps conflict only when they touch the same entity, so the builder
-    /// buckets steps per entity and compares within buckets.
+    /// buckets steps per entity and compares within buckets. Snapshot
+    /// reads, if any, are judged against the version they observed with an
+    /// empty aborted set — see
+    /// [`of_with_aborts`](SerializationGraph::of_with_aborts), which is
+    /// what mixed traces from an aborting runtime should use.
     pub fn of(schedule: &Schedule) -> Self {
+        Self::of_with_aborts(schedule, &[])
+    }
+
+    /// Builds `D(S)` for a schedule that may contain MVCC snapshot reads
+    /// ([`crate::Access::Snapshot`]), given the set of transactions that
+    /// aborted.
+    ///
+    /// Locked steps keep the paper's rule: an edge `(Ti, Tj)` whenever a
+    /// step of `Ti` precedes a conflicting step of `Tj` (aborted or not —
+    /// their lock steps really did order the trace). A snapshot read `r`
+    /// by `R` of entity `e` is *not* ordered by trace position; it is
+    /// ordered by the version it observed:
+    ///
+    /// * `X → R` for the observed writer `X` — the read saw `X`'s version,
+    ///   so it serializes after `X`;
+    /// * `R → W` for every *committed* mutator of `e` (data write, insert
+    ///   or delete — lock-only traffic installs nothing) whose mutations
+    ///   follow `X`'s (the read did not see them, so it serializes before
+    ///   them) — writers at or before `X`'s are reached transitively
+    ///   through the `W → X` write-write edges and need no direct edge;
+    /// * an **aborted** writer of `e` gets no read edge at all: its
+    ///   versions are invisible phantoms, and ordering a snapshot read
+    ///   against them manufactures cycles that no real execution exhibits
+    ///   (its trace steps still order against *locked* steps as always).
+    ///
+    /// With the correct visibility rule the observed writer is always
+    /// committed; a broken rule (the negative control) lets `X` be
+    /// in-progress, and the `X → R` edge plus `R → X` anti-dependencies
+    /// from `X`'s later writes surface the dirty read as a genuine cycle.
+    pub fn of_with_aborts(schedule: &Schedule, aborted: &[TxId]) -> Self {
+        let aborted: FxHashSet<TxId> = aborted.iter().copied().collect();
         let nodes = schedule.participants();
         let mut edges: BTreeMap<(TxId, TxId), (usize, usize)> = BTreeMap::new();
         let mut by_entity: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
@@ -92,21 +127,81 @@ impl SerializationGraph {
         for (i, s) in steps.iter().enumerate() {
             by_entity.entry(s.step.entity.0).or_default().push(i);
         }
+        let mut add = |from: TxId, to: TxId, w: (usize, usize)| {
+            // Keep the globally earliest witness pair so the result is
+            // independent of bucket iteration order.
+            edges
+                .entry((from, to))
+                .and_modify(|old| {
+                    if w < *old {
+                        *old = w;
+                    }
+                })
+                .or_insert(w);
+        };
         for positions in by_entity.values() {
-            for (a, &i) in positions.iter().enumerate() {
-                for &j in &positions[a + 1..] {
+            let (snap, normal): (Vec<usize>, Vec<usize>) =
+                positions.iter().partition(|&&i| steps[i].is_snapshot());
+            for (a, &i) in normal.iter().enumerate() {
+                for &j in &normal[a + 1..] {
                     let (si, sj) = (&steps[i], &steps[j]);
                     if si.tx != sj.tx && si.step.conflicts_with(&sj.step) {
-                        // Keep the globally earliest witness pair so the
-                        // result is independent of bucket iteration order.
-                        edges
-                            .entry((si.tx, sj.tx))
-                            .and_modify(|w| {
-                                if (i, j) < *w {
-                                    *w = (i, j);
-                                }
-                            })
-                            .or_insert((i, j));
+                        add(si.tx, sj.tx, (i, j));
+                    }
+                }
+            }
+            if snap.is_empty() {
+                continue;
+            }
+            // Per-writer range of *mutation* positions on this entity
+            // (`W`/`I`/`D` — the steps that install versions; a
+            // transaction that merely exclusive-locks through leaves
+            // nothing for a snapshot to miss and gets no read edge).
+            // Mutations happen under exclusive locks, so distinct writers'
+            // ranges are disjoint and min/max fully orders writers on the
+            // entity.
+            let mut strong: FxHashMap<TxId, (usize, usize)> = FxHashMap::default();
+            for &j in &normal {
+                let s = &steps[j];
+                if s.step.op.is_mutation() {
+                    strong
+                        .entry(s.tx)
+                        .and_modify(|r| {
+                            r.0 = r.0.min(j);
+                            r.1 = r.1.max(j);
+                        })
+                        .or_insert((j, j));
+                }
+            }
+            for &i in &snap {
+                let r = &steps[i];
+                let crate::schedule::Access::Snapshot { observed } = r.via else {
+                    unreachable!("partitioned as snapshot");
+                };
+                // Last strong position of the observed writer: the pivot
+                // separating "saw it" (≤, transitive) from "missed it"
+                // (>, direct anti-dependency). An observed writer absent
+                // from the trace pivots at -∞: every in-trace writer's
+                // version postdates what the read saw.
+                let pivot = observed.and_then(|x| strong.get(&x).map(|&(_, last)| last));
+                for (&w, &(first, last)) in &strong {
+                    if w == r.tx {
+                        continue;
+                    }
+                    if Some(w) == observed {
+                        add(w, r.tx, (first.min(i), first.max(i)));
+                        // Strong steps of the observed writer *after* the
+                        // read are writes the snapshot missed (possible
+                        // only when visibility exposed an in-progress
+                        // writer): a real anti-dependency back into it.
+                        if last > i && !aborted.contains(&w) {
+                            add(r.tx, w, (i, last));
+                        }
+                        continue;
+                    }
+                    let after_pivot = pivot.is_none_or(|p| first > p);
+                    if after_pivot && !aborted.contains(&w) {
+                        add(r.tx, w, (first.min(i), first.max(i)));
                     }
                 }
             }
@@ -802,6 +897,10 @@ pub struct CertStats {
     pub edges: u64,
     /// Nodes removed by committed-prefix truncation.
     pub truncations: u64,
+    /// Nodes retracted after a certification abort
+    /// ([`IncrementalCertifier::retract`]): the victim's edges and
+    /// accessor footprint were surgically removed and the run continued.
+    pub retractions: u64,
     /// Transactions currently resident in the graph.
     pub live_nodes: usize,
     /// High-water mark of resident transactions — the certifier's actual
@@ -824,6 +923,11 @@ struct Accessor {
     benign: (u64, u64),
     /// `(min, max)` stamps of non-benign steps; [`NO_STAMPS`] when none.
     strong: (u64, u64),
+    /// `(min, max)` stamps of *mutation* steps (`W`/`I`/`D` — the subset
+    /// of `strong` that installs versions); [`NO_STAMPS`] when none.
+    /// Versioned-read edges consult this class: a snapshot read orders
+    /// against what writers *installed*, not against their lock traffic.
+    mutation: (u64, u64),
 }
 
 /// The empty stamp range: `min > max`, so `min < s` and `max > s` are both
@@ -833,9 +937,64 @@ const NO_STAMPS: (u64, u64) = (u64::MAX, 0);
 /// Sentinel in the transaction-id → slot table: id not live.
 const NO_SLOT: u32 = u32::MAX;
 
+/// Sentinel in the transaction-id → slot table: id *was* live and has been
+/// truncated or retracted. Distinguishing retirement from never-seen lets
+/// a snapshot read's observed-writer lookup skip the edge to a truncated
+/// writer (provably safe — truncation means no live accessor of the entity
+/// predates it) instead of resurrecting a node that would never seal.
+const RETIRED_SLOT: u32 = u32::MAX - 1;
+
+/// A live snapshot reader registered against an entity: future strong
+/// accesses to the entity scan this list the way they scan [`Accessor`]s.
+/// A writer whose strong stamps all lie at or below `pivot` (the observed
+/// version's install stamp) installed at or before the observed version and
+/// is already ordered before the reader transitively; one with a strong
+/// stamp above `pivot` wrote a version the reader's snapshot missed, so the
+/// reader must serialize before it — once it commits (see
+/// [`IncrementalCertifier::seal_with`]; the edge is parked until then).
+#[derive(Clone, Copy, Debug)]
+struct SnapReader {
+    slot: u32,
+    /// The observed writer (`None` when the read saw the initial
+    /// version). Skipped by the future-writer scan: the read-time
+    /// `X → R` edge already orders the pair. Held by id, not slot — the
+    /// writer may truncate (and its slot recycle) while the reader is
+    /// still live.
+    observed: Option<TxId>,
+    /// Install stamp of the observed version; `None` when the read saw
+    /// the initial (pre-run) version, ordering the reader before *every*
+    /// writer of the entity.
+    pivot: Option<u64>,
+    /// The read step's stamp (witness for parked edges).
+    stamp: u64,
+}
+
+/// One snapshot read for the online certifier's explicit feed path
+/// ([`IncrementalCertifier::observe_snapshot_reads`]). Workers publish
+/// batches out of order, so the certifier cannot reconstruct which
+/// version a read observed from arrival state — but the MVCC store knows
+/// exactly, and supplies the observed writer and the version's install
+/// stamp alongside the read.
+#[derive(Clone, Copy, Debug)]
+pub struct VersionedRead {
+    /// The read step's globally dense stamp.
+    pub stamp: u64,
+    /// The reading transaction.
+    pub tx: TxId,
+    /// The entity read.
+    pub entity: EntityId,
+    /// The writer of the version observed; `None` when the read saw the
+    /// initial (pre-run) version.
+    pub observed: Option<TxId>,
+    /// The observed version's install stamp; `None` for the initial
+    /// version, which orders the reader before *every* writer of the
+    /// entity.
+    pub pivot: Option<u64>,
+}
+
 /// One batch's stamp extremes for a single entity: `(entity, benign
 /// (min, max), strong (min, max))`.
-type EntityGroup = (u32, (u64, u64), (u64, u64));
+type EntityGroup = (u32, (u64, u64), (u64, u64), (u64, u64));
 
 /// Packs an ordered slot pair into the edge-set key.
 #[inline]
@@ -851,6 +1010,16 @@ struct CertNode {
     /// No more steps will ever arrive for this transaction (it committed
     /// or aborted).
     sealed: bool,
+    /// Sealed as *aborted*: its versions are permanently invisible, so
+    /// parked reader → writer edges against it dissolve instead of
+    /// materializing (an aborted writer orders nothing).
+    aborted: bool,
+    /// Outgoing edges of this node parked on still-unsealed writers
+    /// (snapshot-read anti-dependencies whose direction is known but whose
+    /// existence awaits the writer's outcome). A node with parked
+    /// out-edges is pinned against truncation: the edge may still
+    /// materialize.
+    parked_out: u32,
     /// Newest stamp attributed to this transaction.
     last_stamp: u64,
     /// Live predecessor slots (edges into this node).
@@ -874,6 +1043,8 @@ impl CertNode {
             tx,
             live: true,
             sealed: false,
+            aborted: false,
+            parked_out: 0,
             last_stamp: 0,
             preds: Vec::new(),
             succs: Vec::new(),
@@ -934,6 +1105,16 @@ pub struct IncrementalCertifier {
     /// indexed directly by entity id: entities are interned dense, so a
     /// flat table replaces a hash map on the per-step hot path.
     accessors: Vec<Vec<Accessor>>,
+    /// Per-entity live snapshot readers (same indexing as `accessors`):
+    /// scanned by future strong accesses to decide reader → writer
+    /// anti-dependencies against versions the reader's snapshot missed.
+    snap_readers: Vec<Vec<SnapReader>>,
+    /// Parked edges keyed by the *unsealed* target writer's slot: each
+    /// entry is `(from slot, witness stamp)` of a snapshot reader that
+    /// must precede the writer if — and only if — the writer commits.
+    /// Flushed (or dissolved, on abort) by
+    /// [`seal_with`](IncrementalCertifier::seal_with).
+    parked: FxHashMap<u32, Vec<(u32, u64)>>,
     /// Present edges as `from << 32 | into` slot pairs: O(1) duplicate
     /// rejection regardless of node degree.
     edge_set: FxHashSet<u64>,
@@ -980,6 +1161,8 @@ impl IncrementalCertifier {
             free: Vec::new(),
             by_tx: Vec::new(),
             accessors: Vec::new(),
+            snap_readers: Vec::new(),
+            parked: FxHashMap::default(),
             edge_set: FxHashSet::default(),
             scratch_edges: Vec::new(),
             scratch_groups: Vec::new(),
@@ -1069,10 +1252,33 @@ impl IncrementalCertifier {
                 let (stamp, s) = batch[j];
                 run_last = stamp;
                 let entity = s.step.entity.0;
+                if let Access::Snapshot { observed } = s.via {
+                    // Versioned read: ordered against the entity's writers
+                    // by the version it observed, never by stamp order —
+                    // it must not enter the benign accessor ranges. The
+                    // pivot (observed version's install stamp) is derived
+                    // from the observed writer's current strong extreme,
+                    // which is exact under in-stamp-order feeding (replay);
+                    // the runtime's out-of-order feed supplies it
+                    // explicitly via `observe_snapshot_reads`.
+                    let pivot = observed.and_then(|x| self.live_slot(x)).and_then(|xs| {
+                        self.accessors.get(entity as usize).and_then(|l| {
+                            l.iter()
+                                .find(|a| a.slot == xs && a.mutation != NO_STAMPS)
+                                .map(|a| a.mutation.1)
+                        })
+                    });
+                    self.observe_versioned_read(stamp, to, entity, observed, pivot);
+                    if self.violation.is_some() {
+                        break;
+                    }
+                    j += 1;
+                    continue;
+                }
                 let g = match groups.iter_mut().find(|g| g.0 == entity) {
                     Some(g) => g,
                     None => {
-                        groups.push((entity, NO_STAMPS, NO_STAMPS));
+                        groups.push((entity, NO_STAMPS, NO_STAMPS, NO_STAMPS));
                         groups.last_mut().expect("just pushed")
                     }
                 };
@@ -1083,12 +1289,16 @@ impl IncrementalCertifier {
                 };
                 class.0 = class.0.min(stamp);
                 class.1 = class.1.max(stamp);
+                if s.step.op.is_mutation() {
+                    g.3 .0 = g.3 .0.min(stamp);
+                    g.3 .1 = g.3 .1.max(stamp);
+                }
                 j += 1;
             }
             let node = &mut self.slots[to as usize];
             node.last_stamp = node.last_stamp.max(run_last);
-            for &(entity, benign, strong) in &groups {
-                self.observe_access(to, entity, benign, strong);
+            for &(entity, benign, strong, mutation) in &groups {
+                self.observe_access(to, entity, benign, strong, mutation);
                 if self.violation.is_some() {
                     break;
                 }
@@ -1101,17 +1311,173 @@ impl IncrementalCertifier {
         }
     }
 
+    /// Feeds a batch of snapshot reads with **explicit pivots** — the
+    /// runtime's feed path for read-only jobs. Workers publish batches
+    /// out of order, so the certifier cannot reconstruct which version a
+    /// read observed from arrival state; the MVCC store knows exactly,
+    /// and passes the observed version's install stamp along. Stamps must
+    /// be ascending within the batch (the read path claims a dense stamp
+    /// block at snapshot capture).
+    pub fn observe_snapshot_reads(&mut self, reads: &[VersionedRead]) {
+        let Some(first) = reads.first() else {
+            return;
+        };
+        let (mut start, mut prev) = (first.stamp, first.stamp);
+        for r in &reads[1..] {
+            debug_assert!(r.stamp > prev, "batch stamps must be ascending");
+            if r.stamp == prev + 1 {
+                prev = r.stamp;
+            } else {
+                self.pending.push(Reverse((start, prev + 1)));
+                (start, prev) = (r.stamp, r.stamp);
+            }
+        }
+        self.pending.push(Reverse((start, prev + 1)));
+        self.stats.steps += reads.len() as u64;
+        if self.violation.is_some() {
+            return; // latched: keep the graph frozen for the autopsy
+        }
+        for r in reads {
+            let to = self.slot_of(r.tx);
+            let node = &mut self.slots[to as usize];
+            node.last_stamp = node.last_stamp.max(r.stamp);
+            self.observe_versioned_read(r.stamp, to, r.entity.0, r.observed, r.pivot);
+            if self.violation.is_some() {
+                return;
+            }
+        }
+    }
+
+    /// Graph maintenance for one snapshot read: the versioned analogue of
+    /// [`observe_access`](Self::observe_access). A snapshot read is
+    /// ordered by the *version* it observed, never by stamp order:
+    ///
+    /// * `X → R` for the observed writer `X` (wr-dependency). An unseen
+    ///   `X` gets a node now — its steps arrive at its commit; a
+    ///   *truncated* `X` needs no edge, because truncation guarantees no
+    ///   live accessor of the entity predates it.
+    /// * `R → W` for every writer whose *mutation* stamps lie above
+    ///   `pivot` (the observed version's install stamp): its version is
+    ///   one the snapshot missed, so the reader serializes before it —
+    ///   **iff it commits**. Against a sealed-committed writer the edge
+    ///   lands now; against a sealed-aborted one it dissolves; against an
+    ///   unsealed one it parks until
+    ///   [`seal_with`](Self::seal_with) learns the outcome.
+    /// * Writers at or below the pivot installed at or before the
+    ///   observed version and are ordered before the reader transitively
+    ///   through `X`'s own ww-edges — no direct edge needed.
+    ///
+    /// The read is then registered in the entity's [`SnapReader`] list so
+    /// *future* strong accesses perform the mirror-image scan.
+    ///
+    /// Writers already **truncated** take no edge in either direction.
+    /// This under-approximates `D(S)` but is sound for runtime feeds: a
+    /// snapshot captured after a writer's commit flip *observes* that
+    /// writer, and the commit pipeline flips writers in serialization
+    /// order, so an anti-dependency into a committed-and-truncated
+    /// writer can never lie on a cycle — any cycle through a snapshot
+    /// read must pass through a writer still unflipped at capture, which
+    /// is unsealed (hence resident) when the read is fed.
+    fn observe_versioned_read(
+        &mut self,
+        stamp: u64,
+        to: u32,
+        entity: u32,
+        observed: Option<TxId>,
+        pivot: Option<u64>,
+    ) {
+        if entity as usize >= self.accessors.len() {
+            self.accessors.resize_with(entity as usize + 1, Vec::new);
+        }
+        if entity as usize >= self.snap_readers.len() {
+            self.snap_readers.resize_with(entity as usize + 1, Vec::new);
+        }
+        let mut x_slot = NO_SLOT;
+        if let Some(x) = observed {
+            match self.by_tx.get(x.0 as usize).copied().unwrap_or(NO_SLOT) {
+                RETIRED_SLOT => {}
+                NO_SLOT => x_slot = self.slot_of(x),
+                s => x_slot = s,
+            }
+            if x_slot != NO_SLOT {
+                self.add_edge(x_slot, to, stamp);
+                if self.violation.is_some() {
+                    return;
+                }
+            }
+        }
+        let mut new_edges = std::mem::take(&mut self.scratch_edges);
+        new_edges.clear();
+        for a in &self.accessors[entity as usize] {
+            if a.slot == to || a.slot == x_slot || a.mutation == NO_STAMPS {
+                continue;
+            }
+            if pivot.is_none_or(|p| a.mutation.0 > p) {
+                new_edges.push((to, a.slot, stamp));
+            }
+        }
+        for &(from, into, w) in &new_edges {
+            let writer = &self.slots[into as usize];
+            if writer.sealed {
+                if !writer.aborted {
+                    self.add_edge(from, into, w);
+                    if self.violation.is_some() {
+                        break;
+                    }
+                }
+            } else {
+                self.park(from, into, w);
+            }
+        }
+        self.scratch_edges = new_edges;
+        if self.violation.is_some() {
+            return;
+        }
+        let list = &mut self.snap_readers[entity as usize];
+        if !list.iter().any(|r| r.slot == to) {
+            list.push(SnapReader {
+                slot: to,
+                observed,
+                pivot,
+                stamp,
+            });
+            let node = &mut self.slots[to as usize];
+            if !node.touched.contains(&entity) {
+                node.touched.push(entity);
+            }
+        }
+    }
+
+    /// Parks the edge `from → into` until `into`'s outcome is known,
+    /// pinning `from` against truncation meanwhile.
+    fn park(&mut self, from: u32, into: u32, stamp: u64) {
+        self.parked.entry(into).or_default().push((from, stamp));
+        self.slots[from as usize].parked_out += 1;
+    }
+
+    /// The slot of a currently resident transaction (`None` when never
+    /// seen, truncated, or retracted).
+    fn live_slot(&self, tx: TxId) -> Option<u32> {
+        match self.by_tx.get(tx.0 as usize).copied() {
+            Some(s) if s != NO_SLOT && s != RETIRED_SLOT => Some(s),
+            _ => None,
+        }
+    }
+
     /// Graph maintenance for one transaction's access summary on one
     /// entity: edge deltas against the entity's other accessor summaries,
     /// then the summary folded into this transaction's own. `my_benign` /
-    /// `my_strong` are the (min, max) stamps of the new accesses per
-    /// conflict class ([`NO_STAMPS`] when the class is empty).
+    /// `my_strong` / `my_mutation` are the (min, max) stamps of the new
+    /// accesses per conflict class ([`NO_STAMPS`] when the class is
+    /// empty); mutations are the version-installing subset of the strong
+    /// class.
     fn observe_access(
         &mut self,
         to: u32,
         entity: u32,
         my_benign: (u64, u64),
         my_strong: (u64, u64),
+        my_mutation: (u64, u64),
     ) {
         if entity as usize >= self.accessors.len() {
             self.accessors.resize_with(entity as usize + 1, Vec::new);
@@ -1162,31 +1528,141 @@ impl IncrementalCertifier {
             Some(a) => {
                 a.benign = (a.benign.0.min(my_benign.0), a.benign.1.max(my_benign.1));
                 a.strong = (a.strong.0.min(my_strong.0), a.strong.1.max(my_strong.1));
+                a.mutation = (
+                    a.mutation.0.min(my_mutation.0),
+                    a.mutation.1.max(my_mutation.1),
+                );
             }
             None => {
                 list.push(Accessor {
                     slot: to,
                     benign: my_benign,
                     strong: my_strong,
+                    mutation: my_mutation,
                 });
                 self.slots[to as usize].touched.push(entity);
             }
         }
+        // Mirror-image of the versioned-read scan: my *mutations* may
+        // have installed versions a live snapshot reader's snapshot
+        // missed, so the reader precedes me — iff I commit. My seal is
+        // still ahead (steps precede seals), so the edge always parks.
+        // Lock-only traffic installs nothing and takes no edge; the
+        // observed writer is skipped: its read-time `X → R` edge
+        // already orders the pair.
+        if my_mutation != NO_STAMPS && (entity as usize) < self.snap_readers.len() {
+            let my_tx = self.slots[to as usize].tx;
+            let mut parks = std::mem::take(&mut self.scratch_edges);
+            parks.clear();
+            for r in &self.snap_readers[entity as usize] {
+                if r.slot == to || r.observed == Some(my_tx) {
+                    continue;
+                }
+                if r.pivot.is_none_or(|p| my_mutation.0 > p) {
+                    parks.push((r.slot, to, r.stamp));
+                }
+            }
+            for &(from, into, stamp) in &parks {
+                self.park(from, into, stamp);
+            }
+            self.scratch_edges = parks;
+        }
     }
 
-    /// Declares that `tx` will take no more steps (it committed *or*
-    /// aborted — aborted transactions' recorded unlocks are part of the
-    /// trace and its graph, they just stop growing). Triggers a
-    /// truncation pass.
+    /// Declares that `tx` will take no more steps and **committed**.
+    /// Equivalent to [`seal_with`](Self::seal_with)`(tx, false)`; callers
+    /// whose transactions can abort must say so, or parked snapshot-read
+    /// edges against them will wrongly materialize.
     pub fn seal(&mut self, tx: TxId) {
-        match self.by_tx.get(tx.0 as usize) {
-            Some(&slot) if slot != NO_SLOT => {
-                self.slots[slot as usize].sealed = true;
-                self.sealed_pending.push(slot);
+        self.seal_with(tx, false);
+    }
+
+    /// Declares that `tx` will take no more steps, with its outcome
+    /// (aborted transactions' recorded unlocks are part of the trace and
+    /// its graph, they just stop growing — but their *versions* are
+    /// permanently invisible, so parked reader → writer edges against
+    /// them dissolve instead of materializing). Triggers a truncation
+    /// pass.
+    pub fn seal_with(&mut self, tx: TxId, aborted: bool) {
+        if let Some(slot) = self.live_slot(tx) {
+            let node = &mut self.slots[slot as usize];
+            node.sealed = true;
+            node.aborted = aborted;
+            self.sealed_pending.push(slot);
+            if let Some(list) = self.parked.remove(&slot) {
+                for (from, stamp) in list {
+                    self.slots[from as usize].parked_out -= 1;
+                    if !aborted && self.violation.is_none() {
+                        self.add_edge(from, slot, stamp);
+                    }
+                }
             }
-            _ => {}
         }
         self.truncate();
+    }
+
+    /// Surgically removes a live transaction from the graph — the
+    /// certification-abort recovery path (strict mode): the victim's
+    /// status-table entry flips to aborted, its versions become
+    /// invisible, its recorded steps order nothing, and the run
+    /// continues without it. Drops the victim's edges in both
+    /// directions, its accessor and snapshot-reader footprint, and its
+    /// parked edges in both roles; clears the violation latch when the
+    /// victim appears in the latched cycle. Returns `false` when `tx` is
+    /// not resident.
+    pub fn retract(&mut self, tx: TxId) -> bool {
+        let Some(slot) = self.live_slot(tx) else {
+            return false;
+        };
+        let preds = std::mem::take(&mut self.slots[slot as usize].preds);
+        for p in preds {
+            self.edge_set.remove(&edge_key(p, slot));
+            let succs = &mut self.slots[p as usize].succs;
+            if let Some(i) = succs.iter().position(|&s| s == slot) {
+                succs.swap_remove(i);
+            }
+        }
+        let succs = std::mem::take(&mut self.slots[slot as usize].succs);
+        for t in succs {
+            self.edge_set.remove(&edge_key(slot, t));
+            let preds = &mut self.slots[t as usize].preds;
+            if let Some(i) = preds.iter().position(|&p| p == slot) {
+                preds.swap_remove(i);
+            }
+            self.sealed_pending.push(t); // may have just become prunable
+        }
+        let touched = std::mem::take(&mut self.slots[slot as usize].touched);
+        for e in touched {
+            self.accessors[e as usize].retain(|a| a.slot != slot);
+            if (e as usize) < self.snap_readers.len() {
+                self.snap_readers[e as usize].retain(|r| r.slot != slot);
+            }
+        }
+        if let Some(list) = self.parked.remove(&slot) {
+            for (from, _) in list {
+                self.slots[from as usize].parked_out -= 1;
+            }
+        }
+        if self.slots[slot as usize].parked_out > 0 {
+            for list in self.parked.values_mut() {
+                list.retain(|&(from, _)| from != slot);
+            }
+            self.slots[slot as usize].parked_out = 0;
+        }
+        let node = &mut self.slots[slot as usize];
+        node.live = false;
+        node.sealed = true;
+        self.by_tx[node.tx.0 as usize] = RETIRED_SLOT;
+        self.free.push(slot);
+        self.stats.retractions += 1;
+        self.stats.live_nodes -= 1;
+        if let Some(v) = &self.violation {
+            if v.cycle.contains(&tx) {
+                self.violation = None;
+            }
+        }
+        self.truncate();
+        true
     }
 
     /// Removes every sealed transaction whose footprint lies wholly below
@@ -1233,7 +1709,11 @@ impl IncrementalCertifier {
 
     fn prunable(&self, s: u32) -> bool {
         let n = &self.slots[s as usize];
-        n.live && n.sealed && n.preds.is_empty() && n.last_stamp < self.next_stamp
+        n.live
+            && n.sealed
+            && n.preds.is_empty()
+            && n.parked_out == 0
+            && n.last_stamp < self.next_stamp
     }
 
     /// Removes node `s`, cleaning both edge directions and its accessor
@@ -1256,11 +1736,14 @@ impl IncrementalCertifier {
         let mut i = 0;
         while let Some(&e) = self.slots[s as usize].touched.get(i) {
             self.accessors[e as usize].retain(|a| a.slot != s);
+            if (e as usize) < self.snap_readers.len() {
+                self.snap_readers[e as usize].retain(|r| r.slot != s);
+            }
             i += 1;
         }
         let node = &mut self.slots[s as usize];
         node.live = false;
-        self.by_tx[node.tx.0 as usize] = NO_SLOT;
+        self.by_tx[node.tx.0 as usize] = RETIRED_SLOT;
         self.free.push(s);
         self.stats.truncations += 1;
         self.stats.live_nodes -= 1;
@@ -1270,7 +1753,11 @@ impl IncrementalCertifier {
         if tx.0 as usize >= self.by_tx.len() {
             self.by_tx.resize(tx.0 as usize + 1, NO_SLOT);
         } else if self.by_tx[tx.0 as usize] != NO_SLOT {
-            return self.by_tx[tx.0 as usize];
+            let s = self.by_tx[tx.0 as usize];
+            debug_assert!(s != RETIRED_SLOT, "step for retired transaction {tx}");
+            if s != RETIRED_SLOT {
+                return s;
+            }
         }
         let slot = match self.free.pop() {
             Some(s) => {
@@ -1280,6 +1767,8 @@ impl IncrementalCertifier {
                 let node = &mut self.slots[s as usize];
                 node.tx = tx;
                 node.sealed = false;
+                node.aborted = false;
+                node.parked_out = 0;
                 node.live = true;
                 node.last_stamp = 0;
                 node.level = 0;
@@ -1416,6 +1905,18 @@ impl IncrementalCertifier {
     /// same verdict as
     /// [`is_serializable`](crate::serializability::is_serializable).
     pub fn certify_schedule(schedule: &Schedule) -> Option<CertViolation> {
+        Self::certify_schedule_with_aborts(schedule, &[])
+    }
+
+    /// [`certify_schedule`](Self::certify_schedule) for a trace from an
+    /// aborting runtime: each transaction seals with its outcome, so
+    /// parked snapshot-read edges against `aborted` writers dissolve
+    /// exactly as the online path dissolves them (mirrors
+    /// [`SerializationGraph::of_with_aborts`]).
+    pub fn certify_schedule_with_aborts(
+        schedule: &Schedule,
+        aborted: &[TxId],
+    ) -> Option<CertViolation> {
         let steps = schedule.steps();
         let mut last: FxHashMap<TxId, usize> = FxHashMap::default();
         for (i, s) in steps.iter().enumerate() {
@@ -1423,12 +1924,12 @@ impl IncrementalCertifier {
         }
         let mut cert = IncrementalCertifier::new();
         for (i, s) in steps.iter().enumerate() {
-            cert.observe(i as u64, s.tx, s.step);
+            cert.observe_trace(&[(i as u64, *s)]);
             if cert.violation().is_some() {
                 break;
             }
             if last[&s.tx] == i {
-                cert.seal(s.tx);
+                cert.seal_with(s.tx, aborted.contains(&s.tx));
             }
         }
         cert.violation.take()
@@ -1890,5 +2391,153 @@ mod tests {
         assert_eq!(g.topological_sort(), Some(vec![]));
         assert_eq!(g.find_cycle(), None);
         assert!(!g.is_simple_path_with_back_edge());
+    }
+
+    /// Offline versioned-read edges: a snapshot read is ordered by the
+    /// version it observed — `X → R` for the observed writer, `R → W` for
+    /// writers past the pivot, nothing for older writers.
+    #[test]
+    fn snapshot_read_edges_follow_observed_version() {
+        let s = Schedule::from_steps(vec![
+            ScheduledStep::new(t(1), Step::write(e(0))),
+            ScheduledStep::snapshot_read(t(3), e(0), Some(t(1))),
+            ScheduledStep::new(t(2), Step::write(e(0))),
+        ]);
+        let g = SerializationGraph::of(&s);
+        assert!(g.has_edge(t(1), t(3)), "observed writer precedes reader");
+        assert!(g.has_edge(t(3), t(2)), "reader precedes missed writer");
+        assert!(!g.has_edge(t(3), t(1)));
+        assert!(
+            !g.has_edge(t(2), t(3)),
+            "snapshot reads take no stamp-order edge"
+        );
+        assert!(g.is_acyclic());
+    }
+
+    /// A dirty-read anomaly is a cycle offline — unless the missed writer
+    /// aborted, in which case its versions are invisible phantoms and the
+    /// anti-dependency dissolves.
+    #[test]
+    fn aborted_writer_dissolves_snapshot_anti_dependency() {
+        // W2 writes e0 and e1 first; W1 then writes e0 (so W2 -> W1); the
+        // reader observes W1 on e0 but the *initial* version on e1 —
+        // missing W2's e1 write, hence R -> W2, closing the cycle
+        // W2 -> W1 -> R -> W2.
+        let s = Schedule::from_steps(vec![
+            ScheduledStep::new(t(2), Step::write(e(0))),
+            ScheduledStep::new(t(2), Step::write(e(1))),
+            ScheduledStep::new(t(1), Step::write(e(0))),
+            ScheduledStep::snapshot_read(t(3), e(0), Some(t(1))),
+            ScheduledStep::snapshot_read(t(3), e(1), None),
+        ]);
+        assert!(!SerializationGraph::of(&s).is_acyclic());
+        assert!(SerializationGraph::of_with_aborts(&s, &[t(2)]).is_acyclic());
+        // The incremental certifier agrees when the writer aborted. (On
+        // the cyclic variant it returns no violation: W2 committed and
+        // truncated before the reader's steps arrive, and anti-
+        // dependencies into committed-truncated writers are dropped —
+        // sound for runtime feeds, where a capture after a writer's
+        // commit flip observes that writer, so this trace is
+        // unproducible; the batch graph above stays the trusted model.)
+        assert!(IncrementalCertifier::certify_schedule_with_aborts(&s, &[t(2)]).is_none());
+    }
+
+    /// Online explicit-pivot feed, arriving out of order: the reader's
+    /// snapshot is fed before the writers' steps, as the runtime does.
+    #[test]
+    fn certifier_versioned_reads_with_explicit_pivots() {
+        let mut cert = IncrementalCertifier::new();
+        // W1 installed e0 at stamp 0 and committed.
+        cert.observe(0, t(1), Step::write(e(0)));
+        cert.seal(t(1));
+        // R's snapshot observed W1's version (install stamp 0).
+        cert.observe_snapshot_reads(&[VersionedRead {
+            stamp: 1,
+            tx: t(3),
+            entity: e(0),
+            observed: Some(t(1)),
+            pivot: Some(0),
+        }]);
+        cert.seal(t(3));
+        // W2 writes e0 after the capture: R -> W2 parks, then lands at
+        // W2's commit. All acyclic; everything truncates away.
+        cert.observe(2, t(2), Step::write(e(0)));
+        cert.seal_with(t(2), false);
+        assert!(cert.violation().is_none());
+        assert_eq!(cert.stats().live_nodes, 0, "all nodes truncated");
+    }
+
+    /// The scripted broken-visibility control: R dirty-observes X's
+    /// uncommitted version on e1 while missing X's e0 write. If X
+    /// commits, the parked R -> X edge lands against the read-time
+    /// X -> R edge — a cycle; retracting the victim clears the latch.
+    #[test]
+    fn certifier_catches_broken_visibility_and_recovers_by_retraction() {
+        let mut cert = IncrementalCertifier::new();
+        cert.observe_snapshot_reads(&[
+            VersionedRead {
+                stamp: 0,
+                tx: t(2),
+                entity: e(0),
+                observed: None,
+                pivot: None,
+            },
+            VersionedRead {
+                stamp: 1,
+                tx: t(2),
+                entity: e(1),
+                observed: Some(t(1)), // in-progress: a dirty read
+                pivot: Some(3),
+            },
+        ]);
+        cert.seal(t(2));
+        cert.observe_trace(&[
+            (2, ScheduledStep::new(t(1), Step::write(e(0)))),
+            (3, ScheduledStep::new(t(1), Step::write(e(1)))),
+        ]);
+        assert!(cert.violation().is_none(), "edge parked until X's outcome");
+        cert.seal_with(t(1), false);
+        let v = cert
+            .violation()
+            .expect("dirty read becomes a cycle at commit");
+        assert!(v.cycle.contains(&t(1)) && v.cycle.contains(&t(2)));
+        assert!(cert.retract(t(1)), "victim is resident");
+        assert!(cert.violation().is_none(), "retraction clears the latch");
+        assert_eq!(cert.stats().retractions, 1);
+        // The certifier keeps running: an unrelated committed write is fine.
+        cert.observe(4, t(4), Step::write(e(2)));
+        cert.seal(t(4));
+        assert!(cert.violation().is_none());
+    }
+
+    /// Same anomaly, but X aborts: its version was a phantom, the parked
+    /// edge dissolves, and the whole graph truncates away.
+    #[test]
+    fn certifier_parked_edge_dissolves_when_writer_aborts() {
+        let mut cert = IncrementalCertifier::new();
+        cert.observe_snapshot_reads(&[
+            VersionedRead {
+                stamp: 0,
+                tx: t(2),
+                entity: e(0),
+                observed: None,
+                pivot: None,
+            },
+            VersionedRead {
+                stamp: 1,
+                tx: t(2),
+                entity: e(1),
+                observed: Some(t(1)),
+                pivot: Some(3),
+            },
+        ]);
+        cert.seal(t(2));
+        cert.observe_trace(&[
+            (2, ScheduledStep::new(t(1), Step::write(e(0)))),
+            (3, ScheduledStep::new(t(1), Step::write(e(1)))),
+        ]);
+        cert.seal_with(t(1), true);
+        assert!(cert.violation().is_none());
+        assert_eq!(cert.stats().live_nodes, 0, "all nodes truncated");
     }
 }

@@ -52,8 +52,25 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Encoded size of one stamped step: stamp (8) + tx (4) + entity (4) + op (1).
+/// Encoded size of one locked stamped step: stamp (8) + tx (4) + entity
+/// (4) + op (1). Snapshot reads are [`SNAPSHOT_STEP_BYTES`] instead; the
+/// step codec is streaming, so mixed batches decode without a fixed width.
 pub const STAMPED_STEP_BYTES: usize = 17;
+
+/// Encoded size of one stamped snapshot read: [`STAMPED_STEP_BYTES`] plus
+/// the observed writer (4).
+pub const SNAPSHOT_STEP_BYTES: usize = STAMPED_STEP_BYTES + 4;
+
+/// The tag marking a snapshot read (a read that bypassed the lock service
+/// and observed a specific version). Not an [`Operation`] tag — the record
+/// carries an extra trailing `u32` naming the observed writer, with
+/// `u32::MAX` standing for "observed the initial value" (no real
+/// transaction ever gets id `u32::MAX`).
+pub const SNAPSHOT_READ_TAG: u8 = 8;
+
+/// The `u32` encoding of "observed the initial value" in a snapshot-read
+/// record.
+const OBSERVED_NONE: u32 = u32::MAX;
 
 /// Encoded size of one lock-table entry: entity (4) + tx (4) + mode (1).
 pub const LOCK_ENTRY_BYTES: usize = 9;
@@ -123,12 +140,19 @@ pub fn op_from_tag(tag: u8) -> Result<Operation, WireError> {
     })
 }
 
-/// Encodes one sequence-stamped scheduled step ([`STAMPED_STEP_BYTES`]).
+/// Encodes one sequence-stamped scheduled step ([`STAMPED_STEP_BYTES`],
+/// or [`SNAPSHOT_STEP_BYTES`] for a snapshot read).
 pub fn put_stamped_step(out: &mut Vec<u8>, stamp: u64, s: &ScheduledStep) {
     put_u64(out, stamp);
     put_u32(out, s.tx.0);
     put_u32(out, s.step.entity.0);
-    out.push(op_tag(s.step.op));
+    match s.via {
+        crate::schedule::Access::Locked => out.push(op_tag(s.step.op)),
+        crate::schedule::Access::Snapshot { observed } => {
+            out.push(SNAPSHOT_READ_TAG);
+            put_u32(out, observed.map_or(OBSERVED_NONE, |w| w.0));
+        }
+    }
 }
 
 /// Decodes one sequence-stamped scheduled step.
@@ -139,6 +163,17 @@ pub fn get_stamped_step(buf: &[u8]) -> Result<((u64, ScheduledStep), &[u8]), Wir
     let (&tag, buf) = buf
         .split_first()
         .ok_or(WireError::Truncated { needed: 1, have: 0 })?;
+    if tag == SNAPSHOT_READ_TAG {
+        let (observed, buf) = get_u32(buf)?;
+        let observed = (observed != OBSERVED_NONE).then_some(TxId(observed));
+        return Ok((
+            (
+                stamp,
+                ScheduledStep::snapshot_read(TxId(tx), EntityId(entity), observed),
+            ),
+            buf,
+        ));
+    }
     let op = op_from_tag(tag)?;
     Ok((
         (
@@ -242,6 +277,49 @@ mod tests {
             let ((s2, step2), rest) = get_stamped_step(&out).unwrap();
             assert_eq!((s2, step2), (stamp, step));
             assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn snapshot_read_round_trips_with_observed_writer() {
+        let cases = [
+            (7u64, ScheduledStep::snapshot_read(t(3), e(5), Some(t(2)))),
+            (9, ScheduledStep::snapshot_read(t(4), e(0), None)),
+        ];
+        for (stamp, step) in cases {
+            let mut out = Vec::new();
+            put_stamped_step(&mut out, stamp, &step);
+            assert_eq!(out.len(), SNAPSHOT_STEP_BYTES);
+            let ((s2, step2), rest) = get_stamped_step(&out).unwrap();
+            assert_eq!((s2, step2), (stamp, step));
+            assert!(rest.is_empty());
+        }
+        // Mixed batches decode record-by-record despite the width change.
+        let mut out = Vec::new();
+        let batch = [
+            (0u64, ScheduledStep::new(t(1), Step::write(e(2)))),
+            (1, ScheduledStep::snapshot_read(t(2), e(2), Some(t(1)))),
+            (2, ScheduledStep::new(t(1), Step::unlock_exclusive(e(2)))),
+        ];
+        for (stamp, step) in &batch {
+            put_stamped_step(&mut out, *stamp, step);
+        }
+        let mut rest: &[u8] = &out;
+        for expected in &batch {
+            let (got, tail) = get_stamped_step(rest).unwrap();
+            assert_eq!(got, *expected);
+            rest = tail;
+        }
+        assert!(rest.is_empty());
+        // Truncating the observed field is a decode error, not a panic.
+        let mut out = Vec::new();
+        put_stamped_step(
+            &mut out,
+            1,
+            &ScheduledStep::snapshot_read(t(2), e(2), Some(t(1))),
+        );
+        for cut in 0..out.len() {
+            assert!(get_stamped_step(&out[..cut]).is_err());
         }
     }
 

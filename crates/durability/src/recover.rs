@@ -607,6 +607,7 @@ mod tests {
                 segment_bytes: 128,
                 group_commit: 1,
                 checkpoint_every: 4,
+                ..WalConfig::default()
             },
             &StructuralState::empty(),
         )
@@ -638,6 +639,7 @@ mod tests {
                 segment_bytes: 96,
                 group_commit: 1,
                 checkpoint_every: 0,
+                ..WalConfig::default()
             },
             &StructuralState::empty(),
         )

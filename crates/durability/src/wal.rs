@@ -43,6 +43,14 @@ pub struct WalConfig {
     /// watermark since the previous checkpoint. `0` disables automatic
     /// checkpoints (the creation-time base checkpoint is still written).
     pub checkpoint_every: u64,
+    /// Automatic retention: every time a checkpoint is written, keep only
+    /// the segments anchored by the newest `n` checkpoints and remove
+    /// everything older (the log-size bound for long runs). `0` — the
+    /// default — never removes anything; [`Wal::prune`] remains the
+    /// manual, keep-newest-only alternative. With `n ≥ 1` recovery from
+    /// any retained checkpoint still works: segments at or after the
+    /// oldest retained checkpoint's segment are never touched.
+    pub keep_checkpoints: usize,
 }
 
 impl Default for WalConfig {
@@ -51,7 +59,17 @@ impl Default for WalConfig {
             segment_bytes: 64 * 1024,
             group_commit: 8,
             checkpoint_every: 256,
+            keep_checkpoints: 0,
         }
+    }
+}
+
+impl WalConfig {
+    /// This config with automatic retention of the newest `n` checkpoints
+    /// (see [`keep_checkpoints`](WalConfig::keep_checkpoints)).
+    pub fn retain_checkpoints(mut self, n: usize) -> Self {
+        self.keep_checkpoints = n;
+        self
     }
 }
 
@@ -134,6 +152,10 @@ struct WalCore {
     steps_since_checkpoint: u64,
     /// Segment holding the newest checkpoint (pruning keeps it and later).
     checkpoint_segment: u64,
+    /// Segments holding the newest checkpoints, oldest first (bounded to
+    /// [`WalConfig::keep_checkpoints`] when retention is on; the
+    /// retention boundary is the front).
+    checkpoint_segments: std::collections::VecDeque<u64>,
     stats: WalSummary,
 }
 
@@ -169,6 +191,7 @@ impl Wal {
             durable_commits: 0,
             steps_since_checkpoint: 0,
             checkpoint_segment: 0,
+            checkpoint_segments: std::collections::VecDeque::new(),
             stats: WalSummary::default(),
         };
         if !core.store.list()?.is_empty() {
@@ -378,6 +401,33 @@ impl WalCore {
         self.stats.checkpoints += 1;
         self.steps_since_checkpoint = 0;
         self.checkpoint_segment = segment_holding_checkpoint;
+        self.checkpoint_segments
+            .push_back(segment_holding_checkpoint);
+        self.retain()
+    }
+
+    /// Automatic retention ([`WalConfig::keep_checkpoints`]): forget
+    /// checkpoint anchors beyond the newest `n` and remove every segment
+    /// wholly before the oldest retained one. Consecutive checkpoints can
+    /// share a segment, so the boundary only advances when the oldest
+    /// retained anchor moves to a later segment.
+    fn retain(&mut self) -> Result<(), WalError> {
+        let keep = self.config.keep_checkpoints;
+        if keep == 0 {
+            return Ok(());
+        }
+        while self.checkpoint_segments.len() > keep {
+            self.checkpoint_segments.pop_front();
+        }
+        let boundary = *self
+            .checkpoint_segments
+            .front()
+            .expect("a checkpoint was just pushed");
+        for index in self.store.list()? {
+            if index < boundary {
+                self.store.remove(index)?;
+            }
+        }
         Ok(())
     }
 }
@@ -501,6 +551,7 @@ mod tests {
             segment_bytes: 64,
             group_commit: 1000, // group commit never triggers a sync here
             checkpoint_every: 0,
+            ..WalConfig::default()
         };
         let wal = Wal::create(Box::new(handle.clone()), config, &StructuralState::empty()).unwrap();
         for i in 0..40u64 {
@@ -624,6 +675,7 @@ mod tests {
             segment_bytes: 96,
             group_commit: 1,
             checkpoint_every: 0,
+            ..WalConfig::default()
         };
         let wal = Wal::create(Box::new(handle.clone()), config, &StructuralState::empty()).unwrap();
         for i in 0..40u64 {
@@ -643,6 +695,40 @@ mod tests {
             &handle.snapshot(),
             &remaining
         ));
+    }
+
+    #[test]
+    fn retention_keeps_newest_checkpoints_and_recovery_still_works() {
+        let handle = SharedMemStore::new();
+        let config = WalConfig {
+            segment_bytes: 96,
+            group_commit: 1,
+            checkpoint_every: 4,
+            ..WalConfig::default()
+        }
+        .retain_checkpoints(2);
+        let wal = Wal::create(Box::new(handle.clone()), config, &StructuralState::empty()).unwrap();
+        for i in 0..60u64 {
+            wal.append_steps(&[(i, step(1, Step::insert(e(i as u32))))])
+                .unwrap();
+        }
+        wal.flush().unwrap();
+        let store = handle.snapshot();
+        let segments = store.list().unwrap();
+        // Checkpoint-time retention removed the oldest segments by
+        // itself (no prune() call anywhere in this test)...
+        assert!(segments[0] > 0, "retention must drop the oldest segments");
+        // ...and the surviving tail recovers from the newest retained
+        // checkpoint all the way to the full watermark.
+        let newest = crate::recover(&store, crate::RecoveryMode::Newest).unwrap();
+        assert_eq!(newest.watermark, 60);
+        assert!(newest.base_stamp > 0, "seeded from a mid-run checkpoint");
+        // Both retained checkpoints are usable: oldest-mode recovery
+        // seeds earlier and replays a longer tail to the same state.
+        let oldest = crate::recover(&store, crate::RecoveryMode::Oldest).unwrap();
+        assert_eq!(oldest.watermark, 60);
+        assert!(oldest.base_stamp < newest.base_stamp);
+        assert_eq!(oldest.state, newest.state);
     }
 
     fn records_in_tail_has_checkpoint(store: &MemStore, segments: &[u64]) -> bool {

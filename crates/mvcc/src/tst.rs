@@ -1,0 +1,141 @@
+//! The transaction status table: one atomic word per transaction id.
+
+use slp_core::TxId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A transaction's lifecycle state as recorded in the status table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxStatus {
+    /// Begun (or never seen) and not yet resolved. Its versions are
+    /// invisible to every snapshot.
+    InProgress,
+    /// Committed at the carried commit stamp: visible to snapshots whose
+    /// `read_stamp` is at or above it.
+    Committed(u64),
+    /// Aborted: its versions are invisible forever — no rollback needed.
+    Aborted,
+}
+
+/// Word encoding: two tag bits, stamp in the upper 62.
+const TAG_MASK: u64 = 0b11;
+const TAG_IN_PROGRESS: u64 = 0b00; // the default (zeroed) state
+const TAG_COMMITTED: u64 = 0b01;
+const TAG_ABORTED: u64 = 0b10;
+
+/// Slots per lazily-allocated chunk.
+const CHUNK: usize = 1 << 12;
+/// Maximum chunks — caps the table at ~16M transaction ids, far above any
+/// run this workspace performs.
+const CHUNKS: usize = 1 << 12;
+
+/// The **sole commit authority** for snapshot visibility: a lock-free
+/// table with one atomic `u64` per transaction id, `InProgress` (the
+/// zeroed default) until a single compare-and-swap flips it to
+/// `Committed(stamp)` or `Aborted`. Readers never lock; writers never
+/// revisit their versions at commit — the flip makes every version the
+/// writer installed visible (or permanently invisible) atomically.
+///
+/// Storage is chunked: a fixed spine of [`OnceLock`] chunks, each
+/// allocated on first touch, so the table grows lock-free without moving
+/// existing slots (no `unsafe`, no RCU).
+pub struct TxStatusTable {
+    chunks: Box<[OnceLock<Box<[AtomicU64]>>]>,
+}
+
+impl Default for TxStatusTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxStatusTable {
+    /// An empty table: every id reads `InProgress`.
+    pub fn new() -> Self {
+        let mut spine = Vec::with_capacity(CHUNKS);
+        spine.resize_with(CHUNKS, OnceLock::new);
+        TxStatusTable {
+            chunks: spine.into_boxed_slice(),
+        }
+    }
+
+    fn slot(&self, tx: TxId) -> &AtomicU64 {
+        let idx = tx.0 as usize;
+        let chunk = idx / CHUNK;
+        assert!(chunk < CHUNKS, "transaction id {tx} beyond status table");
+        let slab = self.chunks[chunk].get_or_init(|| {
+            let mut v = Vec::with_capacity(CHUNK);
+            v.resize_with(CHUNK, AtomicU64::default);
+            v.into_boxed_slice()
+        });
+        &slab[idx % CHUNK]
+    }
+
+    /// The transaction's current status.
+    pub fn status(&self, tx: TxId) -> TxStatus {
+        let w = self.slot(tx).load(Ordering::Acquire);
+        match w & TAG_MASK {
+            TAG_COMMITTED => TxStatus::Committed(w >> 2),
+            TAG_ABORTED => TxStatus::Aborted,
+            _ => TxStatus::InProgress,
+        }
+    }
+
+    /// Flips `tx` to `Committed(stamp)`. Returns `false` when the slot
+    /// was already resolved (the flip did not happen).
+    pub fn commit(&self, tx: TxId, stamp: u64) -> bool {
+        debug_assert!(stamp < 1 << 62, "commit stamp overflows the tag encoding");
+        self.slot(tx)
+            .compare_exchange(
+                TAG_IN_PROGRESS,
+                (stamp << 2) | TAG_COMMITTED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Flips `tx` to `Aborted`. Returns `false` when already resolved.
+    pub fn abort(&self, tx: TxId) -> bool {
+        self.slot(tx)
+            .compare_exchange(
+                TAG_IN_PROGRESS,
+                TAG_ABORTED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_in_progress_and_flips_are_final() {
+        let tst = TxStatusTable::new();
+        let t = TxId(7);
+        assert_eq!(tst.status(t), TxStatus::InProgress);
+        assert!(tst.commit(t, 42));
+        assert_eq!(tst.status(t), TxStatus::Committed(42));
+        assert!(!tst.abort(t), "resolved slots never flip again");
+        assert!(!tst.commit(t, 43));
+        assert_eq!(tst.status(t), TxStatus::Committed(42));
+
+        let a = TxId(8);
+        assert!(tst.abort(a));
+        assert_eq!(tst.status(a), TxStatus::Aborted);
+        assert!(!tst.commit(a, 1));
+    }
+
+    #[test]
+    fn ids_across_chunk_boundaries_are_independent() {
+        let tst = TxStatusTable::new();
+        let lo = TxId(3);
+        let hi = TxId((CHUNK as u32) * 3 + 5);
+        assert!(tst.commit(hi, 9));
+        assert_eq!(tst.status(lo), TxStatus::InProgress);
+        assert_eq!(tst.status(hi), TxStatus::Committed(9));
+    }
+}

@@ -32,9 +32,18 @@
 //!   every stamped step batch to an incremental serialization-graph
 //!   certifier ([`slp_core::IncrementalCertifier`]) as the run executes:
 //!   cycles are detected at the closing edge and surfaced in
-//!   [`RuntimeReport::certification`] ([`CertifyMode::Monitor`]) or halt
-//!   the run ([`CertifyMode::Strict`]), with committed-prefix truncation
-//!   keeping graph memory bounded on million-job runs;
+//!   [`RuntimeReport::certification`] ([`CertifyMode::Monitor`]) or
+//!   broken by aborting the transaction that closed them
+//!   ([`CertifyMode::Strict`], counted in
+//!   [`RuntimeReport::certification_aborts`]), with committed-prefix
+//!   truncation keeping graph memory bounded on million-job runs;
+//! * **MVCC snapshot reads** — [`RuntimeConfig::snapshot_reads`] serves
+//!   read-only jobs from an `slp-mvcc` versioned store: writers install
+//!   versions at grant time and flip visibility atomically at commit (in
+//!   lock order, strictly after the WAL commit record), readers capture a
+//!   [`slp_mvcc::Snapshot`] and never touch the lock service. Snapshot
+//!   reads enter the trace as stamped [`slp_core::ScheduledStep`]s so
+//!   both the online certifier and offline replay cover them;
 //! * [`Metrics`] — a lock-free registry (atomic counters + fixed-bucket
 //!   latency histograms) every run folds into, rendered as a text
 //!   snapshot by [`Metrics::render`] (see `examples/load_service.rs`);
@@ -70,6 +79,10 @@ pub use runner::{CertifyMode, PlannerFactory, Runtime, RuntimeConfig};
 
 // The certifier types a certification verdict exposes.
 pub use slp_core::{CertStats, CertViolation, IncrementalCertifier};
+
+// The MVCC surface a snapshot-read run touches (the store internals stay
+// in `slp_mvcc`).
+pub use slp_mvcc::{Snapshot, TxStatus, VisibilityRule};
 
 // The durability surface a durable run touches: create a log, run against
 // it, recover after a crash. (The fault-injection stores and frame-level

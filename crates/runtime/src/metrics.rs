@@ -103,6 +103,8 @@ pub struct Metrics {
     pub policy_aborts: Counter,
     /// Deadlock-victim aborts.
     pub deadlock_aborts: Counter,
+    /// Strict-certification cycle-victim aborts.
+    pub certification_aborts: Counter,
     /// Jobs dropped on fatal violations.
     pub rejected: Counter,
     /// Attempts cut short by the wall-clock guard or a strict-mode halt.
@@ -116,6 +118,8 @@ pub struct Metrics {
     /// Park-timeout backstop firings (lost-wakeup evidence under a
     /// generous timeout).
     pub park_timeouts: Counter,
+    /// Versioned reads served from MVCC snapshots (no lock service).
+    pub snapshot_reads: Counter,
     /// WAL records appended.
     pub wal_records: Counter,
     /// WAL bytes appended.
@@ -160,12 +164,15 @@ impl Metrics {
         self.committed.add(report.committed as u64);
         self.policy_aborts.add(report.policy_aborts as u64);
         self.deadlock_aborts.add(report.deadlock_aborts as u64);
+        self.certification_aborts
+            .add(report.certification_aborts as u64);
         self.rejected.add(report.rejected as u64);
         self.abandoned.add(report.abandoned as u64);
         self.grants.add(report.grants);
         self.conflicts.add(report.lock_waits);
         self.parks.add(report.parks);
         self.park_timeouts.add(report.park_timeouts);
+        self.snapshot_reads.add(report.snapshot_reads);
         if let Some(wal) = &report.wal {
             self.wal_records.add(wal.records);
             self.wal_bytes.add(wal.bytes);
@@ -186,18 +193,20 @@ impl Metrics {
     /// Renders the registry as a text snapshot: `slp_<name> <value>`
     /// lines, histogram as cumulative buckets.
     pub fn render(&self) -> String {
-        let counters: [(&str, &Counter); 19] = [
+        let counters: [(&str, &Counter); 21] = [
             ("runs_total", &self.runs),
             ("attempts_total", &self.attempts),
             ("committed_total", &self.committed),
             ("policy_aborts_total", &self.policy_aborts),
             ("deadlock_aborts_total", &self.deadlock_aborts),
+            ("certification_aborts_total", &self.certification_aborts),
             ("rejected_total", &self.rejected),
             ("abandoned_total", &self.abandoned),
             ("grants_total", &self.grants),
             ("conflicts_total", &self.conflicts),
             ("parks_total", &self.parks),
             ("park_timeouts_total", &self.park_timeouts),
+            ("snapshot_reads_total", &self.snapshot_reads),
             ("wal_records_total", &self.wal_records),
             ("wal_bytes_total", &self.wal_bytes),
             ("wal_syncs_total", &self.wal_syncs),

@@ -1,7 +1,7 @@
 //! Run accounting: the same shape as [`slp_sim::SimReport`] plus
 //! wall-clock throughput and latency percentiles.
 
-use slp_core::{CertStats, CertViolation, Schedule, StructuralState};
+use slp_core::{CertStats, CertViolation, Schedule, StructuralState, TxId};
 use slp_durability::WalSummary;
 use std::time::Duration;
 
@@ -71,11 +71,11 @@ pub struct Certification {
 /// Accounting mirrors the simulator's [`slp_sim::SimReport`]: every
 /// attempt (a `begin`ed — or planned-then-refused — fresh transaction)
 /// ends in exactly one of committed / policy abort / deadlock abort /
-/// rejected / abandoned, so
-/// `attempts == committed + policy_aborts + deadlock_aborts + rejected +
-/// abandoned` always holds ([`RuntimeReport::accounting_balances`]).
-/// `abandoned` is only nonzero when the run [`timed
-/// out`](RuntimeReport::timed_out).
+/// certification abort / rejected / abandoned, so
+/// `attempts == committed + policy_aborts + deadlock_aborts +
+/// certification_aborts + rejected + abandoned` always holds
+/// ([`RuntimeReport::accounting_balances`]). `abandoned` is only nonzero
+/// when the run [`timed out`](RuntimeReport::timed_out).
 #[derive(Clone, Debug)]
 pub struct RuntimeReport {
     /// Policy name.
@@ -90,6 +90,13 @@ pub struct RuntimeReport {
     /// Aborts chosen to break waits-for deadlocks (the requester that
     /// closed the cycle, as in the simulator).
     pub deadlock_aborts: usize,
+    /// Aborts chosen by [`Strict`](crate::CertifyMode::Strict) online
+    /// certification to break a serialization-graph cycle: the
+    /// transaction whose commit (or snapshot read) closed the cycle is
+    /// aborted, its node retracted, and the run continues. The first
+    /// caught cycle is preserved in
+    /// [`certification`](RuntimeReport::certification).
+    pub certification_aborts: usize,
     /// Jobs dropped on a fatal violation (malformed request — retrying
     /// can never succeed; the shared [`slp_sim::Disposition`] rule).
     pub rejected: usize,
@@ -114,6 +121,12 @@ pub struct RuntimeReport {
     /// holder can legitimately out-sleep a waiter, so small counts there
     /// are noise, not lost wakeups.)
     pub park_timeouts: u64,
+    /// Versioned reads served from MVCC snapshots (one per target of
+    /// every read-only job taking the snapshot path; zero unless
+    /// [`crate::RuntimeConfig::snapshot_reads`] is on). Snapshot reads
+    /// never touch the lock service, so a pure-read workload with this
+    /// nonzero shows `grants == 0` and `lock_waits == 0`.
+    pub snapshot_reads: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Whether the wall-clock guard expired before the job queue drained.
@@ -124,6 +137,10 @@ pub struct RuntimeReport {
     pub schedule: Schedule,
     /// The structural state when the run started (for properness replay).
     pub initial: StructuralState,
+    /// Every transaction that aborted (policy, deadlock, certification,
+    /// or abandonment) and may have left steps in the trace — the abort
+    /// set for offline [`slp_core::is_serializable_with_aborts`] replay.
+    pub aborted: Vec<TxId>,
     /// Commit-latency percentiles.
     pub latency: LatencySummary,
     /// Write-ahead log counters when the run was durable
@@ -159,13 +176,14 @@ impl RuntimeReport {
     }
 
     /// Whether every attempt is accounted for:
-    /// `attempts == committed + policy_aborts + deadlock_aborts + rejected
-    /// + abandoned`.
+    /// `attempts == committed + policy_aborts + deadlock_aborts +
+    /// certification_aborts + rejected + abandoned`.
     pub fn accounting_balances(&self) -> bool {
         self.attempts
             == self.committed
                 + self.policy_aborts
                 + self.deadlock_aborts
+                + self.certification_aborts
                 + self.rejected
                 + self.abandoned
     }

@@ -12,9 +12,10 @@
 
 use crate::metrics::Metrics;
 use crate::report::{Certification, LatencySummary, RuntimeReport};
-use crate::service::{BatchOutcome, LockService};
+use crate::service::{BatchOutcome, LockService, MvccState};
 use slp_core::{Schedule, ScheduledStep, StructuralState, TxId};
 use slp_durability::{Store, Wal, WalConfig, WalError};
+use slp_mvcc::VisibilityRule;
 use slp_policies::{
     PolicyAction, PolicyConfig, PolicyEngine, PolicyKind, PolicyRegistry, PolicyViolation,
     RegistryError,
@@ -46,10 +47,13 @@ pub enum CertifyMode {
     /// Certify and report: a detected cycle is latched into the report
     /// but the run completes normally.
     Monitor,
-    /// Certify and halt: the first detected cycle stops the run (workers
-    /// drain as if the wall-clock guard expired; unfinished jobs count as
-    /// abandoned). For policies that must never emit one, running on is
-    /// pointless; for mutants, halting bounds the damage.
+    /// Certify and recover: every commit (and snapshot read) is certified
+    /// *before* it takes effect; one that would close a
+    /// serialization-graph cycle is aborted instead — its node retracted,
+    /// its commit record withheld — and the run continues. Aborts are
+    /// counted in [`RuntimeReport::certification_aborts`] and the first
+    /// caught cycle is preserved in the report's
+    /// [`Certification::violation`].
     Strict,
 }
 
@@ -92,6 +96,17 @@ pub struct RuntimeConfig {
     /// default; overridable via `SLP_RUNTIME_CERTIFY`
     /// ([`env_certify`](RuntimeConfig::env_certify))).
     pub certify_online: CertifyMode,
+    /// Serve read-only jobs from MVCC snapshots: writers install
+    /// versions at grant time and flip visibility at commit, readers
+    /// capture a snapshot and never touch the lock service. Off by
+    /// default; overridable via `SLP_RUNTIME_SNAPSHOT_READS`
+    /// ([`env_snapshot_reads`](RuntimeConfig::env_snapshot_reads)).
+    pub snapshot_reads: bool,
+    /// **Scripted negative control**: apply the deliberately broken
+    /// visibility rule (snapshots dirty-read in-progress writers) so the
+    /// online certifier's detection path can be exercised end to end.
+    /// Never set outside mutant tests.
+    pub broken_visibility: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -106,6 +121,8 @@ impl Default for RuntimeConfig {
             max_wall: Duration::from_secs(30),
             step_yield: true,
             certify_online: CertifyMode::Off,
+            snapshot_reads: false,
+            broken_visibility: false,
         }
     }
 }
@@ -170,6 +187,21 @@ impl RuntimeConfig {
             })
     }
 
+    /// Whether the environment requests MVCC snapshot reads, if set:
+    /// `SLP_RUNTIME_SNAPSHOT_READS` ∈ {`on`, `off`}. Same contract as
+    /// [`env_workers`](RuntimeConfig::env_workers): `None` when unset,
+    /// panic on anything else — a typo'd override must not silently fall
+    /// back.
+    pub fn env_snapshot_reads() -> Option<bool> {
+        std::env::var("SLP_RUNTIME_SNAPSHOT_READS")
+            .ok()
+            .map(|v| match v.as_str() {
+                "on" => true,
+                "off" => false,
+                other => panic!("SLP_RUNTIME_SNAPSHOT_READS must be on|off, got {other:?}"),
+            })
+    }
+
     fn env_micros(var: &str) -> Option<Duration> {
         std::env::var(var).ok().map(|v| {
             let us = v
@@ -183,9 +215,10 @@ impl RuntimeConfig {
 
     /// This config with every environment override applied
     /// (`SLP_RUNTIME_THREADS`, `SLP_RUNTIME_PARK_TIMEOUT_US`,
-    /// `SLP_RUNTIME_BACKOFF_CAP_US`, `SLP_RUNTIME_CERTIFY`). The examples
-    /// and stress suites run their configs through this so a CI matrix
-    /// can retune the runtime without touching code.
+    /// `SLP_RUNTIME_BACKOFF_CAP_US`, `SLP_RUNTIME_CERTIFY`,
+    /// `SLP_RUNTIME_SNAPSHOT_READS`). The examples and stress suites run
+    /// their configs through this so a CI matrix can retune the runtime
+    /// without touching code.
     pub fn with_env_overrides(mut self) -> Self {
         if let Some(workers) = Self::env_workers() {
             self.workers = workers;
@@ -198,6 +231,9 @@ impl RuntimeConfig {
         }
         if let Some(certify) = Self::env_certify() {
             self.certify_online = certify;
+        }
+        if let Some(snapshot) = Self::env_snapshot_reads() {
+            self.snapshot_reads = snapshot;
         }
         self
     }
@@ -345,7 +381,20 @@ impl Runtime {
     ) -> RuntimeReport {
         let initial = self.initial_state();
         let engine = self.engine.take().expect("engine present between runs");
-        let service = LockService::new(engine, config.stripes, wal.clone(), config.certify_online);
+        let mvcc = config.snapshot_reads.then(|| {
+            MvccState::new(if config.broken_visibility {
+                VisibilityRule::Broken
+            } else {
+                VisibilityRule::Correct
+            })
+        });
+        let service = LockService::new(
+            engine,
+            config.stripes,
+            wal.clone(),
+            config.certify_online,
+            mvcc,
+        );
         let next_job = AtomicUsize::new(0);
         let next_tx = AtomicU32::new(1);
         let start = Instant::now();
@@ -383,9 +432,11 @@ impl Runtime {
 
         let mut entries: Vec<(u64, ScheduledStep)> = Vec::new();
         let mut latencies: Vec<u64> = Vec::new();
+        let mut aborted: Vec<TxId> = Vec::new();
         for out in outputs {
             entries.extend(out.trace);
             latencies.extend(out.latencies_us);
+            aborted.extend(out.aborted);
         }
         let schedule = if entries.is_empty() {
             // No step was ever granted (e.g. an already-expired deadline):
@@ -404,6 +455,7 @@ impl Runtime {
             committed: c.committed.load(Ordering::Relaxed),
             policy_aborts: c.policy_aborts.load(Ordering::Relaxed),
             deadlock_aborts: c.deadlock_aborts.load(Ordering::Relaxed),
+            certification_aborts: c.certification_aborts.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
             abandoned: c.abandoned.load(Ordering::Relaxed),
             attempts: c.attempts.load(Ordering::Relaxed),
@@ -411,19 +463,25 @@ impl Runtime {
             grants: c.grants.load(Ordering::Relaxed),
             parks: c.parks.load(Ordering::Relaxed),
             park_timeouts: c.park_timeouts.load(Ordering::Relaxed),
+            snapshot_reads: c.snapshot_reads.load(Ordering::Relaxed),
             elapsed,
             timed_out: c.timed_out.load(Ordering::Relaxed),
             schedule,
             initial,
+            aborted,
             latency: LatencySummary::from_micros(latencies),
             wal: wal_summary,
             certification: None,
         };
+        let recovered = service.recovered_violation();
         let (engine, certifier) = service.into_parts();
         self.engine = Some(engine);
         report.certification = certifier.map(|cert| Certification {
             strict: config.certify_online == CertifyMode::Strict,
-            violation: cert.violation().cloned(),
+            // A strict run that recovered cleared the certifier's own
+            // latch; the service kept the first caught cycle for the
+            // report.
+            violation: cert.violation().cloned().or(recovered),
             stats: cert.stats(),
         });
         self.metrics.record_run(&report);
@@ -431,11 +489,14 @@ impl Runtime {
     }
 }
 
-/// What one worker brings home: its slice of the sequence-stamped trace
-/// and the latencies of the jobs it committed.
+/// What one worker brings home: its slice of the sequence-stamped trace,
+/// the latencies of the jobs it committed, and the transactions it
+/// aborted (the report's input to
+/// [`slp_core::is_serializable_with_aborts`]).
 struct WorkerOutput {
     trace: Vec<(u64, ScheduledStep)>,
     latencies_us: Vec<u64>,
+    aborted: Vec<TxId>,
 }
 
 /// How one attempt ended (the worker decides what happens to the job).
@@ -461,6 +522,7 @@ fn worker_loop(
     let mut out = WorkerOutput {
         trace: Vec::new(),
         latencies_us: Vec::new(),
+        aborted: Vec::new(),
     };
     loop {
         let ji = next_job.fetch_add(1, Ordering::Relaxed);
@@ -476,7 +538,7 @@ fn worker_loop(
                 next_tx,
                 config,
                 deadline,
-                &mut out.trace,
+                &mut out,
             );
             match end {
                 AttemptEnd::Committed => {
@@ -506,6 +568,7 @@ fn worker_loop(
 /// is bumped per call (the invariant behind
 /// [`RuntimeReport::accounting_balances`]); `Abandoned` is the exception —
 /// its counter is bumped by the caller, which also flags the timeout.
+#[allow(clippy::too_many_arguments)]
 fn run_attempt(
     service: &LockService,
     planner: &mut dyn ActionPlanner,
@@ -513,8 +576,9 @@ fn run_attempt(
     next_tx: &AtomicU32,
     config: &RuntimeConfig,
     deadline: Instant,
-    trace: &mut Vec<(u64, ScheduledStep)>,
+    out: &mut WorkerOutput,
 ) -> AttemptEnd {
+    let WorkerOutput { trace, aborted, .. } = out;
     let c = &service.counters;
     // Count the attempt before anything can cut it short, so every exit
     // path (commit, abort, reject, abandon) balances against it.
@@ -524,6 +588,19 @@ fn run_attempt(
         return AttemptEnd::Abandoned;
     }
     let tx = TxId(next_tx.fetch_add(1, Ordering::Relaxed));
+    if job.read_only && service.snapshot_reads_enabled() {
+        // The MVCC read path: capture a snapshot and read versions — no
+        // lock service, no engine lock, no waits-for edges. The only way
+        // this fails is a strict-mode certification abort.
+        return if service.snapshot_read(tx, &job.targets, trace) {
+            c.committed.fetch_add(1, Ordering::Relaxed);
+            AttemptEnd::Committed
+        } else {
+            c.certification_aborts.fetch_add(1, Ordering::Relaxed);
+            aborted.push(tx);
+            AttemptEnd::Retry
+        };
+    }
     // Everything this attempt records lands at or after this index; the
     // whole range feeds the online certifier in one batch at finish/abort.
     let cert_from = trace.len();
@@ -541,6 +618,7 @@ fn run_attempt(
                 // Misconfigured pairing: retire the just-begun transaction
                 // so the engine holds no planless state (adapter rule).
                 service.abort(tx, trace, cert_from);
+                aborted.push(tx);
                 return classify(c, &PolicyViolation::NoPlan(tx));
             }
         },
@@ -552,6 +630,7 @@ fn run_attempt(
         if Instant::now() > deadline || halted() {
             service.clear_wait(tx);
             service.abort(tx, trace, cert_from);
+            aborted.push(tx);
             return AttemptEnd::Abandoned;
         }
         match service.request_batch(tx, &plan[cursor..], config.grant_batch, trace) {
@@ -563,6 +642,7 @@ fn run_attempt(
             }
             BatchOutcome::Violation { violation } => {
                 service.abort(tx, trace, cert_from);
+                aborted.push(tx);
                 return classify(c, &violation);
             }
             BatchOutcome::Conflict {
@@ -602,12 +682,14 @@ fn run_attempt(
                         // requester is the victim (simulator rule).
                         service.clear_wait(tx);
                         service.abort(tx, trace, cert_from);
+                        aborted.push(tx);
                         c.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
                         return AttemptEnd::Retry;
                     }
                     if Instant::now() > deadline || halted() {
                         service.clear_wait(tx);
                         service.abort(tx, trace, cert_from);
+                        aborted.push(tx);
                         return AttemptEnd::Abandoned;
                     }
                     service.park(entity, gen, config.park_timeout);
@@ -619,6 +701,7 @@ fn run_attempt(
                         }
                         BatchOutcome::Violation { violation } => {
                             service.abort(tx, trace, cert_from);
+                            aborted.push(tx);
                             return classify(c, &violation);
                         }
                         BatchOutcome::Conflict {
@@ -638,12 +721,22 @@ fn run_attempt(
         }
     }
     match service.finish(tx, trace, cert_from) {
-        Ok(()) => {
+        Ok(true) => {
             c.committed.fetch_add(1, Ordering::Relaxed);
             AttemptEnd::Committed
         }
+        Ok(false) => {
+            // Strict certification aborted the commit: the engine released
+            // the locks, the service kept the commit record out of the log
+            // and marked the transaction aborted in the status table. The
+            // job restarts as a fresh transaction.
+            c.certification_aborts.fetch_add(1, Ordering::Relaxed);
+            aborted.push(tx);
+            AttemptEnd::Retry
+        }
         Err(v) => {
             service.abort(tx, trace, cert_from);
+            aborted.push(tx);
             classify(c, &v)
         }
     }

@@ -36,8 +36,12 @@
 
 use crate::runner::CertifyMode;
 use rustc_hash::FxHashMap;
-use slp_core::{EntityId, IncrementalCertifier, ScheduledStep, Step, TxId};
+use slp_core::{
+    CertViolation, DataOp, EntityId, IncrementalCertifier, LockMode, Operation, ScheduledStep,
+    Step, TxId, VersionedRead,
+};
 use slp_durability::Wal;
+use slp_mvcc::{CommitPipeline, MvccStore, VisibilityRule};
 use slp_policies::{AccessIntent, PolicyAction, PolicyEngine, PolicyResponse, PolicyViolation};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -80,15 +84,43 @@ pub(crate) struct Counters {
     pub deadlock_aborts: AtomicUsize,
     pub rejected: AtomicUsize,
     pub abandoned: AtomicUsize,
+    /// Transactions aborted by strict-mode certification recovery (the
+    /// cycle victim was retracted and its job retried).
+    pub certification_aborts: AtomicUsize,
     pub lock_waits: AtomicU64,
     pub park_timeouts: AtomicU64,
     pub grants: AtomicU64,
     pub parks: AtomicU64,
+    /// MVCC snapshot read steps served without touching the lock service.
+    pub snapshot_reads: AtomicU64,
     pub timed_out: AtomicBool,
-    /// Set by the strict-mode certifier on the first violation: workers
-    /// treat it like an expired deadline and drain (their jobs are
-    /// abandoned, so accounting still balances).
+    /// Backstop only: set when strict certification latches a cycle it
+    /// cannot recover from by retracting the feeding transaction (which
+    /// should be impossible — every edge a feed adds touches the feeder).
+    /// Workers treat it like an expired deadline and drain.
     pub halted: AtomicBool,
+}
+
+/// The MVCC side of a run with snapshot reads enabled: the versioned
+/// store writers install into at grant time, the commit pipeline that
+/// orders status-table flips into serialization order, and the
+/// visibility rule snapshot reads apply ([`VisibilityRule::Broken`] only
+/// in the scripted negative control).
+pub(crate) struct MvccState {
+    pub store: MvccStore,
+    pub pipeline: CommitPipeline,
+    pub rule: VisibilityRule,
+}
+
+impl MvccState {
+    /// A fresh store + pipeline applying `rule`.
+    pub fn new(rule: VisibilityRule) -> Self {
+        MvccState {
+            store: MvccStore::new(),
+            pipeline: CommitPipeline::new(),
+            rule,
+        }
+    }
 }
 
 /// The shared front-end the worker threads drive.
@@ -109,12 +141,42 @@ pub(crate) struct LockService {
     /// its mutex never sits on the serialization point.
     certifier: Option<CertChannel>,
     strict_certify: bool,
+    /// Versioned store + commit pipeline when the run serves snapshot
+    /// reads ([`crate::RuntimeConfig::snapshot_reads`]), else `None` and
+    /// the MVCC paths cost nothing.
+    mvcc: Option<MvccState>,
+    /// The first cycle strict-mode certification caught and recovered
+    /// from by retraction — kept for the report (the certifier's own
+    /// latch is cleared by the recovery).
+    first_violation: Mutex<Option<CertViolation>>,
     pub counters: Counters,
 }
 
-/// A stamped batch parked in the spill lane, with the transaction to
-/// seal after feeding it (when the attempt ended).
-type SpilledBatch = (Vec<(u64, ScheduledStep)>, Option<TxId>);
+/// A batch parked in the spill lane, with the transaction to seal after
+/// feeding it (and whether it aborted) when the attempt ended.
+enum SpilledBatch {
+    /// A stamped step batch (locked accesses).
+    Steps(Vec<(u64, ScheduledStep)>, Option<(TxId, bool)>),
+    /// A snapshot-read batch with explicit pivots; the reader seals
+    /// (committed) after feeding.
+    Reads(Vec<VersionedRead>, TxId),
+}
+
+/// Feeds one batch — spilled or fresh — to the certifier.
+fn feed(cert: &mut IncrementalCertifier, batch: SpilledBatch) {
+    match batch {
+        SpilledBatch::Steps(steps, seal) => {
+            cert.observe_trace(&steps);
+            if let Some((tx, aborted)) = seal {
+                cert.seal_with(tx, aborted);
+            }
+        }
+        SpilledBatch::Reads(reads, tx) => {
+            cert.observe_snapshot_reads(&reads);
+            cert.seal_with(tx, false);
+        }
+    }
+}
 
 /// The certifier and its overflow lane. Feeding never blocks on the
 /// graph: a worker that loses the `try_lock` race copies its batch into
@@ -141,6 +203,7 @@ impl LockService {
         stripes: usize,
         wal: Option<Arc<Wal>>,
         certify: CertifyMode,
+        mvcc: Option<MvccState>,
     ) -> Self {
         LockService {
             engine: RwLock::new(engine),
@@ -159,8 +222,25 @@ impl LockService {
                 spilled: AtomicUsize::new(0),
             }),
             strict_certify: certify == CertifyMode::Strict,
+            mvcc,
+            first_violation: Mutex::new(None),
             counters: Counters::default(),
         }
+    }
+
+    /// Whether this run serves read-only jobs from MVCC snapshots.
+    pub fn snapshot_reads_enabled(&self) -> bool {
+        self.mvcc.is_some()
+    }
+
+    /// The first cycle strict-mode certification caught (and recovered
+    /// from by retracting the victim) — the certifier's own latch is
+    /// cleared by the recovery, so the report reads it from here.
+    pub fn recovered_violation(&self) -> Option<CertViolation> {
+        self.first_violation
+            .lock()
+            .expect("violation latch poisoned")
+            .clone()
     }
 
     /// Recovers the engine and the certifier after the run (all workers
@@ -171,11 +251,8 @@ impl LockService {
             self.certifier.map(|ch| {
                 let mut cert = ch.graph.into_inner().expect("certifier lock poisoned");
                 // Batches spilled after the last holder's drain pass.
-                for (batch, seal) in ch.spill.into_inner().expect("spill lock poisoned") {
-                    cert.observe_trace(&batch);
-                    if let Some(tx) = seal {
-                        cert.seal(tx);
-                    }
+                for batch in ch.spill.into_inner().expect("spill lock poisoned") {
+                    feed(&mut cert, batch);
                 }
                 cert
             }),
@@ -287,11 +364,15 @@ impl LockService {
     /// verdict, and one graph acquisition per attempt keeps the certifier
     /// off the grant path. The acquisition is a `try_lock`: a worker that
     /// loses the race spills a copy of its batch instead of blocking (see
-    /// [`CertChannel`]), so certification never convoys the workers. In
-    /// strict mode a latched violation raises the halt flag — workers
-    /// treat it like an expired deadline; spilled batches can defer the
-    /// halt by an attempt, never the verdict.
-    fn certify_recorded(&self, trace: &[(u64, ScheduledStep)], from: usize, seal: Option<TxId>) {
+    /// [`CertChannel`]), so certification never convoys the workers.
+    /// Monitor mode only — strict mode certifies through
+    /// [`certify_strict`](LockService::certify_strict).
+    fn certify_recorded(
+        &self,
+        trace: &[(u64, ScheduledStep)],
+        from: usize,
+        seal: Option<(TxId, bool)>,
+    ) {
         let Some(ch) = &self.certifier else {
             return;
         };
@@ -301,39 +382,116 @@ impl LockService {
         let mut cert = match ch.graph.try_lock() {
             Ok(cert) => cert,
             Err(std::sync::TryLockError::WouldBlock) => {
-                let batch = trace[from..].to_vec();
-                let mut spill = ch.spill.lock().expect("spill lock poisoned");
-                spill.push((batch, seal));
-                // Updated under the spill lock, so the counter always
-                // agrees with the contents.
-                ch.spilled.store(spill.len(), Ordering::Release);
+                self.spill(ch, SpilledBatch::Steps(trace[from..].to_vec(), seal));
                 return;
             }
             Err(std::sync::TryLockError::Poisoned(_)) => panic!("certifier lock poisoned"),
         };
-        cert.observe_trace(&trace[from..]);
-        if let Some(tx) = seal {
-            cert.seal(tx);
+        feed(&mut cert, SpilledBatch::Steps(trace[from..].to_vec(), seal));
+        self.drain_spill(ch, &mut cert);
+    }
+
+    /// Feeds a read-only job's snapshot reads (monitor mode): same
+    /// try-lock-or-spill discipline as [`certify_recorded`], with the
+    /// explicit-pivot feed path — workers publish out of order, so the
+    /// certifier cannot reconstruct observed versions from arrival state.
+    fn certify_reads(&self, reads: Vec<VersionedRead>, tx: TxId) {
+        let Some(ch) = &self.certifier else {
+            return;
+        };
+        if reads.is_empty() {
+            return;
         }
-        // Drain batches spilled while we held (or raced for) the graph.
-        // Looping until the spill is observed empty shrinks the window a
-        // concurrent spill can land in; anything that still slips through
-        // is drained by the next holder or by `into_parts`.
+        let mut cert = match ch.graph.try_lock() {
+            Ok(cert) => cert,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.spill(ch, SpilledBatch::Reads(reads, tx));
+                return;
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("certifier lock poisoned"),
+        };
+        feed(&mut cert, SpilledBatch::Reads(reads, tx));
+        self.drain_spill(ch, &mut cert);
+    }
+
+    fn spill(&self, ch: &CertChannel, batch: SpilledBatch) {
+        let mut spill = ch.spill.lock().expect("spill lock poisoned");
+        spill.push(batch);
+        // Updated under the spill lock, so the counter always agrees
+        // with the contents.
+        ch.spilled.store(spill.len(), Ordering::Release);
+    }
+
+    /// Drains batches spilled while the caller held (or raced for) the
+    /// graph. Looping until the spill is observed empty shrinks the
+    /// window a concurrent spill can land in; anything that still slips
+    /// through is drained by the next holder or by `into_parts`.
+    fn drain_spill(&self, ch: &CertChannel, cert: &mut IncrementalCertifier) {
         while ch.spilled.load(Ordering::Acquire) != 0 {
             let drained = {
                 let mut spill = ch.spill.lock().expect("spill lock poisoned");
                 ch.spilled.store(0, Ordering::Release);
                 std::mem::take(&mut *spill)
             };
-            for (batch, s) in drained {
-                cert.observe_trace(&batch);
-                if let Some(tx) = s {
-                    cert.seal(tx);
-                }
+            for batch in drained {
+                feed(cert, batch);
             }
         }
-        if self.strict_certify && cert.violation().is_some() {
+    }
+
+    /// Strict-mode certification of one finished attempt: feed + seal
+    /// under a **blocking** graph acquisition (strict mode never spills —
+    /// the latch-and-recover step must be atomic with the feed), and
+    /// *recover* from a latched violation instead of halting. Every edge
+    /// a feed inserts touches the feeding transaction (its own steps, or
+    /// parked edges flushed at its seal), so a cycle latched here always
+    /// runs through `tx`: retracting `tx` from the graph breaks the
+    /// cycle, clears the latch, and the run continues — the committed
+    /// remainder stays certified-acyclic. Returns `true` when a
+    /// *committing* `tx` was certification-aborted (the caller must not
+    /// make it durable or visible); for an already-aborting `tx` the
+    /// retraction is just cleanup and the return is `false`.
+    fn certify_strict(
+        &self,
+        tx: TxId,
+        trace: &[(u64, ScheduledStep)],
+        from: usize,
+        reads: Option<&[VersionedRead]>,
+        aborted: bool,
+    ) -> bool {
+        let Some(ch) = &self.certifier else {
+            return false;
+        };
+        let mut cert = ch.graph.lock().expect("certifier lock poisoned");
+        match reads {
+            Some(r) => cert.observe_snapshot_reads(r),
+            None => cert.observe_trace(&trace[from..]),
+        }
+        if cert.violation().is_none() {
+            cert.seal_with(tx, aborted);
+        }
+        let Some(v) = cert.violation().cloned() else {
+            return false;
+        };
+        if v.cycle.contains(&tx) {
+            // Latch the autopsy before recovering: the report must still
+            // show what was caught even though the run continues.
+            let mut first = self
+                .first_violation
+                .lock()
+                .expect("violation latch poisoned");
+            if first.is_none() {
+                *first = Some(v);
+            }
+            drop(first);
+            cert.retract(tx);
+            !aborted
+        } else {
+            // A cycle not through the feeder cannot be recovered here; it
+            // should be impossible (see above). Halt rather than
+            // mis-certify.
             self.counters.halted.store(true, Ordering::Relaxed);
+            false
         }
     }
 
@@ -341,10 +499,28 @@ impl LockService {
     /// sequence numbers. Must be called while the engine write lock is
     /// held: the stamp order is then exactly the engine's serialization
     /// order, which is what makes the merged trace a faithful schedule.
+    /// With MVCC enabled, the same engine-locked section also installs
+    /// versions (writes/inserts/deletes) into the store and registers
+    /// lock grants with the commit pipeline — so version install order
+    /// matches the serialization order the stamps record.
     fn record(&self, tx: TxId, steps: Vec<Step>, trace: &mut Vec<(u64, ScheduledStep)>) {
         let base = self.seq.fetch_add(steps.len() as u64, Ordering::Relaxed);
         for (i, s) in steps.into_iter().enumerate() {
-            trace.push((base + i as u64, ScheduledStep::new(tx, s)));
+            let stamp = base + i as u64;
+            if let Some(m) = &self.mvcc {
+                match s.op {
+                    Operation::Lock(mode) => {
+                        m.pipeline
+                            .note_lock(tx, s.entity, mode == LockMode::Exclusive)
+                    }
+                    Operation::Data(DataOp::Write) | Operation::Data(DataOp::Insert) => {
+                        m.store.install(s.entity, tx, stamp)
+                    }
+                    Operation::Data(DataOp::Delete) => m.store.delete(s.entity, tx, stamp),
+                    _ => {}
+                }
+            }
+            trace.push((stamp, ScheduledStep::new(tx, s)));
         }
     }
 
@@ -358,14 +534,21 @@ impl LockService {
         planner.plan(&**engine, job)
     }
 
-    /// Begins `tx`; returns the engine's precomputed plan if any.
+    /// Begins `tx`; returns the engine's precomputed plan if any. With
+    /// MVCC enabled the transaction also registers as a writer with the
+    /// commit pipeline (its status-table flip orders behind lock-order
+    /// predecessors).
     pub fn begin(
         &self,
         tx: TxId,
         intent: &AccessIntent,
     ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
         let mut engine = self.engine.write().expect("engine lock poisoned");
-        engine.begin(tx, intent)
+        let plan = engine.begin(tx, intent)?;
+        if let Some(m) = &self.mvcc {
+            m.pipeline.begin_writer(tx);
+        }
+        Ok(plan)
     }
 
     /// Requests up to `max` consecutive actions of `plan` for `tx` under
@@ -424,13 +607,16 @@ impl LockService {
     /// Finishes `tx`, recording its final unlocks. `cert_from` is the
     /// trace index where the attempt began: everything the attempt
     /// recorded (`trace[cert_from..]`) is fed to the online certifier in
-    /// one batch.
+    /// one batch. Returns `Ok(true)` on commit; `Ok(false)` when strict
+    /// certification recovered by aborting `tx` instead (no commit
+    /// record, no visibility flip — the caller retries the job as a
+    /// fresh transaction).
     pub fn finish(
         &self,
         tx: TxId,
         trace: &mut Vec<(u64, ScheduledStep)>,
         cert_from: usize,
-    ) -> Result<(), PolicyViolation> {
+    ) -> Result<bool, PolicyViolation> {
         let from = trace.len();
         {
             let mut engine = self.engine.write().expect("engine lock poisoned");
@@ -439,9 +625,26 @@ impl LockService {
         }
         self.wake_recorded(trace, from);
         self.log_recorded(trace, from);
+        if self.strict_certify && self.certify_strict(tx, trace, cert_from, None, false) {
+            // Certification abort: the transaction's recorded steps stay
+            // in the trace and the log (like any aborted transaction's),
+            // but it gets no commit record and its versions never become
+            // visible.
+            if let Some(m) = &self.mvcc {
+                m.pipeline.abort(tx);
+            }
+            return Ok(false);
+        }
         self.log_commit(tx, trace);
-        self.certify_recorded(trace, cert_from, Some(tx));
-        Ok(())
+        if let Some(m) = &self.mvcc {
+            // Visibility flip strictly after the commit record: a
+            // snapshot never observes a writer the log could lose.
+            m.pipeline.commit(tx);
+        }
+        if !self.strict_certify {
+            self.certify_recorded(trace, cert_from, Some((tx, false)));
+        }
+        Ok(true)
     }
 
     /// Aborts `tx`, recording the unlocks it still held. `cert_from` as
@@ -454,12 +657,75 @@ impl LockService {
             self.record(tx, steps, trace);
         }
         self.wake_recorded(trace, from);
+        if let Some(m) = &self.mvcc {
+            // Aborts resolve immediately (nothing becomes visible) and
+            // release any commit-pipeline dependents waiting on `tx`.
+            m.pipeline.abort(tx);
+        }
         // Aborted transactions log their unlock steps (the trace replica
         // must stay lossless) but never a commit record. The certifier
-        // seals them like commits: aborted transactions take no further
-        // steps either, which is all truncation needs.
+        // seals them as *aborted*: they take no further steps (all
+        // truncation needs) and parked snapshot-read edges against their
+        // versions dissolve instead of materializing.
         self.log_recorded(trace, from);
-        self.certify_recorded(trace, cert_from, Some(tx));
+        if self.strict_certify {
+            let _ = self.certify_strict(tx, trace, cert_from, None, true);
+        } else {
+            self.certify_recorded(trace, cert_from, Some((tx, true)));
+        }
+    }
+
+    /// Serves a read-only job from an MVCC snapshot: captures a read
+    /// view under the commit-pipeline gate (claiming a dense block of
+    /// trace stamps for the reads), scans version chains for the visible
+    /// version of each target, and records the observations as stamped
+    /// snapshot-read steps — **without ever touching the policy engine,
+    /// the lock table, or a parking stripe**. Returns `false` when strict
+    /// certification recovered by retracting the reader (the caller
+    /// retries with a fresh snapshot).
+    pub fn snapshot_read(
+        &self,
+        tx: TxId,
+        targets: &[EntityId],
+        trace: &mut Vec<(u64, ScheduledStep)>,
+    ) -> bool {
+        let m = self
+            .mvcc
+            .as_ref()
+            .expect("snapshot read without an MVCC store");
+        let from = trace.len();
+        let snap = m.pipeline.capture(targets.len(), |n| {
+            self.seq.fetch_add(n as u64, Ordering::Relaxed)
+        });
+        let tst = m.pipeline.status_table();
+        let mut reads = Vec::with_capacity(targets.len());
+        for (i, &entity) in targets.iter().enumerate() {
+            let obs = m.store.read(entity, &snap, tst, m.rule);
+            let stamp = snap.base_stamp + i as u64;
+            trace.push((
+                stamp,
+                ScheduledStep::snapshot_read(tx, entity, obs.observed),
+            ));
+            reads.push(VersionedRead {
+                stamp,
+                tx,
+                entity,
+                observed: obs.observed,
+                pivot: obs.pivot,
+            });
+        }
+        self.counters
+            .snapshot_reads
+            .fetch_add(targets.len() as u64, Ordering::Relaxed);
+        // Reader steps are logged (the recovered trace must stay dense)
+        // but a read-only transaction needs no commit record.
+        self.log_recorded(trace, from);
+        if self.strict_certify {
+            !self.certify_strict(tx, trace, from, Some(&reads), false)
+        } else {
+            self.certify_reads(reads, tx);
+            true
+        }
     }
 
     /// Records that `tx` waits for `holder` and walks the waits-for chain:
@@ -516,7 +782,7 @@ mod tests {
         let engine = PolicyRegistry::new()
             .build(PolicyKind::TwoPhase, &PolicyConfig::flat(vec![EntityId(0)]))
             .expect("2PL builds");
-        LockService::new(engine, 1, None, CertifyMode::Off)
+        LockService::new(engine, 1, None, CertifyMode::Off, None)
     }
 
     /// Forces one instance of the race the fix targets: a parker whose

@@ -135,6 +135,7 @@ fn every_sampled_byte_prefix_recovers_a_certified_prefix() {
         group_commit: 1,
         checkpoint_every: 16,
         segment_bytes: 2048,
+        ..WalConfig::default()
     };
     let (report, handle) = durable_run(
         PolicyKind::TwoPhase,
@@ -225,6 +226,7 @@ fn run_crash_case(seed: u64, case: u32, rng: &mut TestRng) {
         segment_bytes: [256, 1024, 64 * 1024][rng.below(3) as usize],
         group_commit: 1 + rng.below(8) as usize,
         checkpoint_every: [0, 8, 32][rng.below(3) as usize],
+        ..WalConfig::default()
     };
     let workers = 1 + rng.below(4) as usize;
     let kind = if rng.below(2) == 0 {

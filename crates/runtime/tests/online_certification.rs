@@ -221,9 +221,9 @@ fn mutant_ddag_no_all_preds_agrees_and_flags_the_closing_edge() {
 }
 
 #[test]
-fn strict_mode_halts_on_a_violation_without_corrupting_accounting() {
+fn strict_mode_recovers_by_aborting_the_cycle_victim_and_running_on() {
     let pool: Vec<EntityId> = (0..16).map(EntityId).collect();
-    let mut halted_once = false;
+    let mut recovered_once = false;
     'sweep: for seed in 0..80u64 {
         for _ in 0..3 {
             let mut rt = Runtime::new(
@@ -240,23 +240,51 @@ fn strict_mode_halts_on_a_violation_without_corrupting_accounting() {
             let report = rt.run(&jobs, &config);
             let cert = report.certification.as_ref().expect("strict run certifies");
             assert!(cert.strict);
-            // A strict halt is not a wall-clock timeout, and accounting
-            // must balance either way (unfinished jobs are abandoned).
-            assert!(!report.timed_out, "strict halt misreported as timeout");
-            assert!(report.accounting_balances(), "unbalanced after halt");
-            if cert.violation.is_some() {
+            // Recovery means the run *finishes*: no halt, no timeout,
+            // and the accounting (including certification aborts)
+            // balances.
+            assert!(!report.timed_out, "strict recovery must not hang");
+            assert!(report.accounting_balances(), "unbalanced after recovery");
+            assert_eq!(
+                cert.violation.is_some(),
+                report.certification_aborts > 0,
+                "the preserved first violation and the abort count must agree"
+            );
+            // The certifier excised every cycle it caught by aborting
+            // the transaction that closed it, so the *committed
+            // projection* — the victims' steps removed wholesale — is
+            // serializable no matter what the mutant admitted. (The raw
+            // trace keeps the victims' locked steps and so keeps the
+            // caught cycle; excision is the recovery claim.)
+            let committed_only = Schedule::from_steps(
+                report
+                    .schedule
+                    .steps()
+                    .iter()
+                    .filter(|s| !report.aborted.contains(&s.tx))
+                    .copied()
+                    .collect(),
+            );
+            assert!(
+                is_serializable(&committed_only),
+                "seed {seed}: committed set nonserializable after strict recovery"
+            );
+            if report.certification_aborts > 0 {
+                // The victims were retried as fresh transactions and the
+                // run still drained the whole queue.
+                assert_eq!(report.committed, jobs.len(), "jobs lost after recovery");
                 assert!(
                     !is_serializable(&report.schedule),
-                    "strict halt on a serializable trace"
+                    "a certification abort implies the raw trace had a cycle"
                 );
-                halted_once = true;
+                recovered_once = true;
                 break 'sweep;
             }
         }
     }
     assert!(
-        halted_once,
-        "strict mode never latched a violation across the mutant sweep"
+        recovered_once,
+        "strict mode never caught a violation across the mutant sweep"
     );
 }
 

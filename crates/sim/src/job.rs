@@ -15,6 +15,11 @@ pub struct Job {
     /// Optional structural mutation (DDAG workloads): insert a fresh node
     /// under an existing parent, connected by a fresh edge.
     pub insert_under: Option<InsertUnder>,
+    /// The job only *reads* its targets. A runtime with MVCC snapshot
+    /// reads enabled serves such a job from a snapshot without touching
+    /// the lock service at all; everywhere else it runs as an ordinary
+    /// locked access (the read-path baseline).
+    pub read_only: bool,
 }
 
 /// Insert `node` as a new child of `parent`.
@@ -32,6 +37,17 @@ impl Job {
         Job {
             targets,
             insert_under: None,
+            read_only: false,
+        }
+    }
+
+    /// A read-only job over the given targets (eligible for the MVCC
+    /// snapshot read path).
+    pub fn read(targets: Vec<EntityId>) -> Self {
+        Job {
+            targets,
+            insert_under: None,
+            read_only: true,
         }
     }
 
@@ -40,6 +56,7 @@ impl Job {
         Job {
             targets: Vec::new(),
             insert_under: Some(InsertUnder { parent, node }),
+            read_only: false,
         }
     }
 
@@ -58,8 +75,12 @@ mod tests {
         let j = Job::access(vec![EntityId(1), EntityId(2)]);
         assert_eq!(j.size(), 2);
         assert!(j.insert_under.is_none());
+        assert!(!j.read_only);
         let j = Job::insert(EntityId(1), EntityId(9));
         assert_eq!(j.size(), 1);
         assert_eq!(j.insert_under.unwrap().parent, EntityId(1));
+        let j = Job::read(vec![EntityId(3)]);
+        assert!(j.read_only);
+        assert_eq!(j.size(), 1);
     }
 }

@@ -37,5 +37,5 @@ pub use engine::{run_sim, LatencyModel, SimConfig, SimReport};
 pub use job::{InsertUnder, Job};
 pub use workload::{
     dag_access_jobs, dag_mixed_jobs, deep_dag_jobs, hot_cold_jobs, layered_dag, long_short_jobs,
-    uniform_jobs, LayeredDag,
+    read_heavy_jobs, uniform_jobs, LayeredDag,
 };

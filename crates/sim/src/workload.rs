@@ -201,6 +201,59 @@ pub fn hot_cold_jobs(
         .collect()
 }
 
+/// A read-heavy mix over a flat pool: with probability `read_prob`
+/// (≈0.95 for the canonical 95/5 split) a job is **read-only** over
+/// hot-set-biased targets, otherwise it is an ordinary writer job with
+/// the same bias. Read targets come from the initial pool, which flat
+/// workloads never delete, so snapshot reads stay proper; a runtime with
+/// MVCC snapshot reads enabled serves the read-only jobs without touching
+/// the lock service, while everywhere else they run as locked accesses —
+/// the same job list thus benchmarks both read paths.
+pub fn read_heavy_jobs(
+    pool: &[EntityId],
+    count: usize,
+    per_job: usize,
+    hot: usize,
+    read_prob: f64,
+    seed: u64,
+) -> Vec<Job> {
+    assert!(hot >= 1 && hot <= pool.len(), "hot set must be within pool");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let read_only = rng.random_bool(read_prob);
+            let k = per_job.min(pool.len());
+            let mut targets: Vec<EntityId> = Vec::with_capacity(k);
+            for _ in 0..k {
+                let source = if rng.random_bool(0.9) {
+                    &pool[..hot]
+                } else {
+                    pool
+                };
+                let fresh: Vec<EntityId> = source
+                    .iter()
+                    .copied()
+                    .filter(|e| !targets.contains(e))
+                    .collect();
+                let fresh = if fresh.is_empty() {
+                    pool.iter()
+                        .copied()
+                        .filter(|e| !targets.contains(e))
+                        .collect()
+                } else {
+                    fresh
+                };
+                targets.push(fresh[rng.random_range(0..fresh.len())]);
+            }
+            if read_only {
+                Job::read(targets)
+            } else {
+                Job::access(targets)
+            }
+        })
+        .collect()
+}
+
 /// Deep-traversal DAG jobs: every target is drawn from the *deepest* layer
 /// of the DAG, so the DDAG planner's dominator closure pulls in long
 /// predecessor chains back to the common dominator — the traversals lock
@@ -307,6 +360,33 @@ mod tests {
             t.dedup();
             assert_eq!(t.len(), 4);
         }
+    }
+
+    #[test]
+    fn read_heavy_jobs_are_mostly_reads_on_the_hot_set() {
+        let pool: Vec<EntityId> = (0..64).map(EntityId).collect();
+        let jobs = read_heavy_jobs(&pool, 200, 3, 4, 0.95, 13);
+        assert_eq!(jobs.len(), 200);
+        let reads = jobs.iter().filter(|j| j.read_only).count();
+        assert!(
+            reads > 160 && reads < 200,
+            "95/5 split should be read-dominated but not pure ({reads}/200)"
+        );
+        let mut hot_touches = 0usize;
+        let mut total = 0usize;
+        for j in &jobs {
+            let mut t = j.targets.clone();
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(t.len(), 3, "targets must be distinct");
+            total += j.targets.len();
+            hot_touches += j.targets.iter().filter(|e| e.0 < 4).count();
+        }
+        assert!(
+            hot_touches * 2 > total,
+            "hot-set bias ({hot_touches}/{total})"
+        );
+        assert_eq!(jobs, read_heavy_jobs(&pool, 200, 3, 4, 0.95, 13));
     }
 
     #[test]

@@ -41,6 +41,7 @@ fn main() {
                 segment_bytes: 4096,
                 group_commit: 4,
                 checkpoint_every: 64,
+                ..WalConfig::default()
             },
         )
         .expect("fresh store"),

@@ -11,6 +11,9 @@
 //!   long scan amid a crowd of short jobs (the \[SGMS94\] workload);
 //! * **structural churn** — the DDAG policy over a growing DAG: fresh
 //!   nodes interned and inserted concurrently with deep traversals;
+//! * **read-heavy** — MVCC snapshot reads on: 90% of the jobs are
+//!   read-only and execute against versioned snapshots without touching
+//!   the lock service, while the writer minority runs locked 2PL;
 //! * **mutant probe** — a negative control: `AltruisticNoWake` (a policy
 //!   with its safety rule ablated) runs in strict certification mode
 //!   until the certifier halts a run at a serialization-graph cycle, and
@@ -26,7 +29,9 @@
 use safe_locking::core::{is_serializable, EntityId};
 use safe_locking::policies::{PolicyConfig, PolicyKind};
 use safe_locking::runtime::{CertifyMode, Runtime, RuntimeConfig, RuntimeReport};
-use safe_locking::sim::{dag_mixed_jobs, hot_cold_jobs, layered_dag, long_short_jobs};
+use safe_locking::sim::{
+    dag_mixed_jobs, hot_cold_jobs, layered_dag, long_short_jobs, read_heavy_jobs,
+};
 
 /// Jobs per safe scenario without flags (quick local run).
 const DEFAULT_JOBS: usize = 2_000;
@@ -172,7 +177,46 @@ fn structural_churn(jobs: usize, workers: usize) -> bool {
     check_safe(&report, work.len(), "structural churn")
 }
 
-/// Scenario 4: mutant probe. `AltruisticNoWake` drops the wake rule that
+/// Scenario 4: read-heavy with MVCC snapshot reads. 90% of the jobs are
+/// read-only and take the snapshot path (no lock requests at all); the
+/// writer minority hammers a 4-entity hot set under 2PL. The run must
+/// certify online like any other safe scenario, and the split between
+/// snapshot reads and lock grants is printed as evidence the read path
+/// really bypassed the lock service.
+fn read_heavy(jobs: usize, workers: usize) -> bool {
+    let pool: Vec<EntityId> = (0..64).map(EntityId).collect();
+    let work = read_heavy_jobs(&pool, jobs, 3, 4, 0.9, 0x5EAD);
+    let reads: u64 = work
+        .iter()
+        .filter(|j| j.read_only)
+        .map(|j| j.targets.len() as u64)
+        .sum();
+    let mut config = load_config(workers);
+    // Pin snapshot reads on after env overrides: the scenario *is* the
+    // snapshot read path.
+    config.snapshot_reads = true;
+    let mut rt = Runtime::new(PolicyKind::TwoPhase, &PolicyConfig::flat(pool)).expect("2PL builds");
+    let report = rt.run(&work, &config);
+    describe(&report, "read-heavy");
+    println!(
+        "  read-heavy: {} snapshot reads vs {} lock grants ({} read-only jobs never \
+         touched the lock service)",
+        report.snapshot_reads,
+        report.grants,
+        work.iter().filter(|j| j.read_only).count()
+    );
+    let mut ok = check_safe(&report, work.len(), "read-heavy");
+    if report.snapshot_reads != reads {
+        eprintln!(
+            "  read-heavy: FAILED — {} snapshot reads recorded, expected {reads}",
+            report.snapshot_reads
+        );
+        ok = false;
+    }
+    ok
+}
+
+/// Scenario 5: mutant probe. `AltruisticNoWake` drops the wake rule that
 /// makes altruistic locking safe; strict-mode certification must halt a
 /// run at the closing edge of a serialization-graph cycle within the
 /// seed sweep, and the halted schedule must replay nonserializable
@@ -249,6 +293,7 @@ fn main() {
         ("hot-key storm", hot_key_storm as fn(usize, usize) -> bool),
         ("long-lived transactions", long_lived),
         ("structural churn", structural_churn),
+        ("read-heavy (snapshot reads)", read_heavy),
     ] {
         println!("scenario: {name}");
         all_ok &= run(jobs, workers);
