@@ -24,12 +24,17 @@ fn pool(n: u32) -> Vec<EntityId> {
     (0..n).map(EntityId).collect()
 }
 
-/// Throughput-oriented config: no per-step yields, batched grants.
+/// Throughput-oriented config: no per-step yields, batched grants. The
+/// grant fast path (on by default since PR 9) is pinned OFF here so the
+/// baseline groups keep measuring the engine path their historical
+/// `BENCH_runtime.json` rows measured; `bench_fast_path` is the group
+/// that toggles it.
 fn bench_config(workers: usize) -> RuntimeConfig {
     RuntimeConfig {
         workers,
         grant_batch: 4,
         step_yield: false,
+        grant_fast_path: false,
         max_wall: Duration::from_secs(60),
         ..Default::default()
     }
@@ -234,6 +239,48 @@ fn bench_read_path(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sharded grant fast path on vs off: 2PL hot/cold contention (the
+/// workload the engine lock serializes hardest) and a 90/10 read-heavy
+/// mix over a wider pool, at 1/2/4/8 workers. On real cores the word-CAS
+/// rows should pull ahead as workers climb; on a single-CPU container
+/// both paths time-slice one core, so the rows bound the fast path's
+/// *overhead* instead (acceptance: within ~5% of the engine path at
+/// every width).
+fn bench_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_fast_path");
+    let p = pool(32);
+    let hot = hot_cold_jobs(&p, 160, 3, 4, 0.8, 42);
+    let wide = pool(64);
+    let reads = read_heavy_jobs(&wide, 160, 3, 4, 0.9, 42);
+    for (name, fast) in [("engine_path", false), ("word_path", true)] {
+        for workers in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("hot_cold/{workers}w")),
+                &fast,
+                |b, &fast| {
+                    let config = RuntimeConfig {
+                        grant_fast_path: fast,
+                        ..bench_config(workers)
+                    };
+                    b.iter(|| black_box(run_flat(PolicyKind::TwoPhase, &p, &hot, &config)));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("read90/{workers}w")),
+                &fast,
+                |b, &fast| {
+                    let config = RuntimeConfig {
+                        grant_fast_path: fast,
+                        ..bench_config(workers)
+                    };
+                    b.iter(|| black_box(run_flat(PolicyKind::TwoPhase, &wide, &reads, &config)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 /// One durable run of `jobs` against `store`; returns the committed count
 /// (and asserts the log never failed — a dead log would make the row
 /// measure nothing).
@@ -326,6 +373,7 @@ criterion_group!(
     bench_trace_replay,
     bench_certification,
     bench_read_path,
+    bench_fast_path,
     bench_durability
 );
 criterion_main!(benches);

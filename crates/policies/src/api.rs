@@ -228,6 +228,33 @@ impl From<TreeLockViolation> for PolicyViolation {
     }
 }
 
+/// How much shared state a grant/refuse decision of this engine reads
+/// ([`PolicyEngine::grant_scope`]).
+///
+/// Schedulers use this to decide whether a request can bypass the
+/// engine's serialization point: a [`GrantScope::PerEntity`] engine
+/// promises that, for the plain lock/access vocabulary
+/// ([`PolicyAction::Lock`] / [`PolicyAction::Access`] /
+/// [`PolicyAction::Read`] / [`PolicyAction::Write`]), granting is purely
+/// a function of the requested entity's *current holder set* — so an
+/// atomic per-entity lock word can take the decision without consulting
+/// the engine at all. The promise extends to release discipline:
+/// fast-path transactions hold every lock to commit (no early release,
+/// no donation wake sets), request no structural mutations, and never
+/// relock — any plan outside that shape must be routed through the
+/// engine, which remains the authority for it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GrantScope {
+    /// A grant may read global policy state (wake sets, the shared graph,
+    /// precomputed plans): every request must serialize on the engine.
+    #[default]
+    Global,
+    /// A grant for the plain lock/access vocabulary depends only on the
+    /// requested entity's holder set: eligible requests may be decided by
+    /// a per-entity atomic lock word, bypassing the engine entirely.
+    PerEntity,
+}
+
 /// The outcome of a [`PolicyEngine::request`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum PolicyResponse {
@@ -380,6 +407,15 @@ pub trait PolicyEngine: Send + Sync {
         None
     }
 
+    /// How much shared state this engine's grant decisions read — see
+    /// [`GrantScope`]. Defaults to [`GrantScope::Global`] (every request
+    /// serializes on the engine); only engines whose grants are purely
+    /// per-entity (a plain exclusive/shared lock manager) should return
+    /// [`GrantScope::PerEntity`].
+    fn grant_scope(&self) -> GrantScope {
+        GrantScope::Global
+    }
+
     /// Concrete-type escape hatch for policy-specific introspection
     /// (e.g. [`crate::DtrEngine::check_delete`] in the DT3 walkthrough).
     fn as_any(&self) -> &dyn Any;
@@ -427,6 +463,10 @@ impl<P: PolicyEngine + ?Sized> PolicyEngine for Box<P> {
 
     fn structural_entities(&self) -> Option<Vec<EntityId>> {
         (**self).structural_entities()
+    }
+
+    fn grant_scope(&self) -> GrantScope {
+        (**self).grant_scope()
     }
 
     fn as_any(&self) -> &dyn Any {

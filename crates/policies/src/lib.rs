@@ -50,7 +50,8 @@ pub mod two_phase;
 
 pub use altruistic::{AltruisticConfig, AltruisticEngine, AltruisticViolation};
 pub use api::{
-    AccessIntent, PlanViolation, PolicyAction, PolicyEngine, PolicyResponse, PolicyViolation,
+    AccessIntent, GrantScope, PlanViolation, PolicyAction, PolicyEngine, PolicyResponse,
+    PolicyViolation,
 };
 pub use ddag::{DdagConfig, DdagEngine, DdagViolation};
 pub use dtr::{DtrEngine, DtrViolation};

@@ -76,7 +76,9 @@ pub fn complies(t: &LockedTransaction) -> bool {
 // ---------------------------------------------------------------------
 
 use crate::altruistic::AltruisticEngine;
-use crate::api::{AccessIntent, PolicyAction, PolicyEngine, PolicyResponse, PolicyViolation};
+use crate::api::{
+    AccessIntent, GrantScope, PolicyAction, PolicyEngine, PolicyResponse, PolicyViolation,
+};
 use slp_core::TxId;
 
 /// Strict 2PL as an online [`PolicyEngine`].
@@ -129,6 +131,16 @@ impl PolicyEngine for TwoPhaseEngine {
 
     fn abort(&mut self, tx: TxId) -> Vec<slp_core::Step> {
         PolicyEngine::abort(&mut self.inner, tx)
+    }
+
+    /// 2PL grants from nothing but the entity's holder set: the inner
+    /// engine is a plain lock manager, the two-phase planner never
+    /// donates, so AL2 wake checks are vacuous and a per-entity lock word
+    /// can take the decision. Plans outside the plain lock/access shape
+    /// (donations, locked points, structural ops) still route through the
+    /// engine — see [`GrantScope`].
+    fn grant_scope(&self) -> GrantScope {
+        GrantScope::PerEntity
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -52,19 +52,26 @@
 //!
 //! ## Architecture
 //!
-//! The engine is the one unavoidable serialization point (every grant
-//! decision mutates shared policy state); everything around it is sharded:
-//! planning runs under the engine's *read* lock, conflicting transactions
-//! park on entity-striped condvars and are woken only by releases hashing
-//! to their stripe, trace recording is per-worker with one atomic sequence
-//! stamp taken inside the grant, and deadlocks are caught by a waits-for
-//! walk at conflict time (requester-victim rule, as in the simulator) with
-//! a park-timeout backstop. The lost-wakeup argument lives in the
-//! `service` module docs (source).
+//! The engine is the serialization point for grants that read global
+//! policy state; everything around it is sharded: planning runs under the
+//! engine's *read* lock, conflicting transactions park on entity-striped
+//! condvars and are woken only by releases hashing to their stripe, trace
+//! recording is per-worker with one atomic sequence stamp taken inside
+//! the grant, and deadlocks are caught by a waits-for walk at conflict
+//! time (requester-victim rule, as in the simulator) — over a graph
+//! sharded by waiter — with a park-timeout backstop. For per-entity
+//! policies ([`slp_policies::GrantScope::PerEntity`], e.g. 2PL) the
+//! common case bypasses the engine entirely: eligible plans are granted
+//! by a CAS on the entity's own atomic lock word
+//! ([`RuntimeConfig::grant_fast_path`], on by default), with the engine
+//! kept as the authority for everything outside the plain lock/access
+//! shape. The lost-wakeup and stamp-ordering arguments live in the
+//! `service` and `fastpath` module docs (source).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fastpath;
 mod service;
 
 pub mod metrics;

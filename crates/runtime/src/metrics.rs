@@ -109,8 +109,15 @@ pub struct Metrics {
     pub rejected: Counter,
     /// Attempts cut short by the wall-clock guard or a strict-mode halt.
     pub abandoned: Counter,
-    /// Actions granted by the engine.
+    /// Actions granted (both paths; fast + slow always equals this).
     pub grants: Counter,
+    /// Actions granted by a per-entity lock-word CAS (engine bypassed).
+    pub fast_path_grants: Counter,
+    /// Actions granted under the engine write lock.
+    pub slow_path_grants: Counter,
+    /// Attempts routed to the engine despite an active fast path (plan
+    /// shape outside plain lock/access).
+    pub fast_path_fallbacks: Counter,
     /// Conflict observations (a request found its lock held).
     pub conflicts: Counter,
     /// Times a worker actually blocked on a parking stripe.
@@ -169,6 +176,9 @@ impl Metrics {
         self.rejected.add(report.rejected as u64);
         self.abandoned.add(report.abandoned as u64);
         self.grants.add(report.grants);
+        self.fast_path_grants.add(report.fast_path_grants);
+        self.slow_path_grants.add(report.slow_path_grants);
+        self.fast_path_fallbacks.add(report.fast_path_fallbacks);
         self.conflicts.add(report.lock_waits);
         self.parks.add(report.parks);
         self.park_timeouts.add(report.park_timeouts);
@@ -193,7 +203,7 @@ impl Metrics {
     /// Renders the registry as a text snapshot: `slp_<name> <value>`
     /// lines, histogram as cumulative buckets.
     pub fn render(&self) -> String {
-        let counters: [(&str, &Counter); 21] = [
+        let counters: [(&str, &Counter); 24] = [
             ("runs_total", &self.runs),
             ("attempts_total", &self.attempts),
             ("committed_total", &self.committed),
@@ -203,6 +213,9 @@ impl Metrics {
             ("rejected_total", &self.rejected),
             ("abandoned_total", &self.abandoned),
             ("grants_total", &self.grants),
+            ("fast_path_grants_total", &self.fast_path_grants),
+            ("slow_path_grants_total", &self.slow_path_grants),
+            ("fast_path_fallbacks_total", &self.fast_path_fallbacks),
             ("conflicts_total", &self.conflicts),
             ("parks_total", &self.parks),
             ("park_timeouts_total", &self.park_timeouts),

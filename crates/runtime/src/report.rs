@@ -108,8 +108,23 @@ pub struct RuntimeReport {
     /// Number of times a request found its lock held (one per conflict
     /// observation, as in the simulator).
     pub lock_waits: u64,
-    /// Actions granted by the engine (across every batch).
+    /// Actions granted (across every batch and both grant paths):
+    /// `grants == fast_path_grants + slow_path_grants` always.
     pub grants: u64,
+    /// Actions granted by a per-entity lock-word CAS, bypassing the
+    /// engine lock entirely ([`crate::RuntimeConfig::grant_fast_path`];
+    /// zero with the fast path off or a
+    /// [`slp_policies::GrantScope::Global`] engine).
+    pub fast_path_grants: u64,
+    /// Actions granted under the engine write lock. In a fast-active run
+    /// this counts the fallback shapes (donations, locked points,
+    /// structural ops, uncovered entities); with the fast path off it
+    /// equals [`grants`](RuntimeReport::grants).
+    pub slow_path_grants: u64,
+    /// Attempts a fast-active run routed to the engine because their
+    /// plan fell outside the fast path's plain lock/access shape (one
+    /// per attempt, not per action).
+    pub fast_path_fallbacks: u64,
     /// Times a conflicting worker actually blocked on its stripe's
     /// condvar (a park whose generation check found no racing release).
     pub parks: u64,
@@ -186,6 +201,16 @@ impl RuntimeReport {
                 + self.certification_aborts
                 + self.rejected
                 + self.abandoned
+    }
+
+    /// Fraction of grants decided by a lock-word CAS instead of the
+    /// engine lock (the bypass ratio; 0.0 when nothing was granted).
+    pub fn fast_path_ratio(&self) -> f64 {
+        if self.grants == 0 {
+            0.0
+        } else {
+            self.fast_path_grants as f64 / self.grants as f64
+        }
     }
 
     /// `Some(true)` when the online certifier saw no cycle, `Some(false)`

@@ -10,17 +10,19 @@
 //! the shared [`Disposition`] rule — fatal violations drop the job,
 //! transient ones restart it. A wall-clock guard bounds mutant livelocks.
 
+use crate::fastpath::LockWords;
 use crate::metrics::Metrics;
 use crate::report::{Certification, LatencySummary, RuntimeReport};
-use crate::service::{BatchOutcome, LockService, MvccState};
-use slp_core::{Schedule, ScheduledStep, StructuralState, TxId};
+use crate::service::{BatchOutcome, FastLockOutcome, LockService, MvccState};
+use slp_core::{EntityId, Schedule, ScheduledStep, StructuralState, TxId};
 use slp_durability::{Store, Wal, WalConfig, WalError};
 use slp_mvcc::VisibilityRule;
 use slp_policies::{
-    PolicyAction, PolicyConfig, PolicyEngine, PolicyKind, PolicyRegistry, PolicyViolation,
-    RegistryError,
+    GrantScope, PolicyAction, PolicyConfig, PolicyEngine, PolicyKind, PolicyRegistry,
+    PolicyViolation, RegistryError,
 };
 use slp_sim::{planner_for, ActionPlanner, Disposition, Job};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -102,6 +104,18 @@ pub struct RuntimeConfig {
     /// default; overridable via `SLP_RUNTIME_SNAPSHOT_READS`
     /// ([`env_snapshot_reads`](RuntimeConfig::env_snapshot_reads)).
     pub snapshot_reads: bool,
+    /// The sharded grant fast path: for engines whose grants are purely
+    /// per-entity ([`slp_policies::GrantScope::PerEntity`], e.g. 2PL),
+    /// plain lock/access plans are granted by a CAS on the entity's own
+    /// atomic lock word instead of the engine write lock; conflicts park
+    /// exactly as on the engine path, and anything outside that shape
+    /// (donations, locked points, structural ops, uncovered entities)
+    /// falls back to the engine ([`RuntimeReport::fast_path_fallbacks`]).
+    /// On by default — for [`GrantScope::Global`] engines it changes
+    /// nothing. Off is bit-compatible with the engine-only service.
+    /// Overridable via `SLP_RUNTIME_FAST_PATH`
+    /// ([`env_fast_path`](RuntimeConfig::env_fast_path)).
+    pub grant_fast_path: bool,
     /// **Scripted negative control**: apply the deliberately broken
     /// visibility rule (snapshots dirty-read in-progress writers) so the
     /// online certifier's detection path can be exercised end to end.
@@ -122,6 +136,7 @@ impl Default for RuntimeConfig {
             step_yield: true,
             certify_online: CertifyMode::Off,
             snapshot_reads: false,
+            grant_fast_path: true,
             broken_visibility: false,
         }
     }
@@ -202,6 +217,22 @@ impl RuntimeConfig {
             })
     }
 
+    /// Whether the environment requests the grant fast path, if set:
+    /// `SLP_RUNTIME_FAST_PATH` ∈ {`on`, `1`, `off`, `0`} (the CI matrix
+    /// sets `1`). Same contract as
+    /// [`env_workers`](RuntimeConfig::env_workers): `None` when unset,
+    /// panic on anything else — a typo'd override must not silently fall
+    /// back.
+    pub fn env_fast_path() -> Option<bool> {
+        std::env::var("SLP_RUNTIME_FAST_PATH")
+            .ok()
+            .map(|v| match v.as_str() {
+                "on" | "1" => true,
+                "off" | "0" => false,
+                other => panic!("SLP_RUNTIME_FAST_PATH must be on|1|off|0, got {other:?}"),
+            })
+    }
+
     fn env_micros(var: &str) -> Option<Duration> {
         std::env::var(var).ok().map(|v| {
             let us = v
@@ -216,9 +247,9 @@ impl RuntimeConfig {
     /// This config with every environment override applied
     /// (`SLP_RUNTIME_THREADS`, `SLP_RUNTIME_PARK_TIMEOUT_US`,
     /// `SLP_RUNTIME_BACKOFF_CAP_US`, `SLP_RUNTIME_CERTIFY`,
-    /// `SLP_RUNTIME_SNAPSHOT_READS`). The examples and stress suites run
-    /// their configs through this so a CI matrix can retune the runtime
-    /// without touching code.
+    /// `SLP_RUNTIME_SNAPSHOT_READS`, `SLP_RUNTIME_FAST_PATH`). The
+    /// examples and stress suites run their configs through this so a CI
+    /// matrix can retune the runtime without touching code.
     pub fn with_env_overrides(mut self) -> Self {
         if let Some(workers) = Self::env_workers() {
             self.workers = workers;
@@ -234,6 +265,9 @@ impl RuntimeConfig {
         }
         if let Some(snapshot) = Self::env_snapshot_reads() {
             self.snapshot_reads = snapshot;
+        }
+        if let Some(fast) = Self::env_fast_path() {
+            self.grant_fast_path = fast;
         }
         self
     }
@@ -388,12 +422,27 @@ impl Runtime {
                 VisibilityRule::Correct
             })
         });
+        // The fast path activates only when the knob is on AND the engine
+        // promises per-entity grants; the word table directly indexes the
+        // flat pool (per-entity engines have a fixed universe).
+        let fast = (config.grant_fast_path && engine.grant_scope() == GrantScope::PerEntity)
+            .then(|| {
+                let capacity = self
+                    .pool
+                    .iter()
+                    .map(|e| e.0 as usize + 1)
+                    .max()
+                    .unwrap_or(0);
+                LockWords::new(capacity)
+            })
+            .filter(|words| words.capacity() > 0);
         let service = LockService::new(
             engine,
             config.stripes,
             wal.clone(),
             config.certify_online,
             mvcc,
+            fast,
         );
         let next_job = AtomicUsize::new(0);
         let next_tx = AtomicU32::new(1);
@@ -421,6 +470,13 @@ impl Runtime {
                 .collect()
         });
         let elapsed = start.elapsed();
+        // Every exit path of an attempt releases the words it held
+        // (commit, abort, deadline, certification abort) — a word still
+        // held after the workers joined is a leaked lock.
+        assert!(
+            service.fast_quiescent(),
+            "lock words must all be free once the workers drain"
+        );
 
         // End-of-run barrier: push the final (partial) group to disk and
         // capture the log's counters. A store that died mid-run reports
@@ -461,6 +517,9 @@ impl Runtime {
             attempts: c.attempts.load(Ordering::Relaxed),
             lock_waits: c.lock_waits.load(Ordering::Relaxed),
             grants: c.grants.load(Ordering::Relaxed),
+            fast_path_grants: c.fast_path_grants.load(Ordering::Relaxed),
+            slow_path_grants: c.slow_path_grants.load(Ordering::Relaxed),
+            fast_path_fallbacks: c.fast_path_fallbacks.load(Ordering::Relaxed),
             parks: c.parks.load(Ordering::Relaxed),
             park_timeouts: c.park_timeouts.load(Ordering::Relaxed),
             snapshot_reads: c.snapshot_reads.load(Ordering::Relaxed),
@@ -610,6 +669,20 @@ fn run_attempt(
         Ok(p) => p,
         Err(v) => return classify(c, &v),
     };
+    if service.fast_active() {
+        // Plain lock/access plans over covered entities bypass the engine
+        // entirely; anything else (no plan, donations, locked points,
+        // structural ops, uncovered entities) is a counted fallback to
+        // the engine path below.
+        if let Some(shared) = planned
+            .as_deref()
+            .and_then(|plan| fast_plan_mode(service, plan, job))
+        {
+            let plan = planned.expect("mode derived from this plan");
+            return run_fast_attempt(service, tx, &plan, shared, config, deadline, trace, aborted);
+        }
+        c.fast_path_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
     let intent = planner.intent(job);
     let plan: Vec<PolicyAction> = match service.begin(tx, &intent) {
         Ok(engine_plan) => match planned.or(engine_plan) {
@@ -739,6 +812,117 @@ fn run_attempt(
             aborted.push(tx);
             classify(c, &v)
         }
+    }
+}
+
+/// Whether `plan` qualifies for the grant fast path, and in which mode:
+/// `Some(shared)` when every action is a plain [`PolicyAction::Lock`] /
+/// [`PolicyAction::Access`] over word-covered entities, each entity is
+/// locked at most once, and every access follows its lock — the shape
+/// [`slp_policies::GrantScope::PerEntity`] promises the engine decides
+/// from per-entity state alone. `shared` (read-only job, single lock)
+/// takes the word in shared mode and emits read-only steps; everything
+/// else is exclusive. `None` routes the attempt to the engine.
+fn fast_plan_mode(service: &LockService, plan: &[PolicyAction], job: &Job) -> Option<bool> {
+    if plan.is_empty() {
+        return None;
+    }
+    let mut locked: Vec<EntityId> = Vec::with_capacity(plan.len() / 2 + 1);
+    for action in plan {
+        match *action {
+            PolicyAction::Lock(e) => {
+                if !service.fast_covers(e) || locked.contains(&e) {
+                    return None;
+                }
+                locked.push(e);
+            }
+            PolicyAction::Access(e) => {
+                if !locked.contains(&e) {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(job.read_only && locked.len() == 1)
+}
+
+/// One fast-path attempt: every grant is a CAS on the entity's lock word
+/// — the engine is never touched (not even `begin`; the words are the
+/// authority for everything the transaction holds). Conflicts run the
+/// exact engine-path discipline: publish the waits-for edge (victim rule
+/// on a closed cycle), park on the entity's stripe against the
+/// generation read at the conflict, retract, retry. The worker tracks
+/// its held locks locally and commits through
+/// [`LockService::fast_finish`], which records the same unlock steps the
+/// engine would emit.
+#[allow(clippy::too_many_arguments)]
+fn run_fast_attempt(
+    service: &LockService,
+    tx: TxId,
+    plan: &[PolicyAction],
+    shared: bool,
+    config: &RuntimeConfig,
+    deadline: Instant,
+    trace: &mut Vec<(u64, ScheduledStep)>,
+    aborted: &mut Vec<TxId>,
+) -> AttemptEnd {
+    let c = &service.counters;
+    let halted = || c.halted.load(Ordering::Relaxed);
+    let cert_from = trace.len();
+    service.fast_begin(tx);
+    let mut held: BTreeMap<EntityId, bool> = BTreeMap::new();
+    for action in plan {
+        match *action {
+            PolicyAction::Lock(e) => loop {
+                match service.fast_lock(tx, e, shared, trace) {
+                    FastLockOutcome::Granted => {
+                        held.insert(e, shared);
+                        if config.step_yield {
+                            std::thread::yield_now();
+                        }
+                        break;
+                    }
+                    FastLockOutcome::Conflict { holder, gen } => {
+                        // Same waits-for edge discipline as the engine
+                        // path: publish + walk at every conflict
+                        // observation, retract before every retry.
+                        c.lock_waits.fetch_add(1, Ordering::Relaxed);
+                        if service.note_wait(tx, holder) {
+                            service.clear_wait(tx);
+                            service.fast_abort(tx, &held, trace, cert_from);
+                            aborted.push(tx);
+                            c.deadlock_aborts.fetch_add(1, Ordering::Relaxed);
+                            return AttemptEnd::Retry;
+                        }
+                        if Instant::now() > deadline || halted() {
+                            service.clear_wait(tx);
+                            service.fast_abort(tx, &held, trace, cert_from);
+                            aborted.push(tx);
+                            return AttemptEnd::Abandoned;
+                        }
+                        service.park(e, gen, config.park_timeout);
+                        service.clear_wait(tx);
+                    }
+                }
+            },
+            PolicyAction::Access(e) => {
+                service.fast_data(tx, e, shared, trace);
+                if config.step_yield {
+                    std::thread::yield_now();
+                }
+            }
+            // `fast_plan_mode` admits only Lock/Access.
+            _ => unreachable!("ineligible action on the fast path"),
+        }
+    }
+    if service.fast_finish(tx, &held, trace, cert_from) {
+        c.committed.fetch_add(1, Ordering::Relaxed);
+        AttemptEnd::Committed
+    } else {
+        c.certification_aborts.fetch_add(1, Ordering::Relaxed);
+        aborted.push(tx);
+        AttemptEnd::Retry
     }
 }
 

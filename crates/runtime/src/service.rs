@@ -1,10 +1,16 @@
 //! The sharded lock service: one [`PolicyEngine`] serving many worker
 //! threads.
 //!
-//! The engine itself is the unavoidable serialization point — every
-//! grant/refuse decision mutates shared policy state (lock table, wakes,
-//! graph), so those decisions run under one write lock. Everything *around*
-//! that point is sharded or lock-free:
+//! The engine is the serialization point for policies whose grants read
+//! global state — every grant/refuse decision mutates shared policy
+//! state (lock table, wakes, graph), so those decisions run under one
+//! write lock. For per-entity policies
+//! ([`slp_policies::GrantScope::PerEntity`]) the common case bypasses
+//! even that: eligible requests are decided by a CAS on the entity's own
+//! atomic lock word ([`crate::fastpath`]), and the words — not the
+//! engine table — are then the grant authority (engine-path requests in
+//! such a run acquire the word *first*). Everything *around* those
+//! points is sharded or lock-free:
 //!
 //! * **planning** takes the engine's read lock (planners only read — the
 //!   DDAG planner's dominator-region layout, the expensive part of a
@@ -15,10 +21,15 @@
 //!   to that stripe wake it — uncontended stripes never touch a parked
 //!   worker's condvar;
 //! * **trace recording** is per-worker: granted steps are stamped from one
-//!   global atomic sequence counter *while the engine lock is held* (so
-//!   the stamp order is exactly the engine's serialization order) and
-//!   buffered locally; [`slp_core::Schedule::from_sequenced`] merges the
-//!   buffers afterwards without any runtime coordination;
+//!   global atomic sequence counter *while the granting context is held*
+//!   — the engine lock, or (fast path) the touched entities' lock words.
+//!   The stamp-ordering contract: an acquire's stamp is fetched after the
+//!   acquire, a release's before the release, data stamps in between —
+//!   so for every entity the counter's monotonicity orders conflicting
+//!   steps exactly as the grants serialized, whichever path granted
+//!   them, and the buffers merged by
+//!   [`slp_core::Schedule::from_sequenced`] are a faithful schedule
+//!   without any runtime coordination;
 //! * **accounting** is plain atomics.
 //!
 //! Lost wakeups are impossible by construction: the stripe generation a
@@ -34,8 +45,8 @@
 //! counted ([`Counters::park_timeouts`]) and surfaced in the report as
 //! lost-wakeup evidence.
 
+use crate::fastpath::{LockWords, WaitGraph};
 use crate::runner::CertifyMode;
-use rustc_hash::FxHashMap;
 use slp_core::{
     CertViolation, DataOp, EntityId, IncrementalCertifier, LockMode, Operation, ScheduledStep,
     Step, TxId, VersionedRead,
@@ -75,6 +86,22 @@ pub(crate) enum BatchOutcome {
     Violation { violation: PolicyViolation },
 }
 
+/// The outcome of one [`LockService::fast_lock`] attempt.
+pub(crate) enum FastLockOutcome {
+    /// The word CAS won: the lock is held and its step recorded.
+    Granted,
+    /// The word is held against us; park on `gen` (read with the same
+    /// discipline as [`BatchOutcome::Conflict`]) and retry.
+    Conflict {
+        /// The holder (or shared-episode representative) to publish a
+        /// waits-for edge against.
+        holder: TxId,
+        /// The entity's stripe generation, read after the conflict was
+        /// observed and rechecked — see [`LockService::fast_lock`].
+        gen: u64,
+    },
+}
+
 /// Shared accounting, all atomics (no lock on the hot path).
 #[derive(Default)]
 pub(crate) struct Counters {
@@ -90,6 +117,15 @@ pub(crate) struct Counters {
     pub lock_waits: AtomicU64,
     pub park_timeouts: AtomicU64,
     pub grants: AtomicU64,
+    /// Grants decided by a per-entity lock-word CAS, bypassing the engine
+    /// lock entirely (subset of `grants`).
+    pub fast_path_grants: AtomicU64,
+    /// Grants decided under the engine write lock (subset of `grants`;
+    /// with the fast path off this equals `grants`).
+    pub slow_path_grants: AtomicU64,
+    /// Attempts routed to the engine in a fast-capable run because their
+    /// plan fell outside the fast path's plain lock/access shape.
+    pub fast_path_fallbacks: AtomicU64,
     pub parks: AtomicU64,
     /// MVCC snapshot read steps served without touching the lock service.
     pub snapshot_reads: AtomicU64,
@@ -127,7 +163,15 @@ impl MvccState {
 pub(crate) struct LockService {
     engine: RwLock<Box<dyn PolicyEngine>>,
     stripes: Vec<Stripe>,
-    waits_for: Mutex<FxHashMap<TxId, TxId>>,
+    waits_for: WaitGraph,
+    /// The per-entity atomic lock-word table, when the run's policy
+    /// qualifies for the sharded grant fast path
+    /// ([`slp_policies::GrantScope::PerEntity`] and the knob is on). When
+    /// present, the words — not the engine's lock table — are the grant
+    /// authority for covered entities: engine-path transactions acquire
+    /// the word *before* asking the engine, so a fast-path CAS and a
+    /// slow-path engine grant can never both win the same entity.
+    fast: Option<LockWords>,
     seq: AtomicU64,
     /// Write-ahead log, when the run is durable. Appends happen *after*
     /// the engine lock is dropped (same position as the wake pass) so the
@@ -198,22 +242,28 @@ impl LockService {
     /// stripes in a fixed bitmap). `wal`, when present, receives every
     /// recorded step batch and commit. `certify` builds the online
     /// certifier ([`CertifyMode::Off`] costs nothing on the hot path).
+    /// `fast`, when present, activates the sharded grant fast path (the
+    /// runner builds the word table only for
+    /// [`slp_policies::GrantScope::PerEntity`] engines).
     pub fn new(
         engine: Box<dyn PolicyEngine>,
         stripes: usize,
         wal: Option<Arc<Wal>>,
         certify: CertifyMode,
         mvcc: Option<MvccState>,
+        fast: Option<LockWords>,
     ) -> Self {
+        let stripes = stripes.clamp(1, 64);
         LockService {
             engine: RwLock::new(engine),
-            stripes: (0..stripes.clamp(1, 64))
+            stripes: (0..stripes)
                 .map(|_| Stripe {
                     gen: Mutex::new(0),
                     cv: Condvar::new(),
                 })
                 .collect(),
-            waits_for: Mutex::new(FxHashMap::default()),
+            waits_for: WaitGraph::new(stripes),
+            fast,
             seq: AtomicU64::new(0),
             wal,
             certifier: (certify != CertifyMode::Off).then(|| CertChannel {
@@ -496,13 +546,16 @@ impl LockService {
     }
 
     /// Stamps `steps` for `tx` into `trace` with consecutive global
-    /// sequence numbers. Must be called while the engine write lock is
-    /// held: the stamp order is then exactly the engine's serialization
-    /// order, which is what makes the merged trace a faithful schedule.
-    /// With MVCC enabled, the same engine-locked section also installs
-    /// versions (writes/inserts/deletes) into the store and registers
-    /// lock grants with the commit pipeline — so version install order
-    /// matches the serialization order the stamps record.
+    /// sequence numbers. Must be called while holding the serialization
+    /// context that granted the steps — the engine write lock, or (fast
+    /// path) the touched entities' lock words. Either way the stamps for
+    /// one entity are fetched strictly between that entity's acquire and
+    /// release, so the merged trace orders conflicting steps exactly as
+    /// the grants serialized them (the stamp-ordering contract; see the
+    /// module docs). With MVCC enabled, the same held section also
+    /// installs versions (writes/inserts/deletes) into the store and
+    /// registers lock grants with the commit pipeline — so version
+    /// install order matches the serialization order the stamps record.
     fn record(&self, tx: TxId, steps: Vec<Step>, trace: &mut Vec<(u64, ScheduledStep)>) {
         let base = self.seq.fetch_add(steps.len() as u64, Ordering::Relaxed);
         for (i, s) in steps.into_iter().enumerate() {
@@ -521,6 +574,67 @@ impl LockService {
                 }
             }
             trace.push((stamp, ScheduledStep::new(tx, s)));
+        }
+    }
+
+    /// Frees every lock word whose release `trace[from..]` just recorded
+    /// (no-op when the fast path is inactive). Must run *before*
+    /// [`wake_recorded`](LockService::wake_recorded) for the same range:
+    /// a woken waiter re-reads the word, so the word must be free by the
+    /// time the generation bumps.
+    fn release_recorded_words(&self, tx: TxId, trace: &[(u64, ScheduledStep)], from: usize) {
+        let Some(words) = &self.fast else {
+            return;
+        };
+        for (_, s) in &trace[from..] {
+            if let Operation::Unlock(mode) = s.step.op {
+                words.release(s.step.entity, tx, mode == LockMode::Shared);
+            }
+        }
+    }
+
+    /// Releases a lock word acquired by [`sync_word_acquire`] whose
+    /// engine request was then refused — no unlock step will ever be
+    /// recorded for it, so the word (and any waiter parked on it) must be
+    /// handled here. Safe under the engine write lock (stripe-lock
+    /// holders never take the engine lock).
+    fn drop_sync_word(&self, e: EntityId, tx: TxId) {
+        if let Some(words) = &self.fast {
+            if words.release(e, tx, false) {
+                let stripe = self.stripe(e);
+                *stripe.gen.lock().expect("stripe lock") += 1;
+                stripe.cv.notify_all();
+            }
+        }
+    }
+
+    /// Acquires `e`'s lock word for engine-path transaction `tx` (always
+    /// exclusive — the engine's lock manager grants exclusively). In a
+    /// fast-active run the words are the grant authority, so the word
+    /// comes *before* the engine's own table: `Ok(true)` means freshly
+    /// acquired, `Ok(false)` means `tx` already held it (a relock — the
+    /// engine rules on it, and the word must NOT be released on that
+    /// verdict), `Err` carries the conflicting holder and the stripe
+    /// generation to park on, read with the same recheck discipline as
+    /// the fast path ([`fast_lock`](LockService::fast_lock)).
+    fn sync_word_acquire(&self, e: EntityId, tx: TxId) -> Result<bool, (TxId, u64)> {
+        let words = self.fast.as_ref().expect("fast path inactive");
+        loop {
+            match words.try_acquire(e, tx, false) {
+                Ok(()) => return Ok(true),
+                Err(h) if h == tx => return Ok(false),
+                Err(_) => {
+                    let gen = *self.stripe(e).gen.lock().expect("stripe lock");
+                    // Recheck after the generation read: a release that
+                    // freed the word before the read would otherwise be
+                    // parked past (its bump precedes the read).
+                    match words.conflicting_holder(e, false) {
+                        None => continue,
+                        Some(h) if h == tx => return Ok(false),
+                        Some(h) => return Err((h, gen)),
+                    }
+                }
+            }
         }
     }
 
@@ -571,12 +685,40 @@ impl LockService {
                 if granted >= max.max(1) || granted >= plan.len() {
                     break BatchOutcome::Granted { granted };
                 }
-                match engine.request(tx, plan[granted]) {
+                let action = plan[granted];
+                // In a fast-active run the lock words are the grant
+                // authority even here: acquire the word before asking the
+                // engine, so an engine grant can never race a fast-path
+                // CAS on the same entity.
+                let mut fresh_word = None;
+                if let PolicyAction::Lock(e) = action {
+                    if self.fast.as_ref().is_some_and(|w| w.covers(e)) {
+                        match self.sync_word_acquire(e, tx) {
+                            Ok(fresh) => fresh_word = fresh.then_some(e),
+                            Err((holder, gen)) => {
+                                break BatchOutcome::Conflict {
+                                    granted,
+                                    entity: e,
+                                    holder,
+                                    gen,
+                                };
+                            }
+                        }
+                    }
+                }
+                match engine.request(tx, action) {
                     PolicyResponse::Granted(steps) => {
                         self.record(tx, steps, trace);
                         granted += 1;
                     }
                     PolicyResponse::Conflict { entity, holder } => {
+                        // Unreachable for a word-covered entity (holding
+                        // the word means no engine-path transaction holds
+                        // the engine entry) — but if the engine disagrees,
+                        // its verdict stands and the word goes back.
+                        if let Some(e) = fresh_word {
+                            self.drop_sync_word(e, tx);
+                        }
                         // Nested stripe-lock acquisition under the engine
                         // write lock is deadlock-free: stripe-lock holders
                         // never take the engine lock.
@@ -589,6 +731,13 @@ impl LockService {
                         };
                     }
                     PolicyResponse::Violation(violation) => {
+                        // A freshly taken word whose engine request was
+                        // refused will never see an unlock step: release
+                        // it here. (A relock kept `fresh_word` empty — the
+                        // original grant's word stays held to the end.)
+                        if let Some(e) = fresh_word {
+                            self.drop_sync_word(e, tx);
+                        }
                         break BatchOutcome::Violation { violation };
                     }
                 }
@@ -598,7 +747,11 @@ impl LockService {
             self.counters
                 .grants
                 .fetch_add(granted as u64, Ordering::Relaxed);
+            self.counters
+                .slow_path_grants
+                .fetch_add(granted as u64, Ordering::Relaxed);
         }
+        self.release_recorded_words(tx, trace, from);
         self.wake_recorded(trace, from);
         self.log_recorded(trace, from);
         outcome
@@ -623,6 +776,7 @@ impl LockService {
             let steps = engine.finish(tx)?;
             self.record(tx, steps, trace);
         }
+        self.release_recorded_words(tx, trace, from);
         self.wake_recorded(trace, from);
         self.log_recorded(trace, from);
         if self.strict_certify && self.certify_strict(tx, trace, cert_from, None, false) {
@@ -656,6 +810,7 @@ impl LockService {
             let steps = engine.abort(tx);
             self.record(tx, steps, trace);
         }
+        self.release_recorded_words(tx, trace, from);
         self.wake_recorded(trace, from);
         if let Some(m) = &self.mvcc {
             // Aborts resolve immediately (nothing becomes visible) and
@@ -728,6 +883,188 @@ impl LockService {
         }
     }
 
+    /// Whether this run has the sharded grant fast path active.
+    pub fn fast_active(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// Whether `e` has a lock word (fast-path plan eligibility).
+    pub fn fast_covers(&self, e: EntityId) -> bool {
+        self.fast.as_ref().is_some_and(|w| w.covers(e))
+    }
+
+    /// Whether every lock word is free (end-of-run quiescence — vacuously
+    /// true with the fast path off).
+    pub fn fast_quiescent(&self) -> bool {
+        self.fast.as_ref().is_none_or(LockWords::quiescent)
+    }
+
+    /// Begins a fast-path transaction: no engine interaction at all (the
+    /// engine never learns fast-path transactions exist — the lock words
+    /// are the authority for everything they touch), but MVCC writers
+    /// still register with the commit pipeline before their first
+    /// `note_lock`.
+    pub fn fast_begin(&self, tx: TxId) {
+        if let Some(m) = &self.mvcc {
+            m.pipeline.begin_writer(tx);
+        }
+    }
+
+    /// One fast-path lock attempt on `e` for `tx`: optimistic CAS on the
+    /// entity's word; on success the lock step is stamped *while the word
+    /// is held* (the stamp-ordering contract — see the module docs) and
+    /// logged. On conflict the stripe generation is read under the stripe
+    /// lock and the word *rechecked*: a releaser frees the word before
+    /// bumping the generation, so a conflict re-observed after the
+    /// generation read cannot have its wakeup already behind us — parking
+    /// on `gen` is safe exactly as on the engine path.
+    pub fn fast_lock(
+        &self,
+        tx: TxId,
+        e: EntityId,
+        shared: bool,
+        trace: &mut Vec<(u64, ScheduledStep)>,
+    ) -> FastLockOutcome {
+        let words = self.fast.as_ref().expect("fast path inactive");
+        loop {
+            match words.try_acquire(e, tx, shared) {
+                Ok(()) => {
+                    let from = trace.len();
+                    let mode = if shared {
+                        LockMode::Shared
+                    } else {
+                        LockMode::Exclusive
+                    };
+                    self.record(tx, vec![Step::lock(mode, e)], trace);
+                    self.counters.grants.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .fast_path_grants
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.log_recorded(trace, from);
+                    return FastLockOutcome::Granted;
+                }
+                Err(_) => {
+                    let gen = *self.stripe(e).gen.lock().expect("stripe lock");
+                    match words.conflicting_holder(e, shared) {
+                        // Freed between the CAS and the recheck: take
+                        // another optimistic swing instead of parking.
+                        None => continue,
+                        Some(holder) => return FastLockOutcome::Conflict { holder, gen },
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a fast-path data access on an entity whose word `tx`
+    /// holds: the engine would emit `[read, write]` under an exclusive
+    /// lock and `[read]` under a shared one, and the fast path emits the
+    /// identical steps so fast-on and fast-off traces stay step-for-step
+    /// comparable.
+    pub fn fast_data(
+        &self,
+        tx: TxId,
+        e: EntityId,
+        shared: bool,
+        trace: &mut Vec<(u64, ScheduledStep)>,
+    ) {
+        let from = trace.len();
+        let steps = if shared {
+            vec![Step::read(e)]
+        } else {
+            vec![Step::read(e), Step::write(e)]
+        };
+        self.record(tx, steps, trace);
+        self.counters.grants.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .fast_path_grants
+            .fetch_add(1, Ordering::Relaxed);
+        self.log_recorded(trace, from);
+    }
+
+    /// Commits a fast-path transaction: records its unlocks in ascending
+    /// entity order (matching the engine's finish emission), frees the
+    /// words *after* stamping (release stamps precede the release CAS, so
+    /// the next holder's acquire stamp lands strictly later), wakes and
+    /// logs, then runs the same certification/durability/visibility tail
+    /// as [`finish`](LockService::finish). `held` maps each held entity
+    /// to whether the hold is shared. Returns `false` when strict
+    /// certification recovered by aborting `tx`.
+    pub fn fast_finish(
+        &self,
+        tx: TxId,
+        held: &std::collections::BTreeMap<EntityId, bool>,
+        trace: &mut Vec<(u64, ScheduledStep)>,
+        cert_from: usize,
+    ) -> bool {
+        let from = trace.len();
+        let steps = held
+            .iter()
+            .map(|(&e, &shared)| {
+                let mode = if shared {
+                    LockMode::Shared
+                } else {
+                    LockMode::Exclusive
+                };
+                Step::unlock(mode, e)
+            })
+            .collect();
+        self.record(tx, steps, trace);
+        self.release_recorded_words(tx, trace, from);
+        self.wake_recorded(trace, from);
+        self.log_recorded(trace, from);
+        if self.strict_certify && self.certify_strict(tx, trace, cert_from, None, false) {
+            if let Some(m) = &self.mvcc {
+                m.pipeline.abort(tx);
+            }
+            return false;
+        }
+        self.log_commit(tx, trace);
+        if let Some(m) = &self.mvcc {
+            m.pipeline.commit(tx);
+        }
+        if !self.strict_certify {
+            self.certify_recorded(trace, cert_from, Some((tx, false)));
+        }
+        true
+    }
+
+    /// Aborts a fast-path transaction: records the unlocks it still
+    /// held, frees the words, wakes, and runs the same pipeline/log/
+    /// certifier tail as [`abort`](LockService::abort).
+    pub fn fast_abort(
+        &self,
+        tx: TxId,
+        held: &std::collections::BTreeMap<EntityId, bool>,
+        trace: &mut Vec<(u64, ScheduledStep)>,
+        cert_from: usize,
+    ) {
+        let from = trace.len();
+        let steps = held
+            .iter()
+            .map(|(&e, &shared)| {
+                let mode = if shared {
+                    LockMode::Shared
+                } else {
+                    LockMode::Exclusive
+                };
+                Step::unlock(mode, e)
+            })
+            .collect();
+        self.record(tx, steps, trace);
+        self.release_recorded_words(tx, trace, from);
+        self.wake_recorded(trace, from);
+        if let Some(m) = &self.mvcc {
+            m.pipeline.abort(tx);
+        }
+        self.log_recorded(trace, from);
+        if self.strict_certify {
+            let _ = self.certify_strict(tx, trace, cert_from, None, true);
+        } else {
+            self.certify_recorded(trace, cert_from, Some((tx, true)));
+        }
+    }
+
     /// Records that `tx` waits for `holder` and walks the waits-for chain:
     /// `true` iff the chain leads back to `tx` (a deadlock this request
     /// closed — the requester aborts, as in the simulator).
@@ -745,31 +1082,21 @@ impl LockService {
     /// longer blocked — a stale edge through an awake transaction
     /// manufactures phantom cycles, and under contention the needless
     /// victims feed an abort storm.
+    ///
+    /// The graph is sharded by waiter ([`WaitGraph`]): the publish is
+    /// atomic per shard and the walk crosses shards lock by lock, so the
+    /// edge that closes a persistent cycle is still seen by whichever
+    /// member publishes last (every member re-publishes and re-walks at
+    /// each park timeout), and a detected cycle is confirmed by a second
+    /// walk before a victim is chosen.
     pub fn note_wait(&self, tx: TxId, holder: TxId) -> bool {
-        let mut wf = self.waits_for.lock().expect("waits_for lock");
-        wf.insert(tx, holder);
-        let mut cur = holder;
-        let mut hops = 0usize;
-        loop {
-            if cur == tx {
-                return true;
-            }
-            match wf.get(&cur) {
-                Some(&next) => cur = next,
-                None => return false,
-            }
-            hops += 1;
-            if hops > wf.len() {
-                // A cycle among *other* transactions: they resolve it.
-                return false;
-            }
-        }
+        self.waits_for.note(tx, holder)
     }
 
     /// Clears `tx`'s waits-for edge (its blocked request was granted, or
     /// it aborted).
     pub fn clear_wait(&self, tx: TxId) {
-        self.waits_for.lock().expect("waits_for lock").remove(&tx);
+        self.waits_for.clear(tx);
     }
 }
 
@@ -782,7 +1109,7 @@ mod tests {
         let engine = PolicyRegistry::new()
             .build(PolicyKind::TwoPhase, &PolicyConfig::flat(vec![EntityId(0)]))
             .expect("2PL builds");
-        LockService::new(engine, 1, None, CertifyMode::Off, None)
+        LockService::new(engine, 1, None, CertifyMode::Off, None, None)
     }
 
     /// Forces one instance of the race the fix targets: a parker whose

@@ -1,0 +1,247 @@
+//! Sharded-grant fast-path conformance: the lock-word bypass must be
+//! invisible in every verdict the formal model renders.
+//!
+//! * **Bypass ratio** — on an uncontended 2PL workload every grant is a
+//!   word CAS: the engine lock is never taken for a grant at all.
+//! * **Width-1 equivalence** — with one worker, fast-on and fast-off
+//!   runs of the same jobs produce *byte-identical* schedules: the fast
+//!   path emits exactly the steps the engine would (lock / read+write /
+//!   ascending unlocks), stamped by the same counter in the same order.
+//! * **Fast/slow interleaving** — a hot single entity hammered by
+//!   fast-path workers, engine-path workers (their planner emits a
+//!   locked point, which is fast-ineligible by design), and shared-mode
+//!   readers at once: both grant paths must agree on one lock word with
+//!   no lost wakeups, no double grants, and a serializable merged trace.
+//!
+//! The stamp-ordering contract under test throughout: an acquire's stamp
+//! is fetched after the word CAS, a release's before it, so per entity
+//! the global counter orders conflicting steps exactly as the word
+//! serialized them — `Schedule::from_sequenced` (which rejects duplicate
+//! or gapped stamps outright) then merges the per-worker buffers into a
+//! schedule that replays legal + serializable.
+
+use slp_core::{is_serializable, EntityId};
+use slp_policies::{
+    AccessIntent, PolicyAction, PolicyConfig, PolicyEngine, PolicyKind, PolicyViolation,
+};
+use slp_runtime::{Runtime, RuntimeConfig, RuntimeReport};
+use slp_sim::{planner_for, uniform_jobs, ActionPlanner, Job};
+use std::sync::Arc;
+
+fn conf(workers: usize, fast: bool) -> RuntimeConfig {
+    RuntimeConfig {
+        workers,
+        // Generous timeout so `park_timeouts == 0` is a real lost-wakeup
+        // assertion (see stress_matrix.rs).
+        park_timeout: std::time::Duration::from_secs(10),
+        grant_fast_path: fast,
+        ..Default::default()
+    }
+}
+
+/// The full replay check plus the fast-path accounting identities.
+fn verify(report: &RuntimeReport, jobs: usize, ctx: &str) {
+    assert!(!report.timed_out, "{ctx}: timed out");
+    assert!(
+        report.accounting_balances(),
+        "{ctx}: attempts don't balance"
+    );
+    assert_eq!(report.committed, jobs, "{ctx}: lost jobs");
+    assert!(report.lock_table_quiescent(), "{ctx}: locks leaked");
+    assert!(report.schedule.is_legal(), "{ctx}: illegal trace");
+    assert!(
+        report.schedule.is_proper(&report.initial),
+        "{ctx}: improper trace"
+    );
+    assert!(
+        is_serializable(&report.schedule),
+        "{ctx}: nonserializable trace"
+    );
+    assert_eq!(
+        report.grants,
+        report.fast_path_grants + report.slow_path_grants,
+        "{ctx}: every grant is fast or slow, never both or neither"
+    );
+    assert_eq!(
+        report.park_timeouts, 0,
+        "{ctx}: park-timeout backstop fired (lost wakeup)"
+    );
+}
+
+#[test]
+fn uncontended_two_phase_grants_bypass_the_engine_lock() {
+    // A cold workload: 2 targets per job over 64 entities, so plans are
+    // always plain lock/access over covered entities — every grant is
+    // word-eligible and the engine lock is never taken for a grant.
+    let pool: Vec<EntityId> = (0..64).map(EntityId).collect();
+    let jobs = uniform_jobs(&pool, 200, 2, 42);
+    let mut rt = Runtime::new(PolicyKind::TwoPhase, &PolicyConfig::flat(pool)).unwrap();
+    let report = rt.run(&jobs, &conf(4, true));
+    verify(&report, jobs.len(), "2PL cold / fast on");
+    assert_eq!(
+        report.slow_path_grants, 0,
+        "2PL plans are always fast-eligible: no grant should reach the engine"
+    );
+    assert_eq!(report.fast_path_fallbacks, 0, "no plan should fall back");
+    assert!(
+        report.fast_path_ratio() > 0.9,
+        "bypass ratio {} not > 0.9 (fast {} / total {})",
+        report.fast_path_ratio(),
+        report.fast_path_grants,
+        report.grants
+    );
+}
+
+#[test]
+fn fast_off_keeps_the_engine_path_untouched() {
+    let pool: Vec<EntityId> = (0..24).map(EntityId).collect();
+    let jobs = uniform_jobs(&pool, 60, 3, 9);
+    let mut rt = Runtime::new(PolicyKind::TwoPhase, &PolicyConfig::flat(pool)).unwrap();
+    let report = rt.run(&jobs, &conf(4, false));
+    verify(&report, jobs.len(), "2PL / fast off");
+    assert_eq!(report.fast_path_grants, 0);
+    assert_eq!(report.fast_path_fallbacks, 0);
+    assert_eq!(
+        report.slow_path_grants, report.grants,
+        "with the fast path off every grant is an engine grant"
+    );
+}
+
+#[test]
+fn global_scope_engines_ignore_the_knob() {
+    // Altruistic grants read global wake state, so the engine advertises
+    // GrantScope::Global and the knob must change nothing.
+    let pool: Vec<EntityId> = (0..16).map(EntityId).collect();
+    let jobs = uniform_jobs(&pool, 40, 3, 4);
+    let mut rt = Runtime::new(PolicyKind::Altruistic, &PolicyConfig::flat(pool)).unwrap();
+    let report = rt.run(&jobs, &conf(4, true));
+    verify(&report, jobs.len(), "altruistic / knob on");
+    assert_eq!(report.fast_path_grants, 0, "no word table for Global scope");
+    assert_eq!(report.fast_path_fallbacks, 0);
+}
+
+#[test]
+fn width_one_schedules_are_identical_fast_on_and_off() {
+    // At one worker there is no interleaving: the fast path must emit
+    // byte-for-byte the schedule the engine path emits — same steps,
+    // same stamps, same outcomes — across several seeds.
+    let pool: Vec<EntityId> = (0..16).map(EntityId).collect();
+    for seed in 0..6u64 {
+        let jobs = uniform_jobs(&pool, 30, 3, seed);
+        let run = |fast: bool| {
+            let mut rt =
+                Runtime::new(PolicyKind::TwoPhase, &PolicyConfig::flat(pool.clone())).unwrap();
+            rt.run(&jobs, &conf(1, fast))
+        };
+        let on = run(true);
+        let off = run(false);
+        let ctx = format!("2PL width-1 / seed {seed}");
+        verify(&on, jobs.len(), &format!("{ctx} / fast on"));
+        verify(&off, jobs.len(), &format!("{ctx} / fast off"));
+        assert_eq!(
+            on.schedule, off.schedule,
+            "{ctx}: fast path changed the step-for-step schedule"
+        );
+        assert_eq!(on.outcome_fingerprint(), off.outcome_fingerprint(), "{ctx}");
+        assert_eq!(on.grants, off.grants, "{ctx}: grant counts diverged");
+        assert_eq!(on.fast_path_grants, on.grants, "{ctx}: all grants fast");
+        assert_eq!(off.fast_path_grants, 0, "{ctx}: no fast grants when off");
+    }
+}
+
+/// A 2PL planner whose plans are deliberately fast-ineligible: it
+/// appends a [`PolicyAction::LockedPoint`] (after every lock, so the
+/// engine accepts it), forcing the attempt down the engine path even in
+/// a fast-active run — the tool for pitting both grant paths against the
+/// same lock word.
+struct LockedPointPlanner;
+
+impl ActionPlanner for LockedPointPlanner {
+    fn intent(&self, _job: &Job) -> AccessIntent {
+        AccessIntent::empty()
+    }
+
+    fn plan(
+        &mut self,
+        _engine: &dyn PolicyEngine,
+        job: &Job,
+    ) -> Result<Option<Vec<PolicyAction>>, PolicyViolation> {
+        let mut plan = Vec::with_capacity(job.targets.len() * 2 + 1);
+        for &t in &job.targets {
+            plan.push(PolicyAction::Lock(t));
+            plan.push(PolicyAction::Access(t));
+        }
+        plan.push(PolicyAction::LockedPoint);
+        Ok(Some(plan))
+    }
+}
+
+#[test]
+fn fast_and_slow_paths_interleave_on_one_hot_entity() {
+    // The dual-path stress the tentpole demands: ONE entity, 8 workers.
+    // Even workers plan plain lock/access (fast path); odd workers plan
+    // through LockedPointPlanner (engine path, counted as fallbacks);
+    // every third job is read-only (shared-mode fast grants). Both paths
+    // contend on the same lock word, so a coherence bug — a double
+    // grant, a lost wakeup, a release the other path missed — surfaces
+    // as an illegal or nonserializable trace, a stuck run (10 s park
+    // backstop), or a leaked lock.
+    let pool = vec![EntityId(0)];
+    let jobs: Vec<Job> = (0..240)
+        .map(|i| {
+            if i % 3 == 0 {
+                Job::read(vec![EntityId(0)])
+            } else {
+                Job::access(vec![EntityId(0)])
+            }
+        })
+        .collect();
+    let mut rt = Runtime::new(PolicyKind::TwoPhase, &PolicyConfig::flat(pool)).unwrap();
+    rt.set_planner_factory(Arc::new(|w| {
+        if w % 2 == 1 {
+            Box::new(LockedPointPlanner) as Box<dyn ActionPlanner>
+        } else {
+            planner_for(PolicyKind::TwoPhase)
+        }
+    }));
+    let report = rt.run(&jobs, &conf(8, true));
+    verify(&report, jobs.len(), "hot-entity interleaving");
+    assert_eq!(
+        report.deadlock_aborts, 0,
+        "single-lock transactions cannot cycle — a victim here is a phantom"
+    );
+    // Both paths must actually have been exercised (8 workers, half per
+    // planner, every worker claims many of the 240 jobs).
+    assert!(report.fast_path_grants > 0, "fast path never ran");
+    assert!(report.slow_path_grants > 0, "engine path never ran");
+    assert!(
+        report.fast_path_fallbacks > 0,
+        "locked-point plans must fall back"
+    );
+}
+
+#[test]
+fn shared_mode_readers_overlap_on_the_word() {
+    // Pure single-target readers, fast on: every grant takes the word in
+    // shared mode, emits read-only steps, and the run stays serializable
+    // with zero conflicts only if readers genuinely share (an exclusive
+    // mis-grant would serialize them and a word-count bug would leak).
+    let pool = vec![EntityId(0)];
+    let jobs: Vec<Job> = (0..120).map(|_| Job::read(vec![EntityId(0)])).collect();
+    let mut rt = Runtime::new(PolicyKind::TwoPhase, &PolicyConfig::flat(pool)).unwrap();
+    let report = rt.run(&jobs, &conf(8, true));
+    verify(&report, jobs.len(), "shared readers");
+    assert_eq!(report.slow_path_grants, 0);
+    assert_eq!(
+        report.lock_waits, 0,
+        "shared locks on one entity never conflict with each other"
+    );
+    assert!(
+        report
+            .schedule
+            .steps()
+            .iter()
+            .all(|s| !s.step.op.is_mutation()),
+        "read-only jobs must emit no writes on the shared fast path"
+    );
+}

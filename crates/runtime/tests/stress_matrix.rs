@@ -26,11 +26,21 @@ fn widths() -> Vec<usize> {
     }
 }
 
+/// The grant-path modes to sweep: `SLP_RUNTIME_FAST_PATH` pins one (the
+/// CI fast-path matrix), else both.
+fn fast_modes() -> Vec<bool> {
+    match RuntimeConfig::env_fast_path() {
+        Some(f) => vec![f],
+        None => vec![true, false],
+    }
+}
+
 fn run_once(
     kind: PolicyKind,
     config: &PolicyConfig,
     jobs: &[Job],
     workers: usize,
+    fast: bool,
 ) -> RuntimeReport {
     let mut rt = Runtime::new(kind, config).expect("buildable kind");
     // A park timeout far above scheduler jitter: with the wake protocol
@@ -40,6 +50,9 @@ fn run_once(
     // preemption of lock holders and make that assertion meaningless.
     let config = RuntimeConfig {
         park_timeout: std::time::Duration::from_secs(10),
+        // The env pin (CI fast-path matrix) wins over the caller's sweep
+        // value, mirroring how `widths()` collapses under the width pin.
+        grant_fast_path: RuntimeConfig::env_fast_path().unwrap_or(fast),
         ..RuntimeConfig::with_workers(workers)
     };
     rt.run(jobs, &config)
@@ -78,6 +91,11 @@ fn check_invariants(report: &RuntimeReport, jobs: usize, ctx: &str) {
     assert_eq!(
         report.latency.count, report.committed,
         "{ctx}: latency sample per committed job"
+    );
+    assert_eq!(
+        report.grants,
+        report.fast_path_grants + report.slow_path_grants,
+        "{ctx}: every grant must be attributed to exactly one path"
     );
     // Happy paths run with a generous park timeout, so a firing backstop
     // means a worker parked and was never woken — a lost wakeup.
@@ -127,10 +145,18 @@ fn stress_ladder_holds_invariants_at_every_width() {
         for seed in [5u64, 11] {
             let jobs = hot_cold_jobs(&pool, 24, 3, 4, 0.8, seed);
             for &w in &widths() {
-                let ctx = format!("{} / seed {seed} / {w} workers", kind.name());
-                let report = run_once(kind, &PolicyConfig::flat(pool.clone()), &jobs, w);
-                assert_eq!(report.workers, w, "{ctx}: width not honored");
-                check_invariants(&report, jobs.len(), &ctx);
+                // Both grant paths at every cell: the fast path is inert
+                // for Global-scope engines, but 2PL genuinely bypasses
+                // the engine lock when `fast` is on.
+                for fast in fast_modes() {
+                    let ctx = format!("{} / seed {seed} / {w} workers / fast {fast}", kind.name());
+                    let report = run_once(kind, &PolicyConfig::flat(pool.clone()), &jobs, w, fast);
+                    assert_eq!(report.workers, w, "{ctx}: width not honored");
+                    check_invariants(&report, jobs.len(), &ctx);
+                    if !fast {
+                        assert_eq!(report.fast_path_grants, 0, "{ctx}: fast grants when off");
+                    }
+                }
             }
         }
     }
@@ -144,7 +170,7 @@ fn ddag_stress_ladder_holds_invariants() {
         let jobs = deep_dag_jobs(&dag, 16, 2, seed);
         for &w in &widths() {
             let ctx = format!("DDAG / seed {seed} / {w} workers");
-            let report = run_once(PolicyKind::Ddag, &config, &jobs, w);
+            let report = run_once(PolicyKind::Ddag, &config, &jobs, w, true);
             check_invariants(&report, jobs.len(), &ctx);
         }
     }
@@ -163,6 +189,7 @@ fn outcome_accounting_is_identical_across_repeated_runs() {
                         &PolicyConfig::flat(pool.clone()),
                         &jobs,
                         w,
+                        true,
                     )
                 })
                 .collect();
@@ -193,8 +220,8 @@ fn single_worker_runs_are_fully_deterministic() {
         PolicyKind::Dtr,
     ] {
         let jobs = hot_cold_jobs(&pool, 20, 3, 4, 0.8, 13);
-        let a = run_once(kind, &PolicyConfig::flat(pool.clone()), &jobs, 1);
-        let b = run_once(kind, &PolicyConfig::flat(pool.clone()), &jobs, 1);
+        let a = run_once(kind, &PolicyConfig::flat(pool.clone()), &jobs, 1, true);
+        let b = run_once(kind, &PolicyConfig::flat(pool.clone()), &jobs, 1, true);
         let ctx = format!("{} / 1 worker", kind.name());
         check_invariants(&a, jobs.len(), &ctx);
         assert_eq!(a.schedule, b.schedule, "{ctx}: trace changed across runs");

@@ -6,6 +6,10 @@
 //!   dominator traversals, insert mixes): each captured trace must be
 //!   legal, proper for the run's initial structural state, and
 //!   serializable, with no lost jobs and a quiescent lock table.
+//! * **Fast-path sweep** — the sharded grant fast path
+//!   ([`RuntimeConfig::grant_fast_path`]) on and off × 1/2/4/8 workers
+//!   for the per-entity-scope policy, same verdicts required, plus the
+//!   grant-accounting identity `grants == fast + slow`.
 //! * **Negative controls** — the three mutant kinds run under the same
 //!   runtime (the DDAG mutants driven by the probe planners that exercise
 //!   their ablated rule) and the checker must catch at least one
@@ -30,6 +34,9 @@ fn workers() -> usize {
 fn conf() -> RuntimeConfig {
     RuntimeConfig {
         workers: workers(),
+        // The CI fast-path matrix pins the grant path; unset, the
+        // default (fast on) applies.
+        grant_fast_path: RuntimeConfig::env_fast_path().unwrap_or(true),
         ..Default::default()
     }
 }
@@ -88,6 +95,71 @@ fn flat_pool_policies_emit_serializable_traces_across_the_seed_sweep() {
             for (name, jobs) in workloads {
                 let ctx = format!("{} / {name} / seed {seed}", kind.name());
                 run_and_verify_safe(kind, &PolicyConfig::flat(pool.clone()), &jobs, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_path_on_and_off_conform_at_every_width() {
+    // The sharded grant fast path must be invisible to the formal model:
+    // 2PL (the per-entity-scope engine) swept with the word table on and
+    // off at widths 1/2/4/8 (or the env-pinned width), every trace still
+    // legal + proper + serializable, and the grant accounting split
+    // exactly between the two paths.
+    let pool: Vec<EntityId> = (0..24).map(EntityId).collect();
+    let widths: Vec<usize> = if std::env::var("SLP_RUNTIME_THREADS").is_ok() {
+        vec![workers()]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    let modes = match RuntimeConfig::env_fast_path() {
+        Some(f) => vec![f],
+        None => vec![true, false],
+    };
+    for fast in modes {
+        for &width in &widths {
+            for seed in 0..5u64 {
+                let workloads: [(&str, Vec<Job>); 2] = [
+                    ("uniform", uniform_jobs(&pool, 24, 3, seed)),
+                    ("hot-cold", hot_cold_jobs(&pool, 30, 3, 4, 0.8, seed)),
+                ];
+                for (name, jobs) in workloads {
+                    let ctx = format!("2PL / fast {fast} / width {width} / {name} / seed {seed}");
+                    let mut rt =
+                        Runtime::new(PolicyKind::TwoPhase, &PolicyConfig::flat(pool.clone()))
+                            .expect("2PL builds");
+                    let config = RuntimeConfig {
+                        workers: width,
+                        grant_fast_path: fast,
+                        ..Default::default()
+                    };
+                    let report = rt.run(&jobs, &config);
+                    assert!(!report.timed_out, "{ctx}: timed out");
+                    assert!(report.accounting_balances(), "{ctx}: unbalanced");
+                    assert_eq!(report.committed, jobs.len(), "{ctx}: lost jobs");
+                    assert!(report.lock_table_quiescent(), "{ctx}: locks leaked");
+                    assert!(report.schedule.is_legal(), "{ctx}: illegal trace");
+                    assert!(
+                        report.schedule.is_proper(&report.initial),
+                        "{ctx}: improper trace"
+                    );
+                    assert!(
+                        is_serializable(&report.schedule),
+                        "{ctx}: NONSERIALIZABLE trace"
+                    );
+                    assert_eq!(
+                        report.grants,
+                        report.fast_path_grants + report.slow_path_grants,
+                        "{ctx}: grant split doesn't sum"
+                    );
+                    if fast {
+                        assert!(report.fast_path_grants > 0, "{ctx}: fast path inert");
+                    } else {
+                        assert_eq!(report.fast_path_grants, 0, "{ctx}: fast grants when off");
+                        assert_eq!(report.fast_path_fallbacks, 0, "{ctx}");
+                    }
+                }
             }
         }
     }
