@@ -12,7 +12,7 @@ use slp_core::EntityId;
 use slp_policies::{PolicyConfig, PolicyKind};
 use slp_runtime::{
     recover, CertifyMode, DirStore, IncrementalCertifier, RecoveryMode, Runtime, RuntimeConfig,
-    SharedMemStore, Store, WalConfig,
+    SchedMode, SharedMemStore, Store, WalConfig,
 };
 use slp_sim::{deep_dag_jobs, hot_cold_jobs, layered_dag, read_heavy_jobs, Job};
 use std::hint::black_box;
@@ -366,6 +366,61 @@ fn bench_durability(c: &mut Criterion) {
     group.finish();
 }
 
+/// The admission-stage batch scheduler vs grant-time parking: 2PL over
+/// hot/cold contention and DDAG over deep dominator traversals, with the
+/// conflict DAG off (`parking` rows — every conflict discovered at the
+/// lock service) and in `waves` mode (declared conflicts ordered into
+/// barrier-separated waves up front) at 1/2/4/8 workers, plus a
+/// `deterministic` overhead row at each width (admission-pinned ids and
+/// trace renumbering; serial waves for the global-scope DDAG engine). On
+/// a single-CPU container all rows time-slice one core, so read the
+/// waves-vs-parking gap as scheduling overhead vs parking overhead, not
+/// parallel speedup.
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_scheduler");
+    let p = pool(32);
+    let hot = hot_cold_jobs(&p, 160, 3, 4, 0.8, 42);
+    let dag = layered_dag(5, 4, 2, 42);
+    let dag_jobs = deep_dag_jobs(&dag, 48, 2, 42);
+    for (name, sched) in [
+        ("parking", SchedMode::Off),
+        ("waves", SchedMode::Waves),
+        ("deterministic", SchedMode::Deterministic),
+    ] {
+        for workers in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("2pl_hot_cold/{workers}w")),
+                &sched,
+                |b, &sched| {
+                    let config = RuntimeConfig {
+                        scheduler: sched,
+                        ..bench_config(workers)
+                    };
+                    b.iter(|| black_box(run_flat(PolicyKind::TwoPhase, &p, &hot, &config)));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("ddag_deep/{workers}w")),
+                &sched,
+                |b, &sched| {
+                    let config = RuntimeConfig {
+                        scheduler: sched,
+                        ..bench_config(workers)
+                    };
+                    b.iter(|| {
+                        let pc = PolicyConfig::dag(dag.universe.clone(), dag.graph.clone());
+                        let mut rt = Runtime::new(PolicyKind::Ddag, &pc).expect("DDAG builds");
+                        let report = rt.run(&dag_jobs, &config);
+                        assert!(!report.timed_out);
+                        black_box(report.committed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_worker_scaling,
@@ -374,6 +429,7 @@ criterion_group!(
     bench_certification,
     bench_read_path,
     bench_fast_path,
-    bench_durability
+    bench_durability,
+    bench_scheduler
 );
 criterion_main!(benches);

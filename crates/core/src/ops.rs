@@ -45,6 +45,18 @@ impl DataOp {
         }
     }
 
+    /// The conflict relation restricted to data operations: two data
+    /// operations on a common entity conflict iff they are *not both*
+    /// `READ` — the data-op projection of the benign set `{R, LS, US}`
+    /// (Section 2). This is the classification an admission-stage
+    /// scheduler applies to declared access sets: a pair of transactions
+    /// needs an ordering edge exactly when some common entity carries a
+    /// conflicting pair of declared operations.
+    #[inline]
+    pub fn conflicts_with(self, other: DataOp) -> bool {
+        !(self == DataOp::Read && other == DataOp::Read)
+    }
+
     /// The paper's one-letter abbreviation.
     pub fn letter(self) -> char {
         match self {
@@ -248,6 +260,16 @@ mod tests {
         assert_eq!(Operation::Unlock(LockMode::Shared).abbrev(), "US");
         assert_eq!(Operation::Unlock(LockMode::Exclusive).abbrev(), "UX");
         assert_eq!(Operation::Data(DataOp::Insert).abbrev(), "I");
+    }
+
+    #[test]
+    fn data_op_conflicts_mirror_the_benign_set() {
+        assert!(!DataOp::Read.conflicts_with(DataOp::Read));
+        for hostile in [DataOp::Write, DataOp::Insert, DataOp::Delete] {
+            assert!(DataOp::Read.conflicts_with(hostile));
+            assert!(hostile.conflicts_with(DataOp::Read));
+            assert!(hostile.conflicts_with(hostile));
+        }
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl TxStatusTable {
     /// Flips `tx` to `Committed(stamp)`. Returns `false` when the slot
     /// was already resolved (the flip did not happen).
     pub fn commit(&self, tx: TxId, stamp: u64) -> bool {
-        debug_assert!(stamp < 1 << 62, "commit stamp overflows the tag encoding");
+        // Release-mode check: a stamp at 2^62 would shift into the tag
+        // bits and could masquerade as a different status, silently
+        // corrupting visibility for every reader of this slot.
+        assert!(stamp < 1 << 62, "commit stamp overflows the tag encoding");
         self.slot(tx)
             .compare_exchange(
                 TAG_IN_PROGRESS,

@@ -79,7 +79,17 @@ const VERSION_SHIFT: u32 = 48;
 
 #[inline]
 fn pack(holder: u32, readers: u64, exclusive: bool, version: u64) -> u64 {
-    debug_assert!(readers <= COUNT_MASK);
+    // A release-mode check, not a debug_assert: a count past the field
+    // width would be masked back toward zero and silently *free* a word
+    // that live readers still hold — a writer's CAS could then grant
+    // exclusive over them. `try_acquire` saturates before ever calling
+    // pack with an overflowing count, so this is unreachable; if it
+    // ever fires, corrupting the shared word table is the one thing we
+    // must not do.
+    assert!(
+        readers <= COUNT_MASK,
+        "reader count {readers} overflows the 15-bit lock-word field"
+    );
     (version & 0xFFFF) << VERSION_SHIFT
         | if exclusive { X_BIT } else { 0 }
         | (readers & COUNT_MASK) << COUNT_SHIFT
@@ -132,6 +142,17 @@ fn decode(word: u64) -> WordState {
             rep: TxId(holder_of(word)),
         }
     } else {
+        // Every writer canonicalizes a freed word to all-zero fields
+        // (the last shared release clears the representative too), so a
+        // holder with no readers and no X bit is not a state this
+        // protocol produces. Reading it as Free would hand the entity to
+        // the next CAS over whoever the stale holder field names —
+        // reject it instead of guessing.
+        assert!(
+            holder_of(word) == 0,
+            "corrupt lock word: holder {} with no readers and no exclusive bit",
+            holder_of(word)
+        );
         WordState::Free
     }
 }
@@ -177,7 +198,13 @@ impl LockWords {
         loop {
             let next = match decode(cur) {
                 WordState::Free => pack(tx.0, u64::from(shared), !shared, version_of(cur) + 1),
-                WordState::Shared { readers, rep } if shared => {
+                // Saturate at the 15-bit field cap: the 32768th shared
+                // acquire must *conflict* (and take the park/engine
+                // path), because `readers + 1` would wrap the count to
+                // zero under the mask and silently free a word 32767
+                // live readers still hold — the next writer's CAS would
+                // then grant exclusive over all of them.
+                WordState::Shared { readers, rep } if shared && readers < COUNT_MASK => {
                     pack(rep.0, readers + 1, false, version_of(cur) + 1)
                 }
                 WordState::Shared { rep, .. } => return Err(rep),
@@ -405,6 +432,59 @@ mod tests {
         );
         assert!(words.release(e(0), t(2), true), "last reader frees");
         assert!(words.quiescent());
+    }
+
+    #[test]
+    fn shared_reader_count_saturates_at_the_field_cap() {
+        // Regression for the release-mode overflow: at readers ==
+        // COUNT_MASK (32767) the pre-fix `readers + 1` wrapped the
+        // packed count to zero, so the 32768th shared acquire silently
+        // *freed* the word while every reader still held it. Seed the
+        // word at the cap directly (32767 CAS acquires would dominate
+        // the suite) and demand a conflict.
+        let words = LockWords::new(1);
+        words.words[0].store(pack(1, COUNT_MASK, false, 0), Ordering::SeqCst);
+        assert_eq!(
+            words.try_acquire(e(0), t(9), true),
+            Err(t(1)),
+            "the acquire past the cap must conflict, not free the word"
+        );
+        assert_eq!(
+            words.state(e(0)),
+            WordState::Shared {
+                readers: COUNT_MASK,
+                rep: t(1)
+            },
+            "a saturating conflict must leave the word untouched"
+        );
+        // The saturated word still drains normally.
+        assert!(!words.release(e(0), t(2), true), "readers remain");
+        assert_eq!(
+            words.state(e(0)),
+            WordState::Shared {
+                readers: COUNT_MASK - 1,
+                rep: t(1)
+            }
+        );
+        // And a writer still sees the representative as the holder.
+        assert_eq!(words.try_acquire(e(0), t(9), false), Err(t(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the 15-bit lock-word field")]
+    fn pack_rejects_reader_overflow_in_release_builds_too() {
+        // The guard is a release-mode assert now: masking the count
+        // would corrupt the shared word table, so pack must refuse.
+        let _ = pack(1, COUNT_MASK + 1, false, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt lock word")]
+    fn decode_rejects_a_holder_with_no_mode_bits() {
+        // "Holder set, readers 0, not exclusive" is non-canonical: no
+        // writer produces it (a freed word zeroes every field). Reading
+        // it as Free would grant over whoever the stale field names.
+        let _ = decode(pack(5, 0, false, 1));
     }
 
     #[test]

@@ -44,6 +44,17 @@
 //!   [`slp_mvcc::Snapshot`] and never touch the lock service. Snapshot
 //!   reads enter the trace as stamped [`slp_core::ScheduledStep`]s so
 //!   both the online certifier and offline replay cover them;
+//! * **batch scheduling** — [`RuntimeConfig::scheduler`] puts an
+//!   admission-stage conflict-DAG scheduler in front of the worker pool
+//!   ([`SchedMode::Waves`]): the job queue is layered into
+//!   conflict-free waves from the declared access intents (structural
+//!   jobs fence a wave boundary) so declared conflicts are ordered up
+//!   front instead of discovered at grant time, with parking kept as
+//!   the safety net. [`SchedMode::Deterministic`] additionally pins
+//!   transaction ids and the merged trace to admission order — a
+//!   replayable block-execution mode whose outcome fingerprint and
+//!   schedule are byte-identical across worker counts (see the
+//!   `scheduler` module docs);
 //! * [`Metrics`] — a lock-free registry (atomic counters + fixed-bucket
 //!   latency histograms) every run folds into, rendered as a text
 //!   snapshot by [`Metrics::render`] (see `examples/load_service.rs`);
@@ -78,11 +89,13 @@ pub mod metrics;
 pub mod probes;
 pub mod report;
 pub mod runner;
+pub mod scheduler;
 
 pub use metrics::{Counter, Histogram, Metrics};
 pub use probes::{CrawlProbePlanner, ShoulderProbePlanner};
 pub use report::{Certification, LatencySummary, RuntimeReport};
 pub use runner::{CertifyMode, PlannerFactory, Runtime, RuntimeConfig};
+pub use scheduler::SchedMode;
 
 // The certifier types a certification verdict exposes.
 pub use slp_core::{CertStats, CertViolation, IncrementalCertifier};

@@ -127,6 +127,12 @@ pub struct Metrics {
     pub park_timeouts: Counter,
     /// Versioned reads served from MVCC snapshots (no lock service).
     pub snapshot_reads: Counter,
+    /// Waves dispatched by the batch scheduler (zero for unscheduled
+    /// runs).
+    pub waves: Counter,
+    /// Conflict edges the admission-stage DAG resolved by wave ordering
+    /// instead of grant-time parking.
+    pub sched_parks_avoided: Counter,
     /// WAL records appended.
     pub wal_records: Counter,
     /// WAL bytes appended.
@@ -145,6 +151,9 @@ pub struct Metrics {
     pub cert_violations: Counter,
     /// Commit latency (job dispatch to commit, across retries).
     pub commit_latency: Histogram,
+    /// Wave width (jobs per scheduler wave; the bucket bounds read as
+    /// plain counts here, not microseconds).
+    pub wave_width: Histogram,
 }
 
 impl Metrics {
@@ -183,6 +192,11 @@ impl Metrics {
         self.parks.add(report.parks);
         self.park_timeouts.add(report.park_timeouts);
         self.snapshot_reads.add(report.snapshot_reads);
+        self.waves.add(report.waves as u64);
+        self.sched_parks_avoided.add(report.sched_parks_avoided);
+        for &width in &report.wave_widths {
+            self.wave_width.record(u64::from(width));
+        }
         if let Some(wal) = &report.wal {
             self.wal_records.add(wal.records);
             self.wal_bytes.add(wal.bytes);
@@ -203,7 +217,7 @@ impl Metrics {
     /// Renders the registry as a text snapshot: `slp_<name> <value>`
     /// lines, histogram as cumulative buckets.
     pub fn render(&self) -> String {
-        let counters: [(&str, &Counter); 24] = [
+        let counters: [(&str, &Counter); 26] = [
             ("runs_total", &self.runs),
             ("attempts_total", &self.attempts),
             ("committed_total", &self.committed),
@@ -220,6 +234,8 @@ impl Metrics {
             ("parks_total", &self.parks),
             ("park_timeouts_total", &self.park_timeouts),
             ("snapshot_reads_total", &self.snapshot_reads),
+            ("waves_total", &self.waves),
+            ("sched_parks_avoided_total", &self.sched_parks_avoided),
             ("wal_records_total", &self.wal_records),
             ("wal_bytes_total", &self.wal_bytes),
             ("wal_syncs_total", &self.wal_syncs),
@@ -235,6 +251,7 @@ impl Metrics {
         }
         self.commit_latency
             .render_into("slp_commit_latency_us", &mut out);
+        self.wave_width.render_into("slp_wave_width", &mut out);
         out
     }
 }

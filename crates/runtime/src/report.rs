@@ -142,6 +142,19 @@ pub struct RuntimeReport {
     /// never touch the lock service, so a pure-read workload with this
     /// nonzero shows `grants == 0` and `lock_waits == 0`.
     pub snapshot_reads: u64,
+    /// Waves the batch scheduler layered the job queue into (zero when
+    /// [`crate::SchedMode::Off`] — the whole queue is one unscheduled
+    /// pool).
+    pub waves: usize,
+    /// Jobs per wave, in wave order (empty when the scheduler is off);
+    /// the runtime folds these into the
+    /// [`wave_width`](crate::Metrics::wave_width) histogram.
+    pub wave_widths: Vec<u32>,
+    /// Conflict edges the admission-stage DAG resolved by wave ordering
+    /// — each one a conflict that would otherwise have surfaced at grant
+    /// time as a `lock_wait` (and likely a park). Zero when the
+    /// scheduler is off.
+    pub sched_parks_avoided: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Whether the wall-clock guard expired before the job queue drained.

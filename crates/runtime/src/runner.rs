@@ -13,6 +13,7 @@
 use crate::fastpath::LockWords;
 use crate::metrics::Metrics;
 use crate::report::{Certification, LatencySummary, RuntimeReport};
+use crate::scheduler::{SchedMode, WaveDispatch, WavePlan};
 use crate::service::{BatchOutcome, FastLockOutcome, LockService, MvccState};
 use slp_core::{EntityId, Schedule, ScheduledStep, StructuralState, TxId};
 use slp_durability::{Store, Wal, WalConfig, WalError};
@@ -116,6 +117,18 @@ pub struct RuntimeConfig {
     /// Overridable via `SLP_RUNTIME_FAST_PATH`
     /// ([`env_fast_path`](RuntimeConfig::env_fast_path)).
     pub grant_fast_path: bool,
+    /// The admission-stage batch scheduler ([`SchedMode::Off`] by
+    /// default): [`SchedMode::Waves`] layers the job queue into
+    /// conflict-free waves from the declared access intents (structural
+    /// jobs fence a wave boundary) and dispatches wave by wave, keeping
+    /// parking as the safety net; [`SchedMode::Deterministic`]
+    /// additionally pins transaction ids and the merged trace to
+    /// admission order so the run is byte-identical across worker
+    /// counts (and ignores [`snapshot_reads`](RuntimeConfig::snapshot_reads)
+    /// — snapshot contents are timing-dependent by design). Overridable
+    /// via `SLP_RUNTIME_SCHED`
+    /// ([`env_sched`](RuntimeConfig::env_sched)).
+    pub scheduler: SchedMode,
     /// **Scripted negative control**: apply the deliberately broken
     /// visibility rule (snapshots dirty-read in-progress writers) so the
     /// online certifier's detection path can be exercised end to end.
@@ -137,6 +150,7 @@ impl Default for RuntimeConfig {
             certify_online: CertifyMode::Off,
             snapshot_reads: false,
             grant_fast_path: true,
+            scheduler: SchedMode::Off,
             broken_visibility: false,
         }
     }
@@ -233,6 +247,24 @@ impl RuntimeConfig {
             })
     }
 
+    /// The batch-scheduler mode the environment requests, if any:
+    /// `SLP_RUNTIME_SCHED` ∈ {`off`, `waves`, `deterministic`}. Same
+    /// contract as [`env_workers`](RuntimeConfig::env_workers): `None`
+    /// when unset, panic on anything else — a typo'd override must not
+    /// silently fall back.
+    pub fn env_sched() -> Option<SchedMode> {
+        std::env::var("SLP_RUNTIME_SCHED")
+            .ok()
+            .map(|v| match v.as_str() {
+                "off" => SchedMode::Off,
+                "waves" => SchedMode::Waves,
+                "deterministic" => SchedMode::Deterministic,
+                other => {
+                    panic!("SLP_RUNTIME_SCHED must be off|waves|deterministic, got {other:?}")
+                }
+            })
+    }
+
     fn env_micros(var: &str) -> Option<Duration> {
         std::env::var(var).ok().map(|v| {
             let us = v
@@ -247,7 +279,8 @@ impl RuntimeConfig {
     /// This config with every environment override applied
     /// (`SLP_RUNTIME_THREADS`, `SLP_RUNTIME_PARK_TIMEOUT_US`,
     /// `SLP_RUNTIME_BACKOFF_CAP_US`, `SLP_RUNTIME_CERTIFY`,
-    /// `SLP_RUNTIME_SNAPSHOT_READS`, `SLP_RUNTIME_FAST_PATH`). The
+    /// `SLP_RUNTIME_SNAPSHOT_READS`, `SLP_RUNTIME_FAST_PATH`,
+    /// `SLP_RUNTIME_SCHED`). The
     /// examples and stress suites run their configs through this so a CI
     /// matrix can retune the runtime without touching code.
     pub fn with_env_overrides(mut self) -> Self {
@@ -268,6 +301,9 @@ impl RuntimeConfig {
         }
         if let Some(fast) = Self::env_fast_path() {
             self.grant_fast_path = fast;
+        }
+        if let Some(sched) = Self::env_sched() {
+            self.scheduler = sched;
         }
         self
     }
@@ -415,7 +451,12 @@ impl Runtime {
     ) -> RuntimeReport {
         let initial = self.initial_state();
         let engine = self.engine.take().expect("engine present between runs");
-        let mvcc = config.snapshot_reads.then(|| {
+        let scope = engine.grant_scope();
+        // Deterministic mode pins the trace to admission order; snapshot
+        // contents are timing-dependent by design (a reader observes
+        // whatever committed first), so the read path stays locked there.
+        let snapshot_reads = config.snapshot_reads && config.scheduler != SchedMode::Deterministic;
+        let mvcc = snapshot_reads.then(|| {
             MvccState::new(if config.broken_visibility {
                 VisibilityRule::Broken
             } else {
@@ -425,7 +466,7 @@ impl Runtime {
         // The fast path activates only when the knob is on AND the engine
         // promises per-entity grants; the word table directly indexes the
         // flat pool (per-entity engines have a fixed universe).
-        let fast = (config.grant_fast_path && engine.grant_scope() == GrantScope::PerEntity)
+        let fast = (config.grant_fast_path && scope == GrantScope::PerEntity)
             .then(|| {
                 let capacity = self
                     .pool
@@ -444,6 +485,24 @@ impl Runtime {
             mvcc,
             fast,
         );
+        // The batch scheduler: layer the whole admission batch into
+        // conflict-free waves from the intents worker 0's planner
+        // declares. In deterministic mode, global-scope engines (whose
+        // lock footprint may exceed the declared intent) execute each
+        // wave serially in admission order; per-entity engines run waves
+        // concurrently — their plain plans cover exactly the declared
+        // set, so waves are genuinely conflict-free.
+        let wave_plan = (config.scheduler != SchedMode::Off)
+            .then(|| WavePlan::build(jobs, (self.planner_factory)(0).as_ref()));
+        let dispatch = wave_plan.as_ref().map(|plan| {
+            let serial =
+                config.scheduler == SchedMode::Deterministic && scope == GrantScope::Global;
+            WaveDispatch::new(plan.waves.clone(), serial)
+        });
+        // Deterministic mode derives transaction ids from the admission
+        // index instead of the racing shared counter: attempt `a` of job
+        // `i` is `1 + i + a·|jobs|`, unique and worker-count-independent.
+        let det_jobs = (config.scheduler == SchedMode::Deterministic).then_some(jobs.len() as u32);
         let next_job = AtomicUsize::new(0);
         let next_tx = AtomicU32::new(1);
         let start = Instant::now();
@@ -454,13 +513,18 @@ impl Runtime {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let service = &service;
-                    let next_job = &next_job;
-                    let next_tx = &next_tx;
+                    let source = JobSource {
+                        cursor: &next_job,
+                        waves: dispatch.as_ref(),
+                        total: jobs.len(),
+                    };
+                    let txs = TxSource {
+                        shared: &next_tx,
+                        det_jobs,
+                    };
                     let factory = Arc::clone(&self.planner_factory);
                     scope.spawn(move || {
-                        worker_loop(
-                            w, service, jobs, next_job, next_tx, config, deadline, factory,
-                        )
+                        worker_loop(w, service, jobs, source, txs, config, deadline, factory)
                     })
                 })
                 .collect();
@@ -494,6 +558,20 @@ impl Runtime {
             latencies.extend(out.latencies_us);
             aborted.extend(out.aborted);
         }
+        if let Some(n) = det_jobs.filter(|&n| n > 0) {
+            // Deterministic renumbering: regroup the trace per job in
+            // admission order (the deterministic tx ids encode the job
+            // index) and restamp densely. Conflicting transactions are
+            // wave-ordered — waves are completion barriers, so their
+            // steps never trade places here; only non-conflicting steps
+            // are reordered, and the result is conflict-equivalent to
+            // the executed interleaving but byte-identical across
+            // worker counts.
+            entries.sort_unstable_by_key(|&(stamp, s)| ((s.tx.0 - 1) % n, stamp));
+            for (i, entry) in entries.iter_mut().enumerate() {
+                entry.0 = i as u64;
+            }
+        }
         let schedule = if entries.is_empty() {
             // No step was ever granted (e.g. an already-expired deadline):
             // `from_sequenced` treats empty input as an error, but here it
@@ -523,6 +601,11 @@ impl Runtime {
             parks: c.parks.load(Ordering::Relaxed),
             park_timeouts: c.park_timeouts.load(Ordering::Relaxed),
             snapshot_reads: c.snapshot_reads.load(Ordering::Relaxed),
+            waves: wave_plan.as_ref().map_or(0, |p| p.waves.len()),
+            wave_widths: wave_plan.as_ref().map_or_else(Vec::new, |p| {
+                p.waves.iter().map(|w| w.len() as u32).collect()
+            }),
+            sched_parks_avoided: wave_plan.as_ref().map_or(0, |p| p.conflict_edges),
             elapsed,
             timed_out: c.timed_out.load(Ordering::Relaxed),
             schedule,
@@ -566,13 +649,64 @@ enum AttemptEnd {
     Abandoned,
 }
 
+/// Where a worker claims its next job: the shared atomic cursor (the
+/// unscheduled default) or the wave dispatcher, which blocks claimers at
+/// wave fences.
+#[derive(Clone, Copy)]
+struct JobSource<'a> {
+    cursor: &'a AtomicUsize,
+    waves: Option<&'a WaveDispatch>,
+    total: usize,
+}
+
+impl JobSource<'_> {
+    fn claim(&self) -> Option<usize> {
+        match self.waves {
+            Some(dispatch) => dispatch.claim(),
+            None => {
+                let ji = self.cursor.fetch_add(1, Ordering::Relaxed);
+                (ji < self.total).then_some(ji)
+            }
+        }
+    }
+
+    fn complete(&self) {
+        if let Some(dispatch) = self.waves {
+            dispatch.complete();
+        }
+    }
+}
+
+/// How a worker mints transaction ids: the racing shared counter, or —
+/// in deterministic mode — a pure function of the admission index, so
+/// ids (and thus the renumbered trace) are worker-count-independent.
+#[derive(Clone, Copy)]
+struct TxSource<'a> {
+    shared: &'a AtomicU32,
+    /// `Some(|jobs|)` in deterministic mode.
+    det_jobs: Option<u32>,
+}
+
+impl TxSource<'_> {
+    /// The id for attempt `attempt` (1-based) of job `ji`.
+    fn mint(&self, ji: usize, attempt: u32) -> TxId {
+        match self.det_jobs {
+            // Unique across (job, attempt) pairs; collision with the
+            // shared counter is impossible because deterministic runs
+            // never touch it.
+            Some(n) => TxId(1 + ji as u32 + (attempt - 1).wrapping_mul(n)),
+            None => TxId(self.shared.fetch_add(1, Ordering::Relaxed)),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker: usize,
     service: &LockService,
     jobs: &[Job],
-    next_job: &AtomicUsize,
-    next_tx: &AtomicU32,
+    source: JobSource<'_>,
+    txs: TxSource<'_>,
     config: &RuntimeConfig,
     deadline: Instant,
     factory: PlannerFactory,
@@ -583,18 +717,18 @@ fn worker_loop(
         latencies_us: Vec::new(),
         aborted: Vec::new(),
     };
-    loop {
-        let ji = next_job.fetch_add(1, Ordering::Relaxed);
-        let Some(job) = jobs.get(ji) else { break };
+    while let Some(ji) = source.claim() {
+        let job = &jobs[ji];
         let dispatched = Instant::now();
         let mut attempt = 0u32;
         loop {
             attempt += 1;
+            let tx = txs.mint(ji, attempt);
             let end = run_attempt(
                 service,
                 planner.as_mut(),
                 job,
-                next_tx,
+                tx,
                 config,
                 deadline,
                 &mut out,
@@ -619,6 +753,8 @@ fn worker_loop(
                 AttemptEnd::Retry => backoff(attempt, config),
             }
         }
+        // Whatever the outcome, the wave fence counts this job done.
+        source.complete();
     }
     out
 }
@@ -632,7 +768,7 @@ fn run_attempt(
     service: &LockService,
     planner: &mut dyn ActionPlanner,
     job: &Job,
-    next_tx: &AtomicU32,
+    tx: TxId,
     config: &RuntimeConfig,
     deadline: Instant,
     out: &mut WorkerOutput,
@@ -646,7 +782,6 @@ fn run_attempt(
     if Instant::now() > deadline || halted() {
         return AttemptEnd::Abandoned;
     }
-    let tx = TxId(next_tx.fetch_add(1, Ordering::Relaxed));
     if job.read_only && service.snapshot_reads_enabled() {
         // The MVCC read path: capture a snapshot and read versions — no
         // lock service, no engine lock, no waits-for edges. The only way

@@ -354,9 +354,11 @@ impl LockService {
     /// taking the engine lock and call this after dropping it, so woken
     /// workers contend on the engine, not on us.
     fn wake_recorded(&self, trace: &[(u64, ScheduledStep)], from: usize) {
-        // Dedupe stripes per batch: one bump + notify per stripe.
+        // Dedupe stripes per batch: one bump + notify per stripe. The
+        // bound is load-bearing in release builds — indexing `bumped`
+        // past it would skip wakes (a lost-wakeup bug), not just panic.
         let mut bumped = [false; 64];
-        debug_assert!(self.stripes.len() <= 64);
+        assert!(self.stripes.len() <= 64, "stripe count exceeds wake bitmap");
         for (_, s) in &trace[from..] {
             if !s.step.is_unlock() {
                 continue;
